@@ -1,0 +1,163 @@
+// Command cwc-bench regenerates the paper's evaluation: every figure
+// (Fig. 3–6) and Table I, as text tables or CSV.
+//
+//	cwc-bench -exp all
+//	cwc-bench -exp fig3 -format csv
+//	cwc-bench -exp table1 -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"cwcflow/internal/bench"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "cwc-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		exp    = flag.String("exp", "all", "experiment: fig3, fig4, fig5, fig6top, fig6bottom, table1, ablation, all")
+		format = flag.String("format", "text", "output format: text or csv")
+		seed   = flag.Int64("seed", 1, "workload noise seed")
+		quanta = flag.Int("scale-quanta", 0, "override quanta per trajectory (0 = publication parameters)")
+	)
+	flag.Parse()
+	sc := bench.Scale{Quanta: *quanta}
+	w := os.Stdout
+
+	writeExp := func(e *bench.Experiment) error {
+		defer fmt.Fprintln(w)
+		if *format == "csv" {
+			return e.WriteCSV(w)
+		}
+		return e.WriteText(w)
+	}
+
+	want := func(name string) bool { return *exp == "all" || *exp == name }
+	ran := false
+
+	if want("fig3") {
+		ran = true
+		for _, engines := range []int{1, 4} {
+			e, err := bench.Fig3(engines, *seed, sc)
+			if err != nil {
+				return err
+			}
+			if err := writeExp(e); err != nil {
+				return err
+			}
+		}
+	}
+	if want("fig4") {
+		ran = true
+		top, bottom, err := bench.Fig4(*seed, sc)
+		if err != nil {
+			return err
+		}
+		if err := writeExp(top); err != nil {
+			return err
+		}
+		if err := writeExp(bottom); err != nil {
+			return err
+		}
+	}
+	if want("fig5") {
+		ran = true
+		e, err := bench.Fig5(*seed, sc)
+		if err != nil {
+			return err
+		}
+		if err := writeExp(e); err != nil {
+			return err
+		}
+	}
+	if want("fig6top") || want("fig6") {
+		ran = true
+		e, err := bench.Fig6Top(*seed, sc)
+		if err != nil {
+			return err
+		}
+		if err := writeExp(e); err != nil {
+			return err
+		}
+	}
+	if want("fig6bottom") || want("fig6") {
+		ran = true
+		e, err := bench.Fig6Bottom(*seed, sc)
+		if err != nil {
+			return err
+		}
+		if err := writeExp(e); err != nil {
+			return err
+		}
+	}
+	if want("table1") {
+		ran = true
+		res, err := bench.Table1(*seed, sc)
+		if err != nil {
+			return err
+		}
+		if err := writeTable1(w, res, *format); err != nil {
+			return err
+		}
+	}
+	if want("ablation") {
+		ran = true
+		sched, err := bench.AblationScheduling(*seed, sc)
+		if err != nil {
+			return err
+		}
+		if err := writeExp(sched); err != nil {
+			return err
+		}
+		quantum, err := bench.AblationQuantum(*seed)
+		if err != nil {
+			return err
+		}
+		if err := writeExp(quantum); err != nil {
+			return err
+		}
+		ssa, err := bench.AblationSSA()
+		if err != nil {
+			return err
+		}
+		if err := writeExp(ssa); err != nil {
+			return err
+		}
+		tap, err := bench.AblationRawTap(*seed)
+		if err != nil {
+			return err
+		}
+		if err := writeExp(tap); err != nil {
+			return err
+		}
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q", *exp)
+	}
+	return nil
+}
+
+func writeTable1(w io.Writer, res bench.Table1Result, format string) error {
+	if format == "csv" {
+		if _, err := fmt.Fprintln(w, "nsims,cpu_q10,cpu_q1,gpu_q10,gpu_q1"); err != nil {
+			return err
+		}
+		for _, r := range res.Rows {
+			if _, err := fmt.Fprintf(w, "%d,%.1f,%.1f,%.1f,%.1f\n",
+				r.NSims, r.CPUQ10, r.CPUQ1, r.GPUQ10, r.GPUQ1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return res.WriteText(w)
+}

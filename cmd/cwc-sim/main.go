@@ -1,0 +1,106 @@
+// Command cwc-sim runs the CWC simulation-analysis pipeline on shared
+// memory (optionally offloading the simulation stage to the simulated
+// GPGPU device) and streams per-cut statistics as CSV to stdout.
+//
+// Example:
+//
+//	cwc-sim -model neurospora -omega 100 -trajectories 64 -end 48 \
+//	        -period 0.5 -workers 8 -stat-engines 2
+//	cwc-sim -model neurospora-cwc -trajectories 32 -end 24 -gpu
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"time"
+
+	"cwcflow/internal/core"
+	"cwcflow/internal/gpu"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "cwc-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		model       = flag.String("model", "neurospora", "model: neurospora, neurospora-nrm, neurospora-cwc, lotka-volterra, sir, schlogl, enzyme")
+		omega       = flag.Float64("omega", 100, "system size (molecules per concentration unit) for models that take one")
+		traj        = flag.Int("trajectories", 64, "Monte Carlo ensemble size")
+		end         = flag.Float64("end", 48, "simulated horizon (model time units)")
+		quantum     = flag.Float64("quantum", 0, "simulation quantum (0 = one sampling period)")
+		period      = flag.Float64("period", 0.5, "sampling period τ")
+		workers     = flag.Int("workers", 4, "simulation farm width")
+		statEngines = flag.Int("stat-engines", 2, "statistics farm width")
+		winSize     = flag.Int("window", 16, "sliding window size (cuts)")
+		winStep     = flag.Int("step", 0, "sliding window step (0 = tumbling)")
+		kmeans      = flag.Int("kmeans", 0, "cluster trajectories into k groups per window (0 = off)")
+		periodWin   = flag.Int("period-halfwin", 0, "peak-detector half window for period analysis (0 = off)")
+		seed        = flag.Int64("seed", 1, "base RNG seed")
+		useGPU      = flag.Bool("gpu", false, "offload the simulation stage to the simulated K40 device")
+	)
+	flag.Parse()
+
+	factory, err := core.FactoryFor(core.ModelRef{Name: *model, Omega: *omega})
+	if err != nil {
+		return err
+	}
+	cfg := core.Config{
+		Factory:       factory,
+		Trajectories:  *traj,
+		End:           *end,
+		Quantum:       *quantum,
+		Period:        *period,
+		SimWorkers:    *workers,
+		StatEngines:   *statEngines,
+		WindowSize:    *winSize,
+		WindowStep:    *winStep,
+		KMeansK:       *kmeans,
+		PeriodHalfWin: *periodWin,
+		BaseSeed:      *seed,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	display := core.CSVDisplay(os.Stdout, nil)
+	start := time.Now()
+	var info core.RunInfo
+	if *useGPU {
+		dev, err := gpu.NewDevice(gpu.TeslaK40())
+		if err != nil {
+			return err
+		}
+		var ginfo core.GPUInfo
+		info, ginfo, err = core.RunGPU(ctx, cfg, dev, display)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "gpu: %d kernel launches, %.3fs simulated device time, %.1f%% SIMT utilisation\n",
+			ginfo.Launches, ginfo.SimTime, 100*ginfo.Utilization)
+	} else {
+		info, err = core.Run(ctx, cfg, display)
+		if err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(os.Stderr,
+		"done in %v: %d trajectories, %d cuts, %d windows, %d samples, %d reactions%s\n",
+		time.Since(start).Round(time.Millisecond),
+		info.Trajectories, info.Cuts, info.Windows, info.Samples, info.Reactions,
+		deadNote(info.DeadTasks))
+	return nil
+}
+
+func deadNote(n int) string {
+	if n == 0 {
+		return ""
+	}
+	return fmt.Sprintf(" (%d trajectories reached a dead state)", n)
+}

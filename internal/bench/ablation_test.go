@@ -1,0 +1,90 @@
+package bench
+
+import "testing"
+
+func TestAblationScheduling(t *testing.T) {
+	e, err := AblationScheduling(1, Scale{Quanta: 8, MaxTraj: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Static partition must never beat on-demand (beyond scheduling
+	// noise), and must pay a clear penalty somewhere in the sweep. At
+	// extreme imbalance the slowest trajectory's serial chain dominates
+	// both schedulers, so the penalty peaks in the moderate regime rather
+	// than growing monotonically.
+	maxGap := 0.0
+	for _, sigma := range []float64{0.1, 0.3, 0.5, 0.8, 1.2} {
+		od, ok1 := e.Lookup("on-demand", sigma)
+		st, ok2 := e.Lookup("static partition", sigma)
+		if !ok1 || !ok2 {
+			t.Fatalf("missing points at sigma=%g", sigma)
+		}
+		if st < od*0.98 {
+			t.Fatalf("sigma=%g: static (%.3f) beat on-demand (%.3f)", sigma, st, od)
+		}
+		if gap := st / od; gap > maxGap {
+			maxGap = gap
+		}
+	}
+	if maxGap < 1.05 {
+		t.Fatalf("static partition never paid a clear penalty (max gap %.3f)", maxGap)
+	}
+}
+
+func TestAblationQuantumInvariance(t *testing.T) {
+	e, err := AblationQuantum(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ref float64
+	for i, q := range []float64{0.5, 1, 2, 6, 24} {
+		v, ok := e.Lookup("final mean M", q)
+		if !ok {
+			t.Fatalf("missing point at quantum %g", q)
+		}
+		if i == 0 {
+			ref = v
+			continue
+		}
+		if v != ref {
+			t.Fatalf("quantum %g changed the result: %g != %g", q, v, ref)
+		}
+	}
+	// Sample count is also invariant (sampling schedule is fixed).
+	s1, _ := e.Lookup("samples", 0.5)
+	s2, _ := e.Lookup("samples", 24)
+	if s1 != s2 {
+		t.Fatalf("sample count varied with quantum: %g vs %g", s1, s2)
+	}
+}
+
+func TestAblationSSA(t *testing.T) {
+	e, err := AblationSSA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At 256 channels NRM must beat the direct method's O(R) scan.
+	d, ok1 := e.Lookup("direct", 256)
+	n, ok2 := e.Lookup("nrm", 256)
+	if !ok1 || !ok2 {
+		t.Fatal("missing 256-channel points")
+	}
+	if n <= d {
+		t.Fatalf("NRM (%.3f) did not beat direct (%.3f) on 256 channels", n, d)
+	}
+}
+
+func TestAblationRawTap(t *testing.T) {
+	e, err := AblationRawTap(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, ok1 := e.Lookup("pipeline samples", 0)
+	on, ok2 := e.Lookup("pipeline samples", 1)
+	if !ok1 || !ok2 {
+		t.Fatal("missing points")
+	}
+	if off != on {
+		t.Fatalf("raw tap changed the sample stream: %g vs %g", off, on)
+	}
+}

@@ -1,0 +1,5 @@
+package bench
+
+import "time"
+
+func defaultNanos() int64 { return time.Now().UnixNano() }

@@ -1,0 +1,293 @@
+package bench
+
+import (
+	"fmt"
+
+	"cwcflow/internal/platform"
+)
+
+// Scale shrinks experiments for fast test/bench runs; the zero value uses
+// the full publication-quality parameters.
+type Scale struct {
+	// Quanta overrides the per-trajectory quantum count (0 = default).
+	Quanta int
+	// MaxTraj caps the largest ensemble size (0 = no cap).
+	MaxTraj int
+}
+
+func (s Scale) quanta(def int) int {
+	if s.Quanta > 0 {
+		return s.Quanta
+	}
+	return def
+}
+
+func (s Scale) traj(n int) int {
+	if s.MaxTraj > 0 && n > s.MaxTraj {
+		return s.MaxTraj
+	}
+	return n
+}
+
+// fig3Workers is the sim-worker sweep of the multi-core experiments.
+var fig3Workers = []int{1, 2, 4, 8, 12, 16, 20, 24, 28, 32}
+
+// Fig3 reproduces the multi-core speedup of the Neurospora model on the
+// 32-core (64 hyperthread) Nehalem host, with the given number of
+// statistical engines: the paper's Fig. 3 top (1 engine: the analysis farm
+// saturates large ensembles) and bottom (4 engines: near-ideal).
+func Fig3(statEngines int, seed int64, sc Scale) (*Experiment, error) {
+	e := &Experiment{
+		ID:     fmt.Sprintf("fig3-%dstat", statEngines),
+		Title:  fmt.Sprintf("Multi-core speedup, Neurospora, %d statistical engine(s)", statEngines),
+		XLabel: "sim workers",
+		YLabel: "speedup",
+		Notes: []string{
+			"platform model: 32-core/64-HT Nehalem host",
+			"speedup relative to 1 sim worker, same analysis configuration",
+		},
+	}
+	p := platform.SharedMemory(64) // hyperthreaded contexts
+	for _, n := range []int{128, 512, 1024} {
+		n = sc.traj(n)
+		w := platform.NeurosporaWorkload(n, sc.quanta(30), 10, seed)
+		label := fmt.Sprintf("%d trajectories", n)
+		base := 0.0
+		for _, workers := range fig3Workers {
+			dep := platform.Deployment{
+				SimWorkerHosts: platform.SpreadWorkers([]int{0}, workers),
+				MasterHost:     0,
+				StatEngines:    statEngines,
+			}
+			m, err := platform.Simulate(p, w, dep)
+			if err != nil {
+				return nil, err
+			}
+			if workers == 1 {
+				base = m.Makespan
+			}
+			e.Add(label, float64(workers), base/m.Makespan)
+		}
+	}
+	return e, nil
+}
+
+// Fig4 reproduces the distributed speedup on the Infiniband (IPoIB)
+// cluster, using 2 or 4 cores per host: speedup against the number of
+// hosts (top) and against the aggregated core count (bottom). 4
+// statistical engines, trajectories statically partitioned per host (the
+// distributed deployment).
+func Fig4(seed int64, sc Scale) (top, bottom *Experiment, err error) {
+	top = &Experiment{
+		ID: "fig4-hosts", Title: "Cluster speedup vs number of hosts",
+		XLabel: "hosts", YLabel: "speedup",
+		Notes: []string{"Infiniband (IPoIB) cluster model, speedup vs 1 host of the same shape"},
+	}
+	bottom = &Experiment{
+		ID: "fig4-cores", Title: "Cluster speedup vs aggregated cores",
+		XLabel: "aggregated cores", YLabel: "speedup",
+		Notes: []string{"speedup vs 1 sim worker on 1 host"},
+	}
+	const maxHosts = 8
+	for _, coresPerHost := range []int{2, 4} {
+		label := fmt.Sprintf("%d cores per host", coresPerHost)
+		n := sc.traj(256)
+		w := platform.NeurosporaWorkload(n, sc.quanta(30), 10, seed)
+
+		// Single-worker baseline for the aggregated-cores axis.
+		p1 := platform.InfinibandCluster(1, coresPerHost)
+		m1w, err := platform.Simulate(p1, w, platform.Deployment{
+			SimWorkerHosts: []int{0}, MasterHost: 0, StatEngines: 4,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		base1host := 0.0
+		for hosts := 1; hosts <= maxHosts; hosts++ {
+			p := platform.InfinibandCluster(hosts, coresPerHost)
+			hostIdx := make([]int, hosts)
+			for i := range hostIdx {
+				hostIdx[i] = i
+			}
+			dep := platform.Deployment{
+				SimWorkerHosts:  platform.WorkersPerHost(hostIdx, coresPerHost),
+				MasterHost:      0,
+				StatEngines:     4,
+				StaticPartition: true,
+			}
+			m, err := platform.Simulate(p, w, dep)
+			if err != nil {
+				return nil, nil, err
+			}
+			if hosts == 1 {
+				base1host = m.Makespan
+			}
+			top.Add(label, float64(hosts), base1host/m.Makespan)
+			bottom.Add(label, float64(hosts*coresPerHost), m1w.Makespan/m.Makespan)
+		}
+	}
+	return top, bottom, nil
+}
+
+// fig5Workload calibrates the 96-day Neurospora cloud run on one EC2 core:
+// ~200 trajectories sampled every 4 h (576 cuts), sequential time ≈ 224
+// minutes, with the heavier on-line analysis (periods + moving averages)
+// of the cloud experiments.
+func fig5Workload(seed int64, sc Scale) platform.Workload {
+	return platform.Workload{
+		Trajectories:      sc.traj(200),
+		Quanta:            sc.quanta(576),
+		SamplesPerQuantum: 1,
+		QuantumCost:       0.1167, // EC2-core seconds per 4h-of-biology quantum
+		TrajSigma:         0.08,
+		QuantumSigma:      0.30,
+		SampleBytes:       64,
+		AlignPerSample:    5e-4,
+		StatBase:          0,
+		StatPerTraj:       0.020, // ≈4.0 core-seconds per cut at N=200
+		StatExponent:      1,
+		StatChunk:         0.05,
+		Seed:              seed,
+	}
+}
+
+// Fig5 reproduces the single quad-core EC2 VM run: execution time (in
+// minutes) and speedup against the number of virtualised cores used.
+func Fig5(seed int64, sc Scale) (*Experiment, error) {
+	e := &Experiment{
+		ID: "fig5", Title: "Single quad-core EC2 VM: 96-day Neurospora run",
+		XLabel: "cores", YLabel: "speedup / minutes",
+		Notes: []string{
+			"one 4-core VM runs sim workers, the aligner and the statistical engine",
+			"exec time in minutes; speedup vs 1 sim worker",
+		},
+	}
+	w := fig5Workload(seed, sc)
+	host := platform.Platform{Hosts: []platform.Host{{Name: "ec2-vm", Cores: 4, Speed: 1}}}
+	base := 0.0
+	for cores := 1; cores <= 4; cores++ {
+		dep := platform.Deployment{
+			SimWorkerHosts: platform.SpreadWorkers([]int{0}, cores),
+			MasterHost:     0,
+			StatEngines:    1,
+		}
+		m, err := platform.Simulate(host, w, dep)
+		if err != nil {
+			return nil, err
+		}
+		if cores == 1 {
+			base = m.Makespan
+		}
+		e.Add("speedup", float64(cores), base/m.Makespan)
+		e.Add("exec time (min)", float64(cores), m.Makespan/60)
+	}
+	return e, nil
+}
+
+// fig6Workload is the same cloud run with the lighter streaming analysis
+// (moving average of the oscillation period) used in the cluster
+// deployments, spread over 4 statistical engines.
+func fig6Workload(seed int64, sc Scale) platform.Workload {
+	w := fig5Workload(seed, sc)
+	w.StatPerTraj = 0.002 // ≈0.4 core-seconds per cut at N=200
+	w.AlignPerSample = 2e-4
+	return w
+}
+
+// Fig6Top reproduces the virtual cluster of eight quad-core EC2 VMs:
+// speedup against virtualised cores, relative to one sim worker on one VM.
+func Fig6Top(seed int64, sc Scale) (*Experiment, error) {
+	e := &Experiment{
+		ID: "fig6-top", Title: "EC2 virtual cluster of 8 quad-core VMs",
+		XLabel: "cores", YLabel: "speedup",
+		Notes: []string{"speedup vs 1 sim worker on 1 VM; 4 statistical engines; static per-host partition"},
+	}
+	w := fig6Workload(seed, sc)
+	base := 0.0
+	for hosts := 1; hosts <= 8; hosts++ {
+		p := platform.EC2Cluster(hosts, 4)
+		hostIdx := make([]int, hosts)
+		for i := range hostIdx {
+			hostIdx[i] = i
+		}
+		dep := platform.Deployment{
+			SimWorkerHosts:  platform.WorkersPerHost(hostIdx, 4),
+			MasterHost:      0,
+			StatEngines:     4,
+			StaticPartition: true,
+		}
+		m, err := platform.Simulate(p, w, dep)
+		if err != nil {
+			return nil, err
+		}
+		if hosts == 1 {
+			// Baseline: single worker on this 1-VM platform.
+			m1, err := platform.Simulate(p, w, platform.Deployment{
+				SimWorkerHosts: []int{0}, MasterHost: 0, StatEngines: 4,
+			})
+			if err != nil {
+				return nil, err
+			}
+			base = m1.Makespan
+		}
+		e.Add("speedup", float64(hosts*4), base/m.Makespan)
+	}
+	return e, nil
+}
+
+// Fig6Bottom reproduces the heterogeneous platform: eight quad-core EC2
+// VMs plus the 32-core Nehalem and two 16-core Sandy Bridge workstations,
+// up to 96 aggregated cores. Execution time in seconds and gain vs a
+// single EC2 core.
+func Fig6Bottom(seed int64, sc Scale) (*Experiment, error) {
+	e := &Experiment{
+		ID: "fig6-bottom", Title: "Heterogeneous platform (EC2 + Nehalem + 2x Sandy Bridge)",
+		XLabel: "aggregated cores", YLabel: "speedup / seconds",
+		Notes: []string{
+			"gain vs 1 sim worker on 1 EC2 VM; master on the Nehalem host",
+			"EC2 VMs reach the lab over a WAN link",
+		},
+	}
+	w := fig6Workload(seed, sc)
+	p := platform.Heterogeneous()
+
+	// Baseline: one worker on one EC2 VM (plain EC2 platform).
+	m1, err := platform.Simulate(platform.EC2Cluster(1, 4), w, platform.Deployment{
+		SimWorkerHosts: []int{0}, MasterHost: 0, StatEngines: 4,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Growth steps: 1 VM (4 cores) → 8 VMs (32) → +SB (48, 64) → +Nehalem (96).
+	steps := []struct {
+		cores   int
+		workers []int
+		master  int
+	}{
+		{4, platform.WorkersPerHost([]int{0}, 4), 0},
+		{32, platform.WorkersPerHost([]int{0, 1, 2, 3, 4, 5, 6, 7}, 4), 0},
+		{48, append(platform.WorkersPerHost([]int{0, 1, 2, 3, 4, 5, 6, 7}, 4),
+			platform.WorkersPerHost([]int{9}, 16)...), platform.HeterogeneousMaster},
+		{64, append(platform.WorkersPerHost([]int{0, 1, 2, 3, 4, 5, 6, 7}, 4),
+			platform.WorkersPerHost([]int{9, 10}, 16)...), platform.HeterogeneousMaster},
+		{96, append(append(platform.WorkersPerHost([]int{0, 1, 2, 3, 4, 5, 6, 7}, 4),
+			platform.WorkersPerHost([]int{9, 10}, 16)...),
+			platform.WorkersPerHost([]int{platform.HeterogeneousMaster}, 32)...), platform.HeterogeneousMaster},
+	}
+	for _, st := range steps {
+		dep := platform.Deployment{
+			SimWorkerHosts:  st.workers,
+			MasterHost:      st.master,
+			StatEngines:     4,
+			StaticPartition: true,
+		}
+		m, err := platform.Simulate(p, w, dep)
+		if err != nil {
+			return nil, err
+		}
+		e.Add("speedup", float64(st.cores), m1.Makespan/m.Makespan)
+		e.Add("exec time (s)", float64(st.cores), m.Makespan)
+	}
+	return e, nil
+}

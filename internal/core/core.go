@@ -1,0 +1,391 @@
+// Package core assembles the CWC simulation-analysis pipeline — the
+// paper's primary artifact (Fig. 2) — from the stream-skeleton runtime:
+//
+//	generation of simulation tasks
+//	  → farm of simulation engines (on-demand scheduling, feedback
+//	    rescheduling of incomplete tasks after every simulation quantum)
+//	  → alignment of trajectories (samples → time cuts)
+//	  → generation of sliding windows of trajectory cuts
+//	  → farm of statistical engines (mean / variance / quantiles /
+//	    k-means / period detection), gathered in order
+//	  → display of results (user sink, e.g. CSV writer)
+//
+// Everything runs concurrently: statistics stream out while simulations
+// are still running, which is the point of the paper's on-line design.
+// The same pipeline retargets distributed deployments (package dff) and a
+// simulated GPGPU (RunGPU) with configuration-level changes only.
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"cwcflow/internal/ff"
+	"cwcflow/internal/sim"
+	"cwcflow/internal/stats"
+	"cwcflow/internal/window"
+)
+
+// SimulatorFactory builds the stochastic engine for one trajectory. It
+// must return an independent simulator (private RNG seeded from seed).
+type SimulatorFactory func(traj int, seed int64) (sim.Simulator, error)
+
+// Config describes one simulation-analysis run.
+type Config struct {
+	// Factory creates per-trajectory simulators.
+	Factory SimulatorFactory
+	// Trajectories is the Monte Carlo ensemble size.
+	Trajectories int
+	// End is the simulated horizon.
+	End float64
+	// Quantum is the simulated time a task advances per scheduling step;
+	// smaller quanta = finer load balancing and fresher on-line results.
+	Quantum float64
+	// Period is the sampling interval τ; samples at k·Period form cuts.
+	Period float64
+
+	// SimWorkers is the parallelism of the simulation farm.
+	SimWorkers int
+	// StatEngines is the parallelism of the statistics farm.
+	StatEngines int
+
+	// WindowSize and WindowStep configure the sliding windows of cuts fed
+	// to the statistical engines (step == size gives exact, non-overlapping
+	// cut coverage; step < size gives smoother period estimates).
+	WindowSize int
+	WindowStep int
+
+	// Species selects the observable indices to analyse (nil = all).
+	Species []int
+	// KMeansK, when > 0, clusters the trajectory ensemble of each
+	// window's last cut into K groups.
+	KMeansK int
+	// PeriodHalfWin is the smoothing half-window (in cuts) of the peak
+	// detector used for period estimation; 0 disables period analysis.
+	PeriodHalfWin int
+
+	// BaseSeed derives per-trajectory seeds (seed = BaseSeed + traj).
+	BaseSeed int64
+
+	// RawSink, when non-nil, receives every raw sample as it leaves the
+	// simulation farm (the paper's "raw simulation results" tap feeding
+	// permanent storage), before alignment. It is called sequentially.
+	RawSink func(sim.Sample) error
+}
+
+// withDefaults validates the configuration and fills defaults.
+func (c Config) withDefaults() (Config, error) {
+	if c.Factory == nil {
+		return c, errors.New("core: nil simulator factory")
+	}
+	if c.Trajectories < 1 {
+		return c, fmt.Errorf("core: need at least 1 trajectory, got %d", c.Trajectories)
+	}
+	if c.End <= 0 || c.Period <= 0 {
+		return c, fmt.Errorf("core: End and Period must be positive (got %g, %g)", c.End, c.Period)
+	}
+	if c.Quantum <= 0 {
+		c.Quantum = c.Period
+	}
+	if c.SimWorkers < 1 {
+		c.SimWorkers = 1
+	}
+	if c.StatEngines < 1 {
+		c.StatEngines = 1
+	}
+	if c.WindowSize < 1 {
+		c.WindowSize = 16
+	}
+	if c.WindowStep < 1 || c.WindowStep > c.WindowSize {
+		c.WindowStep = c.WindowSize
+	}
+	return c, nil
+}
+
+// WindowStat is the output of one statistical engine for one window: the
+// "filtered simulation results" streamed to the display stage.
+type WindowStat struct {
+	// Start is the index of the window's first cut.
+	Start int
+	// TimeLo and TimeHi are the window's time extent.
+	TimeLo, TimeHi float64
+	// NumCuts is the number of cuts summarised (< WindowSize only for the
+	// trailing window).
+	NumCuts int
+	// Species lists the analysed observable indices, in the order used by
+	// PerCut and Period.
+	Species []int
+	// PerCut[k][s] are the ensemble moments (across trajectories) of
+	// species Species[s] at the window's k-th cut.
+	PerCut [][]stats.Moments
+	// Median[k][s] is the ensemble median matching PerCut.
+	Median [][]float64
+	// Period[s] aggregates per-trajectory oscillation-period estimates of
+	// species Species[s] over this window (N = trajectories with a
+	// detectable period). Empty when period analysis is disabled.
+	Period []stats.Moments
+	// KMeans clusters trajectories by their analysed-species vector at
+	// the window's last cut (nil when disabled).
+	KMeans *stats.KMeansResult
+}
+
+// RunInfo summarises a completed run.
+type RunInfo struct {
+	Trajectories int
+	Cuts         int
+	Windows      int
+	Samples      int64
+	Reactions    uint64
+	DeadTasks    int
+}
+
+// Run executes the full pipeline on shared memory, invoking display for
+// every WindowStat in window order. It returns when every window has been
+// analysed and displayed.
+func Run(ctx context.Context, cfg Config, display func(WindowStat) error) (RunInfo, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return RunInfo{}, err
+	}
+	if display == nil {
+		display = func(WindowStat) error { return nil }
+	}
+
+	var info RunInfo
+	info.Trajectories = cfg.Trajectories
+	var samples atomic.Int64
+	var reactions atomic.Uint64
+	var dead atomic.Int64
+	var cutsEmitted atomic.Int64
+
+	species, err := resolveSpecies(cfg)
+	if err != nil {
+		return info, err
+	}
+
+	// Stage 1: generation of simulation tasks.
+	source := ff.Source[*sim.Task](func(_ context.Context, emit ff.Emit[*sim.Task]) error {
+		for i := 0; i < cfg.Trajectories; i++ {
+			s, err := cfg.Factory(i, cfg.BaseSeed+int64(i))
+			if err != nil {
+				return fmt.Errorf("core: building simulator %d: %w", i, err)
+			}
+			task, err := sim.NewTask(i, s, cfg.End, cfg.Quantum, cfg.Period)
+			if err != nil {
+				return err
+			}
+			if err := emit(task); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+
+	// Stage 2: farm of simulation engines with feedback rescheduling.
+	simFarm := ff.NewFarmFeedback(cfg.SimWorkers, func(int) ff.FeedbackWorker[*sim.Task, sim.Sample] {
+		return ff.FeedbackWorkerFunc[*sim.Task, sim.Sample](func(_ context.Context, task *sim.Task, emit ff.Emit[sim.Sample]) (**sim.Task, error) {
+			if err := task.RunQuantum(func(s sim.Sample) error {
+				samples.Add(1)
+				return emit(s)
+			}); err != nil {
+				return nil, err
+			}
+			if task.Done() {
+				reactions.Add(task.Steps())
+				if task.Dead() {
+					dead.Add(1)
+				}
+				return nil, nil
+			}
+			return &task, nil
+		})
+	})
+
+	// Stages 3–5: alignment → sliding windows → stat farm.
+	analysis := analysisPipeline(cfg, species, &cutsEmitted)
+
+	// Assemble: sim farm → (raw-results tap) → analysis pipeline.
+	var pipeline ff.Node[*sim.Task, WindowStat]
+	if cfg.RawSink != nil {
+		tapped := ff.Compose[*sim.Task, sim.Sample, sim.Sample](simFarm, ff.Tee(cfg.RawSink))
+		pipeline = ff.Compose[*sim.Task, sim.Sample, WindowStat](tapped, analysis)
+	} else {
+		pipeline = ff.Compose[*sim.Task, sim.Sample, WindowStat](simFarm, analysis)
+	}
+
+	windows := 0
+	err = ff.Run(ctx, source, pipeline, func(ws WindowStat) error {
+		windows++
+		return display(ws)
+	})
+	if err != nil {
+		return info, err
+	}
+	info.Cuts = int(cutsEmitted.Load())
+	info.Windows = windows
+	info.Samples = samples.Load()
+	info.Reactions = reactions.Load()
+	info.DeadTasks = int(dead.Load())
+	return info, nil
+}
+
+// analysisPipeline builds stages 3–5 of Fig. 2: alignment of trajectories,
+// generation of sliding windows, and the ordered farm of statistical
+// engines. It is shared by the shared-memory, GPU and distributed runners.
+func analysisPipeline(cfg Config, species []int, cutsEmitted *atomic.Int64) ff.Node[sim.Sample, WindowStat] {
+	// Stage 3: alignment of trajectories (samples → cuts).
+	alignNode := ff.NodeFunc[sim.Sample, window.Cut](func(ctx context.Context, in <-chan sim.Sample, emit ff.Emit[window.Cut]) error {
+		aligner, err := window.NewAligner(cfg.Trajectories)
+		if err != nil {
+			return err
+		}
+		for {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case s, ok := <-in:
+				if !ok {
+					return aligner.Close()
+				}
+				if err := aligner.Push(s, func(c window.Cut) error {
+					cutsEmitted.Add(1)
+					return emit(c)
+				}); err != nil {
+					return err
+				}
+			}
+		}
+	})
+
+	// Stage 4: generation of sliding windows of trajectory cuts.
+	windowNode := ff.NodeFunc[window.Cut, window.Window](func(ctx context.Context, in <-chan window.Cut, emit ff.Emit[window.Window]) error {
+		slider, err := window.NewSlider(cfg.WindowSize, cfg.WindowStep)
+		if err != nil {
+			return err
+		}
+		for {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case c, ok := <-in:
+				if !ok {
+					return slider.Flush(func(w window.Window) error { return emit(w) })
+				}
+				if err := slider.Push(c, func(w window.Window) error { return emit(w) }); err != nil {
+					return err
+				}
+			}
+		}
+	})
+
+	// Stage 5: farm of statistical engines, gathered in window order.
+	statFarm := ff.NewFarm(cfg.StatEngines, func(int) ff.Worker[window.Window, WindowStat] {
+		return ff.WorkerFunc[window.Window, WindowStat](func(_ context.Context, w window.Window, emit ff.Emit[WindowStat]) error {
+			ws, err := analyseWindow(w, species, cfg)
+			if err != nil {
+				return err
+			}
+			return emit(ws)
+		})
+	}, ff.WithOrdered())
+
+	return ff.Compose(ff.Compose(alignNode, windowNode), statFarm)
+}
+
+// resolveSpecies validates cfg.Species against a probe simulator, or
+// defaults to all observables.
+func resolveSpecies(cfg Config) ([]int, error) {
+	probe, err := cfg.Factory(0, cfg.BaseSeed)
+	if err != nil {
+		return nil, fmt.Errorf("core: probing factory: %w", err)
+	}
+	species := cfg.Species
+	if len(species) == 0 {
+		species = make([]int, probe.NumSpecies())
+		for i := range species {
+			species[i] = i
+		}
+	}
+	for _, s := range species {
+		if s < 0 || s >= probe.NumSpecies() {
+			return nil, fmt.Errorf("core: species index %d out of range (model has %d)", s, probe.NumSpecies())
+		}
+	}
+	return species, nil
+}
+
+// analyseWindow is the statistical engine body: it summarises one window
+// of trajectory cuts.
+func analyseWindow(w window.Window, species []int, cfg Config) (WindowStat, error) {
+	ws := WindowStat{
+		Start:   w.Start,
+		NumCuts: len(w.Cuts),
+		Species: species,
+	}
+	if len(w.Cuts) == 0 {
+		return ws, window.ErrNoCuts
+	}
+	ws.TimeLo = w.Cuts[0].Time
+	ws.TimeHi = w.Cuts[len(w.Cuts)-1].Time
+
+	ws.PerCut = make([][]stats.Moments, len(w.Cuts))
+	ws.Median = make([][]float64, len(w.Cuts))
+	scratch := make([]float64, 0, w.Cuts[0].NumTrajectories())
+	for k, c := range w.Cuts {
+		ws.PerCut[k] = make([]stats.Moments, len(species))
+		ws.Median[k] = make([]float64, len(species))
+		for si, sp := range species {
+			var acc stats.Welford
+			scratch = scratch[:0]
+			for _, st := range c.States {
+				v := float64(st[sp])
+				acc.Add(v)
+				scratch = append(scratch, v)
+			}
+			ws.PerCut[k][si] = acc.Snapshot()
+			med, err := stats.Quantile(scratch, 0.5)
+			if err != nil {
+				return ws, err
+			}
+			ws.Median[k][si] = med
+		}
+	}
+
+	if cfg.PeriodHalfWin > 0 && len(w.Cuts) >= 2 {
+		dt := w.Cuts[1].Time - w.Cuts[0].Time
+		ws.Period = make([]stats.Moments, len(species))
+		for si, sp := range species {
+			var acc stats.Welford
+			for traj := 0; traj < w.Cuts[0].NumTrajectories(); traj++ {
+				trace, err := w.TrajectoryTrace(traj, sp)
+				if err != nil {
+					return ws, err
+				}
+				if p, ok := stats.Period(trace, dt, cfg.PeriodHalfWin); ok {
+					acc.Add(p)
+				}
+			}
+			ws.Period[si] = acc.Snapshot()
+		}
+	}
+
+	if cfg.KMeansK > 0 {
+		last := w.Cuts[len(w.Cuts)-1]
+		points := make([][]float64, len(last.States))
+		for i, st := range last.States {
+			p := make([]float64, len(species))
+			for si, sp := range species {
+				p[si] = float64(st[sp])
+			}
+			points[i] = p
+		}
+		res, err := stats.KMeans(points, cfg.KMeansK, cfg.BaseSeed+int64(w.Start), 100)
+		if err != nil {
+			return ws, err
+		}
+		ws.KMeans = &res
+	}
+	return ws, nil
+}

@@ -1,0 +1,369 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync/atomic"
+	"time"
+
+	"cwcflow/internal/cwc"
+	"cwcflow/internal/dff"
+	"cwcflow/internal/ff"
+	"cwcflow/internal/gillespie"
+	"cwcflow/internal/models"
+	"cwcflow/internal/sim"
+)
+
+// The distributed CWC simulator (paper §IV-B): the simulation pipeline
+// becomes a farm of simulation pipelines spread over hosts. A master
+// generates simulation tasks and streams them to sim-worker processes over
+// typed dff channels; each worker runs a local farm of simulation engines
+// and streams samples back; the master merges the sample streams into the
+// usual alignment → windows → statistics pipeline. Moving a stage across
+// the process boundary changes only the (de)serialising endpoints — the
+// user code of every stage is byte-for-byte the one the shared-memory
+// version runs, which is the paper's porting claim.
+
+// ModelRef names a model that sim workers can rebuild locally. Only the
+// reference crosses the wire, never live simulator state.
+type ModelRef struct {
+	// Name selects the model: "neurospora", "neurospora-nrm",
+	// "neurospora-cwc", "lotka-volterra", "sir", "schlogl", "enzyme".
+	Name string
+	// Omega is the system size for models that take one.
+	Omega float64
+}
+
+// FactoryFor resolves a model reference to a simulator factory.
+func FactoryFor(ref ModelRef) (SimulatorFactory, error) {
+	omega := ref.Omega
+	if omega <= 0 {
+		omega = 100
+	}
+	switch ref.Name {
+	case "neurospora":
+		sys := models.Neurospora(omega)
+		return func(_ int, seed int64) (sim.Simulator, error) {
+			return gillespie.NewDirect(sys, seed)
+		}, nil
+	case "neurospora-nrm":
+		sys := models.Neurospora(omega)
+		return func(_ int, seed int64) (sim.Simulator, error) {
+			return gillespie.NewNextReaction(sys, seed)
+		}, nil
+	case "neurospora-cwc":
+		model := models.NeurosporaCWC(omega)
+		return func(_ int, seed int64) (sim.Simulator, error) {
+			return cwc.NewEngine(model, seed)
+		}, nil
+	case "lotka-volterra":
+		sys := models.LotkaVolterra()
+		return func(_ int, seed int64) (sim.Simulator, error) {
+			return gillespie.NewDirect(sys, seed)
+		}, nil
+	case "sir":
+		sys := models.SIR(1000, 10, 0.4, 0.1)
+		return func(_ int, seed int64) (sim.Simulator, error) {
+			return gillespie.NewDirect(sys, seed)
+		}, nil
+	case "schlogl":
+		sys := models.Schlogl()
+		return func(_ int, seed int64) (sim.Simulator, error) {
+			return gillespie.NewDirect(sys, seed)
+		}, nil
+	case "enzyme":
+		sys := models.Enzyme(50, 500)
+		return func(_ int, seed int64) (sim.Simulator, error) {
+			return gillespie.NewDirect(sys, seed)
+		}, nil
+	default:
+		return nil, fmt.Errorf("core: unknown model %q", ref.Name)
+	}
+}
+
+// JobHeader opens a distributed job: everything a sim worker needs to
+// build and run its share of trajectories.
+type JobHeader struct {
+	Model    ModelRef
+	End      float64
+	Quantum  float64
+	Period   float64
+	BaseSeed int64
+}
+
+// WorkerMsg is the master→worker stream: a header first, then one message
+// per assigned trajectory.
+type WorkerMsg struct {
+	Header *JobHeader
+	Traj   int
+}
+
+// WorkerTrailer closes the worker→master stream with per-worker totals.
+type WorkerTrailer struct {
+	Reactions uint64
+	DeadTasks int
+	Tasks     int
+}
+
+// ResultMsg is the worker→master stream: samples, then one trailer.
+type ResultMsg struct {
+	Sample  *sim.Sample
+	Trailer *WorkerTrailer
+}
+
+// ServeSimWorker runs a sim-worker server on l: each connection carries
+// one job (header + trajectory assignments in, samples + trailer out).
+// simWorkers is the local farm width (the worker host's cores). The call
+// blocks until ctx is cancelled.
+func ServeSimWorker(ctx context.Context, l net.Listener, simWorkers int, onError func(error)) error {
+	return dff.Serve(ctx, l, func(ctx context.Context, conn net.Conn) error {
+		return handleJob(ctx, conn, simWorkers)
+	}, onError)
+}
+
+func handleJob(ctx context.Context, conn net.Conn, simWorkers int) error {
+	in := dff.NewReader[WorkerMsg](conn)
+	out := dff.NewWriter[ResultMsg](conn)
+
+	first, ok, err := in.Recv()
+	if err != nil {
+		return err
+	}
+	if !ok || first.Header == nil {
+		return errors.New("core: job stream did not start with a header")
+	}
+	hdr := *first.Header
+	factory, err := FactoryFor(hdr.Model)
+	if err != nil {
+		return err
+	}
+
+	var reactions atomic.Uint64
+	var deadTasks atomic.Int64
+	var tasks atomic.Int64
+
+	// The worker-side structure is the same simulation farm as the
+	// shared-memory version; only the endpoints differ (dff streams
+	// instead of channels).
+	source := ff.Source[*sim.Task](func(ctx context.Context, emit ff.Emit[*sim.Task]) error {
+		for {
+			msg, ok, err := in.Recv()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return nil
+			}
+			if msg.Header != nil {
+				return errors.New("core: duplicate job header")
+			}
+			s, err := factory(msg.Traj, hdr.BaseSeed+int64(msg.Traj))
+			if err != nil {
+				return err
+			}
+			task, err := sim.NewTask(msg.Traj, s, hdr.End, hdr.Quantum, hdr.Period)
+			if err != nil {
+				return err
+			}
+			tasks.Add(1)
+			if err := emit(task); err != nil {
+				return err
+			}
+		}
+	})
+	farm := ff.NewFarmFeedback(simWorkers, func(int) ff.FeedbackWorker[*sim.Task, sim.Sample] {
+		return ff.FeedbackWorkerFunc[*sim.Task, sim.Sample](func(_ context.Context, task *sim.Task, emit ff.Emit[sim.Sample]) (**sim.Task, error) {
+			if err := task.RunQuantum(func(s sim.Sample) error { return emit(s) }); err != nil {
+				return nil, err
+			}
+			if task.Done() {
+				reactions.Add(task.Steps())
+				if task.Dead() {
+					deadTasks.Add(1)
+				}
+				return nil, nil
+			}
+			return &task, nil
+		})
+	})
+	err = ff.Run(ctx, source, ff.Node[*sim.Task, sim.Sample](farm), func(s sim.Sample) error {
+		sc := s
+		return out.Send(ResultMsg{Sample: &sc})
+	})
+	if err != nil {
+		return err
+	}
+	trailer := WorkerTrailer{
+		Reactions: reactions.Load(),
+		DeadTasks: int(deadTasks.Load()),
+		Tasks:     int(tasks.Load()),
+	}
+	if err := out.Send(ResultMsg{Trailer: &trailer}); err != nil {
+		return err
+	}
+	return out.Close()
+}
+
+// RunDistributed executes the pipeline with the simulation stage spread
+// over remote sim workers: cfg.Factory is ignored (workers build their own
+// simulators from model), and the master runs alignment, windows and the
+// statistics farm locally.
+func RunDistributed(ctx context.Context, cfg Config, model ModelRef, workerAddrs []string, display func(WindowStat) error) (RunInfo, error) {
+	if len(workerAddrs) == 0 {
+		return RunInfo{}, errors.New("core: no sim workers given")
+	}
+	// Fill defaults; provide a local probe factory so species resolution
+	// and validation use the exact model the workers will run.
+	probeFactory, err := FactoryFor(model)
+	if err != nil {
+		return RunInfo{}, err
+	}
+	cfg.Factory = probeFactory
+	cfg, err = cfg.withDefaults()
+	if err != nil {
+		return RunInfo{}, err
+	}
+	if display == nil {
+		display = func(WindowStat) error { return nil }
+	}
+	species, err := resolveSpecies(cfg)
+	if err != nil {
+		return RunInfo{}, err
+	}
+
+	var info RunInfo
+	info.Trajectories = cfg.Trajectories
+	var samples atomic.Int64
+	var cutsEmitted atomic.Int64
+
+	type peer struct {
+		conn net.Conn
+		out  *dff.Writer[WorkerMsg]
+		in   *dff.Reader[ResultMsg]
+	}
+	peers := make([]*peer, 0, len(workerAddrs))
+	defer func() {
+		for _, p := range peers {
+			p.conn.Close()
+		}
+	}()
+	for _, addr := range workerAddrs {
+		conn, err := dff.Dial(addr, 10*time.Second)
+		if err != nil {
+			return info, err
+		}
+		peers = append(peers, &peer{
+			conn: conn,
+			out:  dff.NewWriter[WorkerMsg](conn),
+			in:   dff.NewReader[ResultMsg](conn),
+		})
+	}
+
+	hdr := JobHeader{
+		Model:    model,
+		End:      cfg.End,
+		Quantum:  cfg.Quantum,
+		Period:   cfg.Period,
+		BaseSeed: cfg.BaseSeed,
+	}
+
+	var reactions atomic.Uint64
+	var deadTasks atomic.Int64
+	g := ff.NewGroup(ctx)
+
+	// Task distribution: header to every worker, trajectories round-robin.
+	g.Go(func(ctx context.Context) error {
+		for _, p := range peers {
+			if err := p.out.Send(WorkerMsg{Header: &hdr}); err != nil {
+				return err
+			}
+		}
+		for traj := 0; traj < cfg.Trajectories; traj++ {
+			p := peers[traj%len(peers)]
+			if err := p.out.Send(WorkerMsg{Traj: traj}); err != nil {
+				return err
+			}
+		}
+		for _, p := range peers {
+			if err := p.out.Close(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+
+	// Sample merge: one drainer per worker into a shared channel.
+	merged := make(chan sim.Sample, 64)
+	drainers := ff.NewGroup(g.Context())
+	for _, p := range peers {
+		drainers.Go(func(ctx context.Context) error {
+			sawTrailer := false
+			for {
+				msg, ok, err := p.in.Recv()
+				if err != nil {
+					return err
+				}
+				if !ok {
+					if !sawTrailer {
+						return errors.New("core: worker stream ended without trailer")
+					}
+					return nil
+				}
+				switch {
+				case msg.Sample != nil:
+					select {
+					case merged <- *msg.Sample:
+						samples.Add(1)
+					case <-ctx.Done():
+						return ctx.Err()
+					}
+				case msg.Trailer != nil:
+					sawTrailer = true
+					reactions.Add(msg.Trailer.Reactions)
+					deadTasks.Add(int64(msg.Trailer.DeadTasks))
+				}
+			}
+		})
+	}
+	g.Go(func(ctx context.Context) error {
+		defer close(merged)
+		return drainers.Wait()
+	})
+
+	// Master-side analysis pipeline.
+	analysis := analysisPipeline(cfg, species, &cutsEmitted)
+	windows := 0
+	g.Go(func(ctx context.Context) error {
+		source := ff.Source[sim.Sample](func(ctx context.Context, emit ff.Emit[sim.Sample]) error {
+			for {
+				select {
+				case <-ctx.Done():
+					return ctx.Err()
+				case s, ok := <-merged:
+					if !ok {
+						return nil
+					}
+					if err := emit(s); err != nil {
+						return err
+					}
+				}
+			}
+		})
+		return ff.Run(ctx, source, analysis, func(ws WindowStat) error {
+			windows++
+			return display(ws)
+		})
+	})
+
+	if err := g.Wait(); err != nil {
+		return info, err
+	}
+	info.Windows = windows
+	info.Cuts = int(cutsEmitted.Load())
+	info.Samples = samples.Load()
+	info.Reactions = reactions.Load()
+	info.DeadTasks = int(deadTasks.Load())
+	return info, nil
+}

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"context"
+	"sync/atomic"
+
+	"cwcflow/internal/ff"
+	"cwcflow/internal/gpu"
+	"cwcflow/internal/sim"
+)
+
+// GPUInfo reports the simulated device activity of a RunGPU execution.
+type GPUInfo struct {
+	// Launches is the number of kernel launches (one per simulation
+	// quantum while any trajectory is unfinished).
+	Launches int
+	// SimTime is the total simulated device time in seconds.
+	SimTime float64
+	// Utilization is busy/lockstep cost across all launches — below 1.0
+	// means SIMT thread divergence wasted lanes (uneven trajectories).
+	Utilization float64
+}
+
+// RunGPU executes the pipeline with the simulation stage offloaded to the
+// simulated SIMT device (the mapCUDA structure of the paper): every
+// simulation quantum becomes one kernel launch advancing all unfinished
+// trajectories in parallel, and — matching the atomic CUDA kernel
+// execution model — the samples of a quantum enter the analysis pipeline
+// only after the whole kernel completes (kernel-wide barrier).
+//
+// The analysis stages are identical to Run; only the simulation stage
+// changes, which is the paper's code-portability claim.
+func RunGPU(ctx context.Context, cfg Config, device *gpu.Device, display func(WindowStat) error) (RunInfo, GPUInfo, error) {
+	var ginfo GPUInfo
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return RunInfo{}, ginfo, err
+	}
+	if display == nil {
+		display = func(WindowStat) error { return nil }
+	}
+	species, err := resolveSpecies(cfg)
+	if err != nil {
+		return RunInfo{}, ginfo, err
+	}
+
+	var info RunInfo
+	info.Trajectories = cfg.Trajectories
+	var samples atomic.Int64
+	var cutsEmitted atomic.Int64
+
+	// Build every task up front: the whole ensemble is resident on the
+	// device (the paper moves C++ simulation objects to GPU memory via
+	// CUDA Unified Memory; here tasks are plain Go values).
+	tasks := make([]*sim.Task, cfg.Trajectories)
+	for i := range tasks {
+		s, err := cfg.Factory(i, cfg.BaseSeed+int64(i))
+		if err != nil {
+			return info, ginfo, err
+		}
+		tasks[i], err = sim.NewTask(i, s, cfg.End, cfg.Quantum, cfg.Period)
+		if err != nil {
+			return info, ginfo, err
+		}
+	}
+
+	var busy, lockstep float64
+
+	// The source drives the device: one Launch per quantum over the
+	// unfinished tasks; per-task samples are buffered during the kernel
+	// and streamed to the analysis pipeline after the barrier.
+	source := ff.Source[sim.Sample](func(ctx context.Context, emit ff.Emit[sim.Sample]) error {
+		active := make([]*sim.Task, len(tasks))
+		copy(active, tasks)
+		buffers := make([][]sim.Sample, len(tasks))
+		for len(active) > 0 {
+			for i := range buffers[:len(active)] {
+				buffers[i] = buffers[i][:0]
+			}
+			stats, err := device.Launch(ctx, len(active), func(idx int) (float64, error) {
+				// Each kernel item owns buffers[idx]: no synchronisation
+				// needed even with host parallelism > 1.
+				task := active[idx]
+				before := task.Steps()
+				err := task.RunQuantum(func(s sim.Sample) error {
+					buffers[idx] = append(buffers[idx], s)
+					return nil
+				})
+				if err != nil {
+					return 0, err
+				}
+				// Cost = reactions fired in this quantum: the source of
+				// warp divergence across uneven trajectories.
+				return float64(task.Steps()-before) + 1, nil
+			})
+			if err != nil {
+				return err
+			}
+			ginfo.Launches++
+			ginfo.SimTime += stats.SimTime
+			busy += stats.BusyCost
+			lockstep += stats.LockstepCost
+
+			// Kernel barrier passed: forward the quantum's samples.
+			for i := range active {
+				for _, s := range buffers[i] {
+					samples.Add(1)
+					if err := emit(s); err != nil {
+						return err
+					}
+				}
+			}
+			// Compact out the finished tasks.
+			live := active[:0]
+			for _, t := range active {
+				if !t.Done() {
+					live = append(live, t)
+				} else {
+					info.Reactions += t.Steps()
+					if t.Dead() {
+						info.DeadTasks++
+					}
+				}
+			}
+			active = live
+		}
+		return nil
+	})
+
+	analysis := analysisPipeline(cfg, species, &cutsEmitted)
+	windows := 0
+	err = ff.Run(ctx, source, analysis, func(ws WindowStat) error {
+		windows++
+		return display(ws)
+	})
+	if err != nil {
+		return info, ginfo, err
+	}
+	info.Windows = windows
+	info.Cuts = int(cutsEmitted.Load())
+	info.Samples = samples.Load()
+	if lockstep > 0 {
+		ginfo.Utilization = busy / lockstep
+	} else {
+		ginfo.Utilization = 1
+	}
+	return info, ginfo, nil
+}

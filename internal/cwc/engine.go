@@ -1,0 +1,222 @@
+package cwc
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Model is a complete CWC system: an alphabet, a rule set and an initial
+// term.
+type Model struct {
+	Name  string
+	Alpha *Alphabet
+	Rules []*Rule
+	Init  *Term
+}
+
+// Validate checks the model's rules.
+func (m *Model) Validate() error {
+	if m.Alpha == nil {
+		return fmt.Errorf("cwc: model %q: nil alphabet", m.Name)
+	}
+	if m.Init == nil {
+		return fmt.Errorf("cwc: model %q: nil initial term", m.Name)
+	}
+	if len(m.Rules) == 0 {
+		return fmt.Errorf("cwc: model %q: no rules", m.Name)
+	}
+	for _, r := range m.Rules {
+		if err := r.Validate(); err != nil {
+			return fmt.Errorf("cwc: model %q: %w", m.Name, err)
+		}
+	}
+	return nil
+}
+
+// EnumerateMatches appends every (rule, context) match of the rule set in
+// the term to dst, returning the extended slice. Matching visits
+// compartments depth-first, parents first, so the enumeration order is
+// deterministic for a given term layout.
+func EnumerateMatches(rules []*Rule, state *Term, dst []Match) []Match {
+	state.Walk(func(label string, content *Term, comp *Compartment, _ *Term) {
+		for _, r := range rules {
+			if r.Context != "" && r.Context != label {
+				continue
+			}
+			switch r.Kind {
+			case KindReaction:
+				if content.Atoms.Contains(r.Reactants) {
+					dst = append(dst, Match{Rule: r, Where: content, Comp: comp, ChildIdx: -1})
+				}
+			case KindTransportIn:
+				if !content.Atoms.Contains(r.Reactants) || !content.Atoms.Contains(r.Move) {
+					continue
+				}
+				for i, child := range content.Comps {
+					if child.Label == r.ChildLabel && child.Wrap.Contains(r.ChildWrap) {
+						dst = append(dst, Match{Rule: r, Where: content, Comp: comp, Child: child, ChildIdx: i})
+					}
+				}
+			case KindTransportOut:
+				if !content.Atoms.Contains(r.Reactants) {
+					continue
+				}
+				for i, child := range content.Comps {
+					if child.Label == r.ChildLabel && child.Wrap.Contains(r.ChildWrap) && child.Content.Atoms.Contains(r.Move) {
+						dst = append(dst, Match{Rule: r, Where: content, Comp: comp, Child: child, ChildIdx: i})
+					}
+				}
+			case KindDissolve:
+				if !content.Atoms.Contains(r.Reactants) {
+					continue
+				}
+				for i, child := range content.Comps {
+					if child.Label == r.ChildLabel && child.Wrap.Contains(r.ChildWrap) {
+						dst = append(dst, Match{Rule: r, Where: content, Comp: comp, Child: child, ChildIdx: i})
+					}
+				}
+			}
+		}
+	})
+	return dst
+}
+
+// Apply rewrites the term in place according to the match. The match must
+// have been produced by EnumerateMatches on the current state.
+func Apply(m Match) {
+	r := m.Rule
+	if r.Reactants != nil {
+		m.Where.Atoms.AddAll(r.Reactants, -1)
+	}
+	if r.Products != nil {
+		m.Where.Atoms.AddAll(r.Products, +1)
+	}
+	for _, tmpl := range r.ProduceComps {
+		m.Where.AddComp(tmpl.Clone())
+	}
+	switch r.Kind {
+	case KindTransportIn:
+		m.Where.Atoms.AddAll(r.Move, -1)
+		m.Child.Content.Atoms.AddAll(r.Move, +1)
+	case KindTransportOut:
+		m.Child.Content.Atoms.AddAll(r.Move, -1)
+		m.Where.Atoms.AddAll(r.Move, +1)
+	case KindDissolve:
+		// Release wrap atoms, content atoms and nested compartments into
+		// the enclosing content, then delete the child.
+		m.Where.Atoms.AddAll(&m.Child.Wrap, +1)
+		m.Where.Atoms.AddAll(&m.Child.Content.Atoms, +1)
+		m.Where.Comps = append(m.Where.Comps[:m.ChildIdx], m.Where.Comps[m.ChildIdx+1:]...)
+		m.Where.Comps = append(m.Where.Comps, m.Child.Content.Comps...)
+	}
+}
+
+// Engine runs the Gillespie direct method over a CWC term: at each step it
+// enumerates all rule matches in the current term (tree matching), draws
+// the next firing time from the exponential distribution of the total
+// propensity, selects a match proportionally to its propensity, and
+// rewrites the term.
+type Engine struct {
+	model *Model
+	state *Term
+	now   float64
+	rng   *rand.Rand
+
+	// scratch buffers reused across steps
+	matches []Match
+	props   []float64
+
+	steps uint64
+}
+
+// NewEngine returns an engine with its own deep copy of the initial term
+// and a private RNG (so engines can run concurrently).
+func NewEngine(m *Model, seed int64) (*Engine, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &Engine{
+		model: m,
+		state: m.Init.Clone(),
+		rng:   rand.New(rand.NewSource(seed)),
+	}, nil
+}
+
+// Time returns the current simulation time.
+func (e *Engine) Time() float64 { return e.now }
+
+// Steps returns the number of reactions fired so far.
+func (e *Engine) Steps() uint64 { return e.steps }
+
+// State returns the current term (not a copy; do not mutate).
+func (e *Engine) State() *Term { return e.state }
+
+// Count returns the total count of species s in the current term.
+func (e *Engine) Count(s Species) int64 { return e.state.TotalAtoms(s) }
+
+// NumSpecies returns the dimension of the observable vector (the alphabet
+// size).
+func (e *Engine) NumSpecies() int { return e.model.Alpha.Len() }
+
+// Observe fills out with the total count of every species in index order.
+// len(out) must be the alphabet length.
+func (e *Engine) Observe(out []int64) {
+	for i := range out {
+		out[i] = e.state.TotalAtoms(Species(i))
+	}
+}
+
+// Step fires one reaction. It returns false — leaving time unchanged —
+// when no rule matches or the total propensity is zero (a dead state).
+func (e *Engine) Step() bool {
+	e.matches = EnumerateMatches(e.model.Rules, e.state, e.matches[:0])
+	if len(e.matches) == 0 {
+		return false
+	}
+	if cap(e.props) < len(e.matches) {
+		e.props = make([]float64, len(e.matches))
+	}
+	e.props = e.props[:len(e.matches)]
+	total := 0.0
+	for i, m := range e.matches {
+		p := m.Rule.Law.Propensity(m)
+		if p < 0 || math.IsNaN(p) {
+			panic(fmt.Sprintf("cwc: rule %q produced invalid propensity %g", m.Rule.Name, p))
+		}
+		e.props[i] = p
+		total += p
+	}
+	if total <= 0 {
+		return false
+	}
+	// Exponential waiting time.
+	e.now += e.rng.ExpFloat64() / total
+	// Select the match by linear scan over the cumulative distribution.
+	target := e.rng.Float64() * total
+	acc := 0.0
+	idx := len(e.matches) - 1
+	for i, p := range e.props {
+		acc += p
+		if target < acc {
+			idx = i
+			break
+		}
+	}
+	Apply(e.matches[idx])
+	e.steps++
+	return true
+}
+
+// AdvanceTo runs Step until the simulation time reaches at least t or the
+// system goes dead. It returns the number of reactions fired and whether
+// the system is still live.
+func (e *Engine) AdvanceTo(t float64) (fired uint64, live bool) {
+	start := e.steps
+	for e.now < t {
+		if !e.Step() {
+			return e.steps - start, false
+		}
+	}
+	return e.steps - start, true
+}

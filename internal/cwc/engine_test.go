@@ -1,0 +1,453 @@
+package cwc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// birthDeathModel is the simplest stochastic system: ∅ → X at rate lambda,
+// X → ∅ at rate mu per molecule. Stationary mean is lambda/mu.
+func birthDeathModel(lambda, mu float64, x0 int64) (*Model, Species) {
+	a := NewAlphabet("X")
+	x, _ := a.Lookup("X")
+	m := &Model{
+		Name:  "birth-death",
+		Alpha: a,
+		Init:  &Term{Atoms: *NewMultiset(x, x0)},
+		Rules: []*Rule{
+			{Name: "birth", Kind: KindReaction, Products: NewMultiset(x, 1), Law: MassAction{K: lambda}},
+			{Name: "death", Kind: KindReaction, Reactants: NewMultiset(x, 1), Law: MassAction{K: mu}},
+		},
+	}
+	return m, x
+}
+
+func TestEngineBirthDeathStationaryMean(t *testing.T) {
+	// lambda=50, mu=1 => stationary distribution Poisson(50).
+	m, x := birthDeathModel(50, 1, 50)
+	e, err := NewEngine(m, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm up, then time-average.
+	if _, live := e.AdvanceTo(5); !live {
+		t.Fatal("system died during warm-up")
+	}
+	sum, n := 0.0, 0
+	for i := 0; i < 2000; i++ {
+		e.AdvanceTo(5 + float64(i)*0.05)
+		sum += float64(e.Count(x))
+		n++
+	}
+	mean := sum / float64(n)
+	if math.Abs(mean-50) > 5 {
+		t.Fatalf("stationary mean = %.2f, want 50 +- 5", mean)
+	}
+}
+
+func TestEngineDeterministicForSeed(t *testing.T) {
+	m, x := birthDeathModel(10, 0.5, 3)
+	run := func(seed int64) (float64, int64, uint64) {
+		e, err := NewEngine(m, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.AdvanceTo(20)
+		return e.Time(), e.Count(x), e.Steps()
+	}
+	t1, c1, s1 := run(7)
+	t2, c2, s2 := run(7)
+	if t1 != t2 || c1 != c2 || s1 != s2 {
+		t.Fatalf("same seed diverged: (%g,%d,%d) vs (%g,%d,%d)", t1, c1, s1, t2, c2, s2)
+	}
+	_, c3, _ := run(8)
+	_, c4, _ := run(9)
+	if c1 == c3 && c3 == c4 {
+		t.Fatal("three different seeds produced identical counts; RNG plumbing suspect")
+	}
+}
+
+func TestEngineDeadState(t *testing.T) {
+	a := NewAlphabet("X")
+	x, _ := a.Lookup("X")
+	m := &Model{
+		Name:  "decay-only",
+		Alpha: a,
+		Init:  &Term{Atoms: *NewMultiset(x, 5)},
+		Rules: []*Rule{
+			{Name: "death", Kind: KindReaction, Reactants: NewMultiset(x, 1), Law: MassAction{K: 1}},
+		},
+	}
+	e, err := NewEngine(m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fired, live := e.AdvanceTo(1e9)
+	if live {
+		t.Fatal("pure-decay system should die")
+	}
+	if fired != 5 {
+		t.Fatalf("fired = %d, want 5", fired)
+	}
+	if e.Count(x) != 0 {
+		t.Fatalf("X = %d, want 0", e.Count(x))
+	}
+}
+
+func TestEngineInitNotShared(t *testing.T) {
+	m, x := birthDeathModel(10, 1, 5)
+	e1, _ := NewEngine(m, 1)
+	e1.AdvanceTo(10)
+	if m.Init.TotalAtoms(x) != 5 {
+		t.Fatal("engine mutated the model's initial term")
+	}
+	e2, _ := NewEngine(m, 2)
+	if e2.Count(x) != 5 {
+		t.Fatal("second engine does not start from the initial term")
+	}
+}
+
+func TestDimerisationConservesMassInvariant(t *testing.T) {
+	// 2A -> D and D -> 2A conserve the invariant A + 2D.
+	a := NewAlphabet("A", "D")
+	av, _ := a.Lookup("A")
+	dv, _ := a.Lookup("D")
+	m := &Model{
+		Name:  "dimer",
+		Alpha: a,
+		Init:  &Term{Atoms: *NewMultiset(av, 100)},
+		Rules: []*Rule{
+			{Name: "dimerise", Kind: KindReaction, Reactants: NewMultiset(av, 2), Products: NewMultiset(dv, 1), Law: MassAction{K: 0.01}},
+			{Name: "split", Kind: KindReaction, Reactants: NewMultiset(dv, 1), Products: NewMultiset(av, 2), Law: MassAction{K: 0.5}},
+		},
+	}
+	e, err := NewEngine(m, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		if !e.Step() {
+			t.Fatal("dimer system died unexpectedly")
+		}
+		if inv := e.Count(av) + 2*e.Count(dv); inv != 100 {
+			t.Fatalf("step %d: invariant A+2D = %d, want 100", i, inv)
+		}
+	}
+}
+
+func TestTransportRules(t *testing.T) {
+	// A enters the cell, B leaves it.
+	a := NewAlphabet("A", "B", "m")
+	av, _ := a.Lookup("A")
+	bv, _ := a.Lookup("B")
+	mv, _ := a.Lookup("m")
+	init := MustParseTerm("5*A (m | 5*B):cell", a)
+	model := &Model{
+		Name:  "transport",
+		Alpha: a,
+		Init:  init,
+		Rules: []*Rule{
+			{
+				Name: "in", Kind: KindTransportIn, Context: TopLabel,
+				ChildLabel: "cell", ChildWrap: NewMultiset(mv, 1),
+				Move: NewMultiset(av, 1), Law: MassAction{K: 1},
+			},
+			{
+				Name: "out", Kind: KindTransportOut, Context: TopLabel,
+				ChildLabel: "cell",
+				Move:       NewMultiset(bv, 1), Law: MassAction{K: 1},
+			},
+		},
+	}
+	e, err := NewEngine(model, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fired, _ := e.AdvanceTo(100)
+	if fired != 10 {
+		t.Fatalf("fired = %d, want 10 (5 in + 5 out)", fired)
+	}
+	state := e.State()
+	cell := state.Comps[0]
+	if cell.Content.Atoms.Count(av) != 5 || cell.Content.Atoms.Count(bv) != 0 {
+		t.Fatalf("cell content wrong: %s", cell.Content.Format(a))
+	}
+	if state.Atoms.Count(bv) != 5 || state.Atoms.Count(av) != 0 {
+		t.Fatalf("top content wrong: %s", state.Format(a))
+	}
+	// Wrap atom is catalytic: must still be there.
+	if cell.Wrap.Count(mv) != 1 {
+		t.Fatal("membrane atom consumed by transport")
+	}
+}
+
+func TestTransportInRequiresWrap(t *testing.T) {
+	a := NewAlphabet("A", "m")
+	av, _ := a.Lookup("A")
+	mv, _ := a.Lookup("m")
+	init := MustParseTerm("A ( | ):cell", a) // no membrane atom
+	model := &Model{
+		Name:  "gated",
+		Alpha: a,
+		Init:  init,
+		Rules: []*Rule{{
+			Name: "in", Kind: KindTransportIn, Context: TopLabel,
+			ChildLabel: "cell", ChildWrap: NewMultiset(mv, 1),
+			Move: NewMultiset(av, 1), Law: MassAction{K: 1},
+		}},
+	}
+	e, err := NewEngine(model, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Step() {
+		t.Fatal("transport fired without required membrane atom")
+	}
+}
+
+func TestDissolveReleasesEverything(t *testing.T) {
+	a := NewAlphabet("x", "w", "T")
+	xv, _ := a.Lookup("x")
+	wv, _ := a.Lookup("w")
+	tv, _ := a.Lookup("T")
+	init := MustParseTerm("T (w | 3*x ( | x):inner):vesicle", a)
+	model := &Model{
+		Name:  "dissolve",
+		Alpha: a,
+		Init:  init,
+		Rules: []*Rule{{
+			Name: "burst", Kind: KindDissolve, Context: TopLabel,
+			ChildLabel: "vesicle",
+			Reactants:  NewMultiset(tv, 1), // trigger consumed
+			Law:        MassAction{K: 1},
+		}},
+	}
+	e, err := NewEngine(model, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.Step() {
+		t.Fatal("dissolve did not fire")
+	}
+	state := e.State()
+	if state.CountCompartments("vesicle") != 0 {
+		t.Fatal("vesicle still present")
+	}
+	if state.CountCompartments("inner") != 1 {
+		t.Fatal("inner compartment lost on dissolve")
+	}
+	if state.Atoms.Count(xv) != 3 || state.Atoms.Count(wv) != 1 {
+		t.Fatalf("released atoms wrong: %s", state.Format(a))
+	}
+	if state.Atoms.Count(tv) != 0 {
+		t.Fatal("trigger not consumed")
+	}
+}
+
+func TestCompartmentCreation(t *testing.T) {
+	a := NewAlphabet("A", "m")
+	av, _ := a.Lookup("A")
+	mv, _ := a.Lookup("m")
+	model := &Model{
+		Name:  "mitosis",
+		Alpha: a,
+		Init:  MustParseTerm("3*A", a),
+		Rules: []*Rule{{
+			Name: "bud", Kind: KindReaction, Context: TopLabel,
+			Reactants: NewMultiset(av, 1),
+			ProduceComps: []*Compartment{
+				{Label: "cell", Wrap: *NewMultiset(mv, 1), Content: Term{Atoms: *NewMultiset(av, 1)}},
+			},
+			Law: MassAction{K: 1},
+		}},
+	}
+	e, err := NewEngine(model, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fired, _ := e.AdvanceTo(1e9)
+	if fired != 3 {
+		t.Fatalf("fired = %d, want 3", fired)
+	}
+	if got := e.State().CountCompartments("cell"); got != 3 {
+		t.Fatalf("cells = %d, want 3", got)
+	}
+}
+
+func TestContextLabelScopesRules(t *testing.T) {
+	// The decay rule applies only inside "cell"; the top-level A must
+	// survive.
+	a := NewAlphabet("A")
+	av, _ := a.Lookup("A")
+	model := &Model{
+		Name:  "scoped",
+		Alpha: a,
+		Init:  MustParseTerm("A ( | A A):cell", a),
+		Rules: []*Rule{{
+			Name: "decay", Kind: KindReaction, Context: "cell",
+			Reactants: NewMultiset(av, 1), Law: MassAction{K: 1},
+		}},
+	}
+	e, err := NewEngine(model, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fired, _ := e.AdvanceTo(1e9)
+	if fired != 2 {
+		t.Fatalf("fired = %d, want 2", fired)
+	}
+	if e.State().Atoms.Count(av) != 1 {
+		t.Fatal("top-level A was decayed by a cell-scoped rule")
+	}
+}
+
+func TestEnumerateMatchesMultiCompartment(t *testing.T) {
+	a := NewAlphabet("A")
+	av, _ := a.Lookup("A")
+	term := MustParseTerm("( | A):c ( | A):c ( | ):c", a)
+	rules := []*Rule{{
+		Name: "r", Kind: KindReaction, Context: "c",
+		Reactants: NewMultiset(av, 1), Law: MassAction{K: 2},
+	}}
+	matches := EnumerateMatches(rules, term, nil)
+	if len(matches) != 2 {
+		t.Fatalf("matches = %d, want 2 (two cells hold A)", len(matches))
+	}
+	for _, m := range matches {
+		if p := m.Rule.Law.Propensity(m); p != 2 {
+			t.Fatalf("propensity = %g, want 2", p)
+		}
+	}
+}
+
+func TestHillLaw(t *testing.T) {
+	a := NewAlphabet("R")
+	r, _ := a.Lookup("R")
+	law := Hill(8.0, 1.0, 4, r, 1)
+	mkMatch := func(n int64) Match {
+		return Match{Where: &Term{Atoms: *NewMultiset(r, n)}}
+	}
+	// No repressor: full rate.
+	if got := law.Propensity(mkMatch(0)); math.Abs(got-8.0) > 1e-12 {
+		t.Fatalf("Hill(0) = %g, want 8", got)
+	}
+	// Repressor at KI: half rate.
+	if got := law.Propensity(mkMatch(1)); math.Abs(got-4.0) > 1e-12 {
+		t.Fatalf("Hill(KI) = %g, want 4", got)
+	}
+	// Strong repression.
+	if got := law.Propensity(mkMatch(10)); got > 0.01 {
+		t.Fatalf("Hill(10) = %g, want near 0", got)
+	}
+}
+
+func TestMichaelisMentenLaw(t *testing.T) {
+	a := NewAlphabet("S")
+	s, _ := a.Lookup("S")
+	law := MichaelisMenten(2.0, 3.0, s, 1)
+	m := Match{Where: &Term{Atoms: *NewMultiset(s, 3)}}
+	if got := law.Propensity(m); math.Abs(got-1.0) > 1e-12 {
+		t.Fatalf("MM(Km) = %g, want vm/2 = 1", got)
+	}
+	empty := Match{Where: &Term{}}
+	if got := law.Propensity(empty); got != 0 {
+		t.Fatalf("MM(0) = %g, want 0", got)
+	}
+}
+
+func TestRuleValidate(t *testing.T) {
+	valid := &Rule{Name: "ok", Kind: KindReaction, Law: MassAction{K: 1}}
+	if err := valid.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []*Rule{
+		{Name: "no-law", Kind: KindReaction},
+		{Name: "reaction-with-child", Kind: KindReaction, ChildLabel: "c", Law: MassAction{K: 1}},
+		{Name: "transport-no-child", Kind: KindTransportIn, Move: NewMultiset(Species(0), 1), Law: MassAction{K: 1}},
+		{Name: "transport-no-move", Kind: KindTransportIn, ChildLabel: "c", Law: MassAction{K: 1}},
+		{Name: "dissolve-no-child", Kind: KindDissolve, Law: MassAction{K: 1}},
+		{Name: "bad-kind", Kind: RuleKind(99), Law: MassAction{K: 1}},
+	}
+	for _, r := range cases {
+		if err := r.Validate(); err == nil {
+			t.Errorf("rule %q: expected validation error", r.Name)
+		}
+	}
+}
+
+func TestModelValidate(t *testing.T) {
+	m, _ := birthDeathModel(1, 1, 1)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := &Model{Name: "empty"}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("expected error for empty model")
+	}
+}
+
+// Property: for any birth/death parameters, simulation time is
+// non-decreasing and counts are never negative.
+func TestEngineProperty_TimeMonotoneCountsNonNegative(t *testing.T) {
+	f := func(seed int64, lamRaw, muRaw uint8) bool {
+		lambda := float64(lamRaw%50) + 1
+		mu := float64(muRaw%20)*0.1 + 0.1
+		m, x := birthDeathModel(lambda, mu, 10)
+		e, err := NewEngine(m, seed)
+		if err != nil {
+			return false
+		}
+		prev := 0.0
+		for i := 0; i < 300; i++ {
+			if !e.Step() {
+				break
+			}
+			if e.Time() < prev {
+				return false
+			}
+			prev = e.Time()
+			if e.Count(x) < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEngineStepFlat(b *testing.B) {
+	m, _ := birthDeathModel(100, 1, 100)
+	e, err := NewEngine(m, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+}
+
+func BenchmarkEngineStepNested(b *testing.B) {
+	a := NewAlphabet("A", "m")
+	av, _ := a.Lookup("A")
+	init := MustParseTerm("10*A (m | 10*A (m | 10*A):n2):n1 (m | 10*A):n3", a)
+	model := &Model{
+		Name:  "nested-bench",
+		Alpha: a,
+		Init:  init,
+		Rules: []*Rule{
+			{Name: "churn", Kind: KindReaction, Reactants: NewMultiset(av, 1), Products: NewMultiset(av, 1), Law: MassAction{K: 1}},
+		},
+	}
+	e, err := NewEngine(model, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+}

@@ -1,0 +1,262 @@
+// Package cwc implements the Calculus of Wrapped Compartments (CWC), a
+// term-rewriting formalism for biological systems: terms are multisets of
+// atomic elements and nested compartments (trees), and the evolution of a
+// system is driven by stochastic rewrite rules matched against the term
+// (Gillespie semantics over rule matches).
+//
+// The package provides the term algebra (Multiset, Term, Compartment), a
+// text parser for terms, rewrite rules with mass-action and custom rate
+// laws, the tree-matching engine that enumerates rule matches with their
+// propensities, and a stochastic simulation engine over terms.
+package cwc
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Species is an interned atomic-element name.
+type Species int
+
+// Alphabet interns species names to dense indices.
+//
+// The zero value is ready to use.
+type Alphabet struct {
+	names []string
+	index map[string]Species
+}
+
+// NewAlphabet returns an alphabet pre-populated with the given names.
+func NewAlphabet(names ...string) *Alphabet {
+	a := &Alphabet{}
+	for _, n := range names {
+		a.Intern(n)
+	}
+	return a
+}
+
+// Intern returns the index for name, adding it if unseen.
+func (a *Alphabet) Intern(name string) Species {
+	if a.index == nil {
+		a.index = make(map[string]Species)
+	}
+	if s, ok := a.index[name]; ok {
+		return s
+	}
+	s := Species(len(a.names))
+	a.names = append(a.names, name)
+	a.index[name] = s
+	return s
+}
+
+// Lookup returns the index for name without interning.
+func (a *Alphabet) Lookup(name string) (Species, bool) {
+	s, ok := a.index[name]
+	return s, ok
+}
+
+// Name returns the name of species s.
+func (a *Alphabet) Name(s Species) string {
+	if int(s) < 0 || int(s) >= len(a.names) {
+		return fmt.Sprintf("species#%d", int(s))
+	}
+	return a.names[s]
+}
+
+// Len returns the number of interned species.
+func (a *Alphabet) Len() int { return len(a.names) }
+
+// Names returns the interned names in index order.
+func (a *Alphabet) Names() []string { return append([]string(nil), a.names...) }
+
+// Multiset is a multiset of species with non-negative multiplicities.
+//
+// The zero value is the empty multiset, ready to use.
+type Multiset struct {
+	counts map[Species]int64
+}
+
+// NewMultiset builds a multiset from (species, count) pairs given as an
+// alternating list, e.g. NewMultiset(a, 2, b, 1).
+func NewMultiset(pairs ...any) *Multiset {
+	if len(pairs)%2 != 0 {
+		panic("cwc: NewMultiset needs species/count pairs")
+	}
+	m := &Multiset{}
+	for i := 0; i < len(pairs); i += 2 {
+		s, ok := pairs[i].(Species)
+		if !ok {
+			panic(fmt.Sprintf("cwc: NewMultiset pair %d: not a Species", i))
+		}
+		var n int64
+		switch v := pairs[i+1].(type) {
+		case int:
+			n = int64(v)
+		case int64:
+			n = v
+		default:
+			panic(fmt.Sprintf("cwc: NewMultiset pair %d: count must be int or int64", i))
+		}
+		m.Add(s, n)
+	}
+	return m
+}
+
+func (m *Multiset) ensure() {
+	if m.counts == nil {
+		m.counts = make(map[Species]int64)
+	}
+}
+
+// Count returns the multiplicity of s.
+func (m *Multiset) Count(s Species) int64 {
+	if m == nil || m.counts == nil {
+		return 0
+	}
+	return m.counts[s]
+}
+
+// Add increases the multiplicity of s by n (n may be negative; the
+// multiplicity must stay non-negative, otherwise Add panics — a rule
+// application that would drive a count negative is a matching bug).
+func (m *Multiset) Add(s Species, n int64) {
+	m.ensure()
+	c := m.counts[s] + n
+	switch {
+	case c < 0:
+		panic(fmt.Sprintf("cwc: multiplicity of species %d would become negative (%d)", int(s), c))
+	case c == 0:
+		delete(m.counts, s)
+	default:
+		m.counts[s] = c
+	}
+}
+
+// AddAll adds every element of other (scaled by k) into m.
+func (m *Multiset) AddAll(other *Multiset, k int64) {
+	if other == nil {
+		return
+	}
+	for s, n := range other.counts {
+		m.Add(s, n*k)
+	}
+}
+
+// Contains reports whether m contains other (with multiplicities).
+func (m *Multiset) Contains(other *Multiset) bool {
+	if other == nil {
+		return true
+	}
+	for s, n := range other.counts {
+		if m.Count(s) < n {
+			return false
+		}
+	}
+	return true
+}
+
+// Size returns the total number of elements (sum of multiplicities).
+func (m *Multiset) Size() int64 {
+	if m == nil {
+		return 0
+	}
+	var total int64
+	for _, n := range m.counts {
+		total += n
+	}
+	return total
+}
+
+// Distinct returns the number of distinct species present.
+func (m *Multiset) Distinct() int {
+	if m == nil {
+		return 0
+	}
+	return len(m.counts)
+}
+
+// Clone returns a deep copy.
+func (m *Multiset) Clone() *Multiset {
+	c := &Multiset{}
+	if m == nil || m.counts == nil {
+		return c
+	}
+	c.counts = make(map[Species]int64, len(m.counts))
+	for s, n := range m.counts {
+		c.counts[s] = n
+	}
+	return c
+}
+
+// Equal reports multiset equality.
+func (m *Multiset) Equal(other *Multiset) bool {
+	if m.Distinct() != other.Distinct() {
+		return false
+	}
+	if m == nil || m.counts == nil {
+		return other.Size() == 0
+	}
+	for s, n := range m.counts {
+		if other.Count(s) != n {
+			return false
+		}
+	}
+	return true
+}
+
+// ForEach visits species in ascending index order (deterministic).
+func (m *Multiset) ForEach(f func(s Species, n int64)) {
+	if m == nil || m.counts == nil {
+		return
+	}
+	keys := make([]Species, 0, len(m.counts))
+	for s := range m.counts {
+		keys = append(keys, s)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, s := range keys {
+		f(s, m.counts[s])
+	}
+}
+
+// Format renders the multiset using names from the alphabet, e.g. "2*a b".
+func (m *Multiset) Format(a *Alphabet) string {
+	if m == nil || len(m.counts) == 0 {
+		return "·"
+	}
+	var parts []string
+	m.ForEach(func(s Species, n int64) {
+		if n == 1 {
+			parts = append(parts, a.Name(s))
+		} else {
+			parts = append(parts, fmt.Sprintf("%d*%s", n, a.Name(s)))
+		}
+	})
+	return strings.Join(parts, " ")
+}
+
+// Combinations returns the number of distinct ways of choosing the
+// sub-multiset need out of m: the product over species of C(count, need).
+// This is the combinatorial factor of mass-action propensities.
+// The result saturates at math.MaxFloat64 ranges well beyond any realistic
+// propensity, so it is returned as float64.
+func (m *Multiset) Combinations(need *Multiset) float64 {
+	if need == nil {
+		return 1
+	}
+	result := 1.0
+	for s, k := range need.counts {
+		have := m.Count(s)
+		if have < k {
+			return 0
+		}
+		// C(have, k) computed multiplicatively.
+		c := 1.0
+		for j := int64(0); j < k; j++ {
+			c *= float64(have-j) / float64(j+1)
+		}
+		result *= c
+	}
+	return result
+}

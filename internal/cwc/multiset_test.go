@@ -1,0 +1,177 @@
+package cwc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAlphabetIntern(t *testing.T) {
+	a := NewAlphabet()
+	x := a.Intern("x")
+	y := a.Intern("y")
+	if x == y {
+		t.Fatal("distinct names interned to same species")
+	}
+	if got := a.Intern("x"); got != x {
+		t.Fatal("re-interning changed index")
+	}
+	if a.Name(x) != "x" || a.Name(y) != "y" {
+		t.Fatal("Name mismatch")
+	}
+	if _, ok := a.Lookup("z"); ok {
+		t.Fatal("Lookup of unknown name succeeded")
+	}
+	if a.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", a.Len())
+	}
+}
+
+func TestMultisetBasics(t *testing.T) {
+	a := NewAlphabet("x", "y")
+	x, _ := a.Lookup("x")
+	y, _ := a.Lookup("y")
+	m := NewMultiset(x, 3, y, 1)
+	if m.Count(x) != 3 || m.Count(y) != 1 {
+		t.Fatalf("counts wrong: %d %d", m.Count(x), m.Count(y))
+	}
+	if m.Size() != 4 || m.Distinct() != 2 {
+		t.Fatalf("Size=%d Distinct=%d", m.Size(), m.Distinct())
+	}
+	m.Add(x, -3)
+	if m.Count(x) != 0 || m.Distinct() != 1 {
+		t.Fatal("Add(-3) did not zero out species")
+	}
+}
+
+func TestMultisetAddNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on negative multiplicity")
+		}
+	}()
+	a := NewAlphabet("x")
+	x, _ := a.Lookup("x")
+	m := NewMultiset(x, 1)
+	m.Add(x, -2)
+}
+
+func TestMultisetContains(t *testing.T) {
+	a := NewAlphabet("x", "y")
+	x, _ := a.Lookup("x")
+	y, _ := a.Lookup("y")
+	m := NewMultiset(x, 2, y, 1)
+	tests := []struct {
+		need *Multiset
+		want bool
+	}{
+		{nil, true},
+		{NewMultiset(), true},
+		{NewMultiset(x, 2), true},
+		{NewMultiset(x, 3), false},
+		{NewMultiset(x, 1, y, 1), true},
+		{NewMultiset(y, 2), false},
+	}
+	for i, tt := range tests {
+		if got := m.Contains(tt.need); got != tt.want {
+			t.Errorf("case %d: Contains = %v, want %v", i, got, tt.want)
+		}
+	}
+}
+
+func TestMultisetCombinations(t *testing.T) {
+	a := NewAlphabet("x", "y")
+	x, _ := a.Lookup("x")
+	y, _ := a.Lookup("y")
+	m := NewMultiset(x, 5, y, 3)
+	tests := []struct {
+		need *Multiset
+		want float64
+	}{
+		{nil, 1},
+		{NewMultiset(x, 1), 5},
+		{NewMultiset(x, 2), 10}, // C(5,2)
+		{NewMultiset(x, 2, y, 1), 30},
+		{NewMultiset(x, 6), 0},
+		{NewMultiset(y, 3), 1},
+	}
+	for i, tt := range tests {
+		if got := m.Combinations(tt.need); got != tt.want {
+			t.Errorf("case %d: Combinations = %g, want %g", i, got, tt.want)
+		}
+	}
+}
+
+func TestMultisetCloneIsDeep(t *testing.T) {
+	a := NewAlphabet("x")
+	x, _ := a.Lookup("x")
+	m := NewMultiset(x, 1)
+	c := m.Clone()
+	c.Add(x, 5)
+	if m.Count(x) != 1 {
+		t.Fatal("Clone shares storage")
+	}
+	if !m.Equal(m.Clone()) {
+		t.Fatal("Clone not equal to original")
+	}
+}
+
+func TestMultisetFormat(t *testing.T) {
+	a := NewAlphabet("b", "a")
+	b, _ := a.Lookup("b")
+	aa, _ := a.Lookup("a")
+	m := NewMultiset(b, 2, aa, 1)
+	if got := m.Format(a); got != "2*b a" {
+		t.Fatalf("Format = %q", got)
+	}
+	if got := (&Multiset{}).Format(a); got != "·" {
+		t.Fatalf("empty Format = %q", got)
+	}
+}
+
+// Property: AddAll(other, 1) then AddAll(other, -1) restores the original.
+func TestMultisetProperty_AddAllInverse(t *testing.T) {
+	f := func(counts [6]uint8, deltas [6]uint8) bool {
+		m := &Multiset{}
+		d := &Multiset{}
+		for i := range counts {
+			if counts[i] > 0 {
+				m.Add(Species(i), int64(counts[i]))
+			}
+			if deltas[i] > 0 {
+				d.Add(Species(i), int64(deltas[i]))
+			}
+		}
+		before := m.Clone()
+		m.AddAll(d, 1)
+		m.AddAll(d, -1)
+		return m.Equal(before)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Combinations is zero exactly when Contains is false (for
+// non-empty requirements).
+func TestMultisetProperty_CombinationsConsistentWithContains(t *testing.T) {
+	f := func(counts [4]uint8, need [4]uint8) bool {
+		m := &Multiset{}
+		n := &Multiset{}
+		for i := range counts {
+			if counts[i] > 0 {
+				m.Add(Species(i), int64(counts[i]))
+			}
+			if need[i] > 0 {
+				n.Add(Species(i), int64(need[i]))
+			}
+		}
+		c := m.Combinations(n)
+		if m.Contains(n) {
+			return c >= 1
+		}
+		return c == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,185 @@
+package cwc
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// ParseTerm parses the textual representation of a CWC term, interning
+// species into the alphabet. The grammar is:
+//
+//	term        := item*
+//	item        := atom | compartment
+//	atom        := [count "*"] ident
+//	compartment := "(" wrap "|" term ")" [":" ident]
+//	wrap        := atom*          (wraps hold atoms only)
+//
+// Examples:
+//
+//	"a a b"                      three atoms (a twice)
+//	"2*a b"                      the same with a multiplicity
+//	"(m | F F):cell"             a cell compartment with membrane atom m
+//	"M (k | (p | N):nuc):cell"   nested compartments
+//
+// "·" (or an empty string) denotes the empty term.
+func ParseTerm(src string, alpha *Alphabet) (*Term, error) {
+	p := &parser{src: src, alpha: alpha}
+	t, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos < len(p.src) {
+		return nil, p.errorf("unexpected %q", rune(p.src[p.pos]))
+	}
+	return t, nil
+}
+
+// MustParseTerm is ParseTerm panicking on error; for tests and fixtures.
+func MustParseTerm(src string, alpha *Alphabet) *Term {
+	t, err := ParseTerm(src, alpha)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+type parser struct {
+	src   string
+	pos   int
+	alpha *Alphabet
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	return fmt.Errorf("cwc: parse error at offset %d: %s", p.pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.src) && unicode.IsSpace(rune(p.src[p.pos])) {
+		p.pos++
+	}
+}
+
+func (p *parser) peek() byte {
+	if p.pos >= len(p.src) {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+// parseTerm parses items until ')' , '|' or end of input.
+func (p *parser) parseTerm() (*Term, error) {
+	t := NewTerm()
+	for {
+		p.skipSpace()
+		switch c := p.peek(); {
+		case c == 0, c == ')', c == '|':
+			return t, nil
+		case c == '(':
+			comp, err := p.parseCompartment()
+			if err != nil {
+				return nil, err
+			}
+			t.AddComp(comp)
+		case c == 0xC2 && strings.HasPrefix(p.src[p.pos:], "·"):
+			p.pos += len("·") // explicit empty-term marker
+		case isIdentStart(rune(c)) || isDigit(rune(c)):
+			s, n, err := p.parseAtom()
+			if err != nil {
+				return nil, err
+			}
+			t.Atoms.Add(s, n)
+		default:
+			return nil, p.errorf("unexpected %q", rune(c))
+		}
+	}
+}
+
+func (p *parser) parseCompartment() (*Compartment, error) {
+	if p.peek() != '(' {
+		return nil, p.errorf("expected '('")
+	}
+	p.pos++
+	wrapTerm, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	if len(wrapTerm.Comps) != 0 {
+		return nil, p.errorf("compartment wrap must contain atoms only")
+	}
+	p.skipSpace()
+	if p.peek() != '|' {
+		return nil, p.errorf("expected '|' separating wrap and content")
+	}
+	p.pos++
+	content, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.peek() != ')' {
+		return nil, p.errorf("expected ')'")
+	}
+	p.pos++
+	label := "comp"
+	p.skipSpace()
+	if p.peek() == ':' {
+		p.pos++
+		p.skipSpace()
+		label, err = p.parseIdent()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &Compartment{Label: label, Wrap: wrapTerm.Atoms, Content: *content}, nil
+}
+
+// parseAtom parses "[count*]ident" and returns the species and count.
+func (p *parser) parseAtom() (Species, int64, error) {
+	count := int64(1)
+	if isDigit(rune(p.peek())) {
+		start := p.pos
+		for p.pos < len(p.src) && isDigit(rune(p.src[p.pos])) {
+			p.pos++
+		}
+		n, err := strconv.ParseInt(p.src[start:p.pos], 10, 64)
+		if err != nil {
+			return 0, 0, p.errorf("bad count: %v", err)
+		}
+		if p.peek() != '*' {
+			return 0, 0, p.errorf("expected '*' after count %d", n)
+		}
+		p.pos++
+		count = n
+	}
+	name, err := p.parseIdent()
+	if err != nil {
+		return 0, 0, err
+	}
+	return p.alpha.Intern(name), count, nil
+}
+
+func (p *parser) parseIdent() (string, error) {
+	p.skipSpace()
+	start := p.pos
+	if p.pos >= len(p.src) || !isIdentStart(rune(p.src[p.pos])) {
+		return "", p.errorf("expected identifier")
+	}
+	p.pos++
+	for p.pos < len(p.src) && isIdentRune(rune(p.src[p.pos])) {
+		p.pos++
+	}
+	return p.src[start:p.pos], nil
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentRune(r rune) bool {
+	return r == '_' || r == '\'' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+func isDigit(r rune) bool { return r >= '0' && r <= '9' }

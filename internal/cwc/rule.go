@@ -1,0 +1,183 @@
+package cwc
+
+import "fmt"
+
+// RuleKind classifies the rewrite shape of a rule.
+type RuleKind int
+
+const (
+	// KindReaction rewrites atoms inside one compartment content, possibly
+	// creating new compartments there.
+	KindReaction RuleKind = iota
+	// KindTransportIn moves atoms from a compartment content across the
+	// membrane of one of its child compartments, into the child content.
+	KindTransportIn
+	// KindTransportOut moves atoms from a child compartment content out
+	// into the enclosing content.
+	KindTransportOut
+	// KindDissolve removes a child compartment, releasing its wrap and
+	// content into the enclosing content.
+	KindDissolve
+)
+
+// String implements fmt.Stringer.
+func (k RuleKind) String() string {
+	switch k {
+	case KindReaction:
+		return "reaction"
+	case KindTransportIn:
+		return "transport-in"
+	case KindTransportOut:
+		return "transport-out"
+	case KindDissolve:
+		return "dissolve"
+	default:
+		return "unknown"
+	}
+}
+
+// Rule is a stochastic CWC rewrite rule. It applies inside compartments
+// whose label equals Context ("" matches every compartment, including the
+// implicit top level).
+//
+// Semantics per kind (all atom multisets may be nil = empty):
+//
+//   - KindReaction: consume Reactants from the context content, add
+//     Products, and add a clone of every template in ProduceComps.
+//   - KindTransportIn: additionally select a child compartment with label
+//     ChildLabel whose wrap contains ChildWrap; Move atoms are consumed
+//     from the context content and added to the child content.
+//   - KindTransportOut: symmetric; Move atoms are consumed from the child
+//     content and added to the context content.
+//   - KindDissolve: the selected child is removed; its wrap atoms, content
+//     atoms and nested compartments are released into the context content.
+//     Reactants/Products apply to the context content as usual.
+type Rule struct {
+	Name    string
+	Context string
+	Kind    RuleKind
+
+	Reactants *Multiset
+	Products  *Multiset
+	// ProduceComps are templates cloned into the context on application
+	// (compartment creation).
+	ProduceComps []*Compartment
+
+	// ChildLabel selects the child compartment for transport/dissolve.
+	ChildLabel string
+	// ChildWrap must be contained in the selected child's wrap (membrane
+	// requirement; catalytic — not consumed).
+	ChildWrap *Multiset
+	// Move is the multiset of atoms crossing the membrane.
+	Move *Multiset
+
+	Law RateLaw
+}
+
+// Validate checks structural consistency of the rule.
+func (r *Rule) Validate() error {
+	if r.Law == nil {
+		return fmt.Errorf("cwc: rule %q: nil rate law", r.Name)
+	}
+	switch r.Kind {
+	case KindReaction:
+		if r.ChildLabel != "" || r.Move != nil {
+			return fmt.Errorf("cwc: rule %q: reaction rules cannot name a child or move atoms", r.Name)
+		}
+	case KindTransportIn, KindTransportOut:
+		if r.ChildLabel == "" {
+			return fmt.Errorf("cwc: rule %q: transport rules need a child label", r.Name)
+		}
+		if r.Move == nil || r.Move.Size() == 0 {
+			return fmt.Errorf("cwc: rule %q: transport rules need atoms to move", r.Name)
+		}
+	case KindDissolve:
+		if r.ChildLabel == "" {
+			return fmt.Errorf("cwc: rule %q: dissolve rules need a child label", r.Name)
+		}
+	default:
+		return fmt.Errorf("cwc: rule %q: unknown kind %d", r.Name, int(r.Kind))
+	}
+	return nil
+}
+
+// Match is one way a rule can fire: a rule plus the concrete context (and,
+// for transport/dissolve, the concrete child compartment) it fires in.
+type Match struct {
+	Rule *Rule
+	// Where is the content of the compartment the rule fires in.
+	Where *Term
+	// Comp is that compartment (nil when Where is the root term).
+	Comp *Compartment
+	// Child is the selected child compartment for transport/dissolve
+	// rules, with ChildIdx its index in Where.Comps; nil/-1 otherwise.
+	Child    *Compartment
+	ChildIdx int
+}
+
+// RateLaw computes the propensity (stochastic rate) of one concrete match.
+type RateLaw interface {
+	Propensity(m Match) float64
+}
+
+// MassAction is the standard stochastic mass-action law: the rate constant
+// times the number of distinct reactant combinations in the matched
+// context (and, for membrane rules, the distinct ways of picking the moved
+// atoms and the required wrap atoms).
+type MassAction struct {
+	K float64
+}
+
+// Propensity implements RateLaw.
+func (ma MassAction) Propensity(m Match) float64 {
+	p := ma.K
+	p *= m.Where.Atoms.Combinations(m.Rule.Reactants)
+	switch m.Rule.Kind {
+	case KindTransportIn:
+		p *= m.Where.Atoms.Combinations(m.Rule.Move)
+		p *= m.Child.Wrap.Combinations(m.Rule.ChildWrap)
+	case KindTransportOut:
+		p *= m.Child.Content.Atoms.Combinations(m.Rule.Move)
+		p *= m.Child.Wrap.Combinations(m.Rule.ChildWrap)
+	case KindDissolve:
+		p *= m.Child.Wrap.Combinations(m.Rule.ChildWrap)
+	}
+	return p
+}
+
+// RateFunc is an arbitrary rate law over the matched context, used for
+// non-mass-action kinetics (Hill, Michaelis–Menten, ...). The function must
+// return a non-negative propensity.
+type RateFunc func(m Match) float64
+
+// Propensity implements RateLaw.
+func (f RateFunc) Propensity(m Match) float64 { return f(m) }
+
+// Hill returns a Hill-repression rate law commonly used for transcriptional
+// regulation: vs * KI^n / (KI^n + [repressor]^n), where the repressor count
+// is read from the matched content (divided by omega to convert molecule
+// counts into concentrations; pass omega=1 for raw counts).
+func Hill(vs, ki float64, n int, repressor Species, omega float64) RateFunc {
+	kin := pow(ki, n)
+	return func(m Match) float64 {
+		x := float64(m.Where.Atoms.Count(repressor)) / omega
+		return vs * kin / (kin + pow(x, n))
+	}
+}
+
+// MichaelisMenten returns the saturating degradation law
+// vm * [s] / (km + [s]) over the matched content, scaled by omega.
+func MichaelisMenten(vm, km float64, s Species, omega float64) RateFunc {
+	return func(m Match) float64 {
+		x := float64(m.Where.Atoms.Count(s)) / omega
+		return vm * x / (km + x)
+	}
+}
+
+func pow(x float64, n int) float64 {
+	r := 1.0
+	for i := 0; i < n; i++ {
+		r *= x
+	}
+	return r
+}

@@ -1,0 +1,159 @@
+package cwc
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// TopLabel is the label of the implicit outermost compartment every CWC
+// term lives in.
+const TopLabel = "top"
+
+// Term is the content of a compartment: a multiset of atoms plus a list of
+// nested compartments. The root of a system state is a Term (the content of
+// the implicit top-level compartment).
+//
+// The zero value is the empty term, ready to use.
+type Term struct {
+	Atoms Multiset
+	Comps []*Compartment
+}
+
+// Compartment is a wrapped term: a membrane (multiset of atoms on the wrap)
+// enclosing a content term, tagged with a type label.
+type Compartment struct {
+	Label   string
+	Wrap    Multiset
+	Content Term
+}
+
+// NewTerm returns an empty term.
+func NewTerm() *Term { return &Term{} }
+
+// AddComp appends a compartment to the term.
+func (t *Term) AddComp(c *Compartment) { t.Comps = append(t.Comps, c) }
+
+// RemoveComp removes the i-th compartment (order is not preserved).
+func (t *Term) RemoveComp(i int) {
+	last := len(t.Comps) - 1
+	t.Comps[i] = t.Comps[last]
+	t.Comps[last] = nil
+	t.Comps = t.Comps[:last]
+}
+
+// Clone returns a deep copy of the term.
+func (t *Term) Clone() *Term {
+	c := &Term{Atoms: *t.Atoms.Clone()}
+	if len(t.Comps) > 0 {
+		c.Comps = make([]*Compartment, len(t.Comps))
+		for i, comp := range t.Comps {
+			c.Comps[i] = comp.Clone()
+		}
+	}
+	return c
+}
+
+// Clone returns a deep copy of the compartment.
+func (c *Compartment) Clone() *Compartment {
+	return &Compartment{
+		Label:   c.Label,
+		Wrap:    *c.Wrap.Clone(),
+		Content: *c.Content.Clone(),
+	}
+}
+
+// Walk visits every compartment content in the tree, starting from the root
+// term itself (with label TopLabel and nil compartment). The visit order is
+// depth-first, parents before children. parent is nil for the root.
+func (t *Term) Walk(visit func(label string, content *Term, comp *Compartment, parent *Term)) {
+	visit(TopLabel, t, nil, nil)
+	t.walkChildren(visit)
+}
+
+func (t *Term) walkChildren(visit func(label string, content *Term, comp *Compartment, parent *Term)) {
+	for _, c := range t.Comps {
+		visit(c.Label, &c.Content, c, t)
+		c.Content.walkChildren(visit)
+	}
+}
+
+// TotalAtoms sums the multiplicity of species s over the whole tree,
+// including wraps.
+func (t *Term) TotalAtoms(s Species) int64 {
+	total := t.Atoms.Count(s)
+	for _, c := range t.Comps {
+		total += c.Wrap.Count(s)
+		total += c.Content.TotalAtoms(s)
+	}
+	return total
+}
+
+// CountCompartments returns the number of compartments with the given label
+// anywhere in the tree ("" counts all).
+func (t *Term) CountCompartments(label string) int {
+	n := 0
+	for _, c := range t.Comps {
+		if label == "" || c.Label == label {
+			n++
+		}
+		n += c.Content.CountCompartments(label)
+	}
+	return n
+}
+
+// Depth returns the maximum nesting depth (0 for a flat term).
+func (t *Term) Depth() int {
+	d := 0
+	for _, c := range t.Comps {
+		if cd := c.Content.Depth() + 1; cd > d {
+			d = cd
+		}
+	}
+	return d
+}
+
+// Format renders the term with names from the alphabet. Compartments render
+// as "(wrap | content):label". Compartments are sorted by rendering for
+// determinism.
+func (t *Term) Format(a *Alphabet) string {
+	var parts []string
+	if t.Atoms.Size() > 0 {
+		parts = append(parts, t.Atoms.Format(a))
+	}
+	comps := make([]string, 0, len(t.Comps))
+	for _, c := range t.Comps {
+		comps = append(comps, fmt.Sprintf("(%s | %s):%s", c.Wrap.Format(a), c.Content.Format(a), c.Label))
+	}
+	sort.Strings(comps)
+	parts = append(parts, comps...)
+	if len(parts) == 0 {
+		return "·"
+	}
+	return strings.Join(parts, " ")
+}
+
+// Equal reports structural equality up to reordering of compartments.
+func (t *Term) Equal(other *Term) bool {
+	if !t.Atoms.Equal(&other.Atoms) {
+		return false
+	}
+	if len(t.Comps) != len(other.Comps) {
+		return false
+	}
+	used := make([]bool, len(other.Comps))
+outer:
+	for _, c := range t.Comps {
+		for j, oc := range other.Comps {
+			if used[j] {
+				continue
+			}
+			if c.Label == oc.Label && c.Wrap.Equal(&oc.Wrap) && c.Content.Equal(&oc.Content) {
+				used[j] = true
+				continue outer
+			}
+		}
+		return false
+	}
+	return true
+}

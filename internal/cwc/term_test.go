@@ -1,0 +1,230 @@
+package cwc
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseFlatTerm(t *testing.T) {
+	a := NewAlphabet()
+	term, err := ParseTerm("a a b 3*c", a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	av, _ := a.Lookup("a")
+	bv, _ := a.Lookup("b")
+	cv, _ := a.Lookup("c")
+	if term.Atoms.Count(av) != 2 || term.Atoms.Count(bv) != 1 || term.Atoms.Count(cv) != 3 {
+		t.Fatalf("counts wrong: %s", term.Format(a))
+	}
+	if len(term.Comps) != 0 {
+		t.Fatal("flat term has compartments")
+	}
+}
+
+func TestParseNestedTerm(t *testing.T) {
+	a := NewAlphabet()
+	term, err := ParseTerm("M (k | F F (p | N):nuc):cell", a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(term.Comps) != 1 {
+		t.Fatalf("top compartments = %d, want 1", len(term.Comps))
+	}
+	cell := term.Comps[0]
+	if cell.Label != "cell" {
+		t.Fatalf("label = %q, want cell", cell.Label)
+	}
+	k, _ := a.Lookup("k")
+	if cell.Wrap.Count(k) != 1 {
+		t.Fatal("wrap atom k missing")
+	}
+	if len(cell.Content.Comps) != 1 || cell.Content.Comps[0].Label != "nuc" {
+		t.Fatal("nested nucleus missing")
+	}
+	if term.Depth() != 2 {
+		t.Fatalf("depth = %d, want 2", term.Depth())
+	}
+}
+
+func TestParseDefaultLabel(t *testing.T) {
+	a := NewAlphabet()
+	term, err := ParseTerm("( | x)", a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if term.Comps[0].Label != "comp" {
+		t.Fatalf("default label = %q, want comp", term.Comps[0].Label)
+	}
+}
+
+func TestParseEmptyTerm(t *testing.T) {
+	a := NewAlphabet()
+	for _, src := range []string{"", "   ", "·"} {
+		term, err := ParseTerm(src, a)
+		if err != nil {
+			t.Fatalf("ParseTerm(%q): %v", src, err)
+		}
+		if term.Atoms.Size() != 0 || len(term.Comps) != 0 {
+			t.Fatalf("ParseTerm(%q) non-empty", src)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	a := NewAlphabet()
+	cases := []string{
+		"(a",            // unclosed
+		"(a | b",        // unclosed after content
+		"a)",            // stray close
+		"3a",            // count without *
+		"((x|y):in | z)", // compartment inside wrap
+		"( | x):",       // missing label after colon
+		"*a",            // stray star
+	}
+	for _, src := range cases {
+		if _, err := ParseTerm(src, a); err == nil {
+			t.Errorf("ParseTerm(%q): expected error", src)
+		}
+	}
+}
+
+func TestFormatRoundTrip(t *testing.T) {
+	a := NewAlphabet()
+	srcs := []string{
+		"a a b",
+		"M (k | F F (p | N):nuc):cell",
+		"( | ):empty",
+		"2*a (m m | 3*b):c1 (m | b):c2",
+	}
+	for _, src := range srcs {
+		t1, err := ParseTerm(src, a)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		rendered := t1.Format(a)
+		t2, err := ParseTerm(strings.ReplaceAll(rendered, "·", ""), a)
+		if err != nil {
+			t.Fatalf("re-parse %q: %v", rendered, err)
+		}
+		if !t1.Equal(t2) {
+			t.Fatalf("round trip changed term: %q -> %q", src, t2.Format(a))
+		}
+	}
+}
+
+func TestTermCloneIsDeep(t *testing.T) {
+	a := NewAlphabet()
+	orig := MustParseTerm("x (w | y):c", a)
+	cl := orig.Clone()
+	y, _ := a.Lookup("y")
+	cl.Comps[0].Content.Atoms.Add(y, 10)
+	if orig.Comps[0].Content.Atoms.Count(y) != 1 {
+		t.Fatal("Clone shares compartment content")
+	}
+}
+
+func TestTermEqualUpToReordering(t *testing.T) {
+	a := NewAlphabet()
+	t1 := MustParseTerm("(m | x):c1 (n | y):c2", a)
+	t2 := MustParseTerm("(n | y):c2 (m | x):c1", a)
+	if !t1.Equal(t2) {
+		t.Fatal("Equal must ignore compartment order")
+	}
+	t3 := MustParseTerm("(m | x):c1 (n | y y):c2", a)
+	if t1.Equal(t3) {
+		t.Fatal("Equal must detect content differences")
+	}
+}
+
+func TestTotalAtomsIncludesWraps(t *testing.T) {
+	a := NewAlphabet()
+	term := MustParseTerm("x (x | x (x | x):in):out", a)
+	x, _ := a.Lookup("x")
+	if got := term.TotalAtoms(x); got != 5 {
+		t.Fatalf("TotalAtoms = %d, want 5", got)
+	}
+}
+
+func TestCountCompartments(t *testing.T) {
+	a := NewAlphabet()
+	term := MustParseTerm("( | ( | ):b ( | ):b):a ( | ):b", a)
+	if got := term.CountCompartments("b"); got != 3 {
+		t.Fatalf("count b = %d, want 3", got)
+	}
+	if got := term.CountCompartments(""); got != 4 {
+		t.Fatalf("count all = %d, want 4", got)
+	}
+}
+
+func TestWalkOrder(t *testing.T) {
+	a := NewAlphabet()
+	term := MustParseTerm("( | ( | ):inner):outer ( | ):side", a)
+	var labels []string
+	term.Walk(func(label string, _ *Term, _ *Compartment, _ *Term) {
+		labels = append(labels, label)
+	})
+	want := []string{TopLabel, "outer", "inner", "side"}
+	if len(labels) != len(want) {
+		t.Fatalf("labels = %v, want %v", labels, want)
+	}
+	for i := range want {
+		if labels[i] != want[i] {
+			t.Fatalf("labels = %v, want %v", labels, want)
+		}
+	}
+}
+
+// TestProperty_FormatParseRoundTrip: any randomly generated term tree
+// survives Format → ParseTerm structurally intact.
+func TestProperty_FormatParseRoundTrip(t *testing.T) {
+	alpha := NewAlphabet("a", "b", "c", "d")
+	var build func(rng *rand.Rand, depth int) *Term
+	build = func(rng *rand.Rand, depth int) *Term {
+		term := NewTerm()
+		for s := 0; s < alpha.Len(); s++ {
+			if n := rng.Intn(4); n > 0 {
+				term.Atoms.Add(Species(s), int64(n))
+			}
+		}
+		if depth > 0 {
+			for i := rng.Intn(3); i > 0; i-- {
+				c := &Compartment{Label: []string{"cell", "nuc", "ves"}[rng.Intn(3)]}
+				if rng.Intn(2) == 0 {
+					c.Wrap.Add(Species(rng.Intn(alpha.Len())), int64(rng.Intn(3)+1))
+				}
+				c.Content = *build(rng, depth-1)
+				term.AddComp(c)
+			}
+		}
+		return term
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		orig := build(rng, 3)
+		rendered := strings.ReplaceAll(orig.Format(alpha), "·", "")
+		back, err := ParseTerm(rendered, alpha)
+		if err != nil {
+			t.Logf("parse of %q: %v", rendered, err)
+			return false
+		}
+		return orig.Equal(back)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemoveComp(t *testing.T) {
+	a := NewAlphabet()
+	term := MustParseTerm("( | x):a ( | y):b ( | z):c", a)
+	term.RemoveComp(0)
+	if len(term.Comps) != 2 {
+		t.Fatalf("len = %d, want 2", len(term.Comps))
+	}
+	if term.CountCompartments("a") != 0 {
+		t.Fatal("compartment a still present")
+	}
+}

@@ -1,0 +1,314 @@
+package dff
+
+import (
+	"context"
+	"net"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+type record struct {
+	ID    int
+	Name  string
+	Data  []int64
+	Inner struct{ X float64 }
+}
+
+func TestWriterReaderRoundTrip(t *testing.T) {
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+
+	w := NewWriter[record](client)
+	r := NewReader[record](server)
+
+	want := record{ID: 7, Name: "traj", Data: []int64{1, 2, 3}}
+	want.Inner.X = 3.5
+	done := make(chan error, 1)
+	go func() {
+		if err := w.Send(want); err != nil {
+			done <- err
+			return
+		}
+		done <- w.Close()
+	}()
+	got, ok, err := r.Recv()
+	if err != nil || !ok {
+		t.Fatalf("Recv = (%v, %v)", ok, err)
+	}
+	if got.ID != want.ID || got.Name != want.Name || len(got.Data) != 3 || got.Inner.X != 3.5 {
+		t.Fatalf("got %+v, want %+v", got, want)
+	}
+	if _, ok, err := r.Recv(); ok || err != nil {
+		t.Fatalf("after close: ok=%v err=%v, want false,nil", ok, err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriterSendAfterClose(t *testing.T) {
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+	go func() {
+		r := NewReader[int](server)
+		for {
+			if _, ok, err := r.Recv(); !ok || err != nil {
+				return
+			}
+		}
+	}()
+	w := NewWriter[int](client)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal("Close must be idempotent")
+	}
+	if err := w.Send(1); err == nil {
+		t.Fatal("Send after Close succeeded")
+	}
+}
+
+func TestReaderDroppedConnection(t *testing.T) {
+	client, server := net.Pipe()
+	r := NewReader[int](server)
+	client.Close() // no EOF marker sent
+	defer server.Close()
+	_, ok, err := r.Recv()
+	if ok || err == nil {
+		t.Fatal("dropped connection must surface as error, not clean EOF")
+	}
+}
+
+func TestPumpDrainOverTCP(t *testing.T) {
+	l, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	const n = 1000
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var serveErr error
+	recvd := make([]int, 0, n)
+	go func() {
+		defer wg.Done()
+		conn, err := l.Accept()
+		if err != nil {
+			serveErr = err
+			return
+		}
+		defer conn.Close()
+		out := make(chan int, 16)
+		var drainErr error
+		go func() {
+			drainErr = NewReader[int](conn).Drain(ctx, out)
+			close(out)
+		}()
+		for v := range out {
+			recvd = append(recvd, v)
+		}
+		serveErr = drainErr
+	}()
+
+	conn, err := Dial(l.Addr().String(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	in := make(chan int, 16)
+	go func() {
+		for i := 0; i < n; i++ {
+			in <- i
+		}
+		close(in)
+	}()
+	if err := Pump(ctx, NewWriter[int](conn), in); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if serveErr != nil {
+		t.Fatal(serveErr)
+	}
+	if len(recvd) != n {
+		t.Fatalf("received %d, want %d", len(recvd), n)
+	}
+	for i, v := range recvd {
+		if v != i {
+			t.Fatalf("recvd[%d] = %d: order broken", i, v)
+		}
+	}
+}
+
+func TestServeHandlesMultipleConnections(t *testing.T) {
+	l, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var mu sync.Mutex
+	total := 0
+	serveDone := make(chan error, 1)
+	go func() {
+		serveDone <- Serve(ctx, l, func(_ context.Context, conn net.Conn) error {
+			r := NewReader[int](conn)
+			w := NewWriter[int](conn)
+			for {
+				v, ok, err := r.Recv()
+				if err != nil {
+					return err
+				}
+				if !ok {
+					return w.Close()
+				}
+				mu.Lock()
+				total += v
+				mu.Unlock()
+				if err := w.Send(v * 2); err != nil {
+					return err
+				}
+			}
+		}, nil)
+	}()
+
+	var wg sync.WaitGroup
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			conn, err := Dial(l.Addr().String(), 5*time.Second)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer conn.Close()
+			w := NewWriter[int](conn)
+			r := NewReader[int](conn)
+			for i := 0; i < 10; i++ {
+				if err := w.Send(i); err != nil {
+					t.Error(err)
+					return
+				}
+				v, ok, err := r.Recv()
+				if err != nil || !ok || v != 2*i {
+					t.Errorf("echo = (%d,%v,%v), want %d", v, ok, err, 2*i)
+					return
+				}
+			}
+			if err := w.Close(); err != nil {
+				t.Error(err)
+			}
+			if _, ok, err := r.Recv(); ok || err != nil {
+				t.Errorf("expected clean EOF, got ok=%v err=%v", ok, err)
+			}
+		}(c)
+	}
+	wg.Wait()
+	cancel()
+	if err := <-serveDone; err != nil && err != context.Canceled {
+		t.Fatal(err)
+	}
+	if total != 4*45 {
+		t.Fatalf("total = %d, want %d", total, 4*45)
+	}
+}
+
+func TestServeStopsOnContextCancel(t *testing.T) {
+	l, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- Serve(ctx, l, func(context.Context, net.Conn) error { return nil }, nil)
+	}()
+	cancel()
+	select {
+	case err := <-done:
+		if err != context.Canceled {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not stop on cancellation")
+	}
+}
+
+// Property: any []int64 slice survives the typed stream round trip.
+func TestProperty_RoundTripFidelity(t *testing.T) {
+	f := func(values [][]int64) bool {
+		client, server := net.Pipe()
+		defer client.Close()
+		defer server.Close()
+		w := NewWriter[[]int64](client)
+		r := NewReader[[]int64](server)
+		errc := make(chan error, 1)
+		go func() {
+			for _, v := range values {
+				if err := w.Send(v); err != nil {
+					errc <- err
+					return
+				}
+			}
+			errc <- w.Close()
+		}()
+		for i := 0; ; i++ {
+			v, ok, err := r.Recv()
+			if err != nil {
+				return false
+			}
+			if !ok {
+				return i == len(values) && <-errc == nil
+			}
+			if i >= len(values) || len(v) != len(values[i]) {
+				return false
+			}
+			for j := range v {
+				if v[j] != values[i][j] {
+					return false
+				}
+			}
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkStreamThroughput(b *testing.B) {
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+	w := NewWriter[[8]int64](client)
+	r := NewReader[[8]int64](server)
+	go func() {
+		var v [8]int64
+		for i := 0; i < b.N; i++ {
+			v[0] = int64(i)
+			if err := w.Send(v); err != nil {
+				return
+			}
+		}
+		w.Close()
+	}()
+	b.ResetTimer()
+	for {
+		_, ok, err := r.Recv()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package ff
+
+import "context"
+
+// FeedbackWorker processes one task and may hand a continuation task back to
+// the farm dispatcher (FastFlow's farm-with-feedback). DoStep may emit any
+// number of outputs; a non-nil feedback re-enters the dispatch queue and the
+// task stays in flight, a nil feedback marks the task complete.
+//
+// This is the skeleton behind the CWC simulation farm: a simulation engine
+// advances a trajectory by one simulation quantum, emits the samples
+// produced in that quantum, and reschedules the (partially advanced)
+// simulation task along the feedback channel until its end time is reached.
+type FeedbackWorker[In, Out any] interface {
+	DoStep(ctx context.Context, task In, emit Emit[Out]) (feedback *In, err error)
+}
+
+// FeedbackWorkerFunc adapts a function to the FeedbackWorker interface.
+type FeedbackWorkerFunc[In, Out any] func(ctx context.Context, task In, emit Emit[Out]) (*In, error)
+
+// DoStep implements FeedbackWorker.
+func (f FeedbackWorkerFunc[In, Out]) DoStep(ctx context.Context, task In, emit Emit[Out]) (*In, error) {
+	return f(ctx, task, emit)
+}
+
+// FarmFeedback is a task farm whose workers can reschedule tasks back to the
+// dispatcher. Scheduling is on-demand (the only policy that makes sense with
+// feedback-induced load imbalance). The farm terminates when the external
+// input stream is exhausted and no task is in flight.
+type FarmFeedback[In, Out any] struct {
+	n       int
+	factory func(workerID int) FeedbackWorker[In, Out]
+	cfg     config
+}
+
+// NewFarmFeedback builds a feedback farm of n workers.
+func NewFarmFeedback[In, Out any](n int, factory func(workerID int) FeedbackWorker[In, Out], opts ...Option) *FarmFeedback[In, Out] {
+	if n < 1 {
+		n = 1
+	}
+	return &FarmFeedback[In, Out]{n: n, factory: factory, cfg: newConfig(opts)}
+}
+
+// NWorkers returns the degree of parallelism.
+func (f *FarmFeedback[In, Out]) NWorkers() int { return f.n }
+
+// Run implements Node.
+func (f *FarmFeedback[In, Out]) Run(ctx context.Context, in <-chan In, emit Emit[Out]) error {
+	taskq := make(chan In, f.cfg.queueDepth) // shared on-demand queue
+	fbq := make(chan In, f.n)                // worker → dispatcher reschedules
+	completions := make(chan struct{}, f.n)  // worker → dispatcher task-done
+	collect := make(chan Out, f.cfg.queueDepth)
+
+	g := newGroup(ctx)
+
+	// Dispatcher: merges the external stream and the feedback stream into
+	// the shared task queue, tracking in-flight tasks for termination. The
+	// local pending buffer guarantees the dispatcher is always ready to
+	// drain feedback, which rules out the classic feedback-cycle deadlock.
+	g.Go(func(ctx context.Context) error {
+		defer close(taskq)
+		var pending []In
+		inflight := 0
+		external := in
+		for external != nil || inflight > 0 {
+			var sendCh chan In
+			var sendVal In
+			if len(pending) > 0 {
+				sendCh = taskq
+				sendVal = pending[0]
+			}
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case t, ok := <-external:
+				if !ok {
+					external = nil
+					continue
+				}
+				inflight++
+				pending = append(pending, t)
+			case t := <-fbq:
+				pending = append(pending, t)
+			case <-completions:
+				inflight--
+			case sendCh <- sendVal:
+				pending = pending[1:]
+			}
+		}
+		return nil
+	})
+
+	workers := newGroup(g.ctx)
+	for w := 0; w < f.n; w++ {
+		worker := f.factory(w)
+		workers.Go(func(ctx context.Context) error {
+			wemit := emitTo(ctx, collect)
+			for {
+				task, ok, err := recvOne(ctx, taskq)
+				if err != nil {
+					return err
+				}
+				if !ok {
+					return nil
+				}
+				fb, err := worker.DoStep(ctx, task, wemit)
+				if err != nil {
+					return err
+				}
+				if fb != nil {
+					select {
+					case fbq <- *fb:
+					case <-ctx.Done():
+						return ctx.Err()
+					}
+				} else {
+					select {
+					case completions <- struct{}{}:
+					case <-ctx.Done():
+						return ctx.Err()
+					}
+				}
+			}
+		})
+	}
+	g.Go(func(ctx context.Context) error {
+		defer close(collect)
+		return workers.Wait()
+	})
+	g.Go(func(ctx context.Context) error {
+		return runCollector(ctx, collect, emit)
+	})
+	return g.Wait()
+}

@@ -1,0 +1,451 @@
+package ff
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func ints(n int) []int {
+	s := make([]int, n)
+	for i := range s {
+		s[i] = i
+	}
+	return s
+}
+
+func TestMapNode(t *testing.T) {
+	double := MapNode(func(v int) (int, error) { return 2 * v, nil })
+	got, err := Collect(context.Background(), SourceSlice(ints(100)), double)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 100 {
+		t.Fatalf("len = %d, want 100", len(got))
+	}
+	for i, v := range got {
+		if v != 2*i {
+			t.Fatalf("got[%d] = %d, want %d", i, v, 2*i)
+		}
+	}
+}
+
+func TestFilterNode(t *testing.T) {
+	even := FilterNode(func(v int) bool { return v%2 == 0 })
+	got, err := Collect(context.Background(), SourceSlice(ints(10)), even)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 2, 4, 6, 8}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestComposePreservesOrder(t *testing.T) {
+	inc := MapNode(func(v int) (int, error) { return v + 1, nil })
+	sq := MapNode(func(v int) (int, error) { return v * v, nil })
+	p := Compose(inc, sq)
+	got, err := Collect(context.Background(), SourceSlice(ints(50)), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		want := (i + 1) * (i + 1)
+		if v != want {
+			t.Fatalf("got[%d] = %d, want %d", i, v, want)
+		}
+	}
+}
+
+func TestComposeThreeStages(t *testing.T) {
+	a := MapNode(func(v int) (int, error) { return v + 1, nil })
+	b := MapNode(func(v int) (int, error) { return v * 2, nil })
+	c := MapNode(func(v int) (string, error) { return fmt.Sprintf("#%d", v), nil })
+	p := Compose(Compose(a, b), c)
+	got, err := Collect(context.Background(), SourceSlice([]int{1, 2, 3}), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"#4", "#6", "#8"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestComposeErrorPropagates(t *testing.T) {
+	boom := errors.New("boom")
+	bad := MapNode(func(v int) (int, error) {
+		if v == 7 {
+			return 0, boom
+		}
+		return v, nil
+	})
+	id := MapNode(func(v int) (int, error) { return v, nil })
+	_, err := Collect(context.Background(), SourceSlice(ints(100)), Compose(bad, id))
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+}
+
+func TestComposeSecondStageError(t *testing.T) {
+	boom := errors.New("late boom")
+	id := MapNode(func(v int) (int, error) { return v, nil })
+	bad := MapNode(func(v int) (int, error) {
+		if v == 3 {
+			return 0, boom
+		}
+		return v, nil
+	})
+	_, err := Collect(context.Background(), SourceSlice(ints(100)), Compose(id, bad))
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+}
+
+func farmPolicies() []struct {
+	name string
+	opts []Option
+} {
+	return []struct {
+		name string
+		opts []Option
+	}{
+		{"on-demand", []Option{WithPolicy(OnDemand)}},
+		{"round-robin", []Option{WithPolicy(RoundRobin)}},
+		{"round-robin-spsc", []Option{WithPolicy(RoundRobin), WithSPSCLinks()}},
+		{"ordered", []Option{WithOrdered()}},
+		{"on-demand-deep", []Option{WithPolicy(OnDemand), WithQueueDepth(16)}},
+	}
+}
+
+func TestFarmAllPoliciesCompleteness(t *testing.T) {
+	const n = 500
+	for _, tc := range farmPolicies() {
+		t.Run(tc.name, func(t *testing.T) {
+			farm := NewFarm(4, func(int) Worker[int, int] {
+				return Transform(func(v int) (int, error) { return v * 3, nil })
+			}, tc.opts...)
+			got, err := Collect(context.Background(), SourceSlice(ints(n)), farm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != n {
+				t.Fatalf("len = %d, want %d", len(got), n)
+			}
+			sort.Ints(got)
+			for i, v := range got {
+				if v != 3*i {
+					t.Fatalf("sorted got[%d] = %d, want %d", i, v, 3*i)
+				}
+			}
+		})
+	}
+}
+
+func TestFarmOrderedPreservesOrder(t *testing.T) {
+	farm := NewFarm(8, func(int) Worker[int, int] {
+		return Transform(func(v int) (int, error) { return v, nil })
+	}, WithOrdered())
+	got, err := Collect(context.Background(), SourceSlice(ints(300)), farm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("got[%d] = %d: order not preserved", i, v)
+		}
+	}
+}
+
+func TestFarmOrderedMultiOutput(t *testing.T) {
+	// Each task k emits k%3 outputs; ordered farm must keep groups
+	// contiguous and in task order.
+	farm := NewFarm(4, func(int) Worker[int, string] {
+		return WorkerFunc[int, string](func(_ context.Context, task int, emit Emit[string]) error {
+			for j := 0; j < task%3; j++ {
+				if err := emit(fmt.Sprintf("%d.%d", task, j)); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	}, WithOrdered())
+	got, err := Collect(context.Background(), SourceSlice(ints(30)), farm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []string
+	for task := 0; task < 30; task++ {
+		for j := 0; j < task%3; j++ {
+			want = append(want, fmt.Sprintf("%d.%d", task, j))
+		}
+	}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestFarmWorkerError(t *testing.T) {
+	boom := errors.New("worker boom")
+	for _, tc := range farmPolicies() {
+		t.Run(tc.name, func(t *testing.T) {
+			farm := NewFarm(3, func(int) Worker[int, int] {
+				return Transform(func(v int) (int, error) {
+					if v == 42 {
+						return 0, boom
+					}
+					return v, nil
+				})
+			}, tc.opts...)
+			_, err := Collect(context.Background(), SourceSlice(ints(200)), farm)
+			if !errors.Is(err, boom) {
+				t.Fatalf("err = %v, want %v", err, boom)
+			}
+		})
+	}
+}
+
+func TestFarmContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	farm := NewFarm(2, func(int) Worker[int, int] {
+		return Transform(func(v int) (int, error) { return v, nil })
+	})
+	n := 0
+	err := Run(ctx, SourceFunc(1_000_000, func(i int) int { return i }), farm, func(int) error {
+		n++
+		if n == 10 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestFarmSingleWorkerDegeneratesToSequential(t *testing.T) {
+	var order []int
+	farm := NewFarm(1, func(int) Worker[int, int] {
+		return Transform(func(v int) (int, error) { return v, nil })
+	})
+	err := Run(context.Background(), SourceSlice(ints(100)), farm, func(v int) error {
+		order = append(order, v)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("single-worker farm reordered: got[%d]=%d", i, v)
+		}
+	}
+}
+
+func TestFarmProperty_NoLossNoDuplication(t *testing.T) {
+	f := func(values []int32, workers uint8) bool {
+		w := int(workers%7) + 1
+		farm := NewFarm(w, func(int) Worker[int32, int32] {
+			return Transform(func(v int32) (int32, error) { return v, nil })
+		})
+		got, err := Collect(context.Background(), SourceSlice(values), farm)
+		if err != nil {
+			return false
+		}
+		if len(got) != len(values) {
+			return false
+		}
+		count := make(map[int32]int)
+		for _, v := range values {
+			count[v]++
+		}
+		for _, v := range got {
+			count[v]--
+		}
+		for _, c := range count {
+			if c != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFarmFeedbackCountdown(t *testing.T) {
+	// Each task is a countdown: worker decrements and feeds back until zero,
+	// emitting one output at zero. Exercises termination with in-flight
+	// rescheduled tasks.
+	farm := NewFarmFeedback(4, func(int) FeedbackWorker[int, string] {
+		return FeedbackWorkerFunc[int, string](func(_ context.Context, task int, emit Emit[string]) (*int, error) {
+			if task == 0 {
+				return nil, emit("done")
+			}
+			next := task - 1
+			return &next, nil
+		})
+	})
+	got, err := Collect(context.Background(), SourceSlice([]int{3, 0, 5, 1, 7}), farm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 {
+		t.Fatalf("outputs = %d, want 5 (one per task)", len(got))
+	}
+}
+
+func TestFarmFeedbackEmitsDuringSteps(t *testing.T) {
+	// Worker emits a sample at every step, like a simulation engine
+	// emitting per-quantum results. Total outputs = sum of (task+1).
+	farm := NewFarmFeedback(3, func(int) FeedbackWorker[int, int] {
+		return FeedbackWorkerFunc[int, int](func(_ context.Context, task int, emit Emit[int]) (*int, error) {
+			if err := emit(task); err != nil {
+				return nil, err
+			}
+			if task == 0 {
+				return nil, nil
+			}
+			next := task - 1
+			return &next, nil
+		})
+	})
+	tasks := []int{2, 4, 0, 1}
+	got, err := Collect(context.Background(), SourceSlice(tasks), farm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for _, v := range tasks {
+		want += v + 1
+	}
+	if len(got) != want {
+		t.Fatalf("outputs = %d, want %d", len(got), want)
+	}
+}
+
+func TestFarmFeedbackError(t *testing.T) {
+	boom := errors.New("feedback boom")
+	farm := NewFarmFeedback(2, func(int) FeedbackWorker[int, int] {
+		return FeedbackWorkerFunc[int, int](func(_ context.Context, task int, _ Emit[int]) (*int, error) {
+			if task == 13 {
+				return nil, boom
+			}
+			if task > 20 {
+				next := task - 1
+				return &next, nil
+			}
+			return nil, nil
+		})
+	})
+	_, err := Collect(context.Background(), SourceSlice(ints(50)), farm)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+}
+
+func TestFarmFeedbackProperty_OneCompletionPerTask(t *testing.T) {
+	f := func(steps []uint8, workers uint8) bool {
+		w := int(workers%5) + 1
+		tasks := make([]int, len(steps))
+		for i, s := range steps {
+			tasks[i] = int(s % 16)
+		}
+		var completions atomic.Int64
+		farm := NewFarmFeedback(w, func(int) FeedbackWorker[int, struct{}] {
+			return FeedbackWorkerFunc[int, struct{}](func(_ context.Context, task int, _ Emit[struct{}]) (*int, error) {
+				if task == 0 {
+					completions.Add(1)
+					return nil, nil
+				}
+				next := task - 1
+				return &next, nil
+			})
+		})
+		_, err := Collect(context.Background(), SourceSlice(tasks), farm)
+		return err == nil && completions.Load() == int64(len(tasks))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNodeFarmMergesReplicas(t *testing.T) {
+	node := NewNodeFarm(3, func(replica int) Node[int, int] {
+		return MapNode(func(v int) (int, error) { return v, nil })
+	})
+	got, err := Collect(context.Background(), SourceSlice(ints(200)), node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 200 {
+		t.Fatalf("len = %d, want 200", len(got))
+	}
+	sort.Ints(got)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("lost/duplicated element at %d: %d", i, v)
+		}
+	}
+}
+
+func TestTee(t *testing.T) {
+	var side []int
+	tee := Tee(func(v int) error { side = append(side, v); return nil })
+	got, err := Collect(context.Background(), SourceSlice(ints(10)), tee)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(got) != fmt.Sprint(side) {
+		t.Fatalf("main %v != side %v", got, side)
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if OnDemand.String() != "on-demand" || RoundRobin.String() != "round-robin" {
+		t.Fatal("Policy.String mismatch")
+	}
+	if Policy(99).String() != "unknown" {
+		t.Fatal("unknown policy should stringify to unknown")
+	}
+}
+
+func BenchmarkFarmOnDemand(b *testing.B) {
+	benchFarm(b, WithPolicy(OnDemand))
+}
+
+func BenchmarkFarmRoundRobin(b *testing.B) {
+	benchFarm(b, WithPolicy(RoundRobin))
+}
+
+func BenchmarkFarmRoundRobinSPSC(b *testing.B) {
+	benchFarm(b, WithPolicy(RoundRobin), WithSPSCLinks())
+}
+
+func BenchmarkFarmOrdered(b *testing.B) {
+	benchFarm(b, WithOrdered())
+}
+
+func benchFarm(b *testing.B, opts ...Option) {
+	farm := NewFarm(4, func(int) Worker[int, int] {
+		return Transform(func(v int) (int, error) {
+			// Small synthetic grain.
+			s := 0
+			for i := 0; i < 64; i++ {
+				s += v * i
+			}
+			return s, nil
+		})
+	}, opts...)
+	b.ResetTimer()
+	err := Run(context.Background(), SourceFunc(b.N, func(i int) int { return i }), farm, func(int) error { return nil })
+	if err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,249 @@
+// Package parallel provides the high-level data-parallel patterns of the
+// runtime — ParallelFor, Map, Reduce, MapReduce and DivideAndConquer —
+// built on the core farm/pipeline skeletons, mirroring FastFlow's
+// high-level pattern layer.
+package parallel
+
+import (
+	"context"
+	"fmt"
+
+	"cwcflow/internal/ff"
+)
+
+// span is a half-open index range [lo, hi) processed as one grain.
+type span struct{ lo, hi int }
+
+// grains cuts [0,n) into chunks of the given grain size (grain<=0 selects
+// an automatic grain of n/(8*workers), minimum 1).
+func grains(n, grain, workers int) []span {
+	if n <= 0 {
+		return nil
+	}
+	if grain <= 0 {
+		grain = n / (8 * workers)
+		if grain < 1 {
+			grain = 1
+		}
+	}
+	out := make([]span, 0, (n+grain-1)/grain)
+	for lo := 0; lo < n; lo += grain {
+		hi := lo + grain
+		if hi > n {
+			hi = n
+		}
+		out = append(out, span{lo, hi})
+	}
+	return out
+}
+
+// For runs body(i) for every i in [0,n) using the given number of workers.
+// Iterations are distributed on demand in chunks of grain (grain<=0 picks
+// one automatically). The first error cancels the loop.
+func For(ctx context.Context, workers, n, grain int, body func(i int) error) error {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers == 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := body(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	farm := ff.NewFarm(workers, func(int) ff.Worker[span, struct{}] {
+		return ff.WorkerFunc[span, struct{}](func(ctx context.Context, s span, _ ff.Emit[struct{}]) error {
+			for i := s.lo; i < s.hi; i++ {
+				if err := body(i); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	})
+	return ff.Run(ctx, ff.SourceSlice(grains(n, grain, workers)), farm, func(struct{}) error { return nil })
+}
+
+// Map applies f to every element of in, producing a new slice in index
+// order. Workers share nothing, so f may be arbitrarily stateful per call.
+func Map[In, Out any](ctx context.Context, workers int, in []In, f func(In) (Out, error)) ([]Out, error) {
+	out := make([]Out, len(in))
+	err := For(ctx, workers, len(in), 0, func(i int) error {
+		v, err := f(in[i])
+		if err != nil {
+			return fmt.Errorf("map element %d: %w", i, err)
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Reduce folds in with an associative combine function, using a two-level
+// scheme: per-worker partial folds followed by a sequential final fold.
+// combine must be associative; id is its identity element.
+func Reduce[T any](ctx context.Context, workers int, in []T, id T, combine func(T, T) T) (T, error) {
+	if len(in) == 0 {
+		return id, nil
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	spans := grains(len(in), 0, workers)
+	partials := make([]T, len(spans))
+	farm := ff.NewFarm(workers, func(int) ff.Worker[int, struct{}] {
+		return ff.WorkerFunc[int, struct{}](func(_ context.Context, si int, _ ff.Emit[struct{}]) error {
+			acc := id
+			for i := spans[si].lo; i < spans[si].hi; i++ {
+				acc = combine(acc, in[i])
+			}
+			partials[si] = acc
+			return nil
+		})
+	})
+	err := ff.Run(ctx, ff.SourceFunc(len(spans), func(i int) int { return i }), farm, func(struct{}) error { return nil })
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	acc := id
+	for _, p := range partials {
+		acc = combine(acc, p)
+	}
+	return acc, nil
+}
+
+// MapReduce maps every element through f and folds the results with
+// combine, fusing the two phases per worker (no intermediate slice).
+func MapReduce[In, Out any](ctx context.Context, workers int, in []In, f func(In) (Out, error), id Out, combine func(Out, Out) Out) (Out, error) {
+	if len(in) == 0 {
+		return id, nil
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	spans := grains(len(in), 0, workers)
+	partials := make([]Out, len(spans))
+	farm := ff.NewFarm(workers, func(int) ff.Worker[int, struct{}] {
+		return ff.WorkerFunc[int, struct{}](func(_ context.Context, si int, _ ff.Emit[struct{}]) error {
+			acc := id
+			for i := spans[si].lo; i < spans[si].hi; i++ {
+				v, err := f(in[i])
+				if err != nil {
+					return fmt.Errorf("mapreduce element %d: %w", i, err)
+				}
+				acc = combine(acc, v)
+			}
+			partials[si] = acc
+			return nil
+		})
+	})
+	err := ff.Run(ctx, ff.SourceFunc(len(spans), func(i int) int { return i }), farm, func(struct{}) error { return nil })
+	if err != nil {
+		var zero Out
+		return zero, err
+	}
+	acc := id
+	for _, p := range partials {
+		acc = combine(acc, p)
+	}
+	return acc, nil
+}
+
+// DCConfig describes a divide-and-conquer computation over problems P with
+// results R.
+type DCConfig[P, R any] struct {
+	// IsBase reports whether the problem is small enough to solve directly.
+	IsBase func(P) bool
+	// Solve solves a base-case problem.
+	Solve func(P) (R, error)
+	// Divide splits a non-base problem into subproblems.
+	Divide func(P) []P
+	// Conquer merges subproblem results (in Divide order).
+	Conquer func([]R) (R, error)
+}
+
+// DivideAndConquer evaluates the D&C computation with bounded parallelism.
+// Subproblems are solved by a worker pool fed through an unbounded local
+// work list, so arbitrarily deep recursions cannot deadlock the pool.
+func DivideAndConquer[P, R any](ctx context.Context, workers int, cfg DCConfig[P, R], problem P) (R, error) {
+	var zero R
+	if cfg.IsBase == nil || cfg.Solve == nil || cfg.Divide == nil || cfg.Conquer == nil {
+		return zero, fmt.Errorf("parallel: DCConfig has nil fields")
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers == 1 {
+		return dcSeq(ctx, cfg, problem)
+	}
+	sem := make(chan struct{}, workers)
+	return dcPar(ctx, cfg, problem, sem)
+}
+
+func dcSeq[P, R any](ctx context.Context, cfg DCConfig[P, R], p P) (R, error) {
+	var zero R
+	if err := ctx.Err(); err != nil {
+		return zero, err
+	}
+	if cfg.IsBase(p) {
+		return cfg.Solve(p)
+	}
+	subs := cfg.Divide(p)
+	results := make([]R, len(subs))
+	for i, sp := range subs {
+		r, err := dcSeq(ctx, cfg, sp)
+		if err != nil {
+			return zero, err
+		}
+		results[i] = r
+	}
+	return cfg.Conquer(results)
+}
+
+// dcPar recursively forks subproblems when a worker slot is available,
+// falling back to sequential evaluation otherwise (work-first semantics,
+// like a nested fork/join with a bounded pool).
+func dcPar[P, R any](ctx context.Context, cfg DCConfig[P, R], p P, sem chan struct{}) (R, error) {
+	var zero R
+	if err := ctx.Err(); err != nil {
+		return zero, err
+	}
+	if cfg.IsBase(p) {
+		return cfg.Solve(p)
+	}
+	subs := cfg.Divide(p)
+	results := make([]R, len(subs))
+	errs := make([]error, len(subs))
+	done := make(chan int, len(subs))
+	launched := 0
+	for i, sp := range subs {
+		select {
+		case sem <- struct{}{}:
+			launched++
+			go func(i int, sp P) {
+				defer func() { <-sem }()
+				results[i], errs[i] = dcPar(ctx, cfg, sp, sem)
+				done <- i
+			}(i, sp)
+		default:
+			results[i], errs[i] = dcPar(ctx, cfg, sp, sem)
+		}
+	}
+	for j := 0; j < launched; j++ {
+		<-done
+	}
+	for _, err := range errs {
+		if err != nil {
+			return zero, err
+		}
+	}
+	return cfg.Conquer(results)
+}

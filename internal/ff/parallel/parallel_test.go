@@ -1,0 +1,276 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestGrains(t *testing.T) {
+	tests := []struct {
+		n, grain, workers int
+		wantChunks        int
+	}{
+		{0, 0, 4, 0},
+		{10, 3, 4, 4},
+		{10, 10, 4, 1},
+		{10, 100, 4, 1},
+		{100, 0, 4, 100 / (100 / 32)}, // auto grain = 100/32 = 3 → 34 chunks
+	}
+	for _, tt := range tests {
+		got := grains(tt.n, tt.grain, tt.workers)
+		// Verify coverage regardless of chunk count.
+		covered := 0
+		last := 0
+		for _, s := range got {
+			if s.lo != last {
+				t.Fatalf("grains(%d,%d,%d): gap at %d", tt.n, tt.grain, tt.workers, last)
+			}
+			covered += s.hi - s.lo
+			last = s.hi
+		}
+		if covered != tt.n {
+			t.Fatalf("grains(%d,%d,%d): covered %d", tt.n, tt.grain, tt.workers, covered)
+		}
+	}
+}
+
+func TestForCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 9} {
+		const n = 1000
+		var mu sync.Mutex
+		seen := make([]bool, n)
+		err := For(context.Background(), workers, n, 7, func(i int) error {
+			mu.Lock()
+			defer mu.Unlock()
+			if seen[i] {
+				return errors.New("index visited twice")
+			}
+			seen[i] = true
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, ok := range seen {
+			if !ok {
+				t.Fatalf("workers=%d: index %d not visited", workers, i)
+			}
+		}
+	}
+}
+
+func TestForError(t *testing.T) {
+	boom := errors.New("body boom")
+	err := For(context.Background(), 4, 100, 1, func(i int) error {
+		if i == 55 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+}
+
+func TestForZeroIterations(t *testing.T) {
+	called := false
+	if err := For(context.Background(), 4, 0, 0, func(int) error { called = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if called {
+		t.Fatal("body called for n=0")
+	}
+}
+
+func TestMapOrderPreserved(t *testing.T) {
+	in := make([]int, 500)
+	for i := range in {
+		in[i] = i
+	}
+	out, err := Map(context.Background(), 4, in, func(v int) (int, error) { return v * v, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestMapError(t *testing.T) {
+	boom := errors.New("map boom")
+	_, err := Map(context.Background(), 3, []int{1, 2, 3}, func(v int) (int, error) {
+		if v == 2 {
+			return 0, boom
+		}
+		return v, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+}
+
+func TestReduceSum(t *testing.T) {
+	in := make([]int, 10000)
+	want := 0
+	for i := range in {
+		in[i] = i
+		want += i
+	}
+	for _, workers := range []int{1, 2, 8} {
+		got, err := Reduce(context.Background(), workers, in, 0, func(a, b int) int { return a + b })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("workers=%d: sum = %d, want %d", workers, got, want)
+		}
+	}
+}
+
+func TestReduceEmpty(t *testing.T) {
+	got, err := Reduce(context.Background(), 4, nil, 42, func(a, b int) int { return a + b })
+	if err != nil || got != 42 {
+		t.Fatalf("Reduce(empty) = (%d, %v), want (42, nil)", got, err)
+	}
+}
+
+func TestReduceProperty_MatchesSequential(t *testing.T) {
+	f := func(values []int32, workers uint8) bool {
+		w := int(workers%8) + 1
+		in := make([]int64, len(values))
+		var want int64
+		for i, v := range values {
+			in[i] = int64(v)
+			want += int64(v)
+		}
+		got, err := Reduce(context.Background(), w, in, 0, func(a, b int64) int64 { return a + b })
+		return err == nil && got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapReduce(t *testing.T) {
+	in := []string{"a", "bb", "ccc", "dddd"}
+	got, err := MapReduce(context.Background(), 3, in,
+		func(s string) (int, error) { return len(s), nil },
+		0, func(a, b int) int { return a + b })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 10 {
+		t.Fatalf("got %d, want 10", got)
+	}
+}
+
+func TestMapReduceError(t *testing.T) {
+	boom := errors.New("mr boom")
+	_, err := MapReduce(context.Background(), 2, []int{1, 2, 3},
+		func(v int) (int, error) {
+			if v == 3 {
+				return 0, boom
+			}
+			return v, nil
+		},
+		0, func(a, b int) int { return a + b })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+}
+
+func mergesortConfig() DCConfig[[]int, []int] {
+	return DCConfig[[]int, []int]{
+		IsBase: func(p []int) bool { return len(p) <= 8 },
+		Solve: func(p []int) ([]int, error) {
+			out := append([]int(nil), p...)
+			sort.Ints(out)
+			return out, nil
+		},
+		Divide: func(p []int) [][]int {
+			mid := len(p) / 2
+			return [][]int{p[:mid], p[mid:]}
+		},
+		Conquer: func(rs [][]int) ([]int, error) {
+			a, b := rs[0], rs[1]
+			out := make([]int, 0, len(a)+len(b))
+			i, j := 0, 0
+			for i < len(a) && j < len(b) {
+				if a[i] <= b[j] {
+					out = append(out, a[i])
+					i++
+				} else {
+					out = append(out, b[j])
+					j++
+				}
+			}
+			out = append(out, a[i:]...)
+			out = append(out, b[j:]...)
+			return out, nil
+		},
+	}
+}
+
+func TestDivideAndConquerMergesort(t *testing.T) {
+	in := make([]int, 1000)
+	for i := range in {
+		in[i] = (i * 7919) % 1000
+	}
+	for _, workers := range []int{1, 2, 4} {
+		got, err := DivideAndConquer(context.Background(), workers, mergesortConfig(), in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sort.IntsAreSorted(got) {
+			t.Fatalf("workers=%d: result not sorted", workers)
+		}
+		if len(got) != len(in) {
+			t.Fatalf("workers=%d: len %d, want %d", workers, len(got), len(in))
+		}
+	}
+}
+
+func TestDivideAndConquerProperty_SortsAnything(t *testing.T) {
+	f := func(values []int, workers uint8) bool {
+		w := int(workers%4) + 1
+		got, err := DivideAndConquer(context.Background(), w, mergesortConfig(), values)
+		if err != nil {
+			return false
+		}
+		if len(got) != len(values) {
+			return false
+		}
+		return sort.IntsAreSorted(got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDivideAndConquerNilConfig(t *testing.T) {
+	_, err := DivideAndConquer(context.Background(), 2, DCConfig[int, int]{}, 1)
+	if err == nil {
+		t.Fatal("want error for nil config fields")
+	}
+}
+
+func BenchmarkParallelForGrain1(b *testing.B)   { benchFor(b, 1) }
+func BenchmarkParallelForGrain64(b *testing.B)  { benchFor(b, 64) }
+func BenchmarkParallelForGrainAuto(b *testing.B) { benchFor(b, 0) }
+
+func benchFor(b *testing.B, grain int) {
+	sink := make([]int64, 256)
+	err := For(context.Background(), 4, b.N, grain, func(i int) error {
+		sink[i%256] += int64(i)
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}

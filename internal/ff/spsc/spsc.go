@@ -1,0 +1,271 @@
+// Package spsc implements a bounded lock-free single-producer/single-consumer
+// FIFO queue, the base building block of the stream runtime.
+//
+// The design follows the classic Lamport circular buffer refined with
+// cache-line padding and release/acquire atomics, mirroring the
+// SPSC queues FastFlow builds its shared-memory channels on. One goroutine
+// may call Push (the producer) and one goroutine may call Pop (the
+// consumer); any other usage is a data race by contract.
+//
+// Two interfaces are provided:
+//
+//   - Queue[T]: non-blocking TryPush/TryPop primitives.
+//   - Chan[T]: blocking Send/Recv built on Queue with bounded spinning
+//     followed by parking, plus Close semantics comparable to native
+//     channels. Chan is what the farm runtime uses when configured with
+//     SPSC links instead of native channels.
+package spsc
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// cacheLinePad separates hot atomics to avoid false sharing between the
+// producer-owned and consumer-owned halves of the queue header.
+type cacheLinePad struct{ _ [64]byte }
+
+// Queue is a bounded lock-free SPSC FIFO.
+//
+// The zero value is not usable; construct with NewQueue.
+type Queue[T any] struct {
+	buf  []slot[T]
+	mask uint64
+
+	_    cacheLinePad
+	head atomic.Uint64 // next index to pop (consumer-owned)
+	_    cacheLinePad
+	tail atomic.Uint64 // next index to push (producer-owned)
+	_    cacheLinePad
+
+	// Cached copies to reduce cross-core traffic: the producer caches the
+	// consumer's head, the consumer caches the producer's tail.
+	cachedHead uint64 // producer-local
+	_          cacheLinePad
+	cachedTail uint64 // consumer-local
+	_          cacheLinePad
+}
+
+type slot[T any] struct {
+	val T
+}
+
+// NewQueue returns an SPSC queue with capacity rounded up to the next power
+// of two (minimum 2).
+func NewQueue[T any](capacity int) *Queue[T] {
+	if capacity < 2 {
+		capacity = 2
+	}
+	n := 1
+	for n < capacity {
+		n <<= 1
+	}
+	return &Queue[T]{
+		buf:  make([]slot[T], n),
+		mask: uint64(n - 1),
+	}
+}
+
+// Cap returns the queue capacity.
+func (q *Queue[T]) Cap() int { return len(q.buf) }
+
+// Len returns a point-in-time element count. It is exact only when called
+// from the producer or consumer goroutine while the other side is quiescent.
+func (q *Queue[T]) Len() int {
+	t := q.tail.Load()
+	h := q.head.Load()
+	return int(t - h)
+}
+
+// TryPush appends v and reports whether there was room. Producer-side only.
+func (q *Queue[T]) TryPush(v T) bool {
+	t := q.tail.Load()
+	if t-q.cachedHead >= uint64(len(q.buf)) {
+		q.cachedHead = q.head.Load()
+		if t-q.cachedHead >= uint64(len(q.buf)) {
+			return false
+		}
+	}
+	q.buf[t&q.mask].val = v
+	q.tail.Store(t + 1) // release: publishes the slot write
+	return true
+}
+
+// TryPop removes the oldest element and reports whether one was available.
+// Consumer-side only.
+func (q *Queue[T]) TryPop() (T, bool) {
+	var zero T
+	h := q.head.Load()
+	if h >= q.cachedTail {
+		q.cachedTail = q.tail.Load() // acquire
+		if h >= q.cachedTail {
+			return zero, false
+		}
+	}
+	v := q.buf[h&q.mask].val
+	q.buf[h&q.mask].val = zero // drop reference for GC
+	q.head.Store(h + 1)
+	return v, true
+}
+
+// Chan is a blocking SPSC channel with close semantics, built on Queue.
+//
+// Send and Recv first spin a bounded number of iterations (the common
+// fast path under load), then fall back to parking on a condition variable
+// so an idle endpoint does not burn a core.
+type Chan[T any] struct {
+	q      *Queue[T]
+	closed atomic.Bool
+
+	mu       sync.Mutex
+	sendWait bool
+	recvWait bool
+	sendCond *sync.Cond
+	recvCond *sync.Cond
+}
+
+// spinBudget is the number of TryPush/TryPop attempts before parking.
+// Small enough to stay polite on oversubscribed machines, large enough to
+// cover the few-hundred-nanosecond window of a concurrent peer operation.
+const spinBudget = 128
+
+// NewChan returns a blocking SPSC channel with the given capacity.
+func NewChan[T any](capacity int) *Chan[T] {
+	c := &Chan[T]{q: NewQueue[T](capacity)}
+	c.sendCond = sync.NewCond(&c.mu)
+	c.recvCond = sync.NewCond(&c.mu)
+	return c
+}
+
+// ErrClosed is returned by Send on a closed channel.
+type ErrClosed struct{}
+
+func (ErrClosed) Error() string { return "spsc: send on closed channel" }
+
+// Send blocks until v is enqueued, or returns ErrClosed if the channel has
+// been closed. Producer-side only.
+func (c *Chan[T]) Send(v T) error {
+	for {
+		for i := 0; i < spinBudget; i++ {
+			if c.closed.Load() {
+				return ErrClosed{}
+			}
+			if c.q.TryPush(v) {
+				c.wakeRecv()
+				return nil
+			}
+			if i%16 == 15 {
+				runtime.Gosched() // give the consumer a chance on few-core machines
+			}
+		}
+		// Park until the consumer frees a slot.
+		c.mu.Lock()
+		if c.closed.Load() {
+			c.mu.Unlock()
+			return ErrClosed{}
+		}
+		if c.q.TryPush(v) {
+			c.mu.Unlock()
+			c.wakeRecv()
+			return nil
+		}
+		c.sendWait = true
+		c.sendCond.Wait()
+		c.mu.Unlock()
+	}
+}
+
+// Recv blocks until an element is available, returning ok=false once the
+// channel is closed and drained. Consumer-side only.
+func (c *Chan[T]) Recv() (T, bool) {
+	for {
+		for i := 0; i < spinBudget; i++ {
+			if v, ok := c.q.TryPop(); ok {
+				c.wakeSend()
+				return v, true
+			}
+			if c.closed.Load() {
+				// Re-check after observing close: a concurrent Send may
+				// have enqueued before the close flag was set.
+				if v, ok := c.q.TryPop(); ok {
+					c.wakeSend()
+					return v, true
+				}
+				var zero T
+				return zero, false
+			}
+			if i%16 == 15 {
+				runtime.Gosched()
+			}
+		}
+		c.mu.Lock()
+		if v, ok := c.q.TryPop(); ok {
+			c.mu.Unlock()
+			c.wakeSend()
+			return v, true
+		}
+		if c.closed.Load() {
+			c.mu.Unlock()
+			var zero T
+			return zero, false
+		}
+		c.recvWait = true
+		c.recvCond.Wait()
+		c.mu.Unlock()
+	}
+}
+
+// TryRecv is the non-blocking variant of Recv. It returns (v, true, false)
+// when an element was available, (zero, false, false) when the channel is
+// momentarily empty, and (zero, false, true) when it is closed and drained.
+// Consumer-side only.
+func (c *Chan[T]) TryRecv() (v T, ok bool, closed bool) {
+	if v, ok := c.q.TryPop(); ok {
+		c.wakeSend()
+		return v, true, false
+	}
+	if c.closed.Load() {
+		// Re-check: a Send may have raced ahead of the close flag.
+		if v, ok := c.q.TryPop(); ok {
+			c.wakeSend()
+			return v, true, false
+		}
+		var zero T
+		return zero, false, true
+	}
+	var zero T
+	return zero, false, false
+}
+
+// Close marks the channel closed. Pending elements remain receivable.
+// Close is idempotent and may be called by either endpoint.
+func (c *Chan[T]) Close() {
+	if c.closed.Swap(true) {
+		return
+	}
+	c.mu.Lock()
+	c.sendCond.Broadcast()
+	c.recvCond.Broadcast()
+	c.sendWait = false
+	c.recvWait = false
+	c.mu.Unlock()
+}
+
+func (c *Chan[T]) wakeRecv() {
+	c.mu.Lock()
+	if c.recvWait {
+		c.recvWait = false
+		c.recvCond.Broadcast()
+	}
+	c.mu.Unlock()
+}
+
+func (c *Chan[T]) wakeSend() {
+	c.mu.Lock()
+	if c.sendWait {
+		c.sendWait = false
+		c.sendCond.Broadcast()
+	}
+	c.mu.Unlock()
+}

@@ -1,0 +1,301 @@
+package spsc
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestQueueCapacityRounding(t *testing.T) {
+	tests := []struct {
+		in, want int
+	}{
+		{0, 2}, {1, 2}, {2, 2}, {3, 4}, {4, 4}, {5, 8}, {1000, 1024},
+	}
+	for _, tt := range tests {
+		if got := NewQueue[int](tt.in).Cap(); got != tt.want {
+			t.Errorf("NewQueue(%d).Cap() = %d, want %d", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestQueuePushPopSequential(t *testing.T) {
+	q := NewQueue[int](4)
+	if _, ok := q.TryPop(); ok {
+		t.Fatal("TryPop on empty queue succeeded")
+	}
+	for i := 0; i < 4; i++ {
+		if !q.TryPush(i) {
+			t.Fatalf("TryPush(%d) failed on non-full queue", i)
+		}
+	}
+	if q.TryPush(99) {
+		t.Fatal("TryPush succeeded on full queue")
+	}
+	if got := q.Len(); got != 4 {
+		t.Fatalf("Len = %d, want 4", got)
+	}
+	for i := 0; i < 4; i++ {
+		v, ok := q.TryPop()
+		if !ok || v != i {
+			t.Fatalf("TryPop = (%d,%v), want (%d,true)", v, ok, i)
+		}
+	}
+	if _, ok := q.TryPop(); ok {
+		t.Fatal("TryPop on drained queue succeeded")
+	}
+}
+
+func TestQueueWraparound(t *testing.T) {
+	q := NewQueue[int](2)
+	for round := 0; round < 1000; round++ {
+		if !q.TryPush(round) {
+			t.Fatalf("round %d: push failed", round)
+		}
+		v, ok := q.TryPop()
+		if !ok || v != round {
+			t.Fatalf("round %d: pop = (%d,%v)", round, v, ok)
+		}
+	}
+}
+
+// TestQueueConcurrentFIFO checks the core SPSC contract: with one producer
+// and one consumer, every element arrives exactly once, in order.
+func TestQueueConcurrentFIFO(t *testing.T) {
+	const n = 20000
+	q := NewQueue[int](64)
+	done := make(chan error, 1)
+	go func() {
+		expect := 0
+		for expect < n {
+			if v, ok := q.TryPop(); ok {
+				if v != expect {
+					done <- errOutOfOrder{got: v, want: expect}
+					return
+				}
+				expect++
+			} else {
+				runtime.Gosched() // single-core friendliness: let the producer run
+			}
+		}
+		done <- nil
+	}()
+	for i := 0; i < n; {
+		if q.TryPush(i) {
+			i++
+		} else {
+			runtime.Gosched()
+		}
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+type errOutOfOrder struct{ got, want int }
+
+func (e errOutOfOrder) Error() string {
+	return "out of order"
+}
+
+// TestQueueProperty_FIFOPreserved: for any sequence of values, pushing them
+// through a concurrent producer/consumer pair yields the same sequence.
+func TestQueueProperty_FIFOPreserved(t *testing.T) {
+	f := func(values []int64, capExp uint8) bool {
+		capacity := 2 << (capExp % 8)
+		q := NewQueue[int64](capacity)
+		out := make([]int64, 0, len(values))
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for len(out) < len(values) {
+				if v, ok := q.TryPop(); ok {
+					out = append(out, v)
+				} else {
+					runtime.Gosched()
+				}
+			}
+		}()
+		for i := 0; i < len(values); {
+			if q.TryPush(values[i]) {
+				i++
+			} else {
+				runtime.Gosched()
+			}
+		}
+		wg.Wait()
+		if len(out) != len(values) {
+			return false
+		}
+		for i := range values {
+			if out[i] != values[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChanSendRecv(t *testing.T) {
+	c := NewChan[string](4)
+	go func() {
+		for _, s := range []string{"a", "b", "c"} {
+			if err := c.Send(s); err != nil {
+				t.Errorf("Send: %v", err)
+			}
+		}
+		c.Close()
+	}()
+	var got []string
+	for {
+		v, ok := c.Recv()
+		if !ok {
+			break
+		}
+		got = append(got, v)
+	}
+	want := []string{"a", "b", "c"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestChanCloseUnblocksReceiver(t *testing.T) {
+	c := NewChan[int](2)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, ok := c.Recv(); ok {
+			t.Error("Recv on closed empty channel returned ok=true")
+		}
+	}()
+	c.Close()
+	<-done
+}
+
+func TestChanSendAfterClose(t *testing.T) {
+	c := NewChan[int](2)
+	c.Close()
+	if err := c.Send(1); err == nil {
+		t.Fatal("Send after Close returned nil error")
+	}
+}
+
+func TestChanDrainAfterClose(t *testing.T) {
+	c := NewChan[int](8)
+	for i := 0; i < 5; i++ {
+		if err := c.Send(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Close()
+	for i := 0; i < 5; i++ {
+		v, ok := c.Recv()
+		if !ok || v != i {
+			t.Fatalf("Recv %d = (%d,%v)", i, v, ok)
+		}
+	}
+	if _, ok := c.Recv(); ok {
+		t.Fatal("Recv after drain returned ok=true")
+	}
+}
+
+func TestChanBackpressure(t *testing.T) {
+	// A slow consumer must not lose elements when the producer outruns it.
+	c := NewChan[int](2)
+	const n = 10000
+	go func() {
+		for i := 0; i < n; i++ {
+			if err := c.Send(i); err != nil {
+				t.Errorf("Send: %v", err)
+				return
+			}
+		}
+		c.Close()
+	}()
+	expect := 0
+	for {
+		v, ok := c.Recv()
+		if !ok {
+			break
+		}
+		if v != expect {
+			t.Fatalf("Recv = %d, want %d", v, expect)
+		}
+		expect++
+	}
+	if expect != n {
+		t.Fatalf("received %d elements, want %d", expect, n)
+	}
+}
+
+func BenchmarkSPSCQueue(b *testing.B) {
+	q := NewQueue[int](1024)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for seen := 0; seen < b.N; {
+			if _, ok := q.TryPop(); ok {
+				seen++
+			} else {
+				runtime.Gosched()
+			}
+		}
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; {
+		if q.TryPush(i) {
+			i++
+		} else {
+			runtime.Gosched()
+		}
+	}
+	<-done
+}
+
+func BenchmarkSPSCChan(b *testing.B) {
+	c := NewChan[int](1024)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for seen := 0; seen < b.N; seen++ {
+			if _, ok := c.Recv(); !ok {
+				return
+			}
+		}
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Send(i); err != nil {
+			b.Fatal(err)
+		}
+	}
+	<-done
+}
+
+// BenchmarkNativeChan is the baseline the SPSC queue is compared against.
+func BenchmarkNativeChan(b *testing.B) {
+	c := make(chan int, 1024)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for range c {
+		}
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c <- i
+	}
+	close(c)
+	<-done
+}

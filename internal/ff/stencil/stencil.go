@@ -1,0 +1,127 @@
+// Package stencil implements the stencilReduce core pattern: an iterative
+// data-parallel computation that, at each iteration, maps a kernel over all
+// elements (with read access to the whole previous generation, i.e. any
+// neighbourhood) and reduces the new generation to a scalar that drives the
+// termination condition.
+//
+// stencilReduce is the single GPU-specific core pattern of the runtime
+// (FastFlow uses it to model "most of the interesting GPGPU computations"):
+// the map phase can be offloaded to a simulated SIMT device, in which case
+// the run also accounts simulated device time, or executed by a pool of
+// goroutines on the host.
+package stencil
+
+import (
+	"context"
+	"errors"
+
+	"cwcflow/internal/ff/parallel"
+	"cwcflow/internal/gpu"
+)
+
+// Kernel computes element i of the next generation from the whole previous
+// generation. It must not mutate prev.
+type Kernel[T any] func(i int, prev []T) T
+
+// Reduce folds the new generation into a scalar via Extract/Combine;
+// Combine must be associative with identity Identity.
+type Reduce[T, R any] struct {
+	Identity R
+	Extract  func(T) R
+	Combine  func(R, R) R
+}
+
+// Condition decides whether to run another iteration, given the iteration
+// index just completed (0-based) and its reduction value.
+type Condition[R any] func(iter int, reduced R) bool
+
+// Options configure the executor of the map phase.
+type Options struct {
+	// Workers is the host pool size when no device is configured.
+	Workers int
+	// Device, when non-nil, offloads the map phase to the simulated GPGPU.
+	Device *gpu.Device
+	// Cost reports the abstract cost of computing element i, used by the
+	// device timing model. Nil means uniform cost 1.
+	Cost func(i int) float64
+}
+
+// Result reports the outcome of a stencilReduce run.
+type Result[T, R any] struct {
+	// Data is the final generation.
+	Data []T
+	// Reduced is the reduction of the final generation.
+	Reduced R
+	// Iterations is the number of map+reduce rounds executed.
+	Iterations int
+	// DeviceTime is the total simulated device time in seconds (zero when
+	// running on the host).
+	DeviceTime float64
+	// DeviceUtilization is the busy/lockstep ratio across all launches
+	// (1.0 when running on the host or when no divergence occurred).
+	DeviceUtilization float64
+}
+
+// Run executes the stencilReduce loop: it keeps iterating while cond returns
+// true, double-buffering the generations. The input slice is not modified.
+func Run[T, R any](ctx context.Context, data []T, k Kernel[T], red Reduce[T, R], cond Condition[R], opts Options) (Result[T, R], error) {
+	var res Result[T, R]
+	if k == nil || red.Extract == nil || red.Combine == nil || cond == nil {
+		return res, errors.New("stencil: kernel, reduce and condition must be non-nil")
+	}
+	if opts.Workers < 1 {
+		opts.Workers = 1
+	}
+	cur := append([]T(nil), data...)
+	next := make([]T, len(data))
+
+	var busy, lockstep float64
+	for iter := 0; ; iter++ {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
+		if opts.Device != nil {
+			stats, err := opts.Device.Launch(ctx, len(cur), func(i int) (float64, error) {
+				next[i] = k(i, cur)
+				if opts.Cost != nil {
+					return opts.Cost(i), nil
+				}
+				return 1, nil
+			})
+			if err != nil {
+				return res, err
+			}
+			res.DeviceTime += stats.SimTime
+			busy += stats.BusyCost
+			lockstep += stats.LockstepCost
+		} else {
+			err := parallel.For(ctx, opts.Workers, len(cur), 0, func(i int) error {
+				next[i] = k(i, cur)
+				return nil
+			})
+			if err != nil {
+				return res, err
+			}
+		}
+		// Reduction of the new generation.
+		reduced, err := parallel.MapReduce(ctx, opts.Workers, next,
+			func(v T) (R, error) { return red.Extract(v), nil },
+			red.Identity, red.Combine)
+		if err != nil {
+			return res, err
+		}
+		cur, next = next, cur
+		res.Iterations = iter + 1
+		res.Reduced = reduced
+		if !cond(iter, reduced) {
+			break
+		}
+	}
+	res.Data = cur
+	if lockstep > 0 {
+		res.DeviceUtilization = busy / lockstep
+	} else {
+		res.DeviceUtilization = 1
+	}
+	return res, nil
+}

@@ -1,0 +1,222 @@
+package stencil
+
+import (
+	"context"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"cwcflow/internal/gpu"
+)
+
+func sumReduce() Reduce[float64, float64] {
+	return Reduce[float64, float64]{
+		Identity: 0,
+		Extract:  func(v float64) float64 { return v },
+		Combine:  func(a, b float64) float64 { return a + b },
+	}
+}
+
+// diffusionKernel is a 1D 3-point heat stencil with reflective borders.
+func diffusionKernel(i int, prev []float64) float64 {
+	left := prev[max(i-1, 0)]
+	right := prev[min(i+1, len(prev)-1)]
+	return 0.25*left + 0.5*prev[i] + 0.25*right
+}
+
+func TestDiffusionConservesMass(t *testing.T) {
+	data := make([]float64, 64)
+	data[32] = 1000
+	res, err := Run(context.Background(), data, diffusionKernel, sumReduce(),
+		func(iter int, _ float64) bool { return iter < 49 },
+		Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations != 50 {
+		t.Fatalf("iterations = %d, want 50", res.Iterations)
+	}
+	if math.Abs(res.Reduced-1000) > 1e-6 {
+		t.Fatalf("mass = %g, want 1000 (diffusion must conserve)", res.Reduced)
+	}
+	// The peak must have spread: centre below initial, neighbours above 0.
+	if res.Data[32] >= 1000 || res.Data[20] <= 0 {
+		t.Fatalf("no diffusion happened: centre=%g data[20]=%g", res.Data[32], res.Data[20])
+	}
+}
+
+func TestInputNotMutated(t *testing.T) {
+	data := []float64{1, 2, 3, 4}
+	orig := append([]float64(nil), data...)
+	_, err := Run(context.Background(), data, diffusionKernel, sumReduce(),
+		func(iter int, _ float64) bool { return iter < 3 },
+		Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if data[i] != orig[i] {
+			t.Fatalf("input mutated at %d: %g != %g", i, data[i], orig[i])
+		}
+	}
+}
+
+func TestConditionStopsImmediately(t *testing.T) {
+	data := []float64{1, 2, 3}
+	res, err := Run(context.Background(), data, diffusionKernel, sumReduce(),
+		func(int, float64) bool { return false },
+		Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations != 1 {
+		t.Fatalf("iterations = %d, want 1 (condition checked after first round)", res.Iterations)
+	}
+}
+
+func TestConvergenceCondition(t *testing.T) {
+	// Iterate until the max element drops below a threshold.
+	maxReduce := Reduce[float64, float64]{
+		Identity: 0,
+		Extract:  func(v float64) float64 { return v },
+		Combine:  math.Max,
+	}
+	data := make([]float64, 128)
+	data[64] = 100
+	res, err := Run(context.Background(), data, diffusionKernel, maxReduce,
+		func(_ int, m float64) bool { return m > 5 },
+		Options{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reduced > 5 {
+		t.Fatalf("converged max = %g, want <= 5", res.Reduced)
+	}
+	if res.Iterations < 2 {
+		t.Fatalf("expected several iterations, got %d", res.Iterations)
+	}
+}
+
+func TestNilKernelRejected(t *testing.T) {
+	_, err := Run[int, int](context.Background(), []int{1}, nil,
+		Reduce[int, int]{Extract: func(v int) int { return v }, Combine: func(a, b int) int { return a + b }},
+		func(int, int) bool { return false }, Options{})
+	if err == nil {
+		t.Fatal("want error for nil kernel")
+	}
+}
+
+func TestHostAndDeviceAgree(t *testing.T) {
+	dev, err := gpu.NewDevice(gpu.DeviceConfig{
+		SMs: 2, CoresPerSM: 64, WarpSize: 32,
+		LaunchOverhead: 1e-6, SecondsPerCost: 1e-9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]float64, 100)
+	for i := range data {
+		data[i] = float64(i % 13)
+	}
+	cond := func(iter int, _ float64) bool { return iter < 9 }
+
+	host, err := Run(context.Background(), data, diffusionKernel, sumReduce(), cond, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gpuRes, err := Run(context.Background(), data, diffusionKernel, sumReduce(), cond, Options{Device: dev})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if host.Iterations != gpuRes.Iterations {
+		t.Fatalf("iterations differ: host %d, device %d", host.Iterations, gpuRes.Iterations)
+	}
+	for i := range host.Data {
+		if math.Abs(host.Data[i]-gpuRes.Data[i]) > 1e-12 {
+			t.Fatalf("results diverge at %d: host %g, device %g", i, host.Data[i], gpuRes.Data[i])
+		}
+	}
+	if gpuRes.DeviceTime <= 0 {
+		t.Fatal("device run reported no simulated time")
+	}
+	if host.DeviceTime != 0 {
+		t.Fatal("host run reported device time")
+	}
+}
+
+func TestDeviceDivergenceAccounting(t *testing.T) {
+	dev, err := gpu.NewDevice(gpu.DeviceConfig{
+		SMs: 1, CoresPerSM: 32, WarpSize: 32,
+		LaunchOverhead: 0, SecondsPerCost: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]float64, 32)
+	res, err := Run(context.Background(), data,
+		func(i int, prev []float64) float64 { return prev[i] },
+		sumReduce(),
+		func(int, float64) bool { return false },
+		Options{
+			Device: dev,
+			Cost: func(i int) float64 {
+				if i == 0 {
+					return 10
+				}
+				return 1
+			},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantUtil := (10.0 + 31.0) / 320.0
+	if math.Abs(res.DeviceUtilization-wantUtil) > 1e-12 {
+		t.Fatalf("utilization = %g, want %g", res.DeviceUtilization, wantUtil)
+	}
+}
+
+// TestProperty_HostWorkersIrrelevant: the functional result must be
+// identical for any worker count.
+func TestProperty_HostWorkersIrrelevant(t *testing.T) {
+	f := func(seed []byte, workers uint8) bool {
+		if len(seed) == 0 {
+			return true
+		}
+		data := make([]float64, len(seed))
+		for i, b := range seed {
+			data[i] = float64(b)
+		}
+		w := int(workers%6) + 1
+		cond := func(iter int, _ float64) bool { return iter < 4 }
+		a, err := Run(context.Background(), data, diffusionKernel, sumReduce(), cond, Options{Workers: 1})
+		if err != nil {
+			return false
+		}
+		b, err := Run(context.Background(), data, diffusionKernel, sumReduce(), cond, Options{Workers: w})
+		if err != nil {
+			return false
+		}
+		for i := range a.Data {
+			if a.Data[i] != b.Data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkStencilHost(b *testing.B) {
+	data := make([]float64, 4096)
+	data[2048] = 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := Run(context.Background(), data, diffusionKernel, sumReduce(),
+			func(iter int, _ float64) bool { return iter < 4 }, Options{Workers: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,246 @@
+// Package gillespie implements the Gillespie stochastic simulation
+// algorithm (SSA) for flat reaction networks over dense state vectors.
+//
+// This is the plain-Gillespie baseline of the paper (what tools like
+// StochKit implement): the CWC engine in the cwc package generalises it to
+// nested-compartment terms, at the cost of tree matching at every step.
+// Both engines expose the same stepping contract so the simulation layer
+// (package sim) can drive either.
+//
+// Two exact SSA variants are provided: the direct method (linear scan) and
+// the Gibson–Bruck next-reaction method (dependency graph + indexed
+// priority queue), which is asymptotically faster for large, loosely
+// coupled networks.
+package gillespie
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// Change is one stoichiometric effect of a reaction: species index and
+// count delta.
+type Change struct {
+	Species int
+	Delta   int64
+}
+
+// Reaction is one channel of the network: a propensity function over the
+// state vector plus the state changes applied when it fires.
+type Reaction struct {
+	Name    string
+	Changes []Change
+	// Rate returns the reaction propensity for the given state. It must be
+	// non-negative and must depend only on state.
+	Rate func(state []int64) float64
+	// Reads lists the species indices the Rate function reads. It is
+	// required only by the next-reaction method (dependency graph); the
+	// mass-action constructors fill it automatically.
+	Reads []int
+}
+
+// System is a complete reaction network.
+type System struct {
+	Name      string
+	Species   []string
+	Reactions []Reaction
+	Init      []int64
+}
+
+// Validate checks structural consistency.
+func (s *System) Validate() error {
+	if len(s.Species) == 0 {
+		return errors.New("gillespie: system has no species")
+	}
+	if len(s.Init) != len(s.Species) {
+		return fmt.Errorf("gillespie: init vector has %d entries for %d species", len(s.Init), len(s.Species))
+	}
+	for _, x := range s.Init {
+		if x < 0 {
+			return errors.New("gillespie: negative initial count")
+		}
+	}
+	if len(s.Reactions) == 0 {
+		return errors.New("gillespie: system has no reactions")
+	}
+	for i, r := range s.Reactions {
+		if r.Rate == nil {
+			return fmt.Errorf("gillespie: reaction %d (%s) has nil rate", i, r.Name)
+		}
+		for _, c := range r.Changes {
+			if c.Species < 0 || c.Species >= len(s.Species) {
+				return fmt.Errorf("gillespie: reaction %d (%s) touches unknown species %d", i, r.Name, c.Species)
+			}
+		}
+	}
+	return nil
+}
+
+// SpeciesIndex returns the index of the named species, or -1.
+func (s *System) SpeciesIndex(name string) int {
+	for i, n := range s.Species {
+		if n == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// MassAction builds a mass-action reaction with rate constant k:
+// propensity = k * prod_i C(x_i, r_i) over the reactant stoichiometry.
+// reactants and products map species index → stoichiometric coefficient.
+func MassAction(name string, k float64, reactants, products map[int]int64) Reaction {
+	type req struct {
+		sp int
+		n  int64
+	}
+	reqs := make([]req, 0, len(reactants))
+	for sp, n := range reactants {
+		reqs = append(reqs, req{sp, n})
+	}
+	// Deterministic order for reproducibility of float products.
+	for i := 1; i < len(reqs); i++ {
+		for j := i; j > 0 && reqs[j-1].sp > reqs[j].sp; j-- {
+			reqs[j-1], reqs[j] = reqs[j], reqs[j-1]
+		}
+	}
+	var changes []Change
+	var reads []int
+	net := make(map[int]int64)
+	for sp, n := range reactants {
+		net[sp] -= n
+	}
+	for sp, n := range products {
+		net[sp] += n
+	}
+	for sp := range net {
+		reads = append(reads, sp)
+	}
+	for i := 1; i < len(reads); i++ {
+		for j := i; j > 0 && reads[j-1] > reads[j]; j-- {
+			reads[j-1], reads[j] = reads[j], reads[j-1]
+		}
+	}
+	for _, sp := range reads {
+		if net[sp] != 0 {
+			changes = append(changes, Change{Species: sp, Delta: net[sp]})
+		}
+	}
+	rateReads := make([]int, 0, len(reqs))
+	for _, r := range reqs {
+		rateReads = append(rateReads, r.sp)
+	}
+	return Reaction{
+		Name:    name,
+		Changes: changes,
+		Reads:   rateReads,
+		Rate: func(state []int64) float64 {
+			p := k
+			for _, r := range reqs {
+				have := state[r.sp]
+				if have < r.n {
+					return 0
+				}
+				for j := int64(0); j < r.n; j++ {
+					p *= float64(have-j) / float64(j+1)
+				}
+			}
+			return p
+		},
+	}
+}
+
+// Custom builds a reaction with an arbitrary propensity function. reads
+// must list every species index the rate depends on (for the next-reaction
+// method's dependency graph).
+func Custom(name string, changes []Change, reads []int, rate func(state []int64) float64) Reaction {
+	return Reaction{Name: name, Changes: changes, Reads: reads, Rate: rate}
+}
+
+// Direct is the Gillespie direct method: at each step it recomputes all
+// propensities, samples the waiting time from Exp(total) and the firing
+// channel proportionally to its propensity.
+type Direct struct {
+	sys   *System
+	state []int64
+	now   float64
+	rng   *rand.Rand
+	props []float64
+	steps uint64
+}
+
+// NewDirect returns a direct-method engine with a private copy of the
+// initial state and a private RNG.
+func NewDirect(sys *System, seed int64) (*Direct, error) {
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	return &Direct{
+		sys:   sys,
+		state: append([]int64(nil), sys.Init...),
+		rng:   rand.New(rand.NewSource(seed)),
+		props: make([]float64, len(sys.Reactions)),
+	}, nil
+}
+
+// Time returns the current simulation time.
+func (d *Direct) Time() float64 { return d.now }
+
+// Steps returns the number of reactions fired.
+func (d *Direct) Steps() uint64 { return d.steps }
+
+// NumSpecies returns the dimension of the observable state.
+func (d *Direct) NumSpecies() int { return len(d.sys.Species) }
+
+// Observe copies the current state into out.
+func (d *Direct) Observe(out []int64) { copy(out, d.state) }
+
+// State returns the live state vector (do not mutate).
+func (d *Direct) State() []int64 { return d.state }
+
+// Step fires one reaction, returning false in a dead state.
+func (d *Direct) Step() bool {
+	total := 0.0
+	for i, r := range d.sys.Reactions {
+		p := r.Rate(d.state)
+		if p < 0 {
+			panic(fmt.Sprintf("gillespie: reaction %q negative propensity %g", r.Name, p))
+		}
+		d.props[i] = p
+		total += p
+	}
+	if total <= 0 {
+		return false
+	}
+	d.now += d.rng.ExpFloat64() / total
+	target := d.rng.Float64() * total
+	acc := 0.0
+	idx := len(d.props) - 1
+	for i, p := range d.props {
+		acc += p
+		if target < acc {
+			idx = i
+			break
+		}
+	}
+	for _, c := range d.sys.Reactions[idx].Changes {
+		d.state[c.Species] += c.Delta
+		if d.state[c.Species] < 0 {
+			panic(fmt.Sprintf("gillespie: species %s driven negative by %q", d.sys.Species[c.Species], d.sys.Reactions[idx].Name))
+		}
+	}
+	d.steps++
+	return true
+}
+
+// AdvanceTo steps until the simulation time reaches t or the system dies.
+func (d *Direct) AdvanceTo(t float64) (fired uint64, live bool) {
+	start := d.steps
+	for d.now < t {
+		if !d.Step() {
+			return d.steps - start, false
+		}
+	}
+	return d.steps - start, true
+}

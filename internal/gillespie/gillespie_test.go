@@ -1,0 +1,351 @@
+package gillespie
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// birthDeath: ∅ → X (lambda), X → ∅ (mu per molecule).
+func birthDeath(lambda, mu float64, x0 int64) *System {
+	return &System{
+		Name:    "birth-death",
+		Species: []string{"X"},
+		Init:    []int64{x0},
+		Reactions: []Reaction{
+			MassAction("birth", lambda, nil, map[int]int64{0: 1}),
+			MassAction("death", mu, map[int]int64{0: 1}, nil),
+		},
+	}
+}
+
+// dimer: 2A <-> D, conserves A + 2D.
+func dimer(a0 int64) *System {
+	return &System{
+		Name:    "dimer",
+		Species: []string{"A", "D"},
+		Init:    []int64{a0, 0},
+		Reactions: []Reaction{
+			MassAction("dimerise", 0.02, map[int]int64{0: 2}, map[int]int64{1: 1}),
+			MassAction("split", 0.5, map[int]int64{1: 1}, map[int]int64{0: 2}),
+		},
+	}
+}
+
+type engine interface {
+	Time() float64
+	Steps() uint64
+	Step() bool
+	Observe(out []int64)
+	AdvanceTo(t float64) (uint64, bool)
+	State() []int64
+}
+
+func engines(t *testing.T, sys *System, seed int64) map[string]engine {
+	t.Helper()
+	d, err := NewDirect(sys, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := NewNextReaction(sys, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]engine{"direct": d, "nrm": n}
+}
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		sys  System
+	}{
+		{"no species", System{Reactions: []Reaction{{}}}},
+		{"bad init len", System{Species: []string{"X"}, Init: []int64{1, 2}}},
+		{"negative init", System{Species: []string{"X"}, Init: []int64{-1}}},
+		{"no reactions", System{Species: []string{"X"}, Init: []int64{1}}},
+		{"nil rate", System{Species: []string{"X"}, Init: []int64{1}, Reactions: []Reaction{{Name: "r"}}}},
+		{"bad species index", System{Species: []string{"X"}, Init: []int64{1},
+			Reactions: []Reaction{{Name: "r", Rate: func([]int64) float64 { return 1 }, Changes: []Change{{Species: 5, Delta: 1}}}}}},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.sys.Validate(); err == nil {
+				t.Fatal("want validation error")
+			}
+		})
+	}
+	if err := birthDeath(1, 1, 1).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpeciesIndex(t *testing.T) {
+	sys := dimer(10)
+	if sys.SpeciesIndex("D") != 1 || sys.SpeciesIndex("A") != 0 || sys.SpeciesIndex("zz") != -1 {
+		t.Fatal("SpeciesIndex wrong")
+	}
+}
+
+func TestMassActionPropensity(t *testing.T) {
+	r := MassAction("dimerise", 2.0, map[int]int64{0: 2}, map[int]int64{1: 1})
+	// C(5,2)=10 → propensity 20.
+	if got := r.Rate([]int64{5, 0}); got != 20 {
+		t.Fatalf("rate = %g, want 20", got)
+	}
+	if got := r.Rate([]int64{1, 0}); got != 0 {
+		t.Fatalf("rate with insufficient reactants = %g, want 0", got)
+	}
+	// Changes: A -2, D +1.
+	wantChanges := map[int]int64{0: -2, 1: 1}
+	for _, c := range r.Changes {
+		if wantChanges[c.Species] != c.Delta {
+			t.Fatalf("change %v unexpected", c)
+		}
+		delete(wantChanges, c.Species)
+	}
+	if len(wantChanges) != 0 {
+		t.Fatalf("missing changes: %v", wantChanges)
+	}
+}
+
+func TestMassActionCatalyst(t *testing.T) {
+	// A + B -> A + C : A is a catalyst, must not appear in changes.
+	r := MassAction("cat", 1.0, map[int]int64{0: 1, 1: 1}, map[int]int64{0: 1, 2: 1})
+	for _, c := range r.Changes {
+		if c.Species == 0 {
+			t.Fatal("catalyst appears in changes")
+		}
+	}
+	if got := r.Rate([]int64{3, 4, 0}); got != 12 {
+		t.Fatalf("rate = %g, want 12", got)
+	}
+}
+
+func TestBothEnginesStationaryMean(t *testing.T) {
+	sys := birthDeath(40, 1, 40)
+	for name, e := range engines(t, sys, 123) {
+		if _, live := e.AdvanceTo(5); !live {
+			t.Fatalf("%s: died in warm-up", name)
+		}
+		sum, n := 0.0, 0
+		out := make([]int64, 1)
+		for i := 0; i < 2000; i++ {
+			e.AdvanceTo(5 + float64(i)*0.05)
+			e.Observe(out)
+			sum += float64(out[0])
+			n++
+		}
+		mean := sum / float64(n)
+		if math.Abs(mean-40) > 5 {
+			t.Fatalf("%s: stationary mean = %.2f, want 40 +- 5", name, mean)
+		}
+	}
+}
+
+func TestBothEnginesConserveInvariant(t *testing.T) {
+	sys := dimer(100)
+	for name, e := range engines(t, sys, 7) {
+		for i := 0; i < 500; i++ {
+			if !e.Step() {
+				t.Fatalf("%s: died", name)
+			}
+			st := e.State()
+			if inv := st[0] + 2*st[1]; inv != 100 {
+				t.Fatalf("%s: step %d: invariant = %d, want 100", name, i, inv)
+			}
+		}
+	}
+}
+
+func TestBothEnginesDeadState(t *testing.T) {
+	sys := &System{
+		Name:    "decay",
+		Species: []string{"X"},
+		Init:    []int64{4},
+		Reactions: []Reaction{
+			MassAction("death", 1, map[int]int64{0: 1}, nil),
+		},
+	}
+	for name, e := range engines(t, sys, 3) {
+		fired, live := e.AdvanceTo(math.Inf(1))
+		if live || fired != 4 {
+			t.Fatalf("%s: fired=%d live=%v, want 4,false", name, fired, live)
+		}
+		if e.State()[0] != 0 {
+			t.Fatalf("%s: X = %d, want 0", name, e.State()[0])
+		}
+	}
+}
+
+func TestDirectDeterminism(t *testing.T) {
+	sys := birthDeath(10, 0.3, 5)
+	run := func(seed int64) (float64, int64) {
+		d, err := NewDirect(sys, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.AdvanceTo(30)
+		return d.Time(), d.State()[0]
+	}
+	t1, x1 := run(99)
+	t2, x2 := run(99)
+	if t1 != t2 || x1 != x2 {
+		t.Fatal("same seed diverged")
+	}
+}
+
+func TestNRMDeterminism(t *testing.T) {
+	sys := dimer(60)
+	run := func(seed int64) (float64, int64) {
+		e, err := NewNextReaction(sys, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.AdvanceTo(10)
+		return e.Time(), e.State()[0]
+	}
+	t1, x1 := run(5)
+	t2, x2 := run(5)
+	if t1 != t2 || x1 != x2 {
+		t.Fatal("same seed diverged")
+	}
+}
+
+// TestDirectVsNRMDistribution: the two exact methods must produce
+// statistically indistinguishable results. Compare the mean of X at a fixed
+// time across many seeds.
+func TestDirectVsNRMDistribution(t *testing.T) {
+	sys := birthDeath(20, 0.8, 0)
+	const trials = 300
+	meanAt := func(mk func(seed int64) engine) float64 {
+		sum := 0.0
+		for s := int64(0); s < trials; s++ {
+			e := mk(s)
+			e.AdvanceTo(4)
+			sum += float64(e.State()[0])
+		}
+		return sum / trials
+	}
+	md := meanAt(func(s int64) engine {
+		d, err := NewDirect(sys, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	})
+	mn := meanAt(func(s int64) engine {
+		n, err := NewNextReaction(sys, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n
+	})
+	// Theoretical mean at t=4 ≈ (lambda/mu)(1-e^-mu·t) = 25·(1-e^-3.2) ≈ 24.0
+	want := 20.0 / 0.8 * (1 - math.Exp(-0.8*4))
+	if math.Abs(md-want) > 2.5 {
+		t.Fatalf("direct mean %.2f, want %.2f +- 2.5", md, want)
+	}
+	if math.Abs(mn-want) > 2.5 {
+		t.Fatalf("nrm mean %.2f, want %.2f +- 2.5", mn, want)
+	}
+	if math.Abs(md-mn) > 3 {
+		t.Fatalf("direct %.2f and nrm %.2f disagree", md, mn)
+	}
+}
+
+func TestNRMNilReadsFallback(t *testing.T) {
+	// A custom reaction without Reads must still simulate correctly
+	// (conservative dependency on everything).
+	sys := &System{
+		Name:    "custom",
+		Species: []string{"X"},
+		Init:    []int64{0},
+		Reactions: []Reaction{
+			{
+				Name:    "birth-capped",
+				Changes: []Change{{Species: 0, Delta: 1}},
+				Rate: func(st []int64) float64 {
+					if st[0] >= 10 {
+						return 0
+					}
+					return 5
+				},
+			},
+		},
+	}
+	e, err := NewNextReaction(sys, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fired, live := e.AdvanceTo(1e9)
+	if live || fired != 10 {
+		t.Fatalf("fired=%d live=%v, want 10,false", fired, live)
+	}
+}
+
+// Property: both engines keep counts non-negative and time monotone under
+// random parameters.
+func TestProperty_EnginesWellFormed(t *testing.T) {
+	f := func(seed int64, lamRaw, muRaw uint8) bool {
+		sys := birthDeath(float64(lamRaw%30)+1, float64(muRaw%10)*0.2+0.1, 5)
+		for _, mk := range []func() (engine, error){
+			func() (engine, error) { return NewDirect(sys, seed) },
+			func() (engine, error) { return NewNextReaction(sys, seed) },
+		} {
+			e, err := mk()
+			if err != nil {
+				return false
+			}
+			prev := 0.0
+			for i := 0; i < 200; i++ {
+				if !e.Step() {
+					break
+				}
+				if e.Time() < prev || e.State()[0] < 0 {
+					return false
+				}
+				prev = e.Time()
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkDirectStep(b *testing.B)       { benchEngine(b, "direct") }
+func BenchmarkNextReactionStep(b *testing.B) { benchEngine(b, "nrm") }
+
+// benchEngine measures per-step cost on a chain network A1→A2→...→A20,
+// where NRM's sparse updates should pay off.
+func benchEngine(b *testing.B, kind string) {
+	const n = 20
+	species := make([]string, n)
+	init := make([]int64, n)
+	var reactions []Reaction
+	for i := 0; i < n; i++ {
+		species[i] = string(rune('A' + i))
+	}
+	init[0] = 1 << 40 // effectively inexhaustible
+	for i := 0; i+1 < n; i++ {
+		reactions = append(reactions, MassAction("hop", 1e-9, map[int]int64{i: 1}, map[int]int64{i + 1: 1}))
+	}
+	sys := &System{Name: "chain", Species: species, Init: init, Reactions: reactions}
+	var e engine
+	var err error
+	if kind == "direct" {
+		e, err = NewDirect(sys, 1)
+	} else {
+		e, err = NewNextReaction(sys, 1)
+	}
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !e.Step() {
+			b.Fatal("died")
+		}
+	}
+}

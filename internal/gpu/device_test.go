@@ -1,0 +1,253 @@
+package gpu
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func testDevice(t *testing.T, cfg DeviceConfig) *Device {
+	t.Helper()
+	d, err := NewDevice(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func smallConfig() DeviceConfig {
+	return DeviceConfig{
+		Name:           "toy",
+		SMs:            2,
+		CoresPerSM:     64,
+		WarpSize:       32,
+		LaunchOverhead: 1e-6,
+		SecondsPerCost: 1e-9,
+	}
+}
+
+func TestNewDeviceValidation(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*DeviceConfig)
+	}{
+		{"zero SMs", func(c *DeviceConfig) { c.SMs = 0 }},
+		{"zero cores", func(c *DeviceConfig) { c.CoresPerSM = 0 }},
+		{"zero warp", func(c *DeviceConfig) { c.WarpSize = 0 }},
+		{"cores not multiple of warp", func(c *DeviceConfig) { c.CoresPerSM = 33 }},
+		{"non-positive cost scale", func(c *DeviceConfig) { c.SecondsPerCost = 0 }},
+		{"negative overhead", func(c *DeviceConfig) { c.LaunchOverhead = -1 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := smallConfig()
+			tt.mutate(&cfg)
+			if _, err := NewDevice(cfg); err == nil {
+				t.Fatal("want validation error")
+			}
+		})
+	}
+}
+
+func TestK40Shape(t *testing.T) {
+	d := testDevice(t, TeslaK40())
+	if got := d.Cores(); got != 2880 {
+		t.Fatalf("K40 cores = %d, want 2880", got)
+	}
+	if got := d.WarpSlots(); got != 90 {
+		t.Fatalf("K40 warp slots = %d, want 90", got)
+	}
+}
+
+func TestLaunchFunctionalResult(t *testing.T) {
+	d := testDevice(t, smallConfig())
+	out := make([]int, 100)
+	_, err := d.Launch(context.Background(), 100, func(i int) (float64, error) {
+		out[i] = i * i
+		return 1, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestLaunchEmptyKernel(t *testing.T) {
+	d := testDevice(t, smallConfig())
+	stats, err := d.Launch(context.Background(), 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.SimTime != smallConfig().LaunchOverhead {
+		t.Fatalf("empty launch SimTime = %g, want overhead %g", stats.SimTime, smallConfig().LaunchOverhead)
+	}
+	if stats.Utilization() != 1 {
+		t.Fatalf("empty launch utilization = %g, want 1", stats.Utilization())
+	}
+}
+
+func TestLaunchKernelError(t *testing.T) {
+	d := testDevice(t, smallConfig())
+	boom := errors.New("kernel boom")
+	_, err := d.Launch(context.Background(), 10, func(i int) (float64, error) {
+		if i == 7 {
+			return 0, boom
+		}
+		return 1, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+}
+
+func TestLaunchNegativeCostRejected(t *testing.T) {
+	d := testDevice(t, smallConfig())
+	_, err := d.Launch(context.Background(), 1, func(int) (float64, error) { return -1, nil })
+	if err == nil {
+		t.Fatal("want error for negative cost")
+	}
+}
+
+func TestDivergenceChargesWarpMax(t *testing.T) {
+	// One warp of 32 lanes: 31 lanes cost 1, one lane costs 10.
+	// Lockstep must charge 32*10; busy is 31+10.
+	d := testDevice(t, smallConfig())
+	stats, err := d.Launch(context.Background(), 32, func(i int) (float64, error) {
+		if i == 5 {
+			return 10, nil
+		}
+		return 1, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Warps != 1 {
+		t.Fatalf("warps = %d, want 1", stats.Warps)
+	}
+	if got, want := stats.LockstepCost, 320.0; got != want {
+		t.Fatalf("LockstepCost = %g, want %g", got, want)
+	}
+	if got, want := stats.BusyCost, 41.0; got != want {
+		t.Fatalf("BusyCost = %g, want %g", got, want)
+	}
+	wantSim := smallConfig().LaunchOverhead + 10*smallConfig().SecondsPerCost
+	if math.Abs(stats.SimTime-wantSim) > 1e-18 {
+		t.Fatalf("SimTime = %g, want %g", stats.SimTime, wantSim)
+	}
+}
+
+func TestUniformKernelHasFullUtilization(t *testing.T) {
+	d := testDevice(t, smallConfig())
+	stats, err := d.Launch(context.Background(), 64, func(int) (float64, error) { return 3, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u := stats.Utilization(); math.Abs(u-1) > 1e-12 {
+		t.Fatalf("uniform kernel utilization = %g, want 1", u)
+	}
+}
+
+func TestRaggedLastWarpStillChargesFullWidth(t *testing.T) {
+	// 33 items => 2 warps; second warp has 1 active lane of cost 4 but is
+	// charged 32*4.
+	d := testDevice(t, smallConfig())
+	stats, err := d.Launch(context.Background(), 33, func(i int) (float64, error) {
+		if i == 32 {
+			return 4, nil
+		}
+		return 2, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Warps != 2 {
+		t.Fatalf("warps = %d, want 2", stats.Warps)
+	}
+	want := 32*2.0 + 32*4.0
+	if stats.LockstepCost != want {
+		t.Fatalf("LockstepCost = %g, want %g", stats.LockstepCost, want)
+	}
+}
+
+func TestOversubscriptionSerializesWarps(t *testing.T) {
+	// Device with 4 warp slots; 8 uniform warps of cost 5 must take 2
+	// rounds: makespan 10.
+	cfg := smallConfig()
+	cfg.SMs = 1
+	cfg.CoresPerSM = 128 // 4 warp slots
+	d := testDevice(t, cfg)
+	stats, err := d.Launch(context.Background(), 8*32, func(int) (float64, error) { return 5, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cfg.LaunchOverhead + 10*cfg.SecondsPerCost
+	if math.Abs(stats.SimTime-want) > 1e-15 {
+		t.Fatalf("SimTime = %g, want %g", stats.SimTime, want)
+	}
+}
+
+// TestLaunchProperty_MakespanBounds: the simulated time always respects the
+// two classic scheduling lower bounds (critical path, total-work/capacity)
+// and the list-scheduling upper bound (2x optimal is not checked — only
+// feasibility: makespan <= total work on one slot).
+func TestLaunchProperty_MakespanBounds(t *testing.T) {
+	cfg := smallConfig()
+	d := testDevice(t, cfg)
+	f := func(rawCosts []uint16) bool {
+		n := len(rawCosts)
+		if n == 0 {
+			return true
+		}
+		costs := make([]float64, n)
+		for i, c := range rawCosts {
+			costs[i] = float64(c%1000) + 1
+		}
+		stats, err := d.Launch(context.Background(), n, func(i int) (float64, error) {
+			return costs[i], nil
+		})
+		if err != nil {
+			return false
+		}
+		work := (stats.SimTime - cfg.LaunchOverhead) / cfg.SecondsPerCost
+		maxCost := 0.0
+		for _, c := range costs {
+			if c > maxCost {
+				maxCost = c
+			}
+		}
+		// Critical path bound.
+		if work < maxCost-1e-9 {
+			return false
+		}
+		// Capacity bound: lockstep cost spread over all lanes.
+		if work < stats.LockstepCost/float64(d.Cores())-1e-9 {
+			return false
+		}
+		// Feasibility: never slower than fully serial lockstep execution.
+		return work <= stats.LockstepCost/float64(cfg.WarpSize)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkLaunch2880(b *testing.B) {
+	d, err := NewDevice(TeslaK40())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		_, err := d.Launch(context.Background(), 2880, func(idx int) (float64, error) {
+			return float64(idx%37) + 1, nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

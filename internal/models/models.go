@@ -1,0 +1,331 @@
+// Package models provides the biological systems used by the paper's
+// evaluation and by the examples/tests of this repository.
+//
+// The headline workload is the Neurospora crassa circadian-clock model:
+// transcriptional regulation of the frequency (frq) gene by its protein
+// product FRQ, after Leloup, Gonze & Goldbeter (J. Biol. Rhythms, 1999).
+// The deterministic model is converted to a stochastic reaction network via
+// a system-size parameter Omega (molecules per nM), the standard Gillespie
+// discretisation of Hill/Michaelis–Menten kinetics.
+//
+// Additional models (Lotka–Volterra, SIR, Schlögl, an enzyme cascade, and
+// nested-compartment CWC variants) exercise the simulators across the
+// behaviour classes discussed in the paper: mono-stable, multi-stable and
+// oscillatory systems.
+package models
+
+import (
+	"cwcflow/internal/cwc"
+	"cwcflow/internal/gillespie"
+)
+
+// NeurosporaParams are the kinetic constants of the frq oscillator
+// (concentrations in nM, times in hours).
+type NeurosporaParams struct {
+	Vs float64 // maximal frq transcription rate
+	Vm float64 // maximal frq mRNA degradation rate
+	Km float64 // Michaelis constant of mRNA degradation
+	Ks float64 // FRQ synthesis rate per mRNA
+	Vd float64 // maximal FRQ degradation rate
+	Kd float64 // Michaelis constant of FRQ degradation
+	K1 float64 // FRQ nuclear import rate
+	K2 float64 // FRQ nuclear export rate
+	KI float64 // repression threshold of nuclear FRQ on transcription
+	N  int     // Hill coefficient of the repression
+
+	// Omega is the system size (molecules per nM); larger values give
+	// smoother, slower simulations.
+	Omega float64
+	// M0, FC0, FN0 are initial concentrations in nM.
+	M0, FC0, FN0 float64
+}
+
+// DefaultNeurospora returns the parameter set of Leloup–Gonze–Goldbeter
+// (1999), which oscillates with a free-running period of about 21.5 h.
+func DefaultNeurospora(omega float64) NeurosporaParams {
+	return NeurosporaParams{
+		Vs: 1.6, Vm: 0.505, Km: 0.5,
+		Ks: 0.5, Vd: 1.4, Kd: 0.13,
+		K1: 0.5, K2: 0.6,
+		KI: 1.0, N: 4,
+		Omega: omega,
+		M0:    1.0, FC0: 1.0, FN0: 1.0,
+	}
+}
+
+// Neurospora species indices in the flat reaction network.
+const (
+	NeuroM  = 0 // frq mRNA
+	NeuroFC = 1 // cytosolic FRQ protein
+	NeuroFN = 2 // nuclear FRQ protein
+)
+
+// Neurospora builds the stochastic frq-oscillator network with default
+// parameters at the given system size.
+func Neurospora(omega float64) *gillespie.System {
+	return NeurosporaWith(DefaultNeurospora(omega))
+}
+
+// NeurosporaWith builds the stochastic frq-oscillator network.
+//
+// Reactions (propensities follow the Omega-scaled discretisation of the
+// deterministic rate laws):
+//
+//	R1  ∅ → M        Omega·Vs·KI^n / (KI^n + (FN/Omega)^n)   transcription, Hill-repressed
+//	R2  M → ∅        Omega·Vm·(M/Omega) / (Km + M/Omega)     saturating mRNA decay
+//	R3  M → M + FC   Ks·M                                    translation
+//	R4  FC → ∅       Omega·Vd·(FC/Omega) / (Kd + FC/Omega)   saturating protein decay
+//	R5  FC → FN      K1·FC                                   nuclear import
+//	R6  FN → FC      K2·FN                                   nuclear export
+func NeurosporaWith(p NeurosporaParams) *gillespie.System {
+	om := p.Omega
+	kin := 1.0
+	for i := 0; i < p.N; i++ {
+		kin *= p.KI
+	}
+	hill := func(fn int64) float64 {
+		x := float64(fn) / om
+		xn := 1.0
+		for i := 0; i < p.N; i++ {
+			xn *= x
+		}
+		return om * p.Vs * kin / (kin + xn)
+	}
+	return &gillespie.System{
+		Name:    "neurospora",
+		Species: []string{"M", "FC", "FN"},
+		Init: []int64{
+			int64(p.M0 * om),
+			int64(p.FC0 * om),
+			int64(p.FN0 * om),
+		},
+		Reactions: []gillespie.Reaction{
+			gillespie.Custom("transcription",
+				[]gillespie.Change{{Species: NeuroM, Delta: 1}},
+				[]int{NeuroFN},
+				func(st []int64) float64 { return hill(st[NeuroFN]) }),
+			gillespie.Custom("mrna-decay",
+				[]gillespie.Change{{Species: NeuroM, Delta: -1}},
+				[]int{NeuroM},
+				func(st []int64) float64 {
+					x := float64(st[NeuroM]) / om
+					return om * p.Vm * x / (p.Km + x)
+				}),
+			gillespie.Custom("translation",
+				[]gillespie.Change{{Species: NeuroFC, Delta: 1}},
+				[]int{NeuroM},
+				func(st []int64) float64 { return p.Ks * float64(st[NeuroM]) }),
+			gillespie.Custom("frq-decay",
+				[]gillespie.Change{{Species: NeuroFC, Delta: -1}},
+				[]int{NeuroFC},
+				func(st []int64) float64 {
+					x := float64(st[NeuroFC]) / om
+					return om * p.Vd * x / (p.Kd + x)
+				}),
+			gillespie.MassAction("nuclear-import", p.K1,
+				map[int]int64{NeuroFC: 1}, map[int]int64{NeuroFN: 1}),
+			gillespie.MassAction("nuclear-export", p.K2,
+				map[int]int64{NeuroFN: 1}, map[int]int64{NeuroFC: 1}),
+		},
+	}
+}
+
+// NeurosporaCWC builds the compartmentalised CWC variant of the frq model:
+// the cell content holds M and the FRQ protein F, a nested nucleus
+// compartment holds the nuclear fraction of F, and nuclear import/export
+// are membrane-transport rules. Cytosolic FC and nuclear FN of the flat
+// model correspond to the *location* of F (cell content vs nucleus
+// content), so the kinetics match the flat network exactly. Transcription
+// reads the repressor through the nucleus membrane (a cross-compartment
+// rate function), exercising the term-rewriting engine on a realistic
+// nested model.
+func NeurosporaCWC(omega float64) *cwc.Model {
+	p := DefaultNeurospora(omega)
+	a := cwc.NewAlphabet("M", "F", "nm")
+	m, _ := a.Lookup("M")
+	f, _ := a.Lookup("F")
+	nm, _ := a.Lookup("nm") // nuclear membrane marker
+
+	kin := 1.0
+	for i := 0; i < p.N; i++ {
+		kin *= p.KI
+	}
+	// nuclearF counts F inside the nucleus child of the matched content.
+	nuclearF := func(where *cwc.Term) int64 {
+		for _, c := range where.Comps {
+			if c.Label == "nucleus" {
+				return c.Content.Atoms.Count(f)
+			}
+		}
+		return 0
+	}
+
+	init := &cwc.Term{}
+	cell := &cwc.Compartment{Label: "cell"}
+	cell.Content.Atoms.Add(m, int64(p.M0*omega))
+	cell.Content.Atoms.Add(f, int64(p.FC0*omega))
+	nucleus := &cwc.Compartment{Label: "nucleus"}
+	nucleus.Wrap.Add(nm, 1)
+	nucleus.Content.Atoms.Add(f, int64(p.FN0*omega))
+	cell.Content.AddComp(nucleus)
+	init.AddComp(cell)
+
+	rules := []*cwc.Rule{
+		{
+			Name: "transcription", Kind: cwc.KindReaction, Context: "cell",
+			Products: cwc.NewMultiset(m, 1),
+			Law: cwc.RateFunc(func(match cwc.Match) float64 {
+				x := float64(nuclearF(match.Where)) / omega
+				xn := 1.0
+				for i := 0; i < p.N; i++ {
+					xn *= x
+				}
+				return omega * p.Vs * kin / (kin + xn)
+			}),
+		},
+		{
+			Name: "mrna-decay", Kind: cwc.KindReaction, Context: "cell",
+			Reactants: cwc.NewMultiset(m, 1),
+			Law:       scaledMM(omega, p.Vm, p.Km, m),
+		},
+		{
+			Name: "translation", Kind: cwc.KindReaction, Context: "cell",
+			Reactants: cwc.NewMultiset(m, 1),
+			Products:  cwc.NewMultiset(m, 1, f, 1),
+			Law:       cwc.MassAction{K: p.Ks},
+		},
+		{
+			// Degrades only the cytosolic fraction: the rule's context is
+			// the cell content, whose F count excludes the nucleus.
+			Name: "frq-decay", Kind: cwc.KindReaction, Context: "cell",
+			Reactants: cwc.NewMultiset(f, 1),
+			Law:       scaledMM(omega, p.Vd, p.Kd, f),
+		},
+		{
+			Name: "nuclear-import", Kind: cwc.KindTransportIn, Context: "cell",
+			ChildLabel: "nucleus", ChildWrap: cwc.NewMultiset(nm, 1),
+			Move: cwc.NewMultiset(f, 1),
+			Law:  cwc.MassAction{K: p.K1},
+		},
+		{
+			Name: "nuclear-export", Kind: cwc.KindTransportOut, Context: "cell",
+			ChildLabel: "nucleus", ChildWrap: cwc.NewMultiset(nm, 1),
+			Move: cwc.NewMultiset(f, 1),
+			Law:  cwc.MassAction{K: p.K2},
+		},
+	}
+	return &cwc.Model{Name: "neurospora-cwc", Alpha: a, Rules: rules, Init: init}
+}
+
+// scaledMM is the Omega-scaled Michaelis–Menten law over raw counts in the
+// matched content.
+func scaledMM(omega, vmax, km float64, s cwc.Species) cwc.RateFunc {
+	return func(match cwc.Match) float64 {
+		x := float64(match.Where.Atoms.Count(s)) / omega
+		return omega * vmax * x / (km + x)
+	}
+}
+
+// LotkaVolterra builds the classic stochastic predator–prey system:
+//
+//	prey birth      X → 2X     (k1)
+//	predation       X + Y → 2Y (k2)
+//	predator death  Y → ∅      (k3)
+//
+// The stochastic system oscillates with drifting amplitude and eventually
+// absorbs (prey explosion or predator extinction) — the multi-stable
+// behaviour class the paper calls out as GPU-unfriendly.
+func LotkaVolterra() *gillespie.System {
+	return &gillespie.System{
+		Name:    "lotka-volterra",
+		Species: []string{"X", "Y"},
+		Init:    []int64{300, 150},
+		Reactions: []gillespie.Reaction{
+			gillespie.MassAction("prey-birth", 1.0, map[int]int64{0: 1}, map[int]int64{0: 2}),
+			gillespie.MassAction("predation", 0.005, map[int]int64{0: 1, 1: 1}, map[int]int64{1: 2}),
+			gillespie.MassAction("predator-death", 0.6, map[int]int64{1: 1}, nil),
+		},
+	}
+}
+
+// SIR builds a stochastic epidemic model with frequency-dependent
+// transmission: S + I → 2I at rate beta·S·I/N, I → R at rate gamma·I.
+func SIR(n, i0 int64, beta, gamma float64) *gillespie.System {
+	fn := float64(n)
+	return &gillespie.System{
+		Name:    "sir",
+		Species: []string{"S", "I", "R"},
+		Init:    []int64{n - i0, i0, 0},
+		Reactions: []gillespie.Reaction{
+			gillespie.Custom("infection",
+				[]gillespie.Change{{Species: 0, Delta: -1}, {Species: 1, Delta: 1}},
+				[]int{0, 1},
+				func(st []int64) float64 {
+					return beta * float64(st[0]) * float64(st[1]) / fn
+				}),
+			gillespie.MassAction("recovery", gamma, map[int]int64{1: 1}, map[int]int64{2: 1}),
+		},
+	}
+}
+
+// Schlogl builds the Schlögl model, the canonical bistable chemical system:
+//
+//	A + 2X → 3X   (c1, A buffered)
+//	3X → A + 2X   (c2)
+//	B → X         (c3, B buffered)
+//	X → B         (c4)
+//
+// Trajectories settle around one of two metastable counts (~85 or ~565)
+// and occasionally switch — a stress test for trajectory-ensemble analysis
+// (k-means over cuts separates the two modes).
+func Schlogl() *gillespie.System {
+	const (
+		c1 = 3e-7
+		c2 = 1e-4
+		c3 = 1e-3
+		c4 = 3.5
+		na = 1e5
+		nb = 2e5
+	)
+	return &gillespie.System{
+		Name:    "schlogl",
+		Species: []string{"X"},
+		Init:    []int64{250},
+		Reactions: []gillespie.Reaction{
+			gillespie.Custom("autocat",
+				[]gillespie.Change{{Species: 0, Delta: 1}},
+				[]int{0},
+				func(st []int64) float64 {
+					x := float64(st[0])
+					return c1 * na * x * (x - 1) / 2
+				}),
+			gillespie.Custom("reverse",
+				[]gillespie.Change{{Species: 0, Delta: -1}},
+				[]int{0},
+				func(st []int64) float64 {
+					x := float64(st[0])
+					return c2 * x * (x - 1) * (x - 2) / 6
+				}),
+			gillespie.Custom("inflow",
+				[]gillespie.Change{{Species: 0, Delta: 1}},
+				nil,
+				func([]int64) float64 { return c3 * nb }),
+			gillespie.MassAction("outflow", c4, map[int]int64{0: 1}, nil),
+		},
+	}
+}
+
+// Enzyme builds the Michaelis–Menten enzyme mechanism with explicit
+// complex: E + S ⇌ ES → E + P. It conserves E + ES and S + ES + P.
+func Enzyme(e0, s0 int64) *gillespie.System {
+	return &gillespie.System{
+		Name:    "enzyme",
+		Species: []string{"E", "S", "ES", "P"},
+		Init:    []int64{e0, s0, 0, 0},
+		Reactions: []gillespie.Reaction{
+			gillespie.MassAction("bind", 0.01, map[int]int64{0: 1, 1: 1}, map[int]int64{2: 1}),
+			gillespie.MassAction("unbind", 0.1, map[int]int64{2: 1}, map[int]int64{0: 1, 1: 1}),
+			gillespie.MassAction("catalyse", 0.1, map[int]int64{2: 1}, map[int]int64{0: 1, 3: 1}),
+		},
+	}
+}

@@ -1,0 +1,287 @@
+package models
+
+import (
+	"math"
+	"testing"
+
+	"cwcflow/internal/cwc"
+	"cwcflow/internal/gillespie"
+)
+
+// sampleSeries advances the engine, recording species sp at the given
+// period until tEnd.
+func sampleSeries(t *testing.T, d *gillespie.Direct, sp int, period, tEnd float64) []float64 {
+	t.Helper()
+	var out []float64
+	state := make([]int64, d.NumSpecies())
+	for tt := 0.0; tt <= tEnd; tt += period {
+		d.AdvanceTo(tt)
+		d.Observe(state)
+		out = append(out, float64(state[sp]))
+	}
+	return out
+}
+
+// findPeaks returns indices of local maxima of a smoothed copy of xs.
+func findPeaks(xs []float64, halfWin int) []int {
+	sm := make([]float64, len(xs))
+	for i := range xs {
+		lo, hi := i-halfWin, i+halfWin
+		if lo < 0 {
+			lo = 0
+		}
+		if hi >= len(xs) {
+			hi = len(xs) - 1
+		}
+		s := 0.0
+		for j := lo; j <= hi; j++ {
+			s += xs[j]
+		}
+		sm[i] = s / float64(hi-lo+1)
+	}
+	var peaks []int
+	for i := halfWin; i < len(sm)-halfWin; i++ {
+		isPeak := true
+		for j := i - halfWin; j <= i+halfWin && isPeak; j++ {
+			if sm[j] > sm[i] {
+				isPeak = false
+			}
+		}
+		if isPeak && (len(peaks) == 0 || i-peaks[len(peaks)-1] > halfWin) {
+			peaks = append(peaks, i)
+		}
+	}
+	return peaks
+}
+
+func TestNeurosporaOscillates(t *testing.T) {
+	sys := Neurospora(100)
+	d, err := gillespie.NewDirect(sys, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := sampleSeries(t, d, NeuroM, 0.5, 200) // 200 h, samples every 0.5 h
+	// Strong oscillation: amplitude swing well beyond noise.
+	minV, maxV := series[0], series[0]
+	for _, v := range series {
+		minV = math.Min(minV, v)
+		maxV = math.Max(maxV, v)
+	}
+	if maxV < 3*(minV+1) {
+		t.Fatalf("no oscillation: min %g max %g", minV, maxV)
+	}
+	peaks := findPeaks(series, 8)
+	if len(peaks) < 5 {
+		t.Fatalf("expected >=5 oscillation peaks in 200h, got %d", len(peaks))
+	}
+	// Mean inter-peak distance should be near the 21.5 h free-running
+	// period (samples are 0.5 h apart). Stochastic runs drift, so accept
+	// 15..30 h.
+	meanGap := float64(peaks[len(peaks)-1]-peaks[0]) / float64(len(peaks)-1) * 0.5
+	if meanGap < 15 || meanGap > 30 {
+		t.Fatalf("mean period = %.1f h, want 15..30 h", meanGap)
+	}
+}
+
+func TestNeurosporaOmegaScalesCounts(t *testing.T) {
+	small := Neurospora(50)
+	big := Neurospora(500)
+	if small.Init[NeuroM]*10 != big.Init[NeuroM] {
+		t.Fatalf("init M does not scale with omega: %d vs %d", small.Init[NeuroM], big.Init[NeuroM])
+	}
+	// Transcription propensity at FN=0 must scale with omega.
+	p1 := small.Reactions[0].Rate([]int64{0, 0, 0})
+	p2 := big.Reactions[0].Rate([]int64{0, 0, 0})
+	if math.Abs(p2/p1-10) > 1e-9 {
+		t.Fatalf("transcription propensity scaling = %g, want 10", p2/p1)
+	}
+}
+
+func TestNeurosporaHillRepression(t *testing.T) {
+	sys := Neurospora(100)
+	full := sys.Reactions[0].Rate([]int64{0, 0, 0})
+	half := sys.Reactions[0].Rate([]int64{0, 0, 100}) // FN = KI·omega
+	if math.Abs(half/full-0.5) > 1e-9 {
+		t.Fatalf("repression at KI = %g of full, want 0.5", half/full)
+	}
+	strong := sys.Reactions[0].Rate([]int64{0, 0, 1000})
+	if strong > full*0.001 {
+		t.Fatalf("repression too weak at 10x KI: %g vs %g", strong, full)
+	}
+}
+
+// TestNeurosporaCWCMatchesFlat: the compartmentalised CWC model and the
+// flat network are the same stochastic process; their ensemble means of M
+// at a fixed time must agree.
+func TestNeurosporaCWCMatchesFlat(t *testing.T) {
+	const (
+		omega  = 30
+		tProbe = 12.0
+		trials = 40
+	)
+	flatSys := Neurospora(omega)
+	cwcModel := NeurosporaCWC(omega)
+	mSpecies, ok := cwcModel.Alpha.Lookup("M")
+	if !ok {
+		t.Fatal("no M in CWC alphabet")
+	}
+
+	meanFlat := 0.0
+	for s := int64(0); s < trials; s++ {
+		d, err := gillespie.NewDirect(flatSys, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.AdvanceTo(tProbe)
+		meanFlat += float64(d.State()[NeuroM])
+	}
+	meanFlat /= trials
+
+	meanCWC := 0.0
+	for s := int64(0); s < trials; s++ {
+		e, err := cwc.NewEngine(cwcModel, s+1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.AdvanceTo(tProbe)
+		meanCWC += float64(e.Count(mSpecies))
+	}
+	meanCWC /= trials
+
+	// Both should sit on the same limit cycle; allow generous stochastic
+	// tolerance (the ensembles are small).
+	if relDiff := math.Abs(meanFlat-meanCWC) / math.Max(meanFlat, 1); relDiff > 0.35 {
+		t.Fatalf("flat mean M %.1f vs CWC mean M %.1f differ by %.0f%%", meanFlat, meanCWC, relDiff*100)
+	}
+}
+
+func TestLotkaVolterraBothSpeciesActive(t *testing.T) {
+	d, err := gillespie.NewDirect(LotkaVolterra(), 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seenPreyUp, seenPreyDown := false, false
+	prev := d.State()[0]
+	for i := 0; i < 20000; i++ {
+		if !d.Step() {
+			break
+		}
+		x := d.State()[0]
+		if x > prev {
+			seenPreyUp = true
+		}
+		if x < prev {
+			seenPreyDown = true
+		}
+		prev = x
+	}
+	if !seenPreyUp || !seenPreyDown {
+		t.Fatal("prey population never oscillated")
+	}
+}
+
+func TestSIREpidemicRunsItsCourse(t *testing.T) {
+	sys := SIR(1000, 10, 0.4, 0.1) // R0 = 4: major outbreak
+	d, err := gillespie.NewDirect(sys, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, live := d.AdvanceTo(1e6)
+	if live {
+		t.Fatal("SIR should absorb (I = 0)")
+	}
+	st := d.State()
+	if st[1] != 0 {
+		t.Fatalf("I = %d at absorption, want 0", st[1])
+	}
+	if st[0]+st[1]+st[2] != 1000 {
+		t.Fatalf("population not conserved: %v", st)
+	}
+	if st[2] < 500 {
+		t.Fatalf("R0=4 outbreak infected only %d of 1000", st[2])
+	}
+}
+
+func TestSchloglStaysLiveAndBounded(t *testing.T) {
+	d, err := gillespie.NewDirect(Schlogl(), 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50000; i++ {
+		if !d.Step() {
+			t.Fatal("Schlögl died (buffered inflow should prevent that)")
+		}
+		x := d.State()[0]
+		if x < 0 || x > 5000 {
+			t.Fatalf("X = %d escaped plausible range", x)
+		}
+	}
+}
+
+func TestEnzymeConservation(t *testing.T) {
+	sys := Enzyme(50, 500)
+	d, err := gillespie.NewDirect(sys, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iE := sys.SpeciesIndex("E")
+	iS := sys.SpeciesIndex("S")
+	iES := sys.SpeciesIndex("ES")
+	iP := sys.SpeciesIndex("P")
+	for i := 0; i < 5000; i++ {
+		if !d.Step() {
+			break
+		}
+		st := d.State()
+		if st[iE]+st[iES] != 50 {
+			t.Fatalf("enzyme not conserved: %v", st)
+		}
+		if st[iS]+st[iES]+st[iP] != 500 {
+			t.Fatalf("substrate not conserved: %v", st)
+		}
+	}
+	// The reaction must make progress.
+	if d.State()[iP] == 0 {
+		t.Fatal("no product formed")
+	}
+}
+
+func TestAllSystemsValidate(t *testing.T) {
+	systems := []*gillespie.System{
+		Neurospora(100), LotkaVolterra(), SIR(100, 1, 0.3, 0.1), Schlogl(), Enzyme(10, 100),
+	}
+	for _, sys := range systems {
+		if err := sys.Validate(); err != nil {
+			t.Errorf("%s: %v", sys.Name, err)
+		}
+	}
+	if err := NeurosporaCWC(10).Validate(); err != nil {
+		t.Errorf("neurospora-cwc: %v", err)
+	}
+}
+
+func BenchmarkNeurosporaStep(b *testing.B) {
+	d, err := gillespie.NewDirect(Neurospora(100), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !d.Step() {
+			b.Fatal("died")
+		}
+	}
+}
+
+func BenchmarkNeurosporaCWCStep(b *testing.B) {
+	e, err := cwc.NewEngine(NeurosporaCWC(100), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !e.Step() {
+			b.Fatal("died")
+		}
+	}
+}

@@ -1,0 +1,379 @@
+package platform
+
+import (
+	"fmt"
+	"math"
+)
+
+// Host is a modelled machine: cores execute work at Speed times the
+// reference-core rate.
+type Host struct {
+	Name  string
+	Cores int
+	Speed float64
+}
+
+// Link models a network edge: per-message latency plus size/bandwidth
+// serialisation delay. BytesPerSec <= 0 means infinite bandwidth.
+type Link struct {
+	LatencySec  float64
+	BytesPerSec float64
+}
+
+// Platform is a set of hosts and the links between them. LinkFn returns
+// the link from host i to host j; nil means everything is local
+// (shared memory, zero cost).
+type Platform struct {
+	Hosts  []Host
+	LinkFn func(from, to int) Link
+}
+
+func (p Platform) link(from, to int) Link {
+	if from == to || p.LinkFn == nil {
+		return Link{}
+	}
+	return p.LinkFn(from, to)
+}
+
+// Workload calibrates the pipeline's per-stage service times (in
+// reference-core seconds) for one experiment.
+type Workload struct {
+	// Trajectories is the Monte Carlo ensemble size.
+	Trajectories int
+	// Quanta is the number of simulation quanta per trajectory.
+	Quanta int
+	// SamplesPerQuantum is the quantum/τ ratio (Q/τ in Table I).
+	SamplesPerQuantum int
+	// QuantumCost is the mean service time of one quantum.
+	QuantumCost float64
+	// TrajSigma is the lognormal sigma of the per-trajectory speed factor:
+	// trajectories are "typically heavily unbalanced" (paper §I).
+	TrajSigma float64
+	// QuantumSigma is the lognormal sigma of per-quantum noise (random
+	// walk of simulation time).
+	QuantumSigma float64
+	// SampleBytes sizes the per-sample network payload.
+	SampleBytes int
+	// AlignPerSample is the sequential aligner's cost per sample.
+	AlignPerSample float64
+	// StatBase and StatPerTraj give the statistics cost per cut:
+	// StatBase + StatPerTraj * Trajectories^StatExponent.
+	StatBase    float64
+	StatPerTraj float64
+	// StatExponent models the superlinear growth of the windowed analysis
+	// with the ensemble size (memory traffic, reordering, clustering
+	// iterations); 0 defaults to 1 (linear).
+	StatExponent float64
+	// StatChunk splits each per-cut analysis activity into service chunks
+	// of at most this many seconds, approximating OS time-sharing between
+	// the long-running statistics and the fine-grained simulation quanta
+	// on a shared host (0 = unchunked).
+	StatChunk float64
+	// Seed drives the deterministic service-time noise.
+	Seed int64
+}
+
+func (w Workload) validate() error {
+	if w.Trajectories < 1 || w.Quanta < 1 || w.SamplesPerQuantum < 1 {
+		return fmt.Errorf("platform: trajectories, quanta and samples per quantum must be >= 1 (got %d, %d, %d)",
+			w.Trajectories, w.Quanta, w.SamplesPerQuantum)
+	}
+	if w.QuantumCost <= 0 {
+		return fmt.Errorf("platform: quantum cost must be positive, got %g", w.QuantumCost)
+	}
+	return nil
+}
+
+// statCostPerCut returns the per-cut analysis service time.
+func (w Workload) statCostPerCut() float64 {
+	alpha := w.StatExponent
+	if alpha <= 0 {
+		alpha = 1
+	}
+	return w.StatBase + w.StatPerTraj*math.Pow(float64(w.Trajectories), alpha)
+}
+
+// Deployment maps pipeline threads onto hosts.
+type Deployment struct {
+	// SimWorkerHosts has one entry per simulation engine: the index of
+	// the host it runs on.
+	SimWorkerHosts []int
+	// MasterHost runs the aligner and the statistics farm.
+	MasterHost int
+	// StatEngines is the width of the statistics farm.
+	StatEngines int
+	// StaticPartition, when true, pre-assigns trajectories round-robin to
+	// hosts and lets workers steal only within their own host — the
+	// distributed deployment's behaviour, where rescheduling crosses no
+	// host boundary. False models the shared-memory on-demand farm.
+	StaticPartition bool
+}
+
+func (d Deployment) validate(nHosts int) error {
+	if len(d.SimWorkerHosts) == 0 {
+		return fmt.Errorf("platform: no sim workers deployed")
+	}
+	for i, h := range d.SimWorkerHosts {
+		if h < 0 || h >= nHosts {
+			return fmt.Errorf("platform: sim worker %d on unknown host %d", i, h)
+		}
+	}
+	if d.MasterHost < 0 || d.MasterHost >= nHosts {
+		return fmt.Errorf("platform: master on unknown host %d", d.MasterHost)
+	}
+	if d.StatEngines < 1 {
+		return fmt.Errorf("platform: need at least 1 stat engine")
+	}
+	return nil
+}
+
+// Metrics reports one simulated execution.
+type Metrics struct {
+	// Makespan is the modelled wall-clock duration in seconds.
+	Makespan float64
+	// SimBusy, AlignBusy and StatBusy are aggregate service seconds spent
+	// in each stage (reference-core units).
+	SimBusy, AlignBusy, StatBusy float64
+	// Cuts is the number of time cuts analysed.
+	Cuts int
+	// NetBytes is the total traffic that crossed host boundaries.
+	NetBytes int64
+}
+
+// Simulate runs the pipeline model and returns its metrics. The model is
+// fully deterministic for a given (workload seed, deployment) pair.
+func Simulate(p Platform, w Workload, d Deployment) (Metrics, error) {
+	var m Metrics
+	if err := w.validate(); err != nil {
+		return m, err
+	}
+	if len(p.Hosts) == 0 {
+		return m, fmt.Errorf("platform: no hosts")
+	}
+	if err := d.validate(len(p.Hosts)); err != nil {
+		return m, err
+	}
+
+	eng := &engine{}
+	pools := make([]*corePool, len(p.Hosts))
+	for i, h := range p.Hosts {
+		pool, err := newCorePool(eng, h.Name, h.Cores, h.Speed)
+		if err != nil {
+			return m, err
+		}
+		pools[i] = pool
+	}
+
+	// Per-trajectory speed factors (mean-1 lognormal).
+	trajFactor := make([]float64, w.Trajectories)
+	for i := range trajFactor {
+		trajFactor[i] = lognormal(hash3(w.Seed, uint64(i), 0xa11ce), w.TrajSigma)
+	}
+	quantumCost := func(traj, q int) float64 {
+		noise := lognormal(hash3(w.Seed, uint64(traj), uint64(q)+1), w.QuantumSigma)
+		return w.QuantumCost * trajFactor[traj] * noise
+	}
+
+	// Sim workers: on-demand dispatch of (traj, quantum) tasks, with the
+	// feedback constraint that quantum q+1 of a trajectory becomes ready
+	// only when its quantum q completed. With StaticPartition, dispatch is
+	// scoped per host: each host has its own ready queue and idle list.
+	type task struct{ traj, q int }
+	workers := make([]*thread, len(d.SimWorkerHosts))
+	workerHost := d.SimWorkerHosts
+	for i, h := range workerHost {
+		workers[i] = newThread(pools[h])
+	}
+
+	// partition[traj] = dispatch domain of the trajectory. With global
+	// on-demand scheduling there is a single domain 0.
+	domains := 1
+	domainOf := func(traj int) int { return 0 }
+	workerDomain := make([]int, len(workers))
+	if d.StaticPartition {
+		// Hosts that run at least one worker, in first-appearance order.
+		hostDomain := make(map[int]int)
+		for i, h := range workerHost {
+			if _, ok := hostDomain[h]; !ok {
+				hostDomain[h] = len(hostDomain)
+			}
+			workerDomain[i] = hostDomain[h]
+		}
+		domains = len(hostDomain)
+		// Capacity-aware partition: trajectories are dealt out
+		// proportionally to each host's worker count (the distributed
+		// master knows the per-host farm width).
+		counts := make([]int, domains)
+		for _, dom := range workerDomain {
+			counts[dom]++
+		}
+		var slots []int
+		for dom, c := range counts {
+			for i := 0; i < c; i++ {
+				slots = append(slots, dom)
+			}
+		}
+		domainOf = func(traj int) int { return slots[traj%len(slots)] }
+	}
+
+	ready := make([][]task, domains)
+	idle := make([][]int, domains)
+	for i := 0; i < w.Trajectories; i++ {
+		dom := domainOf(i)
+		ready[dom] = append(ready[dom], task{traj: i})
+	}
+	for i := range workers {
+		dom := workerDomain[i]
+		idle[dom] = append(idle[dom], i)
+	}
+
+	// Aligner and stat farm on the master host.
+	aligner := newThread(pools[d.MasterHost])
+	statThreads := make([]*thread, d.StatEngines)
+	for i := range statThreads {
+		statThreads[i] = newThread(pools[d.MasterHost])
+	}
+	statIdle := make([]int, 0, d.StatEngines)
+	for i := range statThreads {
+		statIdle = append(statIdle, i)
+	}
+	statReady := []int{} // cut indices awaiting a stat engine
+	statCost := w.statCostPerCut()
+
+	// Cut bookkeeping: samplesAligned[i] = aligned samples of trajectory
+	// i; a cut k is complete when every trajectory has > k aligned
+	// samples.
+	samplesAligned := make([]int, w.Trajectories)
+	totalCuts := w.Quanta * w.SamplesPerQuantum
+	cutsReleased := 0
+
+	var dispatch func(dom int)
+	var releaseCuts func()
+	var dispatchStats func()
+
+	dispatchStats = func() {
+		for len(statReady) > 0 && len(statIdle) > 0 {
+			statReady = statReady[1:]
+			eid := statIdle[0]
+			statIdle = statIdle[1:]
+			m.StatBusy += statCost
+			chunks := 1
+			if w.StatChunk > 0 && statCost > w.StatChunk {
+				chunks = int(math.Ceil(statCost / w.StatChunk))
+			}
+			per := statCost / float64(chunks)
+			// Post the cut's analysis as a serial chain of chunks on the
+			// engine's thread; the core is released between chunks.
+			done := func() {
+				statIdle = append(statIdle, eid)
+				m.Cuts++
+				dispatchStats()
+			}
+			for c := 0; c < chunks; c++ {
+				if c == chunks-1 {
+					statThreads[eid].post(per, done)
+				} else {
+					statThreads[eid].post(per, func() {})
+				}
+			}
+		}
+	}
+
+	releaseCuts = func() {
+		minAligned := math.MaxInt
+		for _, s := range samplesAligned {
+			if s < minAligned {
+				minAligned = s
+			}
+		}
+		for cutsReleased < minAligned && cutsReleased < totalCuts {
+			statReady = append(statReady, cutsReleased)
+			cutsReleased++
+		}
+		dispatchStats()
+	}
+
+	alignBatch := func(traj int) {
+		dur := float64(w.SamplesPerQuantum) * w.AlignPerSample
+		m.AlignBusy += dur
+		aligner.post(dur, func() {
+			samplesAligned[traj] += w.SamplesPerQuantum
+			releaseCuts()
+		})
+	}
+
+	dispatch = func(dom int) {
+		for len(ready[dom]) > 0 && len(idle[dom]) > 0 {
+			tk := ready[dom][0]
+			ready[dom] = ready[dom][1:]
+			wid := idle[dom][0]
+			idle[dom] = idle[dom][1:]
+			cost := quantumCost(tk.traj, tk.q)
+			m.SimBusy += cost
+			workers[wid].post(cost, func() {
+				// Ship the quantum's samples to the aligner, crossing the
+				// network if the worker is remote.
+				link := p.link(workerHost[wid], d.MasterHost)
+				delay := 0.0
+				if link.LatencySec > 0 || link.BytesPerSec > 0 {
+					bytes := float64(w.SamplesPerQuantum * w.SampleBytes)
+					delay = link.LatencySec
+					if link.BytesPerSec > 0 {
+						delay += bytes / link.BytesPerSec
+					}
+					m.NetBytes += int64(bytes)
+				}
+				traj := tk.traj
+				eng.after(delay, func() { alignBatch(traj) })
+				// Feedback: reschedule the trajectory's next quantum.
+				if tk.q+1 < w.Quanta {
+					ready[dom] = append(ready[dom], task{traj: tk.traj, q: tk.q + 1})
+				}
+				idle[dom] = append(idle[dom], wid)
+				dispatch(dom)
+			})
+		}
+	}
+
+	for dom := 0; dom < domains; dom++ {
+		dispatch(dom)
+	}
+	m.Makespan = eng.run()
+	if m.Cuts != totalCuts {
+		return m, fmt.Errorf("platform: internal error: %d cuts analysed, want %d", m.Cuts, totalCuts)
+	}
+	return m, nil
+}
+
+// LognormalHash returns the deterministic mean-1 lognormal factor derived
+// from (seed, a, b) with the given sigma — the same noise process the
+// pipeline model uses, exported for companion models (e.g. the GPU run of
+// Table I) that must draw from an identical trajectory-unevenness
+// distribution.
+func LognormalHash(seed int64, a, b uint64, sigma float64) float64 {
+	return lognormal(hash3(seed, a, b), sigma)
+}
+
+// hash3 mixes a seed and two indices into a 64-bit value (splitmix64).
+func hash3(seed int64, a, b uint64) uint64 {
+	x := uint64(seed) ^ a*0x9e3779b97f4a7c15 ^ b*0xbf58476d1ce4e5b9
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// lognormal maps a hash to a mean-1 lognormal factor with the given sigma.
+func lognormal(h uint64, sigma float64) float64 {
+	if sigma <= 0 {
+		return 1
+	}
+	// Two uniforms from one hash via splitting.
+	u1 := float64(h>>11) / float64(1<<53)
+	u2 := float64((h*0x9e3779b97f4a7c15)>>11) / float64(1<<53)
+	if u1 < 1e-300 {
+		u1 = 1e-300
+	}
+	z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	return math.Exp(sigma*z - sigma*sigma/2)
+}

@@ -1,0 +1,347 @@
+package platform
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// uniformWorkload has no noise and negligible analysis cost: the pure
+// compute-bound case with analytic makespan.
+func uniformWorkload(traj, quanta int) Workload {
+	return Workload{
+		Trajectories:      traj,
+		Quanta:            quanta,
+		SamplesPerQuantum: 1,
+		QuantumCost:       1.0,
+		AlignPerSample:    1e-12,
+		StatPerTraj:       1e-12,
+		Seed:              1,
+	}
+}
+
+func smpDeploy(workers, engines int) Deployment {
+	return Deployment{
+		SimWorkerHosts: SpreadWorkers([]int{0}, workers),
+		MasterHost:     0,
+		StatEngines:    engines,
+	}
+}
+
+func TestUniformPerfectBalance(t *testing.T) {
+	// 8 trajectories x 5 quanta of cost 1 on 4 workers with enough cores:
+	// ideal makespan = 40/4 = 10.
+	p := SharedMemory(16)
+	m, err := Simulate(p, uniformWorkload(8, 5), smpDeploy(4, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Makespan-10) > 0.01 {
+		t.Fatalf("makespan = %g, want ~10", m.Makespan)
+	}
+	if math.Abs(m.SimBusy-40) > 1e-9 {
+		t.Fatalf("SimBusy = %g, want 40", m.SimBusy)
+	}
+	if m.Cuts != 5 {
+		t.Fatalf("cuts = %d, want 5", m.Cuts)
+	}
+}
+
+func TestSingleWorkerIsSerial(t *testing.T) {
+	p := SharedMemory(4)
+	m, err := Simulate(p, uniformWorkload(6, 3), smpDeploy(1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Makespan-18) > 0.01 {
+		t.Fatalf("makespan = %g, want ~18", m.Makespan)
+	}
+}
+
+func TestSpeedupScalesWithWorkers(t *testing.T) {
+	p := SharedMemory(64)
+	w := NeurosporaWorkload(128, 40, 10, 7)
+	base, err := Simulate(p, w, smpDeploy(1, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 0.0
+	for _, n := range []int{2, 4, 8, 16, 32} {
+		m, err := Simulate(p, w, smpDeploy(n, 4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp := base.Makespan / m.Makespan
+		if sp < prev-0.2 {
+			t.Fatalf("speedup dropped: %g workers → %.2f (prev %.2f)", float64(n), sp, prev)
+		}
+		if sp > float64(n)+0.01 {
+			t.Fatalf("superlinear speedup %g on %d workers", sp, n)
+		}
+		prev = sp
+	}
+	if prev < 20 {
+		t.Fatalf("32-worker speedup = %.2f, want >= 20 (near-ideal case)", prev)
+	}
+}
+
+func TestStatEngineBottleneck(t *testing.T) {
+	// With one stat engine and heavy per-cut analysis, adding sim workers
+	// stops helping; 4 stat engines relieve the bottleneck (the Fig. 3
+	// effect).
+	p := SharedMemory(64)
+	w := NeurosporaWorkload(1024, 20, 10, 3)
+	one, err := Simulate(p, w, smpDeploy(30, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	four, err := Simulate(p, w, smpDeploy(30, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if four.Makespan >= one.Makespan {
+		t.Fatalf("4 stat engines (%.2fs) not faster than 1 (%.2fs)", four.Makespan, one.Makespan)
+	}
+	// The single-engine run must be analysis-bound: makespan close to the
+	// serial stat time.
+	serialStat := w.statCostPerCut() * float64(w.Quanta*w.SamplesPerQuantum)
+	if one.Makespan < serialStat*0.95 {
+		t.Fatalf("single-engine makespan %.2f below serial stat floor %.2f", one.Makespan, serialStat)
+	}
+}
+
+func TestAlignerIsSequentialFloor(t *testing.T) {
+	w := uniformWorkload(4, 10)
+	w.AlignPerSample = 5.0 // absurdly expensive alignment
+	p := SharedMemory(32)
+	m, err := Simulate(p, w, smpDeploy(8, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 trajectories x 10 quanta x 1 sample x 5 s, strictly sequential.
+	if m.Makespan < 200 {
+		t.Fatalf("makespan %.2f below the sequential alignment floor 200", m.Makespan)
+	}
+}
+
+func TestNetworkDelaySlowsRemoteWorkers(t *testing.T) {
+	w := uniformWorkload(8, 5)
+	w.SampleBytes = 1 << 20 // 1 MiB per sample to make bandwidth visible
+	local := Platform{Hosts: []Host{{Name: "a", Cores: 8, Speed: 1}, {Name: "b", Cores: 8, Speed: 1}}}
+	remote := Platform{
+		Hosts: local.Hosts,
+		LinkFn: func(from, to int) Link {
+			return Link{LatencySec: 50e-3, BytesPerSec: 10e6}
+		},
+	}
+	dep := Deployment{
+		SimWorkerHosts: []int{1, 1, 1, 1}, // all workers on host b
+		MasterHost:     0,
+		StatEngines:    1,
+	}
+	mLocal, err := Simulate(local, w, dep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mRemote, err := Simulate(remote, w, dep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mRemote.Makespan <= mLocal.Makespan {
+		t.Fatalf("network-crossing run (%.3f) not slower than local (%.3f)", mRemote.Makespan, mLocal.Makespan)
+	}
+	if mRemote.NetBytes == 0 || mLocal.NetBytes != 0 {
+		t.Fatalf("net accounting wrong: local %d, remote %d", mLocal.NetBytes, mRemote.NetBytes)
+	}
+}
+
+func TestCoreContentionBetweenStages(t *testing.T) {
+	// On a 4-core host, 4 sim workers + aligner + stat engine contend for
+	// cores: the makespan must exceed the pure-sim ideal (Fig. 5's
+	// sub-linear speedup on the quad-core VM).
+	w := NeurosporaWorkload(64, 30, 10, 5)
+	w.AlignPerSample = 0.02 // service stages at ~20% of the sim work
+	w.StatPerTraj = 5e-3
+	p := SharedMemory(4)
+	m4, err := Simulate(p, w, smpDeploy(4, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, err := Simulate(p, w, smpDeploy(1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := m1.Makespan / m4.Makespan
+	if sp >= 3.9 {
+		t.Fatalf("speedup %g on 4 cores with contention: expected visibly sub-linear", sp)
+	}
+	if sp < 2 {
+		t.Fatalf("speedup %g unreasonably poor", sp)
+	}
+}
+
+func TestFasterHostsFinishSooner(t *testing.T) {
+	w := uniformWorkload(16, 4)
+	slow := Platform{Hosts: []Host{{Name: "s", Cores: 4, Speed: 1}}}
+	fast := Platform{Hosts: []Host{{Name: "f", Cores: 4, Speed: 2}}}
+	dep := smpDeploy(4, 1)
+	ms, err := Simulate(slow, w, dep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mf, err := Simulate(fast, w, dep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := ms.Makespan / mf.Makespan
+	if math.Abs(ratio-2) > 0.05 {
+		t.Fatalf("speed-2 host ratio = %g, want ~2", ratio)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	p := InfinibandCluster(4, 8)
+	w := NeurosporaWorkload(64, 10, 10, 42)
+	dep := Deployment{
+		SimWorkerHosts: WorkersPerHost([]int{0, 1, 2, 3}, 4),
+		MasterHost:     0,
+		StatEngines:    4,
+	}
+	a, err := Simulate(p, w, dep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(p, w, dep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("same inputs, different metrics: %+v vs %+v", a, b)
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	p := SharedMemory(4)
+	good := uniformWorkload(2, 2)
+	cases := []struct {
+		name string
+		w    Workload
+		d    Deployment
+		p    Platform
+	}{
+		{"no trajectories", Workload{Quanta: 1, SamplesPerQuantum: 1, QuantumCost: 1}, smpDeploy(1, 1), p},
+		{"no cost", Workload{Trajectories: 1, Quanta: 1, SamplesPerQuantum: 1}, smpDeploy(1, 1), p},
+		{"no workers", good, Deployment{MasterHost: 0, StatEngines: 1}, p},
+		{"bad worker host", good, Deployment{SimWorkerHosts: []int{7}, StatEngines: 1}, p},
+		{"bad master", good, Deployment{SimWorkerHosts: []int{0}, MasterHost: 9, StatEngines: 1}, p},
+		{"no stat engines", good, Deployment{SimWorkerHosts: []int{0}}, p},
+		{"no hosts", good, smpDeploy(1, 1), Platform{}},
+	}
+	for _, tc := range cases {
+		if _, err := Simulate(tc.p, tc.w, tc.d); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestWorkloadHelpers(t *testing.T) {
+	if got := SpreadWorkers([]int{0, 1}, 5); len(got) != 5 || got[4] != 0 {
+		t.Fatalf("SpreadWorkers = %v", got)
+	}
+	if got := WorkersPerHost([]int{2, 3}, 2); len(got) != 4 || got[0] != 2 || got[3] != 3 {
+		t.Fatalf("WorkersPerHost = %v", got)
+	}
+	w := NeurosporaWorkload(10, 5, 10, 1)
+	if w.statCostPerCut() <= w.StatBase {
+		t.Fatal("stat cost must grow with trajectories")
+	}
+}
+
+// Property: makespan respects the standard scheduling lower bounds:
+// total-sim-work/capacity and the longest trajectory chain.
+func TestProperty_MakespanLowerBounds(t *testing.T) {
+	f := func(seed int64, trajRaw, quantaRaw, workersRaw uint8) bool {
+		traj := int(trajRaw%30) + 1
+		quanta := int(quantaRaw%10) + 1
+		workers := int(workersRaw%8) + 1
+		w := Workload{
+			Trajectories:      traj,
+			Quanta:            quanta,
+			SamplesPerQuantum: 2,
+			QuantumCost:       0.5,
+			TrajSigma:         0.4,
+			QuantumSigma:      0.3,
+			AlignPerSample:    1e-9,
+			StatPerTraj:       1e-9,
+			Seed:              seed,
+		}
+		p := SharedMemory(workers + 2)
+		m, err := Simulate(p, w, smpDeploy(workers, 1))
+		if err != nil {
+			return false
+		}
+		if m.Makespan < m.SimBusy/float64(workers)-1e-6 {
+			return false
+		}
+		// Longest chain: a trajectory's quanta are serial.
+		return m.Makespan >= 0 && m.SimBusy > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStaticPartitionNeverBeatsOnDemand(t *testing.T) {
+	// With uneven trajectories, host-local scheduling (the distributed
+	// deployment) suffers stragglers that global on-demand avoids.
+	p := InfinibandCluster(4, 4)
+	w := NeurosporaWorkload(64, 20, 10, 9)
+	base := Deployment{
+		SimWorkerHosts: WorkersPerHost([]int{0, 1, 2, 3}, 4),
+		MasterHost:     0,
+		StatEngines:    4,
+	}
+	static := base
+	static.StaticPartition = true
+	mOn, err := Simulate(p, w, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mStatic, err := Simulate(p, w, static)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Allow scheduling noise: static must never win by more than 2%.
+	if mStatic.Makespan < mOn.Makespan*0.98 {
+		t.Fatalf("static partition (%.3f) beat on-demand (%.3f)", mStatic.Makespan, mOn.Makespan)
+	}
+}
+
+func TestLognormalMeanIsOne(t *testing.T) {
+	for _, sigma := range []float64{0.1, 0.5, 1.0} {
+		sum := 0.0
+		const n = 200000
+		for i := 0; i < n; i++ {
+			sum += lognormal(hash3(1, uint64(i), 7), sigma)
+		}
+		mean := sum / n
+		if math.Abs(mean-1) > 0.03 {
+			t.Fatalf("sigma=%g: mean = %g, want ~1", sigma, mean)
+		}
+	}
+	if lognormal(123, 0) != 1 {
+		t.Fatal("sigma=0 must be exactly 1")
+	}
+}
+
+func BenchmarkSimulate1024x32(b *testing.B) {
+	p := SharedMemory(64)
+	w := NeurosporaWorkload(1024, 20, 10, 1)
+	dep := smpDeploy(32, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Simulate(p, w, dep); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package platform
+
+// Presets model the paper's testbeds. Speeds are relative to the reference
+// core (one core of the 2.0 GHz Nehalem E7-4820 of the multi-core
+// experiments); link parameters are typical figures for the named fabric.
+
+// Nehalem32 models the paper's Intel workstation: 4 x 8-core E7-4820
+// @2.0 GHz, treated as one 32-core shared-memory host.
+func Nehalem32() Platform {
+	return Platform{Hosts: []Host{{Name: "nehalem", Cores: 32, Speed: 1.0}}}
+}
+
+// SharedMemory models a single multi-core host with the given core count.
+func SharedMemory(cores int) Platform {
+	return Platform{Hosts: []Host{{Name: "smp", Cores: cores, Speed: 1.0}}}
+}
+
+// InfinibandCluster models the paper's cluster: hosts with 2 x six-core
+// Xeon X5670 @3.0 GHz (speed 1.4 vs the Nehalem reference) on Infiniband
+// used via IPoIB (TCP over IB): ~25 us latency, ~1.2 GB/s effective.
+func InfinibandCluster(hosts, coresPerHost int) Platform {
+	hs := make([]Host, hosts)
+	for i := range hs {
+		hs[i] = Host{Name: "xeon", Cores: coresPerHost, Speed: 1.4}
+	}
+	return Platform{
+		Hosts: hs,
+		LinkFn: func(from, to int) Link {
+			return Link{LatencySec: 25e-6, BytesPerSec: 1.2e9}
+		},
+	}
+}
+
+// EthernetCluster is the same cluster on gigabit Ethernet: ~100 us
+// latency, ~117 MB/s.
+func EthernetCluster(hosts, coresPerHost int) Platform {
+	hs := make([]Host, hosts)
+	for i := range hs {
+		hs[i] = Host{Name: "xeon", Cores: coresPerHost, Speed: 1.4}
+	}
+	return Platform{
+		Hosts: hs,
+		LinkFn: func(from, to int) Link {
+			return Link{LatencySec: 100e-6, BytesPerSec: 117e6}
+		},
+	}
+}
+
+// EC2Cluster models the paper's Amazon EC2 virtual cluster: VMs with four
+// Intel E-2670 @2.6 GHz cores (speed 1.25) on the EC2 network (~200 us,
+// ~120 MB/s).
+func EC2Cluster(vms, coresPerVM int) Platform {
+	hs := make([]Host, vms)
+	for i := range hs {
+		hs[i] = Host{Name: "ec2-vm", Cores: coresPerVM, Speed: 1.25}
+	}
+	return Platform{
+		Hosts: hs,
+		LinkFn: func(from, to int) Link {
+			return Link{LatencySec: 200e-6, BytesPerSec: 120e6}
+		},
+	}
+}
+
+// Heterogeneous models the paper's mixed platform: eight quad-core EC2
+// VMs, one 32-core Nehalem workstation, and two 16-core Sandy Bridge
+// workstations (speed 1.3). The lab hosts see each other over gigabit
+// Ethernet; the EC2 VMs reach the lab over the WAN (~20 ms, ~40 MB/s).
+// Host 8 (the Nehalem) is the conventional master host.
+func Heterogeneous() Platform {
+	var hs []Host
+	for i := 0; i < 8; i++ {
+		hs = append(hs, Host{Name: "ec2-vm", Cores: 4, Speed: 1.25})
+	}
+	hs = append(hs, Host{Name: "nehalem", Cores: 32, Speed: 1.0})
+	hs = append(hs, Host{Name: "sandy-bridge", Cores: 16, Speed: 1.3})
+	hs = append(hs, Host{Name: "sandy-bridge", Cores: 16, Speed: 1.3})
+	return Platform{
+		Hosts: hs,
+		LinkFn: func(from, to int) Link {
+			ec2 := func(h int) bool { return h < 8 }
+			if ec2(from) != ec2(to) {
+				return Link{LatencySec: 20e-3, BytesPerSec: 40e6}
+			}
+			if ec2(from) && ec2(to) {
+				return Link{LatencySec: 200e-6, BytesPerSec: 120e6}
+			}
+			return Link{LatencySec: 100e-6, BytesPerSec: 117e6}
+		},
+	}
+}
+
+// HeterogeneousMaster is the master host index of Heterogeneous().
+const HeterogeneousMaster = 8
+
+// SpreadWorkers deploys totalWorkers sim engines round-robin over the
+// given host indices.
+func SpreadWorkers(hostIdx []int, totalWorkers int) []int {
+	out := make([]int, totalWorkers)
+	for i := range out {
+		out[i] = hostIdx[i%len(hostIdx)]
+	}
+	return out
+}
+
+// WorkersPerHost deploys exactly perHost sim engines on each listed host.
+func WorkersPerHost(hostIdx []int, perHost int) []int {
+	out := make([]int, 0, len(hostIdx)*perHost)
+	for _, h := range hostIdx {
+		for i := 0; i < perHost; i++ {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// NeurosporaWorkload returns the calibrated workload of the paper's
+// Neurospora runs: per-quantum cost calibrated from the real single-core
+// Gillespie engine of this repository (BenchmarkNeurosporaStep: ~0.45 us
+// per reaction at omega=100, ~330 reactions per simulated hour), with the
+// heavy per-trajectory imbalance the paper reports. quanta x samples gives
+// the run length; see internal/bench for the per-figure instantiations.
+func NeurosporaWorkload(trajectories, quanta, samplesPerQuantum int, seed int64) Workload {
+	const (
+		reactionsPerSample = 330.0  // one sampling period τ = 1 h of biology
+		secPerReaction     = 4.5e-4 // calibrated so Table I magnitudes match
+	)
+	return Workload{
+		Trajectories:      trajectories,
+		Quanta:            quanta,
+		SamplesPerQuantum: samplesPerQuantum,
+		QuantumCost:       reactionsPerSample * secPerReaction * float64(samplesPerQuantum),
+		// Imbalance is mostly instantaneous (per-quantum random walk of
+		// simulation time, absorbed by on-demand scheduling); the
+		// persistent per-trajectory spread is small — a large persistent
+		// spread would let one straggler gate every cut, which the paper's
+		// near-ideal curves exclude.
+		TrajSigma:         0.10,
+		QuantumSigma:      0.30,
+		SampleBytes:       64,
+		AlignPerSample:    2e-5,
+		StatBase:          1e-4,
+		StatPerTraj:       1.8e-3,
+		StatExponent:      1.2,
+		StatChunk:         0.05,
+		Seed:              seed,
+	}
+}

@@ -1,0 +1,168 @@
+// Package sim turns a stochastic simulation engine into quantum-based,
+// restartable simulation tasks producing time-aligned samples.
+//
+// A Task owns one trajectory: a live simulator (either the flat Gillespie
+// engine or the CWC term-rewriting engine — anything implementing
+// Simulator), the trajectory's end time, the simulation quantum (how much
+// simulated time one scheduling step advances) and the sampling period τ.
+// Each RunQuantum call advances the simulator by one quantum and emits the
+// samples whose nominal instants were crossed, using the exact SSA
+// piecewise-constant state semantics (the state at time t is the state
+// after the last reaction at or before t).
+//
+// Tasks are the unit of work dispatched to the simulation-engine farm: an
+// unfinished task is rescheduled through the farm's feedback channel, which
+// is what gives the pipeline its load-balancing behaviour on heavily uneven
+// trajectories.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Simulator is the stepping contract shared by the SSA engines
+// (gillespie.Direct, gillespie.NextReaction, cwc.Engine).
+type Simulator interface {
+	// Time returns the current simulation time.
+	Time() float64
+	// Step fires one reaction, returning false in a dead state.
+	Step() bool
+	// NumSpecies is the dimension of the observable vector.
+	NumSpecies() int
+	// Observe copies the current observable state into out
+	// (len(out) == NumSpecies()).
+	Observe(out []int64)
+}
+
+// Sample is one observation of one trajectory at an aligned instant
+// k·Period. Samples from all trajectories at equal Index form a "cut".
+type Sample struct {
+	Traj  int
+	Index int
+	Time  float64
+	State []int64
+}
+
+// Task is one trajectory's simulation work, advanced one quantum at a time.
+type Task struct {
+	Traj    int
+	End     float64
+	Quantum float64
+	Period  float64
+
+	sim     Simulator
+	nextIdx int
+	lastIdx int
+	dead    bool
+	scratch []int64
+}
+
+// NewTask wraps a simulator into a task for trajectory traj. end is the
+// simulated horizon, quantum the amount of simulated time advanced per
+// RunQuantum call, and period the sampling interval τ. Samples are emitted
+// at k·period for k = 0 .. floor(end/period).
+func NewTask(traj int, s Simulator, end, quantum, period float64) (*Task, error) {
+	if s == nil {
+		return nil, errors.New("sim: nil simulator")
+	}
+	if end <= 0 || quantum <= 0 || period <= 0 {
+		return nil, fmt.Errorf("sim: end, quantum and period must be positive (got %g, %g, %g)", end, quantum, period)
+	}
+	return &Task{
+		Traj:    traj,
+		End:     end,
+		Quantum: quantum,
+		Period:  period,
+		sim:     s,
+		lastIdx: int(math.Floor(end / period)),
+		scratch: make([]int64, s.NumSpecies()),
+	}, nil
+}
+
+// NumSamples returns the total number of samples the task will emit.
+func (t *Task) NumSamples() int { return t.lastIdx + 1 }
+
+// Done reports whether every sample has been emitted.
+func (t *Task) Done() bool { return t.nextIdx > t.lastIdx }
+
+// Dead reports whether the underlying system reached a dead state (no
+// reaction can fire). A dead task still emits its remaining samples — the
+// state is frozen forever — and then completes.
+func (t *Task) Dead() bool { return t.dead }
+
+// Time returns the simulator's current time.
+func (t *Task) Time() float64 { return t.sim.Time() }
+
+// Steps returns the number of reactions fired, when the simulator exposes
+// it (both provided engines do); otherwise 0.
+func (t *Task) Steps() uint64 {
+	if s, ok := t.sim.(interface{ Steps() uint64 }); ok {
+		return s.Steps()
+	}
+	return 0
+}
+
+// RunQuantum advances the trajectory by one simulation quantum (or to the
+// end time, whichever is closer), emitting every sample whose instant was
+// crossed. It is a no-op on a completed task.
+func (t *Task) RunQuantum(emit func(Sample) error) error {
+	if t.Done() {
+		return nil
+	}
+	target := math.Min(t.sim.Time()+t.Quantum, t.End)
+	for !t.dead && t.sim.Time() < target {
+		// The current state holds on [Time, nextStepTime): snapshot it
+		// before stepping, then emit the samples inside that interval.
+		t.sim.Observe(t.scratch)
+		if !t.sim.Step() {
+			t.dead = true
+			break
+		}
+		tAfter := t.sim.Time()
+		if err := t.emitUpTo(tAfter, emit); err != nil {
+			return err
+		}
+	}
+	// A dead system's state is frozen: all remaining samples equal the
+	// current state. Similarly, if the simulator landed exactly on the end
+	// time, flush the samples at or before it.
+	if t.dead || t.sim.Time() >= t.End {
+		t.sim.Observe(t.scratch)
+		limit := t.sim.Time()
+		if t.dead {
+			limit = math.Inf(1)
+		}
+		for t.nextIdx <= t.lastIdx && float64(t.nextIdx)*t.Period <= limit {
+			if err := t.emitOne(emit); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// emitUpTo emits all pending samples with instant strictly before tAfter
+// (the state in scratch holds on that half-open interval).
+func (t *Task) emitUpTo(tAfter float64, emit func(Sample) error) error {
+	for t.nextIdx <= t.lastIdx && float64(t.nextIdx)*t.Period < tAfter {
+		if err := t.emitOne(emit); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (t *Task) emitOne(emit func(Sample) error) error {
+	state := make([]int64, len(t.scratch))
+	copy(state, t.scratch)
+	s := Sample{
+		Traj:  t.Traj,
+		Index: t.nextIdx,
+		Time:  float64(t.nextIdx) * t.Period,
+		State: state,
+	}
+	t.nextIdx++
+	return emit(s)
+}

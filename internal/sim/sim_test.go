@@ -1,0 +1,264 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"cwcflow/internal/gillespie"
+	"cwcflow/internal/models"
+)
+
+// fakeSim is a deterministic simulator: one reaction every dt, each
+// incrementing the single observable by 1.
+type fakeSim struct {
+	t    float64
+	dt   float64
+	x    int64
+	maxX int64 // dead once x reaches maxX (0 = never)
+}
+
+func (f *fakeSim) Time() float64 { return f.t }
+func (f *fakeSim) Step() bool {
+	if f.maxX > 0 && f.x >= f.maxX {
+		return false
+	}
+	f.t += f.dt
+	f.x++
+	return true
+}
+func (f *fakeSim) NumSpecies() int       { return 1 }
+func (f *fakeSim) Observe(out []int64)   { out[0] = f.x }
+
+func collect(t *testing.T, task *Task) []Sample {
+	t.Helper()
+	var out []Sample
+	for !task.Done() {
+		if err := task.RunQuantum(func(s Sample) error {
+			out = append(out, s)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return out
+}
+
+func TestNewTaskValidation(t *testing.T) {
+	if _, err := NewTask(0, nil, 1, 1, 1); err == nil {
+		t.Fatal("nil simulator accepted")
+	}
+	bad := [][3]float64{{0, 1, 1}, {1, 0, 1}, {1, 1, 0}, {-1, 1, 1}}
+	for _, b := range bad {
+		if _, err := NewTask(0, &fakeSim{dt: 1}, b[0], b[1], b[2]); err == nil {
+			t.Fatalf("accepted end=%g quantum=%g period=%g", b[0], b[1], b[2])
+		}
+	}
+}
+
+func TestSampleCountAndTimes(t *testing.T) {
+	task, err := NewTask(3, &fakeSim{dt: 0.3}, 10, 2.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if task.NumSamples() != 11 {
+		t.Fatalf("NumSamples = %d, want 11", task.NumSamples())
+	}
+	samples := collect(t, task)
+	if len(samples) != 11 {
+		t.Fatalf("len(samples) = %d, want 11", len(samples))
+	}
+	for k, s := range samples {
+		if s.Index != k {
+			t.Fatalf("samples[%d].Index = %d", k, s.Index)
+		}
+		if s.Time != float64(k) {
+			t.Fatalf("samples[%d].Time = %g", k, s.Time)
+		}
+		if s.Traj != 3 {
+			t.Fatalf("samples[%d].Traj = %d", k, s.Traj)
+		}
+	}
+}
+
+func TestPiecewiseConstantSemantics(t *testing.T) {
+	// Steps at t=0.3, 0.6, 0.9, ... x increments at each. Sample at k=1
+	// (t=1.0): the last step at or before 1.0 is at 0.9, after which x=3.
+	task, err := NewTask(0, &fakeSim{dt: 0.3}, 2, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := collect(t, task)
+	if got := samples[0].State[0]; got != 0 {
+		t.Fatalf("sample at t=0: x = %d, want 0", got)
+	}
+	if got := samples[1].State[0]; got != 3 {
+		t.Fatalf("sample at t=1: x = %d, want 3 (steps at .3 .6 .9)", got)
+	}
+	if got := samples[2].State[0]; got != 6 {
+		t.Fatalf("sample at t=2: x = %d, want 6", got)
+	}
+}
+
+func TestQuantumGranularityDoesNotChangeSamples(t *testing.T) {
+	run := func(quantum float64) []Sample {
+		task, err := NewTask(0, &fakeSim{dt: 0.37}, 20, quantum, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return collect(t, task)
+	}
+	ref := run(20) // single quantum
+	for _, q := range []float64{0.5, 1, 3.3, 7} {
+		got := run(q)
+		if len(got) != len(ref) {
+			t.Fatalf("quantum %g: %d samples, want %d", q, len(got), len(ref))
+		}
+		for i := range ref {
+			if got[i].State[0] != ref[i].State[0] {
+				t.Fatalf("quantum %g: sample %d = %d, want %d", q, i, got[i].State[0], ref[i].State[0])
+			}
+		}
+	}
+}
+
+func TestDeadSystemEmitsFrozenSamples(t *testing.T) {
+	// Dies after 4 steps (t=2.0, x=4); remaining samples must all be 4.
+	task, err := NewTask(0, &fakeSim{dt: 0.5, maxX: 4}, 10, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := collect(t, task)
+	if len(samples) != 11 {
+		t.Fatalf("len = %d, want 11", len(samples))
+	}
+	if !task.Dead() {
+		t.Fatal("task not marked dead")
+	}
+	for k := 2; k <= 10; k++ {
+		if samples[k].State[0] != 4 {
+			t.Fatalf("frozen sample %d = %d, want 4", k, samples[k].State[0])
+		}
+	}
+}
+
+func TestRunQuantumAdvancesByQuantum(t *testing.T) {
+	task, err := NewTask(0, &fakeSim{dt: 0.1}, 100, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := task.RunQuantum(func(Sample) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if task.Time() < 5 || task.Time() > 5.2 {
+		t.Fatalf("after one quantum Time = %g, want ~5", task.Time())
+	}
+	if task.Done() {
+		t.Fatal("task done after one of twenty quanta")
+	}
+}
+
+func TestDoneTaskIsNoOp(t *testing.T) {
+	task, err := NewTask(0, &fakeSim{dt: 0.5}, 2, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	collect(t, task)
+	called := false
+	if err := task.RunQuantum(func(Sample) error { called = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if called {
+		t.Fatal("completed task emitted another sample")
+	}
+}
+
+func TestStatesAreIndependentCopies(t *testing.T) {
+	task, err := NewTask(0, &fakeSim{dt: 0.4}, 5, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := collect(t, task)
+	seen := map[int64]bool{}
+	for _, s := range samples {
+		seen[s.State[0]] = true
+	}
+	if len(seen) < 3 {
+		t.Fatal("sample states alias a shared buffer (all equal)")
+	}
+}
+
+func TestWithRealEngines(t *testing.T) {
+	// Both engine families must satisfy Simulator and produce exactly the
+	// expected sample count on the Neurospora model.
+	sys := models.Neurospora(20)
+	d, err := gillespie.NewDirect(sys, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	task, err := NewTask(0, d, 24, 6, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := collect(t, task)
+	if len(samples) != 49 {
+		t.Fatalf("samples = %d, want 49", len(samples))
+	}
+	if task.Steps() == 0 {
+		t.Fatal("engine reported zero steps")
+	}
+	// Sanity: M stays non-negative and the trajectory moved.
+	moved := false
+	for _, s := range samples {
+		if s.State[models.NeuroM] < 0 {
+			t.Fatal("negative count sampled")
+		}
+		if s.State[models.NeuroM] != samples[0].State[models.NeuroM] {
+			moved = true
+		}
+	}
+	if !moved {
+		t.Fatal("trajectory never changed")
+	}
+}
+
+// Property: for any (end, quantum, period) the task emits exactly
+// floor(end/period)+1 samples with strictly increasing indices.
+func TestProperty_ExactSampleSchedule(t *testing.T) {
+	f := func(endRaw, quantumRaw, periodRaw, dtRaw uint8) bool {
+		end := float64(endRaw%50) + 1
+		quantum := float64(quantumRaw%20)*0.5 + 0.5
+		period := float64(periodRaw%10)*0.3 + 0.2
+		dt := float64(dtRaw%10)*0.07 + 0.05
+		task, err := NewTask(0, &fakeSim{dt: dt}, end, quantum, period)
+		if err != nil {
+			return false
+		}
+		want := int(math.Floor(end/period)) + 1
+		var got []Sample
+		guard := 0
+		for !task.Done() {
+			if guard++; guard > 100000 {
+				return false
+			}
+			if err := task.RunQuantum(func(s Sample) error {
+				got = append(got, s)
+				return nil
+			}); err != nil {
+				return false
+			}
+		}
+		if len(got) != want {
+			return false
+		}
+		for i, s := range got {
+			if s.Index != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,349 @@
+// Package stats provides the statistical engines of the on-line analysis
+// pipeline: streaming moments (Welford), exact quantiles, histograms,
+// k-means clustering of trajectory ensembles, moving averages and
+// oscillation-period estimation.
+//
+// These are the "mean / variance / k-means" filters of the paper's
+// analysis stage (Fig. 2): each operates on a single cut or on a sliding
+// window of cuts, independently of every other cut/window, which is what
+// makes the analysis stage farm-parallel.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Welford is a numerically stable streaming accumulator for mean and
+// variance. The zero value is ready to use.
+type Welford struct {
+	n    int64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add folds one observation into the accumulator.
+func (w *Welford) Add(x float64) {
+	if w.n == 0 {
+		w.min, w.max = x, x
+	} else {
+		w.min = math.Min(w.min, x)
+		w.max = math.Max(w.max, x)
+	}
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the number of observations.
+func (w *Welford) N() int64 { return w.n }
+
+// Mean returns the running mean (0 with no observations).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Var returns the unbiased sample variance (0 with fewer than 2
+// observations).
+func (w *Welford) Var() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (w *Welford) Std() float64 { return math.Sqrt(w.Var()) }
+
+// Min returns the smallest observation (0 with none).
+func (w *Welford) Min() float64 { return w.min }
+
+// Max returns the largest observation (0 with none).
+func (w *Welford) Max() float64 { return w.max }
+
+// Merge combines another accumulator into w (parallel reduction of
+// partial statistics, Chan et al.).
+func (w *Welford) Merge(o Welford) {
+	if o.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = o
+		return
+	}
+	n := w.n + o.n
+	d := o.mean - w.mean
+	w.m2 += o.m2 + d*d*float64(w.n)*float64(o.n)/float64(n)
+	w.mean += d * float64(o.n) / float64(n)
+	w.min = math.Min(w.min, o.min)
+	w.max = math.Max(w.max, o.max)
+	w.n = n
+}
+
+// Moments is a value snapshot of a Welford accumulator.
+type Moments struct {
+	N                   int64
+	Mean, Var, Min, Max float64
+}
+
+// Snapshot returns the accumulated moments.
+func (w *Welford) Snapshot() Moments {
+	return Moments{N: w.n, Mean: w.Mean(), Var: w.Var(), Min: w.min, Max: w.max}
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
+// interpolation between order statistics. xs is not modified.
+func Quantile(xs []float64, q float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, errors.New("stats: quantile of empty sample")
+	}
+	if q < 0 || q > 1 {
+		return 0, fmt.Errorf("stats: quantile %g out of [0,1]", q)
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo], nil
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
+}
+
+// Histogram counts observations into equal-width bins over [lo, hi);
+// values outside the range are clamped into the first/last bin.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int64
+}
+
+// NewHistogram returns a histogram with the given bin count over [lo, hi).
+func NewHistogram(lo, hi float64, bins int) (*Histogram, error) {
+	if bins < 1 {
+		return nil, fmt.Errorf("stats: need >= 1 bin, got %d", bins)
+	}
+	if !(lo < hi) {
+		return nil, fmt.Errorf("stats: invalid histogram range [%g, %g)", lo, hi)
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int64, bins)}, nil
+}
+
+// Add counts one observation.
+func (h *Histogram) Add(x float64) {
+	bin := int(float64(len(h.Counts)) * (x - h.Lo) / (h.Hi - h.Lo))
+	if bin < 0 {
+		bin = 0
+	}
+	if bin >= len(h.Counts) {
+		bin = len(h.Counts) - 1
+	}
+	h.Counts[bin]++
+}
+
+// Total returns the number of observations counted.
+func (h *Histogram) Total() int64 {
+	var t int64
+	for _, c := range h.Counts {
+		t += c
+	}
+	return t
+}
+
+// KMeansResult is the outcome of a k-means clustering.
+type KMeansResult struct {
+	// Centroids are the final cluster centres.
+	Centroids [][]float64
+	// Assign maps each input point to its centroid index.
+	Assign []int
+	// Inertia is the total squared distance of points to their centroids.
+	Inertia float64
+	// Iterations actually run.
+	Iterations int
+}
+
+// KMeans clusters points into k groups with Lloyd's algorithm and
+// k-means++ seeding (deterministic for a given seed). maxIter bounds the
+// Lloyd iterations.
+func KMeans(points [][]float64, k int, seed int64, maxIter int) (KMeansResult, error) {
+	var res KMeansResult
+	if k < 1 {
+		return res, fmt.Errorf("stats: k must be >= 1, got %d", k)
+	}
+	if len(points) == 0 {
+		return res, errors.New("stats: k-means of empty point set")
+	}
+	if k > len(points) {
+		k = len(points)
+	}
+	dim := len(points[0])
+	for i, p := range points {
+		if len(p) != dim {
+			return res, fmt.Errorf("stats: point %d has dimension %d, want %d", i, len(p), dim)
+		}
+	}
+	if maxIter < 1 {
+		maxIter = 100
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	// k-means++ seeding.
+	centroids := make([][]float64, 0, k)
+	first := points[rng.Intn(len(points))]
+	centroids = append(centroids, append([]float64(nil), first...))
+	d2 := make([]float64, len(points))
+	for len(centroids) < k {
+		total := 0.0
+		for i, p := range points {
+			best := math.Inf(1)
+			for _, c := range centroids {
+				if d := sqDist(p, c); d < best {
+					best = d
+				}
+			}
+			d2[i] = best
+			total += best
+		}
+		if total == 0 {
+			// All remaining points coincide with existing centroids.
+			centroids = append(centroids, append([]float64(nil), points[rng.Intn(len(points))]...))
+			continue
+		}
+		target := rng.Float64() * total
+		acc := 0.0
+		pick := len(points) - 1
+		for i, d := range d2 {
+			acc += d
+			if target < acc {
+				pick = i
+				break
+			}
+		}
+		centroids = append(centroids, append([]float64(nil), points[pick]...))
+	}
+
+	assign := make([]int, len(points))
+	counts := make([]int, k)
+	sums := make([][]float64, k)
+	for i := range sums {
+		sums[i] = make([]float64, dim)
+	}
+	iter := 0
+	for ; iter < maxIter; iter++ {
+		changed := false
+		for i, p := range points {
+			best, bestD := 0, math.Inf(1)
+			for j, c := range centroids {
+				if d := sqDist(p, c); d < bestD {
+					best, bestD = j, d
+				}
+			}
+			if assign[i] != best || iter == 0 {
+				changed = changed || assign[i] != best
+				assign[i] = best
+			}
+		}
+		if iter > 0 && !changed {
+			break
+		}
+		for j := range sums {
+			counts[j] = 0
+			for d := range sums[j] {
+				sums[j][d] = 0
+			}
+		}
+		for i, p := range points {
+			j := assign[i]
+			counts[j]++
+			for d, v := range p {
+				sums[j][d] += v
+			}
+		}
+		for j := range centroids {
+			if counts[j] == 0 {
+				continue // keep empty cluster's centroid in place
+			}
+			for d := range centroids[j] {
+				centroids[j][d] = sums[j][d] / float64(counts[j])
+			}
+		}
+	}
+	inertia := 0.0
+	for i, p := range points {
+		inertia += sqDist(p, centroids[assign[i]])
+	}
+	return KMeansResult{Centroids: centroids, Assign: assign, Inertia: inertia, Iterations: iter}, nil
+}
+
+func sqDist(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// MovingAverage smooths xs with a centred window of 2*halfWin+1 samples
+// (shrunk at the borders).
+func MovingAverage(xs []float64, halfWin int) []float64 {
+	if halfWin < 0 {
+		halfWin = 0
+	}
+	out := make([]float64, len(xs))
+	for i := range xs {
+		lo, hi := i-halfWin, i+halfWin
+		if lo < 0 {
+			lo = 0
+		}
+		if hi >= len(xs) {
+			hi = len(xs) - 1
+		}
+		s := 0.0
+		for j := lo; j <= hi; j++ {
+			s += xs[j]
+		}
+		out[i] = s / float64(hi-lo+1)
+	}
+	return out
+}
+
+// Peaks returns the indices of local maxima of xs after smoothing with a
+// centred window of 2*halfWin+1. Peaks closer than halfWin samples are
+// merged (first wins).
+func Peaks(xs []float64, halfWin int) []int {
+	if len(xs) == 0 {
+		return nil
+	}
+	sm := MovingAverage(xs, halfWin)
+	var peaks []int
+	for i := halfWin; i < len(sm)-halfWin; i++ {
+		isPeak := true
+		for j := i - halfWin; j <= i+halfWin && isPeak; j++ {
+			if sm[j] > sm[i] {
+				isPeak = false
+			}
+		}
+		if isPeak && (len(peaks) == 0 || i-peaks[len(peaks)-1] > halfWin) {
+			peaks = append(peaks, i)
+		}
+	}
+	return peaks
+}
+
+// Period estimates the oscillation period of the series xs sampled every
+// dt time units, as the mean gap between detected peaks. ok is false when
+// fewer than two peaks are found.
+func Period(xs []float64, dt float64, halfWin int) (period float64, ok bool) {
+	peaks := Peaks(xs, halfWin)
+	if len(peaks) < 2 {
+		return 0, false
+	}
+	gap := float64(peaks[len(peaks)-1]-peaks[0]) / float64(len(peaks)-1)
+	return gap * dt, true
+}

@@ -1,0 +1,210 @@
+// Package window implements the two stream-reshaping stages between the
+// simulation farm and the statistical farm of the pipeline:
+//
+//   - the Aligner ("alignment of trajectories"): it consumes the unordered
+//     interleaving of per-trajectory samples produced by the simulation
+//     engines and emits Cuts — the states of *all* trajectories at a common
+//     sample instant — in increasing time order, buffering only the spread
+//     between the fastest and slowest trajectory;
+//   - the Slider ("generation of sliding windows of trajectories"): it
+//     groups consecutive cuts into overlapping windows, the unit of work of
+//     the statistical engines that need temporal context (moving averages,
+//     period detection, clustering of trajectory segments).
+package window
+
+import (
+	"errors"
+	"fmt"
+
+	"cwcflow/internal/sim"
+)
+
+// Cut is the cross-section of the whole trajectory ensemble at one sample
+// instant: States[i] is trajectory i's observable vector.
+type Cut struct {
+	Index  int
+	Time   float64
+	States [][]int64
+}
+
+// NumTrajectories returns the ensemble size.
+func (c Cut) NumTrajectories() int { return len(c.States) }
+
+// Aligner assembles samples into cuts. Samples may arrive in any
+// interleaving across trajectories, but each trajectory must deliver its
+// own samples in index order (which the sim.Task contract guarantees).
+//
+// The zero value is not usable; construct with NewAligner.
+type Aligner struct {
+	nTraj    int
+	nextEmit int
+	pending  map[int]*partialCut
+}
+
+type partialCut struct {
+	time   float64
+	states [][]int64
+	filled int
+}
+
+// NewAligner returns an aligner for an ensemble of nTraj trajectories.
+func NewAligner(nTraj int) (*Aligner, error) {
+	if nTraj < 1 {
+		return nil, fmt.Errorf("window: need at least 1 trajectory, got %d", nTraj)
+	}
+	return &Aligner{
+		nTraj:   nTraj,
+		pending: make(map[int]*partialCut),
+	}, nil
+}
+
+// Push adds one sample. Complete cuts are emitted in index order (one Push
+// can release several consecutive cuts when it fills the oldest gap).
+func (a *Aligner) Push(s sim.Sample, emit func(Cut) error) error {
+	if s.Traj < 0 || s.Traj >= a.nTraj {
+		return fmt.Errorf("window: sample for unknown trajectory %d (ensemble of %d)", s.Traj, a.nTraj)
+	}
+	if s.Index < a.nextEmit {
+		return fmt.Errorf("window: trajectory %d delivered sample %d twice (cut already emitted)", s.Traj, s.Index)
+	}
+	pc := a.pending[s.Index]
+	if pc == nil {
+		pc = &partialCut{time: s.Time, states: make([][]int64, a.nTraj)}
+		a.pending[s.Index] = pc
+	}
+	if pc.states[s.Traj] != nil {
+		return fmt.Errorf("window: duplicate sample (traj %d, index %d)", s.Traj, s.Index)
+	}
+	pc.states[s.Traj] = s.State
+	pc.filled++
+
+	// Release every consecutive complete cut starting at nextEmit.
+	for {
+		ready := a.pending[a.nextEmit]
+		if ready == nil || ready.filled < a.nTraj {
+			return nil
+		}
+		delete(a.pending, a.nextEmit)
+		cut := Cut{Index: a.nextEmit, Time: ready.time, States: ready.states}
+		a.nextEmit++
+		if err := emit(cut); err != nil {
+			return err
+		}
+	}
+}
+
+// Pending returns the number of partially assembled cuts currently
+// buffered — the alignment backlog (fastest minus slowest trajectory).
+func (a *Aligner) Pending() int { return len(a.pending) }
+
+// EmittedCuts returns how many complete cuts have been released.
+func (a *Aligner) EmittedCuts() int { return a.nextEmit }
+
+// Close verifies that no partially filled cut is left behind (every
+// trajectory delivered every sample). Call it after the sample stream ends.
+func (a *Aligner) Close() error {
+	if len(a.pending) != 0 {
+		return fmt.Errorf("window: stream ended with %d incomplete cuts (first missing: %d)", len(a.pending), a.nextEmit)
+	}
+	return nil
+}
+
+// Window is a group of Size consecutive cuts starting at cut index Start.
+type Window struct {
+	Start int
+	Cuts  []Cut
+}
+
+// Slider groups a stream of cuts into sliding windows of the given size,
+// advancing by step cuts between windows (step == size gives tumbling
+// windows).
+//
+// The zero value is not usable; construct with NewSlider.
+type Slider struct {
+	size, step int
+	buf        []Cut
+	start      int
+}
+
+// NewSlider returns a slider emitting windows of size cuts every step cuts.
+func NewSlider(size, step int) (*Slider, error) {
+	if size < 1 || step < 1 {
+		return nil, fmt.Errorf("window: size and step must be >= 1 (got %d, %d)", size, step)
+	}
+	if step > size {
+		return nil, fmt.Errorf("window: step %d larger than size %d would drop cuts", step, size)
+	}
+	return &Slider{size: size, step: step}, nil
+}
+
+// Push adds a cut, emitting a window whenever one completes. Cuts must
+// arrive in index order (the Aligner guarantees that).
+func (s *Slider) Push(c Cut, emit func(Window) error) error {
+	if n := len(s.buf); n > 0 && c.Index != s.buf[n-1].Index+1 {
+		return fmt.Errorf("window: cut %d out of order after %d", c.Index, s.buf[n-1].Index)
+	}
+	s.buf = append(s.buf, c)
+	if len(s.buf) < s.size {
+		return nil
+	}
+	w := Window{Start: s.start, Cuts: append([]Cut(nil), s.buf...)}
+	// Slide: drop the first step cuts.
+	s.buf = append(s.buf[:0], s.buf[s.step:]...)
+	s.start += s.step
+	return emit(w)
+}
+
+// Flush emits the trailing partial window (fewer than size cuts), if any
+// cuts would otherwise be lost. Windows already emitted cover cuts up to
+// start+size-1; Flush emits the remainder once the stream ends.
+func (s *Slider) Flush(emit func(Window) error) error {
+	if len(s.buf) == 0 {
+		return nil
+	}
+	// The buffered cuts overlap previously emitted windows except for the
+	// very tail. Emit a final window only if some cut was never part of an
+	// emitted window.
+	if s.start == 0 || len(s.buf) > s.size-s.step {
+		w := Window{Start: s.start, Cuts: append([]Cut(nil), s.buf...)}
+		s.buf = s.buf[:0]
+		return emit(w)
+	}
+	s.buf = s.buf[:0]
+	return nil
+}
+
+// ErrNoCuts is returned by helpers that require a non-empty window.
+var ErrNoCuts = errors.New("window: empty window")
+
+// Series extracts the per-cut ensemble of one species: out[k][i] is the
+// count of species sp for trajectory i at the window's k-th cut.
+func (w Window) Series(sp int) ([][]int64, error) {
+	if len(w.Cuts) == 0 {
+		return nil, ErrNoCuts
+	}
+	out := make([][]int64, len(w.Cuts))
+	for k, c := range w.Cuts {
+		row := make([]int64, len(c.States))
+		for i, st := range c.States {
+			row[i] = st[sp]
+		}
+		out[k] = row
+	}
+	return out, nil
+}
+
+// TrajectoryTrace extracts trajectory i's series of species sp across the
+// window's cuts.
+func (w Window) TrajectoryTrace(traj, sp int) ([]float64, error) {
+	if len(w.Cuts) == 0 {
+		return nil, ErrNoCuts
+	}
+	out := make([]float64, len(w.Cuts))
+	for k, c := range w.Cuts {
+		if traj < 0 || traj >= len(c.States) {
+			return nil, fmt.Errorf("window: trajectory %d out of range", traj)
+		}
+		out[k] = float64(c.States[traj][sp])
+	}
+	return out, nil
+}

@@ -1,0 +1,269 @@
+package window
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cwcflow/internal/sim"
+)
+
+func mkSample(traj, idx int, v int64) sim.Sample {
+	return sim.Sample{Traj: traj, Index: idx, Time: float64(idx), State: []int64{v}}
+}
+
+func TestAlignerEmitsInOrder(t *testing.T) {
+	a, err := NewAligner(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []Cut
+	emit := func(c Cut) error { got = append(got, c); return nil }
+
+	// Trajectory 0 runs ahead; cut 0 completes only when traj 1 catches up.
+	must(t, a.Push(mkSample(0, 0, 10), emit))
+	must(t, a.Push(mkSample(0, 1, 11), emit))
+	must(t, a.Push(mkSample(0, 2, 12), emit))
+	if len(got) != 0 {
+		t.Fatalf("premature cuts: %d", len(got))
+	}
+	if a.Pending() != 3 {
+		t.Fatalf("pending = %d, want 3", a.Pending())
+	}
+	must(t, a.Push(mkSample(1, 0, 20), emit))
+	if len(got) != 1 || got[0].Index != 0 {
+		t.Fatalf("cut 0 not released: %v", got)
+	}
+	must(t, a.Push(mkSample(1, 1, 21), emit))
+	must(t, a.Push(mkSample(1, 2, 22), emit))
+	if len(got) != 3 {
+		t.Fatalf("cuts = %d, want 3", len(got))
+	}
+	for k, c := range got {
+		if c.Index != k {
+			t.Fatalf("cut order broken: %v", c)
+		}
+		if c.States[0][0] != int64(10+k) || c.States[1][0] != int64(20+k) {
+			t.Fatalf("cut %d content wrong: %v", k, c.States)
+		}
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlignerRejectsBadSamples(t *testing.T) {
+	a, _ := NewAligner(2)
+	emit := func(Cut) error { return nil }
+	if err := a.Push(mkSample(5, 0, 1), emit); err == nil {
+		t.Fatal("unknown trajectory accepted")
+	}
+	must(t, a.Push(mkSample(0, 0, 1), emit))
+	if err := a.Push(mkSample(0, 0, 1), emit); err == nil {
+		t.Fatal("duplicate sample accepted")
+	}
+	// Complete and emit cut 0, then a stale re-delivery must fail.
+	must(t, a.Push(mkSample(1, 0, 2), emit))
+	if err := a.Push(mkSample(0, 0, 1), emit); err == nil {
+		t.Fatal("stale sample (already emitted cut) accepted")
+	}
+}
+
+func TestAlignerCloseDetectsIncomplete(t *testing.T) {
+	a, _ := NewAligner(3)
+	emit := func(Cut) error { return nil }
+	must(t, a.Push(mkSample(0, 0, 1), emit))
+	if err := a.Close(); err == nil {
+		t.Fatal("Close accepted incomplete stream")
+	}
+}
+
+func TestAlignerSingleTrajectory(t *testing.T) {
+	a, _ := NewAligner(1)
+	n := 0
+	emit := func(c Cut) error { n++; return nil }
+	for k := 0; k < 5; k++ {
+		must(t, a.Push(mkSample(0, k, int64(k)), emit))
+	}
+	if n != 5 || a.EmittedCuts() != 5 {
+		t.Fatalf("cuts = %d (emitted %d), want 5", n, a.EmittedCuts())
+	}
+}
+
+// Property: for any interleaving of per-trajectory-ordered samples, the
+// aligner emits all cuts exactly once, in order, with the right contents.
+func TestAlignerProperty_AnyInterleaving(t *testing.T) {
+	f := func(seed int64, nTrajRaw, nCutsRaw uint8) bool {
+		nTraj := int(nTrajRaw%5) + 1
+		nCuts := int(nCutsRaw%20) + 1
+		rng := rand.New(rand.NewSource(seed))
+		// Build per-trajectory queues and a random fair interleaving.
+		next := make([]int, nTraj)
+		var order []int
+		for len(order) < nTraj*nCuts {
+			tr := rng.Intn(nTraj)
+			if next[tr] < nCuts {
+				order = append(order, tr)
+				next[tr]++
+			}
+		}
+		for i := range next {
+			next[i] = 0
+		}
+		a, err := NewAligner(nTraj)
+		if err != nil {
+			return false
+		}
+		var cuts []Cut
+		for _, tr := range order {
+			idx := next[tr]
+			next[tr]++
+			err := a.Push(mkSample(tr, idx, int64(100*tr+idx)), func(c Cut) error {
+				cuts = append(cuts, c)
+				return nil
+			})
+			if err != nil {
+				return false
+			}
+		}
+		if a.Close() != nil || len(cuts) != nCuts {
+			return false
+		}
+		for k, c := range cuts {
+			if c.Index != k {
+				return false
+			}
+			for tr := 0; tr < nTraj; tr++ {
+				if c.States[tr][0] != int64(100*tr+k) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mkCut(idx int, vals ...int64) Cut {
+	states := make([][]int64, len(vals))
+	for i, v := range vals {
+		states[i] = []int64{v}
+	}
+	return Cut{Index: idx, Time: float64(idx), States: states}
+}
+
+func TestSliderFullWindows(t *testing.T) {
+	s, err := NewSlider(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wins []Window
+	for k := 0; k < 5; k++ {
+		must(t, s.Push(mkCut(k, int64(k)), func(w Window) error {
+			wins = append(wins, w)
+			return nil
+		}))
+	}
+	if len(wins) != 3 {
+		t.Fatalf("windows = %d, want 3", len(wins))
+	}
+	for i, w := range wins {
+		if w.Start != i || len(w.Cuts) != 3 || w.Cuts[0].Index != i {
+			t.Fatalf("window %d wrong: start=%d cuts=%d", i, w.Start, len(w.Cuts))
+		}
+	}
+}
+
+func TestSliderTumbling(t *testing.T) {
+	s, err := NewSlider(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wins []Window
+	emit := func(w Window) error { wins = append(wins, w); return nil }
+	for k := 0; k < 6; k++ {
+		must(t, s.Push(mkCut(k, 0), emit))
+	}
+	if len(wins) != 3 {
+		t.Fatalf("tumbling windows = %d, want 3", len(wins))
+	}
+	for i, w := range wins {
+		if w.Start != 2*i {
+			t.Fatalf("window %d start = %d, want %d", i, w.Start, 2*i)
+		}
+	}
+	if err := s.Flush(emit); err != nil {
+		t.Fatal(err)
+	}
+	if len(wins) != 3 {
+		t.Fatal("Flush emitted a window with no leftover cuts")
+	}
+}
+
+func TestSliderFlushEmitsTail(t *testing.T) {
+	s, _ := NewSlider(4, 4)
+	var wins []Window
+	emit := func(w Window) error { wins = append(wins, w); return nil }
+	for k := 0; k < 6; k++ { // one full window + 2 leftover cuts
+		must(t, s.Push(mkCut(k, 0), emit))
+	}
+	must(t, s.Flush(emit))
+	if len(wins) != 2 {
+		t.Fatalf("windows = %d, want 2 (full + tail)", len(wins))
+	}
+	if len(wins[1].Cuts) != 2 || wins[1].Start != 4 {
+		t.Fatalf("tail window wrong: start=%d cuts=%d", wins[1].Start, len(wins[1].Cuts))
+	}
+}
+
+func TestSliderRejectsGaps(t *testing.T) {
+	s, _ := NewSlider(2, 1)
+	emit := func(Window) error { return nil }
+	must(t, s.Push(mkCut(0, 0), emit))
+	if err := s.Push(mkCut(2, 0), emit); err == nil {
+		t.Fatal("gap in cut indices accepted")
+	}
+}
+
+func TestSliderValidation(t *testing.T) {
+	if _, err := NewSlider(0, 1); err == nil {
+		t.Fatal("size 0 accepted")
+	}
+	if _, err := NewSlider(2, 3); err == nil {
+		t.Fatal("step > size accepted")
+	}
+}
+
+func TestWindowSeriesAndTrace(t *testing.T) {
+	w := Window{Start: 0, Cuts: []Cut{mkCut(0, 1, 2), mkCut(1, 3, 4)}}
+	series, err := w.Series(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if series[0][0] != 1 || series[0][1] != 2 || series[1][0] != 3 || series[1][1] != 4 {
+		t.Fatalf("series wrong: %v", series)
+	}
+	trace, err := w.TrajectoryTrace(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trace[0] != 2 || trace[1] != 4 {
+		t.Fatalf("trace wrong: %v", trace)
+	}
+	if _, err := w.TrajectoryTrace(9, 0); err == nil {
+		t.Fatal("out-of-range trajectory accepted")
+	}
+	empty := Window{}
+	if _, err := empty.Series(0); err == nil {
+		t.Fatal("empty window series accepted")
+	}
+}
+
+func must(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}
