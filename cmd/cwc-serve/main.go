@@ -1,0 +1,94 @@
+// Command cwc-serve runs the CWC simulation job service: an HTTP server
+// that accepts simulation jobs, schedules their trajectories onto one
+// shared simulation worker pool, and streams windowed statistics back
+// incrementally while the jobs run.
+//
+//	cwc-serve -listen :8080 -workers 8
+//
+//	# submit a job
+//	curl -s localhost:8080/jobs -d '{"model":"neurospora","omega":100,
+//	  "trajectories":64,"end":48,"period":0.5,"window":16}'
+//
+//	# follow its windows as NDJSON while it runs
+//	curl -sN localhost:8080/jobs/job-000001/stream
+//
+//	# check progress / ETA, then fetch the buffered result
+//	curl -s localhost:8080/jobs/job-000001
+//	curl -s 'localhost:8080/jobs/job-000001/result?wait=true'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"time"
+
+	"cwcflow/internal/serve"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "cwc-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		listen       = flag.String("listen", ":8080", "HTTP listen address")
+		workers      = flag.Int("workers", runtime.GOMAXPROCS(0), "shared simulation pool width")
+		queueDepth   = flag.Int("queue-depth", 16, "pool internal queue depth")
+		sampleBuffer = flag.Int("sample-buffer", 64, "per-job sample batch buffer (batches)")
+		resultBuffer = flag.Int("result-buffer", 1024, "per-job retained windows")
+		subBuffer    = flag.Int("subscriber-buffer", 256, "per-stream-client window mailbox")
+		maxJobs      = flag.Int("max-jobs", 64, "maximum concurrently active jobs")
+		maxCompleted = flag.Int("max-completed", 256, "finished jobs retained before eviction")
+		maxTraj      = flag.Int("max-trajectories", 4096, "maximum trajectories per job")
+		maxCuts      = flag.Int("max-cuts", 1_000_000, "maximum samples per trajectory (end/period)")
+	)
+	flag.Parse()
+
+	svc := serve.New(serve.Options{
+		Workers:          *workers,
+		QueueDepth:       *queueDepth,
+		SampleBuffer:     *sampleBuffer,
+		ResultBuffer:     *resultBuffer,
+		SubscriberBuffer: *subBuffer,
+		MaxJobs:          *maxJobs,
+		MaxCompleted:     *maxCompleted,
+		MaxTrajectories:  *maxTraj,
+		MaxCuts:          *maxCuts,
+	})
+	httpSrv := &http.Server{Addr: *listen, Handler: svc.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "cwc-serve: listening on %s with %d pool workers\n", *listen, svc.Workers())
+
+	select {
+	case err := <-errc:
+		svc.Close()
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(os.Stderr, "cwc-serve: shutting down")
+	// Close the service first: it fails the running jobs, which ends every
+	// open stream with a terminal event, so Shutdown can drain the HTTP
+	// connections promptly instead of timing out behind blocked streams.
+	svc.Close()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	err := httpSrv.Shutdown(shutdownCtx)
+	if errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(os.Stderr, "cwc-serve: shutdown timeout, in-flight connections were closed forcibly")
+		return nil
+	}
+	return err
+}

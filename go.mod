@@ -1,0 +1,3 @@
+module cwcflow
+
+go 1.24.0

@@ -16,11 +16,11 @@ import (
 // of the Neurospora run with NSims trajectories on the 32-core CPU and the
 // K40 GPGPU, for quantum/samples ratios Q/τ = 10 and Q/τ = 1.
 type Table1Row struct {
-	NSims   int
-	CPUQ10  float64
-	CPUQ1   float64
-	GPUQ10  float64
-	GPUQ1   float64
+	NSims  int
+	CPUQ10 float64
+	CPUQ1  float64
+	GPUQ10 float64
+	GPUQ1  float64
 }
 
 // Table1Result is the reproduced Table I.
@@ -132,8 +132,8 @@ func Table1(seed int64, sc Scale) (Table1Result, error) {
 //     SMX (11 concurrent warps device-wide).
 func k40Config() gpu.DeviceConfig {
 	cfg := gpu.TeslaK40()
-	cfg.SMs = 11        // occupancy-limited: 11 concurrent warps device-wide
-	cfg.CoresPerSM = 32 // one resident warp per effective SM
+	cfg.SMs = 11                      // occupancy-limited: 11 concurrent warps device-wide
+	cfg.CoresPerSM = 32               // one resident warp per effective SM
 	cfg.SecondsPerCost = 2.2 * 4.5e-4 // per reaction, per lane
 	cfg.LaunchOverhead = 2e-3         // kernel launch + host-side batch handling
 	return cfg

@@ -75,6 +75,13 @@ type Config struct {
 	RawSink func(sim.Sample) error
 }
 
+// Normalized validates the configuration and returns a copy with every
+// default filled in, without running anything. It is the entry point for
+// callers outside this package (e.g. the job service) that need the
+// effective Quantum/WindowSize/... of a run before driving the stages
+// themselves.
+func (c Config) Normalized() (Config, error) { return c.withDefaults() }
+
 // withDefaults validates the configuration and fills defaults.
 func (c Config) withDefaults() (Config, error) {
 	if c.Factory == nil {
@@ -168,11 +175,7 @@ func Run(ctx context.Context, cfg Config, display func(WindowStat) error) (RunIn
 	// Stage 1: generation of simulation tasks.
 	source := ff.Source[*sim.Task](func(_ context.Context, emit ff.Emit[*sim.Task]) error {
 		for i := 0; i < cfg.Trajectories; i++ {
-			s, err := cfg.Factory(i, cfg.BaseSeed+int64(i))
-			if err != nil {
-				return fmt.Errorf("core: building simulator %d: %w", i, err)
-			}
-			task, err := sim.NewTask(i, s, cfg.End, cfg.Quantum, cfg.Period)
+			task, err := NewTrajectoryTask(cfg, i)
 			if err != nil {
 				return err
 			}
@@ -294,6 +297,23 @@ func analysisPipeline(cfg Config, species []int, cutsEmitted *atomic.Int64) ff.N
 	return ff.Compose(ff.Compose(alignNode, windowNode), statFarm)
 }
 
+// ResolveSpecies validates cfg.Species against a probe simulator built
+// from the factory, defaulting to all observables when none are selected.
+// Exported for streaming consumers that call AnalyseWindow directly.
+func ResolveSpecies(cfg Config) ([]int, error) { return resolveSpecies(cfg) }
+
+// NewTrajectoryTask builds trajectory traj's simulator and task exactly as
+// the pipeline's generation stage does (per-trajectory seed = BaseSeed +
+// traj), so out-of-band schedulers (the job service) produce the same
+// ensemble as a batch Run of the same Config.
+func NewTrajectoryTask(cfg Config, traj int) (*sim.Task, error) {
+	s, err := cfg.Factory(traj, cfg.BaseSeed+int64(traj))
+	if err != nil {
+		return nil, fmt.Errorf("core: building simulator %d: %w", traj, err)
+	}
+	return sim.NewTask(traj, s, cfg.End, cfg.Quantum, cfg.Period)
+}
+
 // resolveSpecies validates cfg.Species against a probe simulator, or
 // defaults to all observables.
 func resolveSpecies(cfg Config) ([]int, error) {
@@ -314,6 +334,15 @@ func resolveSpecies(cfg Config) ([]int, error) {
 		}
 	}
 	return species, nil
+}
+
+// AnalyseWindow is the statistical engine body: it summarises one window
+// of trajectory cuts into the moments, medians, period estimates and
+// clusters selected by cfg. It is a pure function of its inputs, safe to
+// call concurrently — the stat farm invokes it from every engine, and
+// streaming consumers (the job service) call it directly per window.
+func AnalyseWindow(w window.Window, species []int, cfg Config) (WindowStat, error) {
+	return analyseWindow(w, species, cfg)
 }
 
 // analyseWindow is the statistical engine body: it summarises one window

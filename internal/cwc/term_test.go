@@ -76,13 +76,13 @@ func TestParseEmptyTerm(t *testing.T) {
 func TestParseErrors(t *testing.T) {
 	a := NewAlphabet()
 	cases := []string{
-		"(a",            // unclosed
-		"(a | b",        // unclosed after content
-		"a)",            // stray close
-		"3a",            // count without *
+		"(a",             // unclosed
+		"(a | b",         // unclosed after content
+		"a)",             // stray close
+		"3a",             // count without *
 		"((x|y):in | z)", // compartment inside wrap
-		"( | x):",       // missing label after colon
-		"*a",            // stray star
+		"( | x):",        // missing label after colon
+		"*a",             // stray star
 	}
 	for _, src := range cases {
 		if _, err := ParseTerm(src, a); err == nil {

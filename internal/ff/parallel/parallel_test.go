@@ -260,8 +260,8 @@ func TestDivideAndConquerNilConfig(t *testing.T) {
 	}
 }
 
-func BenchmarkParallelForGrain1(b *testing.B)   { benchFor(b, 1) }
-func BenchmarkParallelForGrain64(b *testing.B)  { benchFor(b, 64) }
+func BenchmarkParallelForGrain1(b *testing.B)    { benchFor(b, 1) }
+func BenchmarkParallelForGrain64(b *testing.B)   { benchFor(b, 64) }
 func BenchmarkParallelForGrainAuto(b *testing.B) { benchFor(b, 0) }
 
 func benchFor(b *testing.B, grain int) {

@@ -228,8 +228,8 @@ func (d *Device) makespan(warpCosts []float64) float64 {
 
 type slotHeap []float64
 
-func (h slotHeap) Len() int            { return len(h) }
-func (h slotHeap) Less(i, j int) bool  { return h[i] < h[j] }
-func (h slotHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *slotHeap) Push(x any)         { *h = append(*h, x.(float64)) }
-func (h *slotHeap) Pop() any           { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+func (h slotHeap) Len() int           { return len(h) }
+func (h slotHeap) Less(i, j int) bool { return h[i] < h[j] }
+func (h slotHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *slotHeap) Push(x any)        { *h = append(*h, x.(float64)) }
+func (h *slotHeap) Pop() any          { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }

@@ -1,0 +1,31 @@
+package platform
+
+import "fmt"
+
+// EstimateMakespan runs the pipeline DES for a shared-memory deployment —
+// cores physical cores hosting simWorkers simulation engines and
+// statEngines statistical engines — and returns the modelled wall-clock
+// duration. It is the capacity-planning entry point used by the job
+// service: given per-quantum service times measured from a running job, it
+// projects the job's total runtime on the current pool.
+func EstimateMakespan(cores, simWorkers, statEngines int, w Workload) (float64, error) {
+	if cores < 1 {
+		return 0, fmt.Errorf("platform: need at least 1 core, got %d", cores)
+	}
+	if simWorkers < 1 {
+		simWorkers = 1
+	}
+	if statEngines < 1 {
+		statEngines = 1
+	}
+	d := Deployment{
+		SimWorkerHosts: make([]int, simWorkers),
+		MasterHost:     0,
+		StatEngines:    statEngines,
+	}
+	m, err := Simulate(SharedMemory(cores), w, d)
+	if err != nil {
+		return 0, err
+	}
+	return m.Makespan, nil
+}

@@ -135,14 +135,14 @@ func NeurosporaWorkload(trajectories, quanta, samplesPerQuantum int, seed int64)
 		// persistent per-trajectory spread is small — a large persistent
 		// spread would let one straggler gate every cut, which the paper's
 		// near-ideal curves exclude.
-		TrajSigma:         0.10,
-		QuantumSigma:      0.30,
-		SampleBytes:       64,
-		AlignPerSample:    2e-5,
-		StatBase:          1e-4,
-		StatPerTraj:       1.8e-3,
-		StatExponent:      1.2,
-		StatChunk:         0.05,
-		Seed:              seed,
+		TrajSigma:      0.10,
+		QuantumSigma:   0.30,
+		SampleBytes:    64,
+		AlignPerSample: 2e-5,
+		StatBase:       1e-4,
+		StatPerTraj:    1.8e-3,
+		StatExponent:   1.2,
+		StatChunk:      0.05,
+		Seed:           seed,
 	}
 }

@@ -1,0 +1,257 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"cwcflow/internal/core"
+)
+
+// streamEvent is one NDJSON line (or SSE data payload) of a job stream: a
+// window, a leading "gap" marker when requested windows were already
+// evicted from the bounded result ring, or the terminal "end" marker.
+type streamEvent struct {
+	Type   string           `json:"type"` // "window", "gap" or "end"
+	Window *core.WindowStat `json:"window,omitempty"`
+	Status *Status          `json:"status,omitempty"`
+	// Lost counts windows the client will not see: evicted-before-replay
+	// windows on a gap event, mailbox-dropped windows on an end event.
+	Lost int `json:"lost,omitempty"`
+}
+
+// resultResponse is the body of GET /jobs/{id}/result.
+type resultResponse struct {
+	Status Status `json:"status"`
+	// FirstWindow is the index of the first retained window; earlier ones
+	// were evicted from the bounded result ring.
+	FirstWindow int               `json:"first_window"`
+	Windows     []core.WindowStat `json:"windows"`
+}
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("POST /jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /jobs", s.handleList)
+	s.mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("POST /jobs/{id}/cancel", s.handleCancel)
+	s.mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /jobs/{id}/stream", s.handleStream)
+	s.mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// jobFromPath resolves the {id} path value, replying 404 itself on a miss.
+func (s *Server) jobFromPath(w http.ResponseWriter, r *http.Request) (*Job, bool) {
+	id := r.PathValue("id")
+	job, ok := s.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", id)
+		return nil, false
+	}
+	return job, true
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	jobs := s.List()
+	active := 0
+	for _, j := range jobs {
+		if !j.State().Terminal() {
+			active++
+		}
+	}
+	h := map[string]any{
+		"workers":     s.pool.Workers(),
+		"jobs_total":  len(jobs),
+		"jobs_active": active,
+	}
+	code := http.StatusOK
+	if err := s.pool.Err(); err != nil {
+		h["pool_error"] = err.Error()
+		code = http.StatusInternalServerError
+	}
+	writeJSON(w, code, h)
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding job spec: %v", err)
+		return
+	}
+	job, err := s.Submit(spec)
+	if err != nil {
+		code := http.StatusBadRequest
+		switch {
+		case errors.Is(err, ErrBusy):
+			code = http.StatusTooManyRequests
+		case errors.Is(err, ErrClosed):
+			code = http.StatusServiceUnavailable
+		}
+		writeError(w, code, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, job.Status())
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	jobs := s.List()
+	out := make([]Status, 0, len(jobs))
+	for _, j := range jobs {
+		// Skip the per-job ETA projection: with many jobs it would turn
+		// one list request into many DES runs.
+		out = append(out, j.status(false))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.jobFromPath(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Status())
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.jobFromPath(w, r)
+	if !ok {
+		return
+	}
+	job.Cancel()
+	writeJSON(w, http.StatusOK, job.Status())
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.jobFromPath(w, r)
+	if !ok {
+		return
+	}
+	if wait, _ := strconv.ParseBool(r.URL.Query().Get("wait")); wait {
+		select {
+		case <-job.Done():
+		case <-r.Context().Done():
+			return
+		}
+	}
+	windows, first := job.resultsSnapshot()
+	writeJSON(w, http.StatusOK, resultResponse{
+		Status:      job.Status(),
+		FirstWindow: first,
+		Windows:     windows,
+	})
+}
+
+// handleStream streams a job's windowed statistics incrementally: first a
+// replay of the buffered windows from ?from= (default 0) onward, then live
+// windows as the analysis publishes them, then one "end" event carrying
+// the terminal status. The format is NDJSON by default and Server-Sent
+// Events when the client asks for text/event-stream.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.jobFromPath(w, r)
+	if !ok {
+		return
+	}
+	from := 0
+	if v := r.URL.Query().Get("from"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, "invalid from=%q", v)
+			return
+		}
+		from = n
+	}
+	// Subscribe before committing the response: a bad from offset must
+	// still be reportable as a 400.
+	replay, gap, sub, err := job.subscribe(from)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	flusher, canFlush := w.(http.Flusher)
+	sse := strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+	if sse {
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	w.WriteHeader(http.StatusOK)
+
+	send := func(ev streamEvent) bool {
+		var err error
+		if sse {
+			data, merr := json.Marshal(ev)
+			if merr != nil {
+				return false
+			}
+			_, err = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, data)
+		} else {
+			err = json.NewEncoder(w).Encode(ev)
+		}
+		if err != nil {
+			return false
+		}
+		if canFlush {
+			flusher.Flush()
+		}
+		return true
+	}
+	end := func(sub *subscriber) {
+		st := job.Status()
+		ev := streamEvent{Type: "end", Status: &st}
+		if sub != nil {
+			ev.Lost = job.subLost(sub)
+		}
+		send(ev)
+	}
+
+	if gap > 0 {
+		if !send(streamEvent{Type: "gap", Lost: gap}) {
+			if sub != nil {
+				job.unsubscribe(sub)
+			}
+			return
+		}
+	}
+	for i := range replay {
+		if !send(streamEvent{Type: "window", Window: &replay[i]}) {
+			if sub != nil {
+				job.unsubscribe(sub)
+			}
+			return
+		}
+	}
+	if sub == nil { // already terminal: replay was everything
+		end(nil)
+		return
+	}
+	defer job.unsubscribe(sub)
+	for {
+		select {
+		case ws, ok := <-sub.ch:
+			if !ok { // job reached a terminal state
+				end(sub)
+				return
+			}
+			if !send(streamEvent{Type: "window", Window: &ws}) {
+				return
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

@@ -1,0 +1,552 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"time"
+
+	"cwcflow/internal/core"
+	"cwcflow/internal/platform"
+	"cwcflow/internal/sim"
+	"cwcflow/internal/stats"
+	"cwcflow/internal/window"
+)
+
+// State is a job's lifecycle phase.
+type State string
+
+const (
+	// StateRunning means simulation tasks are scheduled on the pool and
+	// windows are streaming out.
+	StateRunning State = "running"
+	// StateDone means every trajectory completed and every window was
+	// analysed.
+	StateDone State = "done"
+	// StateCancelled means the job was cancelled before completion.
+	StateCancelled State = "cancelled"
+	// StateFailed means a simulator or analysis error aborted the job.
+	StateFailed State = "failed"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateCancelled || s == StateFailed
+}
+
+// JobSpec is the wire format of a job submission.
+type JobSpec struct {
+	// Model names a built-in model (see core.ModelRef): "neurospora",
+	// "neurospora-nrm", "neurospora-cwc", "lotka-volterra", "sir",
+	// "schlogl", "enzyme".
+	Model string `json:"model"`
+	// Omega is the system size for models that take one (0 = default).
+	Omega float64 `json:"omega,omitempty"`
+	// Trajectories is the Monte Carlo ensemble size.
+	Trajectories int `json:"trajectories"`
+	// End is the simulated horizon.
+	End float64 `json:"end"`
+	// Quantum is the simulated time per scheduling step (0 = one period).
+	Quantum float64 `json:"quantum,omitempty"`
+	// Period is the sampling interval τ.
+	Period float64 `json:"period"`
+	// WindowSize and WindowStep configure the sliding windows of cuts
+	// (0 = defaults: size 16, tumbling).
+	WindowSize int `json:"window,omitempty"`
+	WindowStep int `json:"step,omitempty"`
+	// Species selects the observable indices to analyse (empty = all).
+	Species []int `json:"species,omitempty"`
+	// KMeansK clusters each window's last cut into K groups (0 = off).
+	KMeansK int `json:"kmeans_k,omitempty"`
+	// PeriodHalfWin enables period detection with the given smoothing
+	// half-window (0 = off).
+	PeriodHalfWin int `json:"period_halfwin,omitempty"`
+	// Seed is the base RNG seed (per-trajectory seeds derive from it).
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// Progress counts a job's work, both completed and total.
+type Progress struct {
+	TasksDone    int    `json:"tasks_done"`
+	Trajectories int    `json:"trajectories"`
+	Samples      int64  `json:"samples"`
+	Cuts         int    `json:"cuts"`
+	TotalCuts    int    `json:"total_cuts"`
+	Windows      int    `json:"windows"`
+	TotalWindows int    `json:"total_windows"`
+	Reactions    uint64 `json:"reactions"`
+	DeadTasks    int    `json:"dead_tasks,omitempty"`
+}
+
+// LatencySummary summarises a streaming latency distribution in
+// milliseconds (P50/P95 via the P² estimator).
+type LatencySummary struct {
+	N      int64   `json:"n"`
+	MeanMS float64 `json:"mean_ms"`
+	P50MS  float64 `json:"p50_ms"`
+	P95MS  float64 `json:"p95_ms"`
+}
+
+// Status is the wire format of a job's state snapshot.
+type Status struct {
+	ID            string          `json:"id"`
+	State         State           `json:"state"`
+	Spec          JobSpec         `json:"spec"`
+	SubmittedAt   time.Time       `json:"submitted_at"`
+	FinishedAt    *time.Time      `json:"finished_at,omitempty"`
+	Error         string          `json:"error,omitempty"`
+	Progress      Progress        `json:"progress"`
+	WindowLatency *LatencySummary `json:"window_latency,omitempty"`
+	// EtaSeconds projects the remaining runtime by replaying the job's
+	// measured per-quantum service times through the platform DES.
+	// Absent until enough quanta were measured (or for very large jobs);
+	// a lower bound when several jobs share the pool.
+	EtaSeconds *float64 `json:"eta_seconds,omitempty"`
+}
+
+// subscriber is one streaming client's bounded mailbox. Windows that
+// arrive while the mailbox is full are counted as lost rather than
+// blocking the job's analysis stage.
+type subscriber struct {
+	ch   chan core.WindowStat
+	lost int // guarded by the job mutex
+}
+
+// Job is one simulation-analysis run multiplexed onto the shared pool: its
+// trajectory tasks interleave with every other job's on the farm, while a
+// single analysis goroutine drains the job's sample buffer through the
+// alignment → windowing → statistics stages (window.Stream +
+// core.AnalyseWindow) and publishes each WindowStat to the result ring and
+// the live subscribers.
+type Job struct {
+	id          string
+	spec        JobSpec
+	cfg         core.Config
+	species     []int
+	totalTasks  int
+	totalCuts   int
+	totalWins   int
+	poolWorkers int
+	resultCap   int
+	subCap      int
+
+	ctx      context.Context
+	cancel   context.CancelFunc
+	sampleCh chan []sim.Sample
+
+	mu        sync.Mutex
+	state     State
+	errMsg    string
+	submitted time.Time
+	finished  time.Time
+	samples   int64
+	cuts      int
+	windows   int
+	tasksDone int
+	deadTasks int
+	reactions uint64
+	quantum   stats.Welford // seconds of service per simulation quantum
+	winLat    stats.Welford // seconds of analysis per window
+	winP50    *stats.P2Quantile
+	winP95    *stats.P2Quantile
+	results   []core.WindowStat // ring of the most recent windows
+	firstKept int               // window index of results[0]
+	subs      map[*subscriber]struct{}
+
+	// etaAt/etaVal/etaOK cache the DES projection so status polling does
+	// not re-run the simulation on every request.
+	etaAt  time.Time
+	etaVal float64
+	etaOK  bool
+}
+
+func newJob(id string, spec JobSpec, cfg core.Config, species []int, samplesPerTraj int, opts Options, poolWorkers int) *Job {
+	ctx, cancel := context.WithCancel(context.Background())
+	p50, _ := stats.NewP2Quantile(0.5)
+	p95, _ := stats.NewP2Quantile(0.95)
+	return &Job{
+		id:          id,
+		spec:        spec,
+		cfg:         cfg,
+		species:     species,
+		totalTasks:  cfg.Trajectories,
+		totalCuts:   samplesPerTraj,
+		totalWins:   window.WindowCount(samplesPerTraj, cfg.WindowSize, cfg.WindowStep),
+		poolWorkers: poolWorkers,
+		resultCap:   opts.ResultBuffer,
+		subCap:      opts.SubscriberBuffer,
+		ctx:         ctx,
+		cancel:      cancel,
+		sampleCh:    make(chan []sim.Sample, opts.SampleBuffer),
+		state:       StateRunning,
+		submitted:   time.Now(),
+		winP50:      p50,
+		winP95:      p95,
+		subs:        make(map[*subscriber]struct{}),
+	}
+}
+
+// ID returns the job's identifier.
+func (j *Job) ID() string { return j.id }
+
+// State returns the job's current lifecycle phase.
+func (j *Job) State() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+func (j *Job) terminal() bool { return j.State().Terminal() }
+
+// Cancel moves the job to StateCancelled (no-op once terminal). Tasks
+// still queued or in flight on the pool are dropped at their next
+// scheduling step.
+func (j *Job) Cancel() { j.setTerminal(StateCancelled, "") }
+
+func (j *Job) fail(err error) { j.setTerminal(StateFailed, err.Error()) }
+
+// setTerminal performs the one idempotent transition into a final state:
+// it stamps the finish time, cancels the job context (which stops the
+// feeder, the workers' interest and the analysis loop) and closes every
+// subscriber's channel.
+func (j *Job) setTerminal(st State, errMsg string) {
+	j.mu.Lock()
+	if j.state.Terminal() {
+		j.mu.Unlock()
+		return
+	}
+	j.state = st
+	j.errMsg = errMsg
+	j.finished = time.Now()
+	subs := j.subs
+	j.subs = nil
+	j.mu.Unlock()
+	j.cancel()
+	for sub := range subs {
+		close(sub.ch)
+	}
+}
+
+// accept routes one delivery from the pool collector into the job. It runs
+// only on the collector goroutine: deliveries of one task arrive in order,
+// and the final task-done marker arrives after every sample batch, so
+// closing the sample stream here is race-free.
+func (j *Job) accept(poolCtx context.Context, d delivery) error {
+	if d.err != nil {
+		j.fail(fmt.Errorf("serve: trajectory simulation: %w", d.err))
+	}
+	if len(d.samples) > 0 && !j.terminal() {
+		select {
+		case j.sampleCh <- d.samples:
+		case <-j.ctx.Done():
+			// Terminal while waiting: drop the batch.
+		case <-poolCtx.Done():
+			return poolCtx.Err()
+		}
+	}
+	j.mu.Lock()
+	if d.elapsed > 0 {
+		j.quantum.Add(d.elapsed.Seconds())
+	}
+	var closeStream bool
+	if d.taskDone {
+		j.tasksDone++
+		j.reactions += d.steps
+		if d.dead {
+			j.deadTasks++
+		}
+		closeStream = j.tasksDone == j.totalTasks
+	}
+	j.mu.Unlock()
+	if closeStream {
+		close(j.sampleCh)
+	}
+	return nil
+}
+
+// runAnalysis is the job's single analysis goroutine: it drains the sample
+// buffer through the fused alignment/windowing stream and the statistical
+// engine, publishing each window as it completes. One goroutine per job —
+// never one per trajectory — keeps the service's goroutine count at
+// O(jobs + pool workers).
+func (j *Job) runAnalysis() {
+	stream, err := window.NewStream(j.cfg.Trajectories, j.cfg.WindowSize, j.cfg.WindowStep)
+	if err != nil {
+		j.fail(err)
+		return
+	}
+	emit := func(w window.Window) error {
+		start := time.Now()
+		ws, err := core.AnalyseWindow(w, j.species, j.cfg)
+		if err != nil {
+			return err
+		}
+		j.publish(ws, time.Since(start))
+		return nil
+	}
+	for {
+		select {
+		case <-j.ctx.Done():
+			return // already terminal (cancelled, failed, or server closing)
+		case batch, ok := <-j.sampleCh:
+			if !ok {
+				if err := stream.Close(emit); err != nil {
+					j.fail(err)
+					return
+				}
+				j.setTerminal(StateDone, "")
+				return
+			}
+			for _, s := range batch {
+				if err := stream.Push(s, emit); err != nil {
+					j.fail(err)
+					return
+				}
+			}
+			j.mu.Lock()
+			j.samples += int64(len(batch))
+			j.cuts = stream.Cuts()
+			j.mu.Unlock()
+		}
+	}
+}
+
+// publish appends one analysed window to the bounded result ring and fans
+// it out to the live subscribers without ever blocking: a subscriber whose
+// mailbox is full loses the window (and is told how many it lost when the
+// stream ends).
+func (j *Job) publish(ws core.WindowStat, lat time.Duration) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return
+	}
+	j.windows++
+	sec := lat.Seconds()
+	j.winLat.Add(sec)
+	j.winP50.Add(sec)
+	j.winP95.Add(sec)
+	j.results = append(j.results, ws)
+	if len(j.results) > j.resultCap {
+		// Evict in batches (a quarter of the cap) so the shift is
+		// amortized O(1) per publish rather than O(cap) once full.
+		drop := len(j.results) - j.resultCap + j.resultCap/4
+		if drop > len(j.results) {
+			drop = len(j.results)
+		}
+		j.results = append(j.results[:0], j.results[drop:]...)
+		j.firstKept += drop
+	}
+	for sub := range j.subs {
+		select {
+		case sub.ch <- ws:
+		default:
+			sub.lost++
+		}
+	}
+}
+
+// subscribe atomically snapshots the buffered windows from index from
+// onward and registers a live subscriber, so the caller sees every window
+// exactly once with no gap between replay and live delivery. gap counts
+// requested windows already evicted from the bounded result ring (the
+// replay then starts above from). A nil subscriber means the job is
+// already terminal and the replay is all there is.
+func (j *Job) subscribe(from int) (replay []core.WindowStat, gap int, sub *subscriber, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if next := j.firstKept + len(j.results); from > next {
+		// Beyond the next window to be published: replaying from here
+		// would silently deliver windows the caller asked to skip.
+		return nil, 0, nil, fmt.Errorf("serve: from=%d is beyond the %d windows published so far", from, next)
+	}
+	if from < j.firstKept {
+		gap = j.firstKept - from
+		from = j.firstKept
+	}
+	if idx := from - j.firstKept; idx < len(j.results) {
+		replay = append(replay, j.results[idx:]...)
+	}
+	if j.state.Terminal() {
+		return replay, gap, nil, nil
+	}
+	sub = &subscriber{ch: make(chan core.WindowStat, j.subCap)}
+	j.subs[sub] = struct{}{}
+	return replay, gap, sub, nil
+}
+
+// unsubscribe detaches a live subscriber (e.g. the client disconnected).
+func (j *Job) unsubscribe(sub *subscriber) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.subs != nil {
+		delete(j.subs, sub)
+	}
+}
+
+// subLost reports how many windows a subscriber's mailbox dropped.
+func (j *Job) subLost(sub *subscriber) int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return sub.lost
+}
+
+// resultsSnapshot returns the buffered windows and the index of the first
+// one still held (earlier windows were evicted from the bounded ring).
+func (j *Job) resultsSnapshot() ([]core.WindowStat, int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return append([]core.WindowStat(nil), j.results...), j.firstKept
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.ctx.Done() }
+
+// etaInput is the snapshot the DES projection needs, taken under the job
+// mutex so the (comparatively slow) simulation runs outside it.
+type etaInput struct {
+	mean, variance float64
+	n              int64
+	statMean       float64
+	statN          int64
+	cuts           int
+}
+
+// Status snapshots the job, including the (cached) ETA projection.
+func (j *Job) Status() Status { return j.status(true) }
+
+// status snapshots the job; withETA false skips the DES projection, which
+// bulk callers (the list endpoint) use to avoid paying it per job.
+func (j *Job) status(withETA bool) Status {
+	j.mu.Lock()
+	st := Status{
+		ID:          j.id,
+		State:       j.state,
+		Spec:        j.spec,
+		SubmittedAt: j.submitted,
+		Error:       j.errMsg,
+		Progress: Progress{
+			TasksDone:    j.tasksDone,
+			Trajectories: j.totalTasks,
+			Samples:      j.samples,
+			Cuts:         j.cuts,
+			TotalCuts:    j.totalCuts,
+			Windows:      j.windows,
+			TotalWindows: j.totalWins,
+			Reactions:    j.reactions,
+			DeadTasks:    j.deadTasks,
+		},
+	}
+	if j.state.Terminal() {
+		f := j.finished
+		st.FinishedAt = &f
+	}
+	if j.winLat.N() > 0 {
+		st.WindowLatency = &LatencySummary{
+			N:      j.winLat.N(),
+			MeanMS: j.winLat.Mean() * 1e3,
+			P50MS:  j.winP50.Value() * 1e3,
+			P95MS:  j.winP95.Value() * 1e3,
+		}
+	}
+	in := etaInput{
+		mean:     j.quantum.Mean(),
+		variance: j.quantum.Var(),
+		n:        j.quantum.N(),
+		statMean: j.winLat.Mean(),
+		statN:    j.winLat.N(),
+		cuts:     j.cuts,
+	}
+	running := j.state == StateRunning
+	// The DES projection costs up to tens of milliseconds; cache it
+	// briefly, and stamp the cache before computing (single-flight) so
+	// concurrent pollers hitting a stale entry reuse the old value
+	// instead of all recomputing.
+	var compute bool
+	var cachedVal float64
+	var cachedOK bool
+	if running && withETA {
+		if time.Since(j.etaAt) >= time.Second {
+			compute = true
+			j.etaAt = time.Now()
+		}
+		cachedVal, cachedOK = j.etaVal, j.etaOK
+	}
+	j.mu.Unlock()
+
+	if running && withETA {
+		if compute {
+			eta, ok := j.estimateRemaining(in)
+			j.mu.Lock()
+			j.etaVal, j.etaOK = eta, ok
+			j.mu.Unlock()
+			cachedVal, cachedOK = eta, ok
+		}
+		if cachedOK {
+			st.EtaSeconds = &cachedVal
+		}
+	}
+	return st
+}
+
+// estimateRemaining projects the job's remaining wall-clock time by
+// replaying its measured per-quantum service times (mean and lognormal
+// dispersion) through the pipeline DES on a shared-memory deployment the
+// width of the pool, then scaling the modelled makespan by the fraction of
+// cuts still unanalysed.
+//
+// The projection assumes the job has the pool to itself, so with several
+// jobs sharing the workers it is a lower bound — the measured per-quantum
+// times capture service, not queueing behind other tenants.
+func (j *Job) estimateRemaining(in etaInput) (float64, bool) {
+	if in.n < 4 || in.mean <= 0 {
+		return 0, false
+	}
+	quantaF := math.Ceil(j.cfg.End / j.cfg.Quantum)
+	if quantaF < 1 {
+		quantaF = 1
+	}
+	spqF := math.Round(j.cfg.Quantum / j.cfg.Period)
+	if spqF < 1 {
+		spqF = 1
+	}
+	// Bound the DES cost (it is re-run per status request): its event
+	// count scales with trajectories×quanta (simulation events) and with
+	// quanta×samples-per-quantum (cut releases). Compare in float64 so an
+	// absurd spec ratio cannot overflow the check and sneak an unbounded
+	// simulation into a status call.
+	if float64(j.cfg.Trajectories)*quantaF > 50000 || quantaF*spqF > 100000 {
+		return 0, false
+	}
+	quanta := int(quantaF)
+	spq := int(spqF)
+	var sigma float64
+	if in.variance > 0 {
+		sigma = math.Sqrt(math.Log(1 + in.variance/(in.mean*in.mean)))
+	}
+	wl := platform.Workload{
+		Trajectories:      j.cfg.Trajectories,
+		Quanta:            quanta,
+		SamplesPerQuantum: spq,
+		QuantumCost:       in.mean,
+		QuantumSigma:      sigma,
+		Seed:              j.cfg.BaseSeed,
+	}
+	if in.statN > 0 && j.cfg.WindowStep > 0 {
+		wl.StatBase = in.statMean / float64(j.cfg.WindowStep)
+	}
+	makespan, err := platform.EstimateMakespan(runtime.NumCPU(), j.poolWorkers, 1, wl)
+	if err != nil {
+		return 0, false
+	}
+	remaining := 1.0
+	if j.totalCuts > 0 {
+		remaining = 1 - float64(in.cuts)/float64(j.totalCuts)
+		if remaining < 0 {
+			remaining = 0
+		}
+	}
+	return makespan * remaining, true
+}

@@ -1,0 +1,177 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"cwcflow/internal/ff"
+	"cwcflow/internal/sim"
+)
+
+// Pool is the shared simulation worker pool: one long-lived feedback farm
+// (ff.FarmFeedback) whose input stream stays open for the lifetime of the
+// service and carries quantum-sized tasks from every active job. On-demand
+// scheduling interleaves the jobs' tasks, so a newly submitted job starts
+// receiving service within one quantum of the running jobs, and the
+// feedback channel keeps load balanced across heavily uneven trajectories
+// exactly as in the batch pipeline.
+//
+// Workers emit one delivery per quantum — the whole quantum's samples in a
+// single batch — so the per-sample cost of crossing the farm collector is
+// amortised by the quantum/τ ratio. The collector routes each delivery to
+// the owning job's bounded sample buffer; a job whose analysis stage lags
+// behind its simulation rate therefore applies backpressure to the pool
+// (by design: there is no point simulating faster than the service can
+// analyse).
+type Pool struct {
+	workers int
+	submit  chan poolTask
+	ctx     context.Context
+	cancel  context.CancelFunc
+	done    chan struct{}
+	feeders sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+	err    error
+}
+
+// poolTask is one job's trajectory task riding the shared farm.
+type poolTask struct {
+	job  *Job
+	task *sim.Task
+}
+
+// delivery is one message from a pool worker to the routing collector: a
+// quantum's batch of samples and/or a task-completion marker. Simulator
+// failures travel here too — returning them from the worker would tear
+// down the shared farm and every other job with it.
+type delivery struct {
+	job      *Job
+	samples  []sim.Sample
+	elapsed  time.Duration
+	taskDone bool
+	dead     bool
+	steps    uint64
+	err      error
+}
+
+// NewPool starts a pool of the given width. queueDepth sets the farm's
+// internal channel capacities.
+func NewPool(workers, queueDepth int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	if queueDepth < 1 {
+		queueDepth = 1
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	p := &Pool{
+		workers: workers,
+		submit:  make(chan poolTask),
+		ctx:     ctx,
+		cancel:  cancel,
+		done:    make(chan struct{}),
+	}
+	farm := ff.NewFarmFeedback(workers, func(int) ff.FeedbackWorker[poolTask, delivery] {
+		return ff.FeedbackWorkerFunc[poolTask, delivery](poolWorker)
+	}, ff.WithQueueDepth(queueDepth))
+	go func() {
+		defer close(p.done)
+		err := farm.Run(ctx, p.submit, p.route)
+		if err != nil && ctx.Err() == nil {
+			p.mu.Lock()
+			p.err = err
+			p.mu.Unlock()
+		}
+	}()
+	return p
+}
+
+// poolWorker advances one task by one simulation quantum, batching the
+// quantum's samples into a single delivery. An unfinished task re-enters
+// the dispatcher through the farm's feedback channel.
+func poolWorker(_ context.Context, pt poolTask, emit ff.Emit[delivery]) (*poolTask, error) {
+	job := pt.job
+	if job.terminal() {
+		// The job was cancelled or failed while this task was queued:
+		// drop the task, but still report completion so the job's
+		// accounting (and sample-stream close) stays consistent.
+		return nil, emit(delivery{job: job, taskDone: true})
+	}
+	start := time.Now()
+	samples, err := pt.task.RunQuantumBatch(nil)
+	if err != nil {
+		return nil, emit(delivery{job: job, err: err, taskDone: true})
+	}
+	d := delivery{job: job, samples: samples, elapsed: time.Since(start)}
+	if pt.task.Done() {
+		d.taskDone, d.dead, d.steps = true, pt.task.Dead(), pt.task.Steps()
+		return nil, emit(d)
+	}
+	if err := emit(d); err != nil {
+		return nil, err
+	}
+	return &pt, nil
+}
+
+// route is the farm's collector body. It runs in a single goroutine, so
+// per-task delivery order is preserved and the per-job bookkeeping inside
+// accept needs no serialisation against other deliveries.
+func (p *Pool) route(d delivery) error { return d.job.accept(p.ctx, d) }
+
+// Workers returns the pool width.
+func (p *Pool) Workers() int { return p.workers }
+
+// Err reports a farm failure, if any (nil while healthy).
+func (p *Pool) Err() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.err
+}
+
+// Submit enqueues a job's n simulation tasks, built lazily by build(i) so
+// submit latency and peak memory stay O(1) in the ensemble size. It
+// returns immediately: a short-lived feeder goroutine constructs and
+// trickles the tasks into the farm (whose dispatcher buffers pending tasks
+// without bound, so feeding is quick), failing the job on a build error
+// and stopping early if the job reaches a terminal state first.
+func (p *Pool) Submit(job *Job, n int, build func(i int) (*sim.Task, error)) error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return ErrClosed
+	}
+	p.feeders.Add(1)
+	p.mu.Unlock()
+	go func() {
+		defer p.feeders.Done()
+		for i := 0; i < n; i++ {
+			t, err := build(i)
+			if err != nil {
+				job.fail(err)
+				return
+			}
+			select {
+			case p.submit <- poolTask{job: job, task: t}:
+			case <-job.ctx.Done():
+				return
+			case <-p.ctx.Done():
+				return
+			}
+		}
+	}()
+	return nil
+}
+
+// Close aborts the pool: in-flight quanta finish, everything else is
+// dropped. Jobs still running should be failed by the caller first.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+	p.cancel()
+	p.feeders.Wait()
+	<-p.done
+}

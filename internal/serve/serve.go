@@ -1,0 +1,317 @@
+// Package serve wraps the CWC simulation-analysis pipeline in a
+// long-running, concurrent job service — the first step of the roadmap's
+// multi-user serving story.
+//
+// One service instance owns a single shared simulation worker pool (a
+// long-lived ff feedback farm, see Pool). Each submitted job contributes
+// quantum-sized trajectory tasks to that pool; on-demand scheduling
+// interleaves every job's tasks, so many jobs progress concurrently on a
+// fixed set of workers with no per-job goroutine explosion: the service
+// runs O(pool workers + active jobs) goroutines in total. Per job, a
+// single analysis goroutine drains batched samples through the alignment →
+// sliding-window → statistics stages (window.Stream, core.AnalyseWindow)
+// and publishes every windowed statistic incrementally — results stream
+// out while the simulation is still running, the paper's on-line property,
+// carried over to the service.
+//
+// The HTTP surface (see Server.Handler) is:
+//
+//	POST   /jobs              submit a JobSpec, returns the job Status
+//	GET    /jobs              list all jobs
+//	GET    /jobs/{id}         one job's Status (progress, latency, ETA)
+//	GET    /jobs/{id}/stream  windows as NDJSON (or SSE), live + replay
+//	GET    /jobs/{id}/result  buffered windows; ?wait=true blocks to end
+//	POST   /jobs/{id}/cancel  cancel (DELETE /jobs/{id} is equivalent)
+//	GET    /healthz           pool and registry health
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"runtime"
+	"sync"
+
+	"cwcflow/internal/core"
+	"cwcflow/internal/sim"
+)
+
+// ErrBusy is returned by Submit when the active-job limit is reached — a
+// retryable condition (HTTP 429), unlike an invalid spec.
+var ErrBusy = errors.New("serve: active job limit reached")
+
+// ErrClosed is returned by Submit once the server is shutting down
+// (HTTP 503).
+var ErrClosed = errors.New("serve: server is closed")
+
+// Options configures a Server. The zero value is usable: every field
+// defaults sensibly in New.
+type Options struct {
+	// Workers is the shared simulation pool width (default GOMAXPROCS).
+	Workers int
+	// QueueDepth is the pool's internal channel capacity (default 16).
+	QueueDepth int
+	// SampleBuffer bounds each job's queue of in-flight sample batches
+	// between the pool collector and the job's analysis goroutine
+	// (default 64 batches). A full buffer applies backpressure to the
+	// pool rather than growing without bound.
+	SampleBuffer int
+	// ResultBuffer bounds each job's ring of retained WindowStats
+	// (default 1024); older windows are evicted once exceeded.
+	ResultBuffer int
+	// SubscriberBuffer bounds each streaming client's mailbox (default
+	// 256 windows); a slow client loses windows instead of stalling the
+	// job.
+	SubscriberBuffer int
+	// MaxJobs caps concurrently active (non-terminal) jobs (default 64).
+	MaxJobs int
+	// MaxCompleted caps retained terminal jobs (default 256): beyond it,
+	// the oldest finished/cancelled/failed jobs are evicted from the
+	// registry (results included) so a long-running server's memory stays
+	// bounded.
+	MaxCompleted int
+	// MaxTrajectories caps the per-job ensemble size (default 4096).
+	MaxTrajectories int
+	// MaxCuts caps a job's samples per trajectory, floor(End/Period)+1
+	// (default 1e6): without it one spec with an extreme End/Period ratio
+	// creates a practically unterminating job with unbounded sample
+	// volume.
+	MaxCuts int
+	// Resolver maps a model reference to a simulator factory (default
+	// core.FactoryFor). Tests inject synthetic models here.
+	Resolver func(core.ModelRef) (core.SimulatorFactory, error)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers < 1 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.QueueDepth < 1 {
+		o.QueueDepth = 16
+	}
+	if o.SampleBuffer < 1 {
+		o.SampleBuffer = 64
+	}
+	if o.ResultBuffer < 1 {
+		o.ResultBuffer = 1024
+	}
+	if o.SubscriberBuffer < 1 {
+		o.SubscriberBuffer = 256
+	}
+	if o.MaxJobs < 1 {
+		o.MaxJobs = 64
+	}
+	if o.MaxTrajectories < 1 {
+		o.MaxTrajectories = 4096
+	}
+	if o.MaxCompleted < 1 {
+		o.MaxCompleted = 256
+	}
+	if o.MaxCuts < 1 {
+		o.MaxCuts = 1_000_000
+	}
+	if o.Resolver == nil {
+		o.Resolver = core.FactoryFor
+	}
+	return o
+}
+
+// Server is the job service: a registry of jobs multiplexed onto one
+// shared simulation pool, plus the HTTP API over both.
+type Server struct {
+	opts Options
+	pool *Pool
+	mux  *http.ServeMux
+
+	mu     sync.Mutex
+	closed bool
+	jobs   map[string]*Job
+	order  []string
+	seq    int
+}
+
+// New starts a Server (and its worker pool) with the given options.
+func New(opts Options) *Server {
+	opts = opts.withDefaults()
+	s := &Server{
+		opts: opts,
+		pool: NewPool(opts.Workers, opts.QueueDepth),
+		mux:  http.NewServeMux(),
+		jobs: make(map[string]*Job),
+	}
+	s.routes()
+	return s
+}
+
+// Handler returns the HTTP API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Workers returns the shared pool width.
+func (s *Server) Workers() int { return s.pool.Workers() }
+
+// Submit validates a spec, builds the job's simulators and schedules its
+// trajectory tasks on the shared pool. It returns once the job is
+// registered and streaming; the simulation itself proceeds in the
+// background.
+func (s *Server) Submit(spec JobSpec) (*Job, error) {
+	if spec.Trajectories > s.opts.MaxTrajectories {
+		return nil, fmt.Errorf("serve: %d trajectories exceeds the per-job limit of %d", spec.Trajectories, s.opts.MaxTrajectories)
+	}
+	// Admission control up front: when the server is saturated (or
+	// closing), reject before paying for simulator construction. The
+	// check repeats under the lock at registration, which is the
+	// authoritative one.
+	s.mu.Lock()
+	err := s.admitLocked()
+	s.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	factory, err := s.opts.Resolver(core.ModelRef{Name: spec.Model, Omega: spec.Omega})
+	if err != nil {
+		return nil, err
+	}
+	cfg := core.Config{
+		Factory:       factory,
+		Trajectories:  spec.Trajectories,
+		End:           spec.End,
+		Quantum:       spec.Quantum,
+		Period:        spec.Period,
+		SimWorkers:    s.pool.Workers(),
+		StatEngines:   1,
+		WindowSize:    spec.WindowSize,
+		WindowStep:    spec.WindowStep,
+		Species:       spec.Species,
+		KMeansK:       spec.KMeansK,
+		PeriodHalfWin: spec.PeriodHalfWin,
+		BaseSeed:      spec.Seed,
+	}
+	cfg, err = cfg.Normalized()
+	if err != nil {
+		return nil, err
+	}
+	// Bound the per-trajectory sample count in float64, before
+	// sim.NewTask's int conversion could overflow on extreme ratios.
+	cutsF := math.Floor(cfg.End/cfg.Period) + 1
+	if cutsF > float64(s.opts.MaxCuts) {
+		return nil, fmt.Errorf("serve: end/period yields %g samples per trajectory, limit is %d", cutsF, s.opts.MaxCuts)
+	}
+	// ResolveSpecies probes factory(0), so model construction errors still
+	// surface synchronously as a 400 even though the full ensemble is
+	// built lazily by the pool feeder.
+	species, err := core.ResolveSpecies(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	s.mu.Lock()
+	if err := s.admitLocked(); err != nil {
+		s.mu.Unlock()
+		return nil, err
+	}
+	s.seq++
+	id := fmt.Sprintf("job-%06d", s.seq)
+	job := newJob(id, spec, cfg, species, int(cutsF), s.opts, s.pool.Workers())
+	s.jobs[id] = job
+	s.order = append(s.order, id)
+	s.pruneLocked()
+	s.mu.Unlock()
+
+	go job.runAnalysis()
+	build := func(i int) (*sim.Task, error) { return core.NewTrajectoryTask(cfg, i) }
+	if err := s.pool.Submit(job, cfg.Trajectories, build); err != nil {
+		// The pool closed between admission and scheduling: unregister
+		// the job so the error response is consistent with the registry
+		// (no ghost failed job the client was told does not exist).
+		job.fail(err)
+		s.mu.Lock()
+		delete(s.jobs, id)
+		for i, oid := range s.order {
+			if oid == id {
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				break
+			}
+		}
+		s.mu.Unlock()
+		return nil, err
+	}
+	return job, nil
+}
+
+// admitLocked enforces admission: the server must be open and under the
+// active-job cap. Callers hold s.mu.
+func (s *Server) admitLocked() error {
+	if s.closed {
+		return ErrClosed
+	}
+	active := 0
+	for _, j := range s.jobs {
+		if !j.State().Terminal() {
+			active++
+		}
+	}
+	if active >= s.opts.MaxJobs {
+		return fmt.Errorf("serve: %d active jobs, limit is %d: %w", active, s.opts.MaxJobs, ErrBusy)
+	}
+	return nil
+}
+
+// pruneLocked evicts the oldest terminal jobs beyond MaxCompleted. Active
+// jobs are never evicted. Callers hold s.mu.
+func (s *Server) pruneLocked() {
+	terminal := 0
+	for _, j := range s.jobs {
+		if j.State().Terminal() {
+			terminal++
+		}
+	}
+	if terminal <= s.opts.MaxCompleted {
+		return
+	}
+	kept := s.order[:0]
+	for _, id := range s.order {
+		if terminal > s.opts.MaxCompleted && s.jobs[id].State().Terminal() {
+			delete(s.jobs, id)
+			terminal--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}
+
+// Get returns a job by id.
+func (s *Server) Get(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// List returns all jobs in submission order.
+func (s *Server) List() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Job, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id])
+	}
+	return out
+}
+
+// Close fails every non-terminal job and shuts the pool down. The HTTP
+// handler stays callable (reads keep working; submissions fail). Marking
+// the server closed before snapshotting the registry makes the shutdown
+// race-free against concurrent Submits: a submission that registers after
+// this point is rejected by admitLocked, so no job can slip past both the
+// fail loop and the pool's closed check and be left running forever.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	for _, j := range s.List() {
+		j.setTerminal(StateFailed, "server shutting down")
+	}
+	s.pool.Close()
+}

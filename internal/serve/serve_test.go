@@ -1,0 +1,615 @@
+package serve_test
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"cwcflow/internal/core"
+	"cwcflow/internal/serve"
+	"cwcflow/internal/sim"
+	"cwcflow/internal/window"
+)
+
+// slowSim is a deterministic synthetic simulator: every step sleeps for a
+// configurable delay and advances time by dt, incrementing a counter. The
+// observable at sample instant k·period is therefore exactly the number of
+// steps whose time is <= k·period, identical across trajectories — which
+// makes the streamed statistics checkable to the digit while the sleep
+// keeps jobs running long enough to observe them mid-flight.
+type slowSim struct {
+	t     float64
+	dt    float64
+	delay time.Duration
+	steps uint64
+}
+
+func (s *slowSim) Time() float64 { return s.t }
+func (s *slowSim) Step() bool {
+	if s.delay > 0 {
+		time.Sleep(s.delay)
+	}
+	s.t += s.dt
+	s.steps++
+	return true
+}
+func (s *slowSim) NumSpecies() int     { return 1 }
+func (s *slowSim) Observe(out []int64) { out[0] = int64(s.steps) }
+func (s *slowSim) Steps() uint64       { return s.steps }
+
+// testResolver serves the synthetic "slow" model and falls back to the
+// built-in models for everything else.
+func testResolver(delay time.Duration) func(core.ModelRef) (core.SimulatorFactory, error) {
+	return func(ref core.ModelRef) (core.SimulatorFactory, error) {
+		if ref.Name == "slow" {
+			return func(int, int64) (sim.Simulator, error) {
+				return &slowSim{dt: 0.25, delay: delay}, nil
+			}, nil
+		}
+		return core.FactoryFor(ref)
+	}
+}
+
+// slowSpec is the job the tests submit: 4 trajectories, 17 cuts
+// (floor(8/0.5)+1), 5 windows of size 4 (4 full + 1 trailing cut).
+func slowSpec() serve.JobSpec {
+	return serve.JobSpec{
+		Model:        "slow",
+		Trajectories: 4,
+		End:          8,
+		Period:       0.5,
+		WindowSize:   4,
+		WindowStep:   4,
+	}
+}
+
+const slowSpecWindows = 5
+
+func newTestServer(t *testing.T, delay time.Duration, opts serve.Options) (*serve.Server, *httptest.Server) {
+	t.Helper()
+	if opts.Workers == 0 {
+		opts.Workers = 4
+	}
+	opts.Resolver = testResolver(delay)
+	svc := serve.New(opts)
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		svc.Close()
+	})
+	return svc, ts
+}
+
+func submitJob(t *testing.T, base string, spec serve.JobSpec) serve.Status {
+	t.Helper()
+	body, _ := json.Marshal(spec)
+	resp, err := http.Post(base+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /jobs: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		b := new(bytes.Buffer)
+		b.ReadFrom(resp.Body)
+		t.Fatalf("POST /jobs: status %d: %s", resp.StatusCode, b)
+	}
+	var st serve.Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("decoding submit response: %v", err)
+	}
+	return st
+}
+
+func getStatus(t *testing.T, base, id string) serve.Status {
+	t.Helper()
+	resp, err := http.Get(base + "/jobs/" + id)
+	if err != nil {
+		t.Fatalf("GET /jobs/%s: %v", id, err)
+	}
+	defer resp.Body.Close()
+	var st serve.Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("decoding status: %v", err)
+	}
+	return st
+}
+
+// streamEvent mirrors the NDJSON line format of /jobs/{id}/stream.
+type streamEvent struct {
+	Type   string           `json:"type"`
+	Window *core.WindowStat `json:"window"`
+	Status *serve.Status    `json:"status"`
+	Lost   int              `json:"lost"`
+}
+
+// openStream starts the NDJSON stream and returns a line decoder plus a
+// closer.
+func openStream(t *testing.T, base, id string) (*bufio.Scanner, func()) {
+	t.Helper()
+	resp, err := http.Get(base + "/jobs/" + id + "/stream")
+	if err != nil {
+		t.Fatalf("GET stream: %v", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		t.Fatalf("GET stream: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		resp.Body.Close()
+		t.Fatalf("stream content type %q", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	return sc, func() { resp.Body.Close() }
+}
+
+func nextEvent(t *testing.T, sc *bufio.Scanner) streamEvent {
+	t.Helper()
+	if !sc.Scan() {
+		t.Fatalf("stream ended early: %v", sc.Err())
+	}
+	var ev streamEvent
+	if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+		t.Fatalf("decoding stream line %q: %v", sc.Text(), err)
+	}
+	return ev
+}
+
+// checkWindow verifies the deterministic content of one slow-model window:
+// at cut index c the ensemble is uniformly 2c, so mean = 2c and var = 0.
+func checkWindow(t *testing.T, windowIdx int, ws *core.WindowStat) {
+	t.Helper()
+	wantStart := windowIdx * 4
+	if ws.Start != wantStart {
+		t.Fatalf("window %d starts at cut %d, want %d", windowIdx, ws.Start, wantStart)
+	}
+	for k := range ws.PerCut {
+		m := ws.PerCut[k][0]
+		cut := ws.Start + k
+		if want := float64(2 * cut); m.Mean != want || m.Var != 0 {
+			t.Errorf("window %d cut %d: mean %g var %g, want mean %g var 0", windowIdx, cut, m.Mean, m.Var, want)
+		}
+	}
+}
+
+func TestJobLifecycle(t *testing.T) {
+	_, ts := newTestServer(t, 0, serve.Options{})
+	st := submitJob(t, ts.URL, slowSpec())
+	if st.State != serve.StateRunning && st.State != serve.StateDone {
+		t.Fatalf("state after submit: %s", st.State)
+	}
+	if st.Progress.TotalCuts != 17 || st.Progress.TotalWindows != slowSpecWindows {
+		t.Fatalf("totals = %d cuts / %d windows, want 17 / %d",
+			st.Progress.TotalCuts, st.Progress.TotalWindows, slowSpecWindows)
+	}
+
+	sc, closeStream := openStream(t, ts.URL, st.ID)
+	defer closeStream()
+	got := 0
+	for {
+		ev := nextEvent(t, sc)
+		if ev.Type == "end" {
+			if ev.Status == nil || ev.Status.State != serve.StateDone {
+				t.Fatalf("end event status: %+v", ev.Status)
+			}
+			break
+		}
+		checkWindow(t, got, ev.Window)
+		got++
+	}
+	if got != slowSpecWindows {
+		t.Fatalf("streamed %d windows, want %d", got, slowSpecWindows)
+	}
+
+	final := getStatus(t, ts.URL, st.ID)
+	p := final.Progress
+	if final.State != serve.StateDone || p.TasksDone != 4 || p.Cuts != 17 ||
+		p.Windows != slowSpecWindows || p.Samples != 4*17 || p.Reactions == 0 {
+		t.Fatalf("final status: %+v", final)
+	}
+	if final.FinishedAt == nil {
+		t.Fatal("done job has no finished_at")
+	}
+
+	resp, err := http.Get(ts.URL + "/jobs/" + st.ID + "/result?wait=true")
+	if err != nil {
+		t.Fatalf("GET result: %v", err)
+	}
+	defer resp.Body.Close()
+	var res struct {
+		Status      serve.Status      `json:"status"`
+		FirstWindow int               `json:"first_window"`
+		Windows     []core.WindowStat `json:"windows"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatalf("decoding result: %v", err)
+	}
+	if res.FirstWindow != 0 || len(res.Windows) != slowSpecWindows {
+		t.Fatalf("result holds windows [%d, %d), want all %d",
+			res.FirstWindow, res.FirstWindow+len(res.Windows), slowSpecWindows)
+	}
+}
+
+func TestStreamsFirstWindowBeforeCompletion(t *testing.T) {
+	_, ts := newTestServer(t, 2*time.Millisecond, serve.Options{})
+	st := submitJob(t, ts.URL, slowSpec())
+	sc, closeStream := openStream(t, ts.URL, st.ID)
+	defer closeStream()
+
+	ev := nextEvent(t, sc)
+	if ev.Type != "window" {
+		t.Fatalf("first event is %q, want window", ev.Type)
+	}
+	checkWindow(t, 0, ev.Window)
+
+	// The first window covers 4 of 17 cuts: the job must still be running.
+	mid := getStatus(t, ts.URL, st.ID)
+	if mid.State != serve.StateRunning {
+		t.Fatalf("state after first window: %s, want running (stats must stream before completion)", mid.State)
+	}
+	if mid.Progress.Windows >= slowSpecWindows {
+		t.Fatalf("all %d windows already analysed at first streamed window", mid.Progress.Windows)
+	}
+
+	got := 1
+	for {
+		ev := nextEvent(t, sc)
+		if ev.Type == "end" {
+			if ev.Status.State != serve.StateDone {
+				t.Fatalf("end state %s", ev.Status.State)
+			}
+			break
+		}
+		got++
+	}
+	if got != slowSpecWindows {
+		t.Fatalf("streamed %d windows, want %d", got, slowSpecWindows)
+	}
+}
+
+func TestCancelMidRun(t *testing.T) {
+	svc, ts := newTestServer(t, 2*time.Millisecond, serve.Options{})
+	st := submitJob(t, ts.URL, slowSpec())
+	sc, closeStream := openStream(t, ts.URL, st.ID)
+	defer closeStream()
+
+	if ev := nextEvent(t, sc); ev.Type != "window" {
+		t.Fatalf("first event %q", ev.Type)
+	}
+	resp, err := http.Post(ts.URL+"/jobs/"+st.ID+"/cancel", "application/json", nil)
+	if err != nil {
+		t.Fatalf("POST cancel: %v", err)
+	}
+	resp.Body.Close()
+
+	// The stream must terminate with a cancelled end event.
+	for {
+		ev := nextEvent(t, sc)
+		if ev.Type == "end" {
+			if ev.Status.State != serve.StateCancelled {
+				t.Fatalf("end state %s, want cancelled", ev.Status.State)
+			}
+			break
+		}
+	}
+	if got := getStatus(t, ts.URL, st.ID); got.State != serve.StateCancelled {
+		t.Fatalf("status after cancel: %s", got.State)
+	}
+
+	// The pool drops the cancelled job's tasks and keeps serving: a fresh
+	// job on the same pool must run to completion.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if s := getStatus(t, ts.URL, st.ID); s.Progress.TasksDone == s.Progress.Trajectories {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("cancelled job's tasks were never drained from the pool")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	st2 := submitJob(t, ts.URL, slowSpec())
+	job, ok := svc.Get(st2.ID)
+	if !ok {
+		t.Fatalf("job %s not registered", st2.ID)
+	}
+	select {
+	case <-job.Done():
+	case <-time.After(10 * time.Second):
+		t.Fatal("post-cancel job did not finish")
+	}
+	if s := getStatus(t, ts.URL, st2.ID); s.State != serve.StateDone {
+		t.Fatalf("post-cancel job state: %s", s.State)
+	}
+}
+
+// TestConcurrentJobsOnSharedPool is the acceptance check: 8 jobs submitted
+// concurrently against one 4-worker pool, each streaming windowed
+// statistics incrementally — every job's first window arrives while that
+// job is still running, and every job completes with correct results.
+func TestConcurrentJobsOnSharedPool(t *testing.T) {
+	const jobs = 8
+	svc, ts := newTestServer(t, 500*time.Microsecond, serve.Options{Workers: 4})
+	if svc.Workers() != 4 {
+		t.Fatalf("pool width %d, want 4", svc.Workers())
+	}
+
+	var wg sync.WaitGroup
+	errc := make(chan error, jobs)
+	for i := 0; i < jobs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errc <- runOneJob(ts.URL, i)
+		}(i)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		if err != nil {
+			t.Error(err)
+		}
+	}
+
+	if got := len(svc.List()); got != jobs {
+		t.Fatalf("registry lists %d jobs, want %d", got, jobs)
+	}
+}
+
+// runOneJob submits one slow job, streams it, and verifies incremental
+// delivery plus final correctness. It avoids testing.T so it can run from
+// a goroutine.
+func runOneJob(base string, i int) error {
+	spec := slowSpec()
+	spec.Seed = int64(i)
+	body, _ := json.Marshal(spec)
+	resp, err := http.Post(base+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("job %d: submit: %w", i, err)
+	}
+	var st serve.Status
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if err != nil {
+		return fmt.Errorf("job %d: decoding submit: %w", i, err)
+	}
+
+	stream, err := http.Get(base + "/jobs/" + st.ID + "/stream")
+	if err != nil {
+		return fmt.Errorf("job %d: stream: %w", i, err)
+	}
+	defer stream.Body.Close()
+	sc := bufio.NewScanner(stream.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+
+	windows := 0
+	for sc.Scan() {
+		var ev streamEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return fmt.Errorf("job %d: bad stream line: %w", i, err)
+		}
+		switch ev.Type {
+		case "window":
+			if ws := ev.Window; ws.Start != windows*4 {
+				return fmt.Errorf("job %d: window %d starts at %d", i, windows, ws.Start)
+			}
+			if windows == 0 {
+				// Incremental delivery: at the first window the job must
+				// still be mid-run.
+				s, err := http.Get(base + "/jobs/" + st.ID)
+				if err != nil {
+					return fmt.Errorf("job %d: status: %w", i, err)
+				}
+				var mid serve.Status
+				err = json.NewDecoder(s.Body).Decode(&mid)
+				s.Body.Close()
+				if err != nil {
+					return fmt.Errorf("job %d: decoding status: %w", i, err)
+				}
+				if mid.State != serve.StateRunning {
+					return fmt.Errorf("job %d: state %s at first window, want running", i, mid.State)
+				}
+			}
+			windows++
+		case "end":
+			if ev.Status.State != serve.StateDone {
+				return fmt.Errorf("job %d: ended %s (%s)", i, ev.Status.State, ev.Status.Error)
+			}
+			if windows != slowSpecWindows {
+				return fmt.Errorf("job %d: streamed %d windows, want %d", i, windows, slowSpecWindows)
+			}
+			return nil
+		}
+	}
+	return fmt.Errorf("job %d: stream ended without end event: %v", i, sc.Err())
+}
+
+func TestSubmitValidation(t *testing.T) {
+	_, ts := newTestServer(t, 0, serve.Options{MaxTrajectories: 16})
+	cases := []serve.JobSpec{
+		{Model: "no-such-model", Trajectories: 4, End: 8, Period: 0.5},
+		{Model: "slow", Trajectories: 0, End: 8, Period: 0.5},
+		{Model: "slow", Trajectories: 4, End: -1, Period: 0.5},
+		{Model: "slow", Trajectories: 17, End: 8, Period: 0.5},   // over traj limit
+		{Model: "slow", Trajectories: 2, End: 1e9, Period: 1e-6}, // over cuts limit
+		{Model: "slow", Trajectories: 4, End: 8, Period: 0.5, Species: []int{3}},
+	}
+	for i, spec := range cases {
+		body, _ := json.Marshal(spec)
+		resp, err := http.Post(ts.URL+"/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("case %d: status %d, want 400", i, resp.StatusCode)
+		}
+	}
+	if resp, err := http.Get(ts.URL + "/jobs/nope"); err == nil {
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("unknown job id: status %d, want 404", resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+}
+
+func TestStreamFromBeyondPublished(t *testing.T) {
+	_, ts := newTestServer(t, 0, serve.Options{})
+	st := submitJob(t, ts.URL, slowSpec())
+	// Wait for completion so the published window count is fixed.
+	resp, err := http.Get(ts.URL + "/jobs/" + st.ID + "/result?wait=true")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	resp, err = http.Get(ts.URL + "/jobs/" + st.ID + "/stream?from=99")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("from beyond published windows: status %d, want 400", resp.StatusCode)
+	}
+	// from == published count is the reconnect case: valid, empty replay.
+	resp, err = http.Get(ts.URL + "/jobs/" + st.ID + "/stream?from=" + fmt.Sprint(slowSpecWindows))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("from == published count: status %d, want 200", resp.StatusCode)
+	}
+}
+
+func TestSubmitAfterCloseRejected(t *testing.T) {
+	svc := serve.New(serve.Options{Workers: 2, Resolver: testResolver(0)})
+	svc.Close()
+	if _, err := svc.Submit(slowSpec()); !errors.Is(err, serve.ErrClosed) {
+		t.Fatalf("Submit on closed server: err = %v, want ErrClosed", err)
+	}
+}
+
+func TestSubmitOverActiveLimitReturns429(t *testing.T) {
+	_, ts := newTestServer(t, 2*time.Millisecond, serve.Options{MaxJobs: 1})
+	first := submitJob(t, ts.URL, slowSpec())
+	body, _ := json.Marshal(slowSpec())
+	resp, err := http.Post(ts.URL+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("submit over limit: status %d, want 429", resp.StatusCode)
+	}
+	// Capacity frees once the first job finishes.
+	r2, err := http.Get(ts.URL + "/jobs/" + first.ID + "/result?wait=true")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Body.Close()
+	submitJob(t, ts.URL, slowSpec())
+}
+
+func TestStreamReportsEvictionGap(t *testing.T) {
+	// Result ring of 2: after 5 windows, windows 0..2 are evicted and a
+	// replay from 0 must announce the gap instead of silently skipping.
+	_, ts := newTestServer(t, 0, serve.Options{ResultBuffer: 2})
+	st := submitJob(t, ts.URL, slowSpec())
+	resp, err := http.Get(ts.URL + "/jobs/" + st.ID + "/result?wait=true")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	sc, closeStream := openStream(t, ts.URL, st.ID)
+	defer closeStream()
+	ev := nextEvent(t, sc)
+	if ev.Type != "gap" || ev.Lost != 3 {
+		t.Fatalf("first event = %s (lost %d), want gap with lost 3", ev.Type, ev.Lost)
+	}
+	var starts []int
+	for {
+		ev := nextEvent(t, sc)
+		if ev.Type == "end" {
+			break
+		}
+		starts = append(starts, ev.Window.Start)
+	}
+	if len(starts) != 2 || starts[0] != 12 || starts[1] != 16 {
+		t.Fatalf("replayed window starts %v, want [12 16]", starts)
+	}
+}
+
+func TestTerminalJobsEvictedBeyondMaxCompleted(t *testing.T) {
+	svc, ts := newTestServer(t, 0, serve.Options{MaxCompleted: 2})
+	var last serve.Status
+	for i := 0; i < 5; i++ {
+		last = submitJob(t, ts.URL, slowSpec())
+		resp, err := http.Get(ts.URL + "/jobs/" + last.ID + "/result?wait=true")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	// The next submission prunes: at most MaxCompleted terminal jobs plus
+	// the new active one remain.
+	submitJob(t, ts.URL, slowSpec())
+	if got := len(svc.List()); got > 3 {
+		t.Fatalf("registry holds %d jobs after pruning, want <= 3", got)
+	}
+	// Evicted ids 404, the newest completed one survives.
+	resp, err := http.Get(ts.URL + "/jobs/job-000001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("evicted job: status %d, want 404", resp.StatusCode)
+	}
+	if s := getStatus(t, ts.URL, last.ID); s.State != serve.StateDone {
+		t.Fatalf("newest completed job evicted or wrong state: %v", s.State)
+	}
+}
+
+func TestRealModelSmoke(t *testing.T) {
+	_, ts := newTestServer(t, 0, serve.Options{})
+	spec := serve.JobSpec{
+		Model:        "sir",
+		Omega:        100,
+		Trajectories: 8,
+		End:          10,
+		Period:       0.5,
+		WindowSize:   8,
+		Seed:         7,
+	}
+	st := submitJob(t, ts.URL, spec)
+	resp, err := http.Get(ts.URL + "/jobs/" + st.ID + "/result?wait=true")
+	if err != nil {
+		t.Fatalf("GET result: %v", err)
+	}
+	defer resp.Body.Close()
+	var res struct {
+		Status  serve.Status      `json:"status"`
+		Windows []core.WindowStat `json:"windows"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatalf("decoding result: %v", err)
+	}
+	if res.Status.State != serve.StateDone {
+		t.Fatalf("state %s (%s)", res.Status.State, res.Status.Error)
+	}
+	want := window.WindowCount(21, 8, 8)
+	if len(res.Windows) != want {
+		t.Fatalf("%d windows, want %d", len(res.Windows), want)
+	}
+	if res.Status.Progress.Reactions == 0 {
+		t.Fatal("no reactions recorded for a real model")
+	}
+}

@@ -143,6 +143,21 @@ func (t *Task) RunQuantum(emit func(Sample) error) error {
 	return nil
 }
 
+// RunQuantumBatch advances the trajectory by one simulation quantum like
+// RunQuantum, but gathers the quantum's samples into a slice (appending to
+// buf, which may be nil or a recycled buffer) instead of invoking a
+// callback per sample. This is the batching entry point used by streaming
+// consumers that ship one message per quantum rather than one per sample —
+// e.g. the job service's shared worker pool, which routes a whole quantum's
+// worth of samples through the collector in a single hop.
+func (t *Task) RunQuantumBatch(buf []Sample) ([]Sample, error) {
+	err := t.RunQuantum(func(s Sample) error {
+		buf = append(buf, s)
+		return nil
+	})
+	return buf, err
+}
+
 // emitUpTo emits all pending samples with instant strictly before tAfter
 // (the state in scratch holds on that half-open interval).
 func (t *Task) emitUpTo(tAfter float64, emit func(Sample) error) error {

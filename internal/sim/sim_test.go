@@ -27,8 +27,8 @@ func (f *fakeSim) Step() bool {
 	f.x++
 	return true
 }
-func (f *fakeSim) NumSpecies() int       { return 1 }
-func (f *fakeSim) Observe(out []int64)   { out[0] = f.x }
+func (f *fakeSim) NumSpecies() int     { return 1 }
+func (f *fakeSim) Observe(out []int64) { out[0] = f.x }
 
 func collect(t *testing.T, task *Task) []Sample {
 	t.Helper()

@@ -1,0 +1,130 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+)
+
+// P2Quantile is a streaming estimator of a single quantile using the P²
+// algorithm (Jain & Chlamtac, CACM 1985): five markers track the running
+// quantile in O(1) space and O(1) time per observation, with no buffering
+// of the sample. It is the streaming counterpart of the batch Quantile
+// function, for consumers that observe an unbounded stream (e.g. the job
+// service tracking per-window analysis latency percentiles).
+//
+// The zero value is not usable; construct with NewP2Quantile.
+type P2Quantile struct {
+	q       float64
+	n       int64
+	heights [5]float64 // marker heights
+	pos     [5]float64 // actual marker positions (1-based)
+	want    [5]float64 // desired marker positions
+	incr    [5]float64 // desired-position increments per observation
+}
+
+// NewP2Quantile returns an estimator of the q-quantile (0 <= q <= 1).
+func NewP2Quantile(q float64) (*P2Quantile, error) {
+	if q < 0 || q > 1 {
+		return nil, fmt.Errorf("stats: quantile %g out of [0,1]", q)
+	}
+	p := &P2Quantile{q: q}
+	p.want = [5]float64{1, 1 + 2*q, 1 + 4*q, 3 + 2*q, 5}
+	p.incr = [5]float64{0, q / 2, q, (1 + q) / 2, 1}
+	return p, nil
+}
+
+// Q returns the quantile this estimator tracks.
+func (p *P2Quantile) Q() float64 { return p.q }
+
+// N returns the number of observations folded in.
+func (p *P2Quantile) N() int64 { return p.n }
+
+// Add folds one observation into the estimator.
+func (p *P2Quantile) Add(x float64) {
+	if p.n < 5 {
+		p.heights[p.n] = x
+		p.n++
+		if p.n == 5 {
+			sort.Float64s(p.heights[:])
+			for i := range p.pos {
+				p.pos[i] = float64(i + 1)
+			}
+		}
+		return
+	}
+	p.n++
+
+	// Find the cell the observation falls into, adjusting the extremes.
+	var k int
+	switch {
+	case x < p.heights[0]:
+		p.heights[0] = x
+		k = 0
+	case x >= p.heights[4]:
+		p.heights[4] = x
+		k = 3
+	default:
+		for k = 0; k < 3; k++ {
+			if x < p.heights[k+1] {
+				break
+			}
+		}
+	}
+
+	// Shift positions above the cell, advance desired positions.
+	for i := k + 1; i < 5; i++ {
+		p.pos[i]++
+	}
+	for i := range p.want {
+		p.want[i] += p.incr[i]
+	}
+
+	// Nudge the three interior markers toward their desired positions with
+	// a piecewise-parabolic (P²) height interpolation, falling back to
+	// linear when the parabola would leave the bracketing heights.
+	for i := 1; i <= 3; i++ {
+		d := p.want[i] - p.pos[i]
+		if (d >= 1 && p.pos[i+1]-p.pos[i] > 1) || (d <= -1 && p.pos[i-1]-p.pos[i] < -1) {
+			s := 1.0
+			if d < 0 {
+				s = -1.0
+			}
+			h := p.parabolic(i, s)
+			if p.heights[i-1] < h && h < p.heights[i+1] {
+				p.heights[i] = h
+			} else {
+				p.heights[i] = p.linear(i, s)
+			}
+			p.pos[i] += s
+		}
+	}
+}
+
+func (p *P2Quantile) parabolic(i int, s float64) float64 {
+	return p.heights[i] + s/(p.pos[i+1]-p.pos[i-1])*
+		((p.pos[i]-p.pos[i-1]+s)*(p.heights[i+1]-p.heights[i])/(p.pos[i+1]-p.pos[i])+
+			(p.pos[i+1]-p.pos[i]-s)*(p.heights[i]-p.heights[i-1])/(p.pos[i]-p.pos[i-1]))
+}
+
+func (p *P2Quantile) linear(i int, s float64) float64 {
+	j := i + int(s)
+	return p.heights[i] + s*(p.heights[j]-p.heights[i])/(p.pos[j]-p.pos[i])
+}
+
+// Value returns the current quantile estimate. With fewer than five
+// observations it degrades to the exact batch quantile of what was seen
+// (and 0 with no observations).
+func (p *P2Quantile) Value() float64 {
+	if p.n == 0 {
+		return 0
+	}
+	if p.n < 5 {
+		seen := append([]float64(nil), p.heights[:p.n]...)
+		v, err := Quantile(seen, p.q)
+		if err != nil {
+			return 0
+		}
+		return v
+	}
+	return p.heights[2]
+}

@@ -1,0 +1,70 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestP2QuantileAgainstBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	dists := map[string]func() float64{
+		"uniform":   rng.Float64,
+		"normal":    rng.NormFloat64,
+		"lognormal": func() float64 { return math.Exp(rng.NormFloat64()) },
+	}
+	for name, draw := range dists {
+		for _, q := range []float64{0.5, 0.9, 0.95} {
+			p, err := NewP2Quantile(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			xs := make([]float64, 0, 20000)
+			for i := 0; i < 20000; i++ {
+				x := draw()
+				p.Add(x)
+				xs = append(xs, x)
+			}
+			exact, err := Quantile(xs, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := p.Value()
+			// P² is an approximation: accept a few percent of the sample
+			// spread around the exact order statistic.
+			lo, _ := Quantile(xs, math.Max(0, q-0.03))
+			hi, _ := Quantile(xs, math.Min(1, q+0.03))
+			if got < lo || got > hi {
+				t.Errorf("%s q=%g: estimate %g outside [%g, %g] (exact %g)", name, q, got, lo, hi, exact)
+			}
+			if p.N() != 20000 {
+				t.Errorf("N() = %d, want 20000", p.N())
+			}
+		}
+	}
+}
+
+func TestP2QuantileSmallSamples(t *testing.T) {
+	p, err := NewP2Quantile(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Value() != 0 {
+		t.Errorf("empty estimator Value() = %g, want 0", p.Value())
+	}
+	for _, x := range []float64{3, 1, 2} {
+		p.Add(x)
+	}
+	if got := p.Value(); got != 2 {
+		t.Errorf("median of {3,1,2} = %g, want 2 (exact small-sample path)", got)
+	}
+}
+
+func TestP2QuantileRejectsBadQ(t *testing.T) {
+	if _, err := NewP2Quantile(-0.1); err == nil {
+		t.Error("accepted q = -0.1")
+	}
+	if _, err := NewP2Quantile(1.5); err == nil {
+		t.Error("accepted q = 1.5")
+	}
+}

@@ -1,0 +1,76 @@
+package window
+
+import "cwcflow/internal/sim"
+
+// Stream fuses the Aligner and the Slider into a single push-based stage:
+// raw samples in, sliding windows out. It is the streaming entry point used
+// by consumers that drive the alignment/windowing stages themselves (one
+// call site, no channels) instead of assembling the ff pipeline nodes —
+// notably the job service, where each job owns one Stream fed by batches
+// arriving from the shared simulation pool.
+//
+// The zero value is not usable; construct with NewStream.
+type Stream struct {
+	aligner *Aligner
+	slider  *Slider
+}
+
+// NewStream returns a stream for an ensemble of nTraj trajectories,
+// emitting windows of size cuts every step cuts.
+func NewStream(nTraj, size, step int) (*Stream, error) {
+	a, err := NewAligner(nTraj)
+	if err != nil {
+		return nil, err
+	}
+	s, err := NewSlider(size, step)
+	if err != nil {
+		return nil, err
+	}
+	return &Stream{aligner: a, slider: s}, nil
+}
+
+// Push adds one sample, invoking emit for every window the sample
+// completes (one sample can release several cuts, and therefore several
+// windows, when it fills the oldest alignment gap).
+func (st *Stream) Push(s sim.Sample, emit func(Window) error) error {
+	return st.aligner.Push(s, func(c Cut) error {
+		return st.slider.Push(c, emit)
+	})
+}
+
+// Cuts returns the number of complete cuts released so far.
+func (st *Stream) Cuts() int { return st.aligner.EmittedCuts() }
+
+// Pending returns the alignment backlog (partially assembled cuts).
+func (st *Stream) Pending() int { return st.aligner.Pending() }
+
+// Close verifies the sample stream was complete and flushes the trailing
+// partial window, if any. Call it after the last sample was pushed.
+func (st *Stream) Close(emit func(Window) error) error {
+	if err := st.aligner.Close(); err != nil {
+		return err
+	}
+	return st.slider.Flush(emit)
+}
+
+// WindowCount returns the number of windows a Slider of the given size and
+// step emits (including the trailing Flush) for a stream of cuts complete
+// cuts. It lets progress reporting state "window w of W" without running
+// the stream.
+func WindowCount(cuts, size, step int) int {
+	if cuts <= 0 || size < 1 || step < 1 || step > size {
+		return 0
+	}
+	full := 0
+	if cuts >= size {
+		full = (cuts-size)/step + 1
+	}
+	// After full windows the slider still buffers cuts - full*step cuts;
+	// Flush emits them only if some cut was never part of a window (see
+	// Slider.Flush).
+	buffered := cuts - full*step
+	if buffered > 0 && (full == 0 || buffered > size-step) {
+		return full + 1
+	}
+	return full
+}
