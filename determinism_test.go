@@ -1,0 +1,73 @@
+package cwcflow_test
+
+import (
+	"context"
+	"hash/fnv"
+	"math"
+	"testing"
+
+	"cwcflow/internal/core"
+	"cwcflow/internal/sim"
+)
+
+// sampleHash digests one sample. The per-sample hashes are XOR-combined by
+// the caller, so the ensemble digest is independent of the order in which
+// the farm's collector happens to interleave trajectories.
+func sampleHash(s sim.Sample) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(u uint64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(u >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	put(uint64(s.Traj))
+	put(uint64(s.Index))
+	put(math.Float64bits(s.Time))
+	for _, x := range s.State {
+		put(uint64(x))
+	}
+	return h.Sum64()
+}
+
+// TestPipelineTrajectoriesBitIdentical pins the full shared-memory
+// pipeline's raw sample stream for a fixed BaseSeed: the same ensemble the
+// pre-optimisation pipeline produced, bit-for-bit, regardless of worker
+// count or scheduling. The constant was recorded before the allocation-free
+// hot-path rewrite (compiled kernels, pooled batches, ring-buffer aligner).
+func TestPipelineTrajectoriesBitIdentical(t *testing.T) {
+	const want = uint64(0xc43bd063ceedb034)
+
+	factory, err := core.FactoryFor(core.ModelRef{Name: "neurospora", Omega: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var digest uint64
+	var n int
+	cfg := core.Config{
+		Factory:      factory,
+		Trajectories: 16,
+		End:          12,
+		Period:       0.5,
+		SimWorkers:   4,
+		StatEngines:  2,
+		WindowSize:   8,
+		BaseSeed:     1,
+		RawSink: func(s sim.Sample) error {
+			digest ^= sampleHash(s)
+			n++
+			return nil
+		},
+	}
+	if _, err := core.Run(context.Background(), cfg, nil); err != nil {
+		t.Fatal(err)
+	}
+	const wantSamples = 16 * 25 // 16 trajectories × samples at 0, 0.5, …, 12
+	if n != wantSamples {
+		t.Fatalf("raw sink saw %d samples, want %d", n, wantSamples)
+	}
+	if got := digest; got != want {
+		t.Fatalf("ensemble digest = %#x, want %#x (pipeline no longer bit-identical for fixed seed)", got, want)
+	}
+}

@@ -72,6 +72,8 @@ type Config struct {
 	// RawSink, when non-nil, receives every raw sample as it leaves the
 	// simulation farm (the paper's "raw simulation results" tap feeding
 	// permanent storage), before alignment. It is called sequentially.
+	// The sample's State is backed by a pooled batch arena and is only
+	// valid for the duration of the call: copy it to retain it.
 	RawSink func(sim.Sample) error
 }
 
@@ -186,13 +188,26 @@ func Run(ctx context.Context, cfg Config, display func(WindowStat) error) (RunIn
 		return nil
 	})
 
-	// Stage 2: farm of simulation engines with feedback rescheduling.
-	simFarm := ff.NewFarmFeedback(cfg.SimWorkers, func(int) ff.FeedbackWorker[*sim.Task, sim.Sample] {
-		return ff.FeedbackWorkerFunc[*sim.Task, sim.Sample](func(_ context.Context, task *sim.Task, emit ff.Emit[sim.Sample]) (**sim.Task, error) {
-			if err := task.RunQuantum(func(s sim.Sample) error {
-				samples.Add(1)
-				return emit(s)
-			}); err != nil {
+	// Stage 2: farm of simulation engines with feedback rescheduling. Each
+	// quantum's samples travel as one pooled batch (a single arena-backed
+	// message per quantum instead of one allocation per sample); the
+	// alignment stage copies the states into cut storage and recycles the
+	// batch.
+	simFarm := ff.NewFarmFeedback(cfg.SimWorkers, func(int) ff.FeedbackWorker[*sim.Task, *sim.Batch] {
+		// fb is this worker's reusable feedback cell: the farm reads *fb
+		// before the next DoStep, so one heap cell per worker replaces a
+		// per-quantum allocation.
+		var fb *sim.Task
+		return ff.FeedbackWorkerFunc[*sim.Task, *sim.Batch](func(_ context.Context, task *sim.Task, emit ff.Emit[*sim.Batch]) (**sim.Task, error) {
+			b := sim.GetBatch()
+			if err := task.RunQuantumBatch(b); err != nil {
+				b.Release()
+				return nil, err
+			}
+			samples.Add(int64(len(b.Samples)))
+			if len(b.Samples) == 0 {
+				b.Release()
+			} else if err := emit(b); err != nil {
 				return nil, err
 			}
 			if task.Done() {
@@ -202,7 +217,8 @@ func Run(ctx context.Context, cfg Config, display func(WindowStat) error) (RunIn
 				}
 				return nil, nil
 			}
-			return &task, nil
+			fb = task
+			return &fb, nil
 		})
 	})
 
@@ -212,10 +228,18 @@ func Run(ctx context.Context, cfg Config, display func(WindowStat) error) (RunIn
 	// Assemble: sim farm → (raw-results tap) → analysis pipeline.
 	var pipeline ff.Node[*sim.Task, WindowStat]
 	if cfg.RawSink != nil {
-		tapped := ff.Compose[*sim.Task, sim.Sample, sim.Sample](simFarm, ff.Tee(cfg.RawSink))
-		pipeline = ff.Compose[*sim.Task, sim.Sample, WindowStat](tapped, analysis)
+		tap := ff.Tee(func(b *sim.Batch) error {
+			for _, s := range b.Samples {
+				if err := cfg.RawSink(s); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		tapped := ff.Compose[*sim.Task, *sim.Batch, *sim.Batch](simFarm, tap)
+		pipeline = ff.Compose[*sim.Task, *sim.Batch, WindowStat](tapped, analysis)
 	} else {
-		pipeline = ff.Compose[*sim.Task, sim.Sample, WindowStat](simFarm, analysis)
+		pipeline = ff.Compose[*sim.Task, *sim.Batch, WindowStat](simFarm, analysis)
 	}
 
 	windows := 0
@@ -237,9 +261,13 @@ func Run(ctx context.Context, cfg Config, display func(WindowStat) error) (RunIn
 // analysisPipeline builds stages 3–5 of Fig. 2: alignment of trajectories,
 // generation of sliding windows, and the ordered farm of statistical
 // engines. It is shared by the shared-memory, GPU and distributed runners.
-func analysisPipeline(cfg Config, species []int, cutsEmitted *atomic.Int64) ff.Node[sim.Sample, WindowStat] {
-	// Stage 3: alignment of trajectories (samples → cuts).
-	alignNode := ff.NodeFunc[sim.Sample, window.Cut](func(ctx context.Context, in <-chan sim.Sample, emit ff.Emit[window.Cut]) error {
+// Input arrives as pooled sample batches; the alignment stage copies each
+// state into per-cut storage and releases the batch, so batch recycling
+// survives the full pipeline while cuts flow to the (asynchronous) stat
+// farm with independent lifetimes.
+func analysisPipeline(cfg Config, species []int, cutsEmitted *atomic.Int64) ff.Node[*sim.Batch, WindowStat] {
+	// Stage 3: alignment of trajectories (sample batches → cuts).
+	alignNode := ff.NodeFunc[*sim.Batch, window.Cut](func(ctx context.Context, in <-chan *sim.Batch, emit ff.Emit[window.Cut]) error {
 		aligner, err := window.NewAligner(cfg.Trajectories)
 		if err != nil {
 			return err
@@ -248,16 +276,19 @@ func analysisPipeline(cfg Config, species []int, cutsEmitted *atomic.Int64) ff.N
 			select {
 			case <-ctx.Done():
 				return ctx.Err()
-			case s, ok := <-in:
+			case b, ok := <-in:
 				if !ok {
 					return aligner.Close()
 				}
-				if err := aligner.Push(s, func(c window.Cut) error {
-					cutsEmitted.Add(1)
-					return emit(c)
-				}); err != nil {
-					return err
+				for _, s := range b.Samples {
+					if err := aligner.Push(s, func(c window.Cut) error {
+						cutsEmitted.Add(1)
+						return emit(c)
+					}); err != nil {
+						return err
+					}
 				}
+				b.Release()
 			}
 		}
 	})
@@ -374,7 +405,7 @@ func analyseWindow(w window.Window, species []int, cfg Config) (WindowStat, erro
 				scratch = append(scratch, v)
 			}
 			ws.PerCut[k][si] = acc.Snapshot()
-			med, err := stats.Quantile(scratch, 0.5)
+			med, err := stats.QuantileInPlace(scratch, 0.5)
 			if err != nil {
 				return ws, err
 			}

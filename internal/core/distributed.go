@@ -174,6 +174,7 @@ func handleJob(ctx context.Context, conn net.Conn, simWorkers int) error {
 		}
 	})
 	farm := ff.NewFarmFeedback(simWorkers, func(int) ff.FeedbackWorker[*sim.Task, sim.Sample] {
+		var fb *sim.Task // per-worker feedback cell, read before the next DoStep
 		return ff.FeedbackWorkerFunc[*sim.Task, sim.Sample](func(_ context.Context, task *sim.Task, emit ff.Emit[sim.Sample]) (**sim.Task, error) {
 			if err := task.RunQuantum(func(s sim.Sample) error { return emit(s) }); err != nil {
 				return nil, err
@@ -185,7 +186,8 @@ func handleJob(ctx context.Context, conn net.Conn, simWorkers int) error {
 				}
 				return nil, nil
 			}
-			return &task, nil
+			fb = task
+			return &fb, nil
 		})
 	})
 	err = ff.Run(ctx, source, ff.Node[*sim.Task, sim.Sample](farm), func(s sim.Sample) error {
@@ -336,7 +338,12 @@ func RunDistributed(ctx context.Context, cfg Config, model ModelRef, workerAddrs
 	analysis := analysisPipeline(cfg, species, &cutsEmitted)
 	windows := 0
 	g.Go(func(ctx context.Context) error {
-		source := ff.Source[sim.Sample](func(ctx context.Context, emit ff.Emit[sim.Sample]) error {
+		// Re-batch the per-sample wire stream into pooled batches for the
+		// analysis pipeline (which recycles them after alignment): block
+		// for one sample, then greedily drain whatever else has already
+		// arrived, so the pool round-trip amortises over the burst.
+		const maxBatch = 256
+		source := ff.Source[*sim.Batch](func(ctx context.Context, emit ff.Emit[*sim.Batch]) error {
 			for {
 				select {
 				case <-ctx.Done():
@@ -345,7 +352,21 @@ func RunDistributed(ctx context.Context, cfg Config, model ModelRef, workerAddrs
 					if !ok {
 						return nil
 					}
-					if err := emit(s); err != nil {
+					b := sim.GetBatch()
+					b.Append(s)
+				drain:
+					for len(b.Samples) < maxBatch {
+						select {
+						case s2, ok := <-merged:
+							if !ok {
+								break drain // outer loop sees the close
+							}
+							b.Append(s2)
+						default:
+							break drain
+						}
+					}
+					if err := emit(b); err != nil {
 						return err
 					}
 				}

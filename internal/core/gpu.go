@@ -67,26 +67,23 @@ func RunGPU(ctx context.Context, cfg Config, device *gpu.Device, display func(Wi
 	var busy, lockstep float64
 
 	// The source drives the device: one Launch per quantum over the
-	// unfinished tasks; per-task samples are buffered during the kernel
-	// and streamed to the analysis pipeline after the barrier.
-	source := ff.Source[sim.Sample](func(ctx context.Context, emit ff.Emit[sim.Sample]) error {
+	// unfinished tasks; per-task samples are buffered during the kernel —
+	// each task filling its own pooled batch — and the batches are
+	// streamed to the analysis pipeline after the barrier.
+	source := ff.Source[*sim.Batch](func(ctx context.Context, emit ff.Emit[*sim.Batch]) error {
 		active := make([]*sim.Task, len(tasks))
 		copy(active, tasks)
-		buffers := make([][]sim.Sample, len(tasks))
+		buffers := make([]*sim.Batch, len(tasks))
 		for len(active) > 0 {
 			for i := range buffers[:len(active)] {
-				buffers[i] = buffers[i][:0]
+				buffers[i] = sim.GetBatch()
 			}
 			stats, err := device.Launch(ctx, len(active), func(idx int) (float64, error) {
 				// Each kernel item owns buffers[idx]: no synchronisation
 				// needed even with host parallelism > 1.
 				task := active[idx]
 				before := task.Steps()
-				err := task.RunQuantum(func(s sim.Sample) error {
-					buffers[idx] = append(buffers[idx], s)
-					return nil
-				})
-				if err != nil {
+				if err := task.RunQuantumBatch(buffers[idx]); err != nil {
 					return 0, err
 				}
 				// Cost = reactions fired in this quantum: the source of
@@ -101,13 +98,18 @@ func RunGPU(ctx context.Context, cfg Config, device *gpu.Device, display func(Wi
 			busy += stats.BusyCost
 			lockstep += stats.LockstepCost
 
-			// Kernel barrier passed: forward the quantum's samples.
+			// Kernel barrier passed: forward the quantum's batches (the
+			// alignment stage recycles them).
 			for i := range active {
-				for _, s := range buffers[i] {
-					samples.Add(1)
-					if err := emit(s); err != nil {
-						return err
-					}
+				b := buffers[i]
+				buffers[i] = nil
+				samples.Add(int64(len(b.Samples)))
+				if len(b.Samples) == 0 {
+					b.Release()
+					continue
+				}
+				if err := emit(b); err != nil {
+					return err
 				}
 			}
 			// Compact out the finished tasks.

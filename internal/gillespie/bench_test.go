@@ -1,0 +1,118 @@
+package gillespie_test
+
+import (
+	"fmt"
+	"testing"
+
+	"cwcflow/internal/gillespie"
+	"cwcflow/internal/models"
+)
+
+// chain builds a synthetic loosely coupled network of n independent
+// birth-death species — 2n mass-action reactions, each touching one
+// species. It is the scaling regime where dependency-driven updates beat
+// the classic full rescan: after any firing only two propensities change.
+func chain(n int) *gillespie.System {
+	species := make([]string, n)
+	init := make([]int64, n)
+	reactions := make([]gillespie.Reaction, 0, 2*n)
+	for i := 0; i < n; i++ {
+		species[i] = fmt.Sprintf("X%d", i)
+		init[i] = 50
+		reactions = append(reactions,
+			gillespie.MassAction(fmt.Sprintf("birth%d", i), 10.0, nil, map[int]int64{i: 1}),
+			gillespie.MassAction(fmt.Sprintf("death%d", i), 0.2, map[int]int64{i: 1}, nil),
+		)
+	}
+	return &gillespie.System{Name: fmt.Sprintf("chain%d", n), Species: species, Init: init, Reactions: reactions}
+}
+
+func benchSteps(b *testing.B, mk func() interface {
+	Step() bool
+	NumSpecies() int
+}) {
+	b.Helper()
+	e := mk()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !e.Step() {
+			b.Fatal("system died mid-benchmark")
+		}
+	}
+}
+
+// BenchmarkDirectStep times one direct-method reaction firing: the
+// compiled mass-action kernel plus dependency-driven propensity updates.
+// neurospora mixes Custom closures with compiled mass-action; chain128 is
+// pure compiled mass-action with 256 channels, where the partial update
+// (2 propensity evaluations instead of 256) dominates.
+func BenchmarkDirectStep(b *testing.B) {
+	cases := []struct {
+		name string
+		sys  *gillespie.System
+	}{
+		{"neurospora", models.Neurospora(50)},
+		{"chain16", chain(16)},
+		{"chain128", chain(128)},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			benchSteps(b, func() interface {
+				Step() bool
+				NumSpecies() int
+			} {
+				d, err := gillespie.NewDirect(tc.sys, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				return d
+			})
+		})
+	}
+}
+
+// BenchmarkNRMStep times one next-reaction-method firing (compiled kernel
+// + dependency graph + indexed priority queue) on the same systems.
+func BenchmarkNRMStep(b *testing.B) {
+	cases := []struct {
+		name string
+		sys  *gillespie.System
+	}{
+		{"neurospora", models.Neurospora(50)},
+		{"chain128", chain(128)},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			benchSteps(b, func() interface {
+				Step() bool
+				NumSpecies() int
+			} {
+				nr, err := gillespie.NewNextReaction(tc.sys, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				return nr
+			})
+		})
+	}
+}
+
+// TestStepAllocationFree pins the hot-path contract: once an engine is
+// constructed, stepping allocates nothing.
+func TestStepAllocationFree(t *testing.T) {
+	d, err := gillespie.NewDirect(models.Neurospora(50), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avg := testing.AllocsPerRun(200, func() { d.Step() }); avg != 0 {
+		t.Fatalf("Direct.Step allocates %.1f objects per step, want 0", avg)
+	}
+	nr, err := gillespie.NewNextReaction(models.Neurospora(50), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avg := testing.AllocsPerRun(200, func() { nr.Step() }); avg != 0 {
+		t.Fatalf("NextReaction.Step allocates %.1f objects per step, want 0", avg)
+	}
+}

@@ -57,14 +57,14 @@ func engines(t *testing.T, sys *System, seed int64) map[string]engine {
 func TestValidate(t *testing.T) {
 	cases := []struct {
 		name string
-		sys  System
+		sys  *System
 	}{
-		{"no species", System{Reactions: []Reaction{{}}}},
-		{"bad init len", System{Species: []string{"X"}, Init: []int64{1, 2}}},
-		{"negative init", System{Species: []string{"X"}, Init: []int64{-1}}},
-		{"no reactions", System{Species: []string{"X"}, Init: []int64{1}}},
-		{"nil rate", System{Species: []string{"X"}, Init: []int64{1}, Reactions: []Reaction{{Name: "r"}}}},
-		{"bad species index", System{Species: []string{"X"}, Init: []int64{1},
+		{"no species", &System{Reactions: []Reaction{{}}}},
+		{"bad init len", &System{Species: []string{"X"}, Init: []int64{1, 2}}},
+		{"negative init", &System{Species: []string{"X"}, Init: []int64{-1}}},
+		{"no reactions", &System{Species: []string{"X"}, Init: []int64{1}}},
+		{"nil rate", &System{Species: []string{"X"}, Init: []int64{1}, Reactions: []Reaction{{Name: "r"}}}},
+		{"bad species index", &System{Species: []string{"X"}, Init: []int64{1},
 			Reactions: []Reaction{{Name: "r", Rate: func([]int64) float64 { return 1 }, Changes: []Change{{Species: 5, Delta: 1}}}}}},
 	}
 	for _, tt := range cases {
@@ -346,6 +346,112 @@ func benchEngine(b *testing.B, kind string) {
 	for i := 0; i < b.N; i++ {
 		if !e.Step() {
 			b.Fatal("died")
+		}
+	}
+}
+
+// TestSelectChannelGuard covers the channel-selection rounding guard: when
+// float rounding pushes the target to (or past) the accumulated propensity
+// sum, the scan must fall back to the last channel with positive
+// propensity, never fire a zero-propensity channel, and report -1 only
+// when nothing can fire.
+func TestSelectChannelGuard(t *testing.T) {
+	cases := []struct {
+		name   string
+		props  []float64
+		target float64
+		want   int
+	}{
+		{"interior", []float64{1, 2, 3}, 1.5, 1},
+		{"first", []float64{1, 2, 3}, 0, 0},
+		{"exact-boundary-skips-zero-tail", []float64{1, 2, 0}, 3, 1},
+		{"past-sum-skips-zero-tail", []float64{1, 2, 0, 0}, 3.5, 1},
+		{"zero-head-positive-tail", []float64{0, 0, 4}, 4, 2},
+		{"all-zero", []float64{0, 0, 0}, 0.5, -1},
+		{"empty", nil, 0, -1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := selectChannel(tc.props, tc.target); got != tc.want {
+				t.Fatalf("selectChannel(%v, %g) = %d, want %d", tc.props, tc.target, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestDirectRelaxedResummation: with a relaxed resummation interval the
+// running total drifts by ULPs, but the trajectory must stay statistically
+// sane and the engine must still detect dead states.
+func TestDirectRelaxedResummation(t *testing.T) {
+	sys := birthDeath(10, 0.3, 5)
+	d, err := NewDirect(sys, 7, WithResumInterval(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fired, live := d.AdvanceTo(50)
+	if !live {
+		t.Fatal("birth-death died")
+	}
+	if fired == 0 || d.State()[0] < 0 {
+		t.Fatalf("relaxed resummation broke the trajectory (fired %d, X=%d)", fired, d.State()[0])
+	}
+
+	// A system that dies must be reported dead even between resummations.
+	dying := &System{
+		Name:    "decay",
+		Species: []string{"X"},
+		Init:    []int64{3},
+		Reactions: []Reaction{
+			MassAction("death", 1.0, map[int]int64{0: 1}, nil),
+		},
+	}
+	dd, err := NewDirect(dying, 3, WithResumInterval(1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, live := dd.AdvanceTo(1e9); live {
+		t.Fatal("decay-to-zero system not reported dead")
+	}
+	if dd.State()[0] != 0 {
+		t.Fatalf("X = %d after death, want 0", dd.State()[0])
+	}
+}
+
+// TestDirectPartialUpdateMatchesFullRecompute cross-checks the
+// dependency-driven propensity cache against a brute-force recomputation
+// after every step, on a model mixing Custom closures (including one with
+// a nil Reads set) and compiled mass-action reactions.
+func TestDirectPartialUpdateMatchesFullRecompute(t *testing.T) {
+	sys := &System{
+		Name:    "mixed",
+		Species: []string{"A", "B"},
+		Init:    []int64{40, 10},
+		Reactions: []Reaction{
+			MassAction("a-to-b", 0.7, map[int]int64{0: 1}, map[int]int64{1: 1}),
+			MassAction("b-decay", 0.3, map[int]int64{1: 1}, nil),
+			Custom("feedback",
+				[]Change{{Species: 0, Delta: 1}},
+				[]int{1},
+				func(st []int64) float64 { return 0.1 * float64(st[1]) }),
+			Custom("inflow",
+				[]Change{{Species: 0, Delta: 2}},
+				nil, // nil Reads: conservatively depends on everything
+				func([]int64) float64 { return 1.5 }),
+		},
+	}
+	d, err := NewDirect(sys, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 2000; step++ {
+		if !d.Step() {
+			t.Fatal("mixed system died")
+		}
+		for j := range sys.Reactions {
+			want := d.prog.eval(j, d.state)
+			if d.props[j] != want {
+				t.Fatalf("step %d: cached propensity[%d] = %g, fresh eval = %g", step, j, d.props[j], want)
+			}
 		}
 	}
 }

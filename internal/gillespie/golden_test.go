@@ -1,0 +1,102 @@
+package gillespie_test
+
+import (
+	"hash/fnv"
+	"math"
+	"testing"
+
+	"cwcflow/internal/gillespie"
+	"cwcflow/internal/models"
+)
+
+// trajectoryHash folds an engine's full (time, state) stream into one
+// FNV-64 digest: any change to a firing time, channel choice or state
+// update anywhere in the run changes the hash.
+func trajectoryHash(t *testing.T, e interface {
+	Time() float64
+	Step() bool
+	NumSpecies() int
+	Observe([]int64)
+}, maxSteps int) uint64 {
+	t.Helper()
+	h := fnv.New64a()
+	buf := make([]byte, 8)
+	state := make([]int64, e.NumSpecies())
+	put := func(u uint64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(u >> (8 * i))
+		}
+		h.Write(buf)
+	}
+	for s := 0; s < maxSteps; s++ {
+		if !e.Step() {
+			put(^uint64(0)) // dead-state marker
+			break
+		}
+		put(math.Float64bits(e.Time()))
+		e.Observe(state)
+		for _, x := range state {
+			put(uint64(x))
+		}
+	}
+	return h.Sum64()
+}
+
+// goldenDirect pins the exact trajectories the direct method produced
+// before the compiled-kernel/partial-update rewrite: same seed, same
+// reaction channels, bit-identical firing times and states. The constants
+// were recorded from the closure-per-reaction implementation; the
+// dependency-driven engine must reproduce them exactly.
+func TestDirectGoldenTrajectories(t *testing.T) {
+	cases := []struct {
+		name  string
+		sys   *gillespie.System
+		seed  int64
+		steps int
+		want  uint64
+	}{
+		{"neurospora", models.Neurospora(50), 1, 4000, 0xefd38670aa8d6640},
+		{"neurospora-seed9", models.Neurospora(50), 9, 4000, 0x0ffc2e3239d18006},
+		{"lotka-volterra", models.LotkaVolterra(), 3, 4000, 0x34da3eb3ffc738ae},
+		{"sir", models.SIR(1000, 10, 1.5, 0.5), 4, 4000, 0x2cf76c029bae0c7f},
+		{"schlogl", models.Schlogl(), 5, 4000, 0xa95953cfefa31cc5},
+		{"enzyme", models.Enzyme(20, 200), 6, 4000, 0x478df4e13edfc578},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d, err := gillespie.NewDirect(tc.sys, tc.seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := trajectoryHash(t, d, tc.steps); got != tc.want {
+				t.Fatalf("trajectory hash = %#x, want %#x (direct method no longer bit-identical)", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestNextReactionGoldenTrajectories pins the NRM's trajectories across
+// the shared dependency-graph refactor.
+func TestNextReactionGoldenTrajectories(t *testing.T) {
+	cases := []struct {
+		name  string
+		sys   *gillespie.System
+		seed  int64
+		steps int
+		want  uint64
+	}{
+		{"neurospora", models.Neurospora(50), 1, 4000, 0xdbeb2082bf0e88d6},
+		{"enzyme", models.Enzyme(20, 200), 6, 4000, 0x652ebf630733b2e6},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			nr, err := gillespie.NewNextReaction(tc.sys, tc.seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := trajectoryHash(t, nr, tc.steps); got != tc.want {
+				t.Fatalf("trajectory hash = %#x, want %#x (NRM no longer bit-identical)", got, tc.want)
+			}
+		})
+	}
+}

@@ -14,6 +14,7 @@ import (
 // scan of the direct method with O(deps · log R).
 type NextReaction struct {
 	sys   *System
+	prog  *program
 	state []int64
 	now   float64
 	rng   *rand.Rand
@@ -21,65 +22,34 @@ type NextReaction struct {
 
 	props []float64
 	times []float64 // tentative absolute firing time per reaction
-	deps  [][]int   // reaction -> reactions to update after it fires
 
 	heap []int // reaction indices ordered by times
 	pos  []int // reaction -> heap position
 }
 
-// NewNextReaction builds the dependency graph and initialises the queue.
-// Every reaction must declare its Reads set (the mass-action constructors
-// do); a reaction with a nil Reads set is conservatively assumed to depend
-// on every species.
+// NewNextReaction compiles the network (packed mass-action kernel +
+// dependency graph) and initialises the queue. Every reaction should
+// declare its Reads set (the mass-action constructors do); a reaction with
+// a nil Reads set is conservatively assumed to depend on every species.
 func NewNextReaction(sys *System, seed int64) (*NextReaction, error) {
-	if err := sys.Validate(); err != nil {
+	prog, err := sys.compiled()
+	if err != nil {
 		return nil, err
 	}
 	n := len(sys.Reactions)
 	nr := &NextReaction{
 		sys:   sys,
+		prog:  prog,
 		state: append([]int64(nil), sys.Init...),
 		rng:   rand.New(rand.NewSource(seed)),
 		props: make([]float64, n),
 		times: make([]float64, n),
-		deps:  make([][]int, n),
 		heap:  make([]int, n),
 		pos:   make([]int, n),
 	}
 
-	// readers[s] = reactions whose propensity reads species s.
-	readers := make([][]int, len(sys.Species))
-	for j, r := range sys.Reactions {
-		reads := r.Reads
-		if reads == nil {
-			for s := range sys.Species {
-				readers[s] = append(readers[s], j)
-			}
-			continue
-		}
-		for _, s := range reads {
-			if s < 0 || s >= len(sys.Species) {
-				return nil, fmt.Errorf("gillespie: reaction %d (%s) reads unknown species %d", j, r.Name, s)
-			}
-			readers[s] = append(readers[s], j)
-		}
-	}
-	for i, r := range sys.Reactions {
-		seen := map[int]bool{i: true} // always update the fired reaction
-		deps := []int{i}
-		for _, c := range r.Changes {
-			for _, j := range readers[c.Species] {
-				if !seen[j] {
-					seen[j] = true
-					deps = append(deps, j)
-				}
-			}
-		}
-		nr.deps[i] = deps
-	}
-
-	for i, r := range sys.Reactions {
-		nr.props[i] = r.Rate(nr.state)
+	for i := range sys.Reactions {
+		nr.props[i] = prog.eval(i, nr.state)
 		nr.times[i] = nr.drawTime(0, nr.props[i])
 		nr.heap[i] = i
 		nr.pos[i] = i
@@ -120,17 +90,12 @@ func (nr *NextReaction) Step() bool {
 		return false
 	}
 	nr.now = tmu
-	for _, c := range nr.sys.Reactions[mu].Changes {
-		nr.state[c.Species] += c.Delta
-		if nr.state[c.Species] < 0 {
-			panic(fmt.Sprintf("gillespie: species %s driven negative by %q", nr.sys.Species[c.Species], nr.sys.Reactions[mu].Name))
-		}
-	}
+	nr.prog.apply(mu, nr.state)
 	nr.steps++
 
-	for _, j := range nr.deps[mu] {
+	for _, j := range nr.prog.deps[mu] {
 		old := nr.props[j]
-		p := nr.sys.Reactions[j].Rate(nr.state)
+		p := nr.prog.eval(j, nr.state)
 		if p < 0 {
 			panic(fmt.Sprintf("gillespie: reaction %q negative propensity %g", nr.sys.Reactions[j].Name, p))
 		}

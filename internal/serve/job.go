@@ -134,7 +134,7 @@ type Job struct {
 
 	ctx      context.Context
 	cancel   context.CancelFunc
-	sampleCh chan []sim.Sample
+	sampleCh chan *sim.Batch
 
 	mu        sync.Mutex
 	state     State
@@ -179,7 +179,7 @@ func newJob(id string, spec JobSpec, cfg core.Config, species []int, samplesPerT
 		subCap:      opts.SubscriberBuffer,
 		ctx:         ctx,
 		cancel:      cancel,
-		sampleCh:    make(chan []sim.Sample, opts.SampleBuffer),
+		sampleCh:    make(chan *sim.Batch, opts.SampleBuffer),
 		state:       StateRunning,
 		submitted:   time.Now(),
 		winP50:      p50,
@@ -237,13 +237,19 @@ func (j *Job) accept(poolCtx context.Context, d delivery) error {
 	if d.err != nil {
 		j.fail(fmt.Errorf("serve: trajectory simulation: %w", d.err))
 	}
-	if len(d.samples) > 0 && !j.terminal() {
-		select {
-		case j.sampleCh <- d.samples:
-		case <-j.ctx.Done():
-			// Terminal while waiting: drop the batch.
-		case <-poolCtx.Done():
-			return poolCtx.Err()
+	if d.batch != nil {
+		if j.terminal() {
+			d.batch.Release()
+		} else {
+			select {
+			case j.sampleCh <- d.batch:
+				// Ownership moved to the analysis goroutine.
+			case <-j.ctx.Done():
+				// Terminal while waiting: drop and recycle the batch.
+				d.batch.Release()
+			case <-poolCtx.Done():
+				return poolCtx.Err()
+			}
 		}
 	}
 	j.mu.Lock()
@@ -299,14 +305,20 @@ func (j *Job) runAnalysis() {
 				j.setTerminal(StateDone, "")
 				return
 			}
-			for _, s := range batch {
+			// The aligner inside stream copies every state into recycled
+			// cut storage, so the batch goes back to the pool as soon as
+			// its samples are pushed.
+			n := len(batch.Samples)
+			for _, s := range batch.Samples {
 				if err := stream.Push(s, emit); err != nil {
+					batch.Release()
 					j.fail(err)
 					return
 				}
 			}
+			batch.Release()
 			j.mu.Lock()
-			j.samples += int64(len(batch))
+			j.samples += int64(n)
 			j.cuts = stream.Cuts()
 			j.mu.Unlock()
 		}

@@ -44,12 +44,15 @@ type poolTask struct {
 }
 
 // delivery is one message from a pool worker to the routing collector: a
-// quantum's batch of samples and/or a task-completion marker. Simulator
-// failures travel here too — returning them from the worker would tear
-// down the shared farm and every other job with it.
+// quantum's pooled batch of samples and/or a task-completion marker.
+// Ownership of the batch transfers with the message — whoever stops its
+// forward progress (the drop paths in Job.accept, or the job's analysis
+// goroutine after pushing its samples) releases it back to the shared
+// pool. Simulator failures travel here too — returning them from the
+// worker would tear down the shared farm and every other job with it.
 type delivery struct {
 	job      *Job
-	samples  []sim.Sample
+	batch    *sim.Batch
 	elapsed  time.Duration
 	taskDone bool
 	dead     bool
@@ -75,7 +78,15 @@ func NewPool(workers, queueDepth int) *Pool {
 		done:    make(chan struct{}),
 	}
 	farm := ff.NewFarmFeedback(workers, func(int) ff.FeedbackWorker[poolTask, delivery] {
-		return ff.FeedbackWorkerFunc[poolTask, delivery](poolWorker)
+		var fb poolTask // per-worker feedback cell, read before the next DoStep
+		return ff.FeedbackWorkerFunc[poolTask, delivery](func(ctx context.Context, pt poolTask, emit ff.Emit[delivery]) (*poolTask, error) {
+			again, err := poolWorker(ctx, pt, emit)
+			if !again || err != nil {
+				return nil, err
+			}
+			fb = pt
+			return &fb, nil
+		})
 	}, ff.WithQueueDepth(queueDepth))
 	go func() {
 		defer close(p.done)
@@ -90,30 +101,36 @@ func NewPool(workers, queueDepth int) *Pool {
 }
 
 // poolWorker advances one task by one simulation quantum, batching the
-// quantum's samples into a single delivery. An unfinished task re-enters
-// the dispatcher through the farm's feedback channel.
-func poolWorker(_ context.Context, pt poolTask, emit ff.Emit[delivery]) (*poolTask, error) {
+// quantum's samples into a single pooled delivery. again reports whether
+// the task is unfinished and should re-enter the dispatcher through the
+// farm's feedback channel.
+func poolWorker(_ context.Context, pt poolTask, emit ff.Emit[delivery]) (again bool, err error) {
 	job := pt.job
 	if job.terminal() {
 		// The job was cancelled or failed while this task was queued:
 		// drop the task, but still report completion so the job's
 		// accounting (and sample-stream close) stays consistent.
-		return nil, emit(delivery{job: job, taskDone: true})
+		return false, emit(delivery{job: job, taskDone: true})
 	}
 	start := time.Now()
-	samples, err := pt.task.RunQuantumBatch(nil)
-	if err != nil {
-		return nil, emit(delivery{job: job, err: err, taskDone: true})
+	b := sim.GetBatch()
+	if err := pt.task.RunQuantumBatch(b); err != nil {
+		b.Release()
+		return false, emit(delivery{job: job, err: err, taskDone: true})
 	}
-	d := delivery{job: job, samples: samples, elapsed: time.Since(start)}
+	if len(b.Samples) == 0 {
+		b.Release()
+		b = nil
+	}
+	d := delivery{job: job, batch: b, elapsed: time.Since(start)}
 	if pt.task.Done() {
 		d.taskDone, d.dead, d.steps = true, pt.task.Dead(), pt.task.Steps()
-		return nil, emit(d)
+		return false, emit(d)
 	}
 	if err := emit(d); err != nil {
-		return nil, err
+		return false, err
 	}
-	return &pt, nil
+	return true, nil
 }
 
 // route is the farm's collector body. It runs in a single goroutine, so

@@ -1,0 +1,39 @@
+package sim
+
+import "testing"
+
+// BenchmarkQuantumBatch times one quantum of the batching hot path — 5
+// samples gathered into a recycled arena-backed batch — on a fast fake
+// simulator, isolating the task/batch overhead from SSA stepping cost.
+func BenchmarkQuantumBatch(b *testing.B) {
+	task, err := NewTask(0, &fakeSim{dt: 0.01}, 1e15, 5, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	batch := GetBatch()
+	defer batch.Release()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := task.RunQuantumBatch(batch); err != nil {
+			b.Fatal(err)
+		}
+		batch.Reset()
+	}
+}
+
+// BenchmarkQuantumCallback is the per-sample callback path (one State
+// allocation per sample), for comparison with BenchmarkQuantumBatch.
+func BenchmarkQuantumCallback(b *testing.B) {
+	task, err := NewTask(0, &fakeSim{dt: 0.01}, 1e15, 5, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := task.RunQuantum(func(Sample) error { return nil }); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

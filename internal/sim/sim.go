@@ -14,12 +14,19 @@
 // unfinished task is rescheduled through the farm's feedback channel, which
 // is what gives the pipeline its load-balancing behaviour on heavily uneven
 // trajectories.
+//
+// The batching entry point, RunQuantumBatch, writes a quantum's samples
+// into a Batch backed by a single flat arena — one allocation per quantum
+// (amortised to none once the Batch pool warms up) instead of one per
+// sample — which is what keeps the sim→align→stats path allocation-free in
+// steady state.
 package sim
 
 import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 )
 
 // Simulator is the stepping contract shared by the SSA engines
@@ -43,6 +50,80 @@ type Sample struct {
 	Index int
 	Time  float64
 	State []int64
+}
+
+// Batch is one quantum's worth of samples from one trajectory, every
+// State backed by a single flat arena: filling a batch costs one arena
+// allocation however many samples the quantum crossed, and a recycled
+// batch costs none.
+//
+// Ownership protocol: the producer fills the batch (RunQuantumBatch or
+// Append), hands it downstream, and exactly one consumer calls Release
+// after the last read of Samples. After Release neither the batch nor any
+// Sample.State obtained from it may be touched — the arena is reused by
+// the next GetBatch caller. Consumers that need a sample's state beyond
+// the batch's lifetime must copy it (the window.Aligner does).
+type Batch struct {
+	Samples []Sample
+	arena   []int64
+}
+
+var batchPool = sync.Pool{New: func() any { return new(Batch) }}
+
+// GetBatch returns an empty batch from the shared pool.
+func GetBatch() *Batch { return batchPool.Get().(*Batch) }
+
+// Release empties the batch and returns it (arena included) to the shared
+// pool. The caller must not retain the batch, its Samples slice, or any
+// Sample.State backed by it.
+func (b *Batch) Release() {
+	b.Reset()
+	batchPool.Put(b)
+}
+
+// Reset empties the batch, keeping its capacity, without returning it to
+// the pool — for single-owner reuse across quanta.
+func (b *Batch) Reset() {
+	b.Samples = b.Samples[:0]
+	b.arena = b.arena[:0]
+}
+
+// Append copies one sample into the batch, its state into the arena.
+func (b *Batch) Append(s Sample) {
+	b.add(s.Traj, s.Index, s.Time, s.State)
+}
+
+// add appends a sample whose state is copied into the arena. All samples
+// of a batch must share one state width (true for a batch filled from one
+// trajectory), which is what lets grow re-point earlier samples.
+func (b *Batch) add(traj, idx int, t float64, state []int64) {
+	ns := len(state)
+	off := len(b.arena)
+	if cap(b.arena) < off+ns {
+		b.grow(off+ns, ns)
+	}
+	b.arena = b.arena[:off+ns]
+	copy(b.arena[off:], state)
+	b.Samples = append(b.Samples, Sample{
+		Traj:  traj,
+		Index: idx,
+		Time:  t,
+		State: b.arena[off : off+ns : off+ns],
+	})
+}
+
+// grow relocates the arena to a larger backing array and re-points every
+// emitted sample's State into it (samples are laid out contiguously:
+// sample i occupies arena[i*ns : (i+1)*ns]).
+func (b *Batch) grow(need, ns int) {
+	newCap := 2*cap(b.arena) + need
+	na := make([]int64, len(b.arena), newCap)
+	copy(na, b.arena)
+	b.arena = na
+	for i := range b.Samples {
+		off := i * ns
+		b.Samples[i].State = na[off : off+ns : off+ns]
+	}
 }
 
 // Task is one trajectory's simulation work, advanced one quantum at a time.
@@ -106,8 +187,46 @@ func (t *Task) Steps() uint64 {
 
 // RunQuantum advances the trajectory by one simulation quantum (or to the
 // end time, whichever is closer), emitting every sample whose instant was
-// crossed. It is a no-op on a completed task.
+// crossed. It is a no-op on a completed task. Each emitted sample's State
+// is a fresh allocation owned by the callee; use RunQuantumBatch for the
+// allocation-free batched form.
 func (t *Task) RunQuantum(emit func(Sample) error) error {
+	return t.runQuantum(func() error {
+		state := make([]int64, len(t.scratch))
+		copy(state, t.scratch)
+		return emit(Sample{
+			Traj:  t.Traj,
+			Index: t.nextIdx,
+			Time:  float64(t.nextIdx) * t.Period,
+			State: state,
+		})
+	})
+}
+
+// RunQuantumBatch advances the trajectory by one simulation quantum like
+// RunQuantum, but gathers the quantum's samples into b — every state
+// copied into the batch's shared arena, so the whole quantum costs at most
+// one allocation (none once the arena has grown to the quantum's sample
+// count). This is the batching entry point used by streaming consumers
+// that ship one message per quantum rather than one per sample — the
+// shared-memory pipeline's simulation farm and the job service's worker
+// pool both route a quantum's samples through their collector in a single
+// hop and recycle the batch afterwards.
+//
+// The emitted samples alias the batch arena, never the task's scratch
+// state: they stay valid (and mutually independent) until the batch is
+// Released or Reset.
+func (t *Task) RunQuantumBatch(b *Batch) error {
+	return t.runQuantum(func() error {
+		b.add(t.Traj, t.nextIdx, float64(t.nextIdx)*t.Period, t.scratch)
+		return nil
+	})
+}
+
+// runQuantum advances the simulator by one quantum, invoking emitCurrent
+// for every sample instant crossed. emitCurrent must publish the sample at
+// index t.nextIdx from t.scratch; runQuantum advances nextIdx afterwards.
+func (t *Task) runQuantum(emitCurrent func() error) error {
 	if t.Done() {
 		return nil
 	}
@@ -121,8 +240,13 @@ func (t *Task) RunQuantum(emit func(Sample) error) error {
 			break
 		}
 		tAfter := t.sim.Time()
-		if err := t.emitUpTo(tAfter, emit); err != nil {
-			return err
+		// Emit all pending samples with instant strictly before tAfter
+		// (the state in scratch holds on that half-open interval).
+		for t.nextIdx <= t.lastIdx && float64(t.nextIdx)*t.Period < tAfter {
+			if err := emitCurrent(); err != nil {
+				return err
+			}
+			t.nextIdx++
 		}
 	}
 	// A dead system's state is frozen: all remaining samples equal the
@@ -135,49 +259,11 @@ func (t *Task) RunQuantum(emit func(Sample) error) error {
 			limit = math.Inf(1)
 		}
 		for t.nextIdx <= t.lastIdx && float64(t.nextIdx)*t.Period <= limit {
-			if err := t.emitOne(emit); err != nil {
+			if err := emitCurrent(); err != nil {
 				return err
 			}
+			t.nextIdx++
 		}
 	}
 	return nil
-}
-
-// RunQuantumBatch advances the trajectory by one simulation quantum like
-// RunQuantum, but gathers the quantum's samples into a slice (appending to
-// buf, which may be nil or a recycled buffer) instead of invoking a
-// callback per sample. This is the batching entry point used by streaming
-// consumers that ship one message per quantum rather than one per sample —
-// e.g. the job service's shared worker pool, which routes a whole quantum's
-// worth of samples through the collector in a single hop.
-func (t *Task) RunQuantumBatch(buf []Sample) ([]Sample, error) {
-	err := t.RunQuantum(func(s Sample) error {
-		buf = append(buf, s)
-		return nil
-	})
-	return buf, err
-}
-
-// emitUpTo emits all pending samples with instant strictly before tAfter
-// (the state in scratch holds on that half-open interval).
-func (t *Task) emitUpTo(tAfter float64, emit func(Sample) error) error {
-	for t.nextIdx <= t.lastIdx && float64(t.nextIdx)*t.Period < tAfter {
-		if err := t.emitOne(emit); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-func (t *Task) emitOne(emit func(Sample) error) error {
-	state := make([]int64, len(t.scratch))
-	copy(state, t.scratch)
-	s := Sample{
-		Traj:  t.Traj,
-		Index: t.nextIdx,
-		Time:  float64(t.nextIdx) * t.Period,
-		State: state,
-	}
-	t.nextIdx++
-	return emit(s)
 }

@@ -262,3 +262,203 @@ func TestProperty_ExactSampleSchedule(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// collectBatched drains a task through RunQuantumBatch, copying each
+// batch's samples out before the batch is recycled (as a real consumer
+// must).
+func collectBatched(t *testing.T, task *Task) []Sample {
+	t.Helper()
+	var out []Sample
+	for !task.Done() {
+		b := GetBatch()
+		if err := task.RunQuantumBatch(b); err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range b.Samples {
+			out = append(out, Sample{
+				Traj:  s.Traj,
+				Index: s.Index,
+				Time:  s.Time,
+				State: append([]int64(nil), s.State...),
+			})
+		}
+		b.Release()
+	}
+	return out
+}
+
+// TestBatchMatchesCallback: RunQuantumBatch must emit exactly the samples
+// RunQuantum does, for identical simulators.
+func TestBatchMatchesCallback(t *testing.T) {
+	mk := func() *Task {
+		task, err := NewTask(2, &fakeSim{dt: 0.37}, 20, 3.3, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return task
+	}
+	ref := collect(t, mk())
+	got := collectBatched(t, mk())
+	if len(got) != len(ref) {
+		t.Fatalf("batched emitted %d samples, callback %d", len(got), len(ref))
+	}
+	for i := range ref {
+		if got[i].Traj != ref[i].Traj || got[i].Index != ref[i].Index ||
+			got[i].Time != ref[i].Time || got[i].State[0] != ref[i].State[0] {
+			t.Fatalf("sample %d differs: batched %+v, callback %+v", i, got[i], ref[i])
+		}
+	}
+}
+
+// TestBatchSampleOnQuantumAndEndBoundary: a sample instant landing exactly
+// on a quantum boundary (and on the end time itself) must be emitted
+// exactly once, in the right quantum.
+func TestBatchSampleOnQuantumAndEndBoundary(t *testing.T) {
+	// dt=0.5 → the simulator lands exactly on every sample instant and on
+	// end; quantum = period = 1 → every boundary coincides.
+	task, err := NewTask(0, &fakeSim{dt: 0.5}, 4, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var perQuantum []int
+	var all []Sample
+	for !task.Done() {
+		b := GetBatch()
+		if err := task.RunQuantumBatch(b); err != nil {
+			t.Fatal(err)
+		}
+		perQuantum = append(perQuantum, len(b.Samples))
+		for _, s := range b.Samples {
+			all = append(all, Sample{Index: s.Index, Time: s.Time, State: append([]int64(nil), s.State...)})
+		}
+		b.Release()
+	}
+	if len(all) != 5 {
+		t.Fatalf("emitted %d samples, want 5 (0,1,2,3,4)", len(all))
+	}
+	for i, s := range all {
+		if s.Index != i || s.Time != float64(i) {
+			t.Fatalf("sample %d: index %d time %g", i, s.Index, s.Time)
+		}
+	}
+	// The final quantum must flush the end-boundary sample (index 4,
+	// t=4.0) even though no reaction strictly after t=4 was fired.
+	if last := perQuantum[len(perQuantum)-1]; last == 0 {
+		t.Fatal("end-boundary quantum emitted no samples")
+	}
+}
+
+// TestBatchDeadStateFreeze: a dying simulator's frozen tail must be
+// replayed into the batch — every remaining sample carrying the frozen
+// state — and the task must finish in that same quantum.
+func TestBatchDeadStateFreeze(t *testing.T) {
+	task, err := NewTask(0, &fakeSim{dt: 0.5, maxX: 4}, 10, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := collectBatched(t, task)
+	if !task.Dead() {
+		t.Fatal("task not marked dead")
+	}
+	if len(samples) != 11 {
+		t.Fatalf("len = %d, want 11", len(samples))
+	}
+	for k := 2; k <= 10; k++ {
+		if samples[k].State[0] != 4 {
+			t.Fatalf("frozen sample %d = %d, want 4", k, samples[k].State[0])
+		}
+	}
+}
+
+// TestBatchSamplesDoNotAliasScratch: emitted samples must not share
+// mutable backing with the task's scratch state or with each other —
+// advancing the task further must never mutate previously emitted
+// samples while their batch is alive.
+func TestBatchSamplesDoNotAliasScratch(t *testing.T) {
+	task, err := NewTask(0, &fakeSim{dt: 0.1}, 100, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := GetBatch()
+	if err := task.RunQuantumBatch(b); err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Samples) < 2 {
+		t.Fatalf("want ≥2 samples in first quantum, got %d", len(b.Samples))
+	}
+	snapshot := make([]int64, len(b.Samples))
+	for i, s := range b.Samples {
+		snapshot[i] = s.State[0]
+	}
+	// Advance the task with a second batch: scratch mutates heavily.
+	b2 := GetBatch()
+	if err := task.RunQuantumBatch(b2); err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range b.Samples {
+		if s.State[0] != snapshot[i] {
+			t.Fatalf("sample %d mutated from %d to %d after further quanta (aliases scratch)", i, snapshot[i], s.State[0])
+		}
+	}
+	// Samples within one batch must be mutually independent regions.
+	b.Samples[0].State[0] = -999
+	if b.Samples[1].State[0] == -999 {
+		t.Fatal("samples within a batch share a state region")
+	}
+	b.Release()
+	b2.Release()
+}
+
+// TestBatchArenaGrowthRepoints: when the arena grows mid-quantum (many
+// samples), earlier samples must be re-pointed, staying readable and
+// contiguous.
+func TestBatchArenaGrowthRepoints(t *testing.T) {
+	// Dead at x=1: the flush emits all 1001 remaining samples in one
+	// quantum, forcing repeated arena growth.
+	task, err := NewTask(0, &fakeSim{dt: 1, maxX: 1}, 1000, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := GetBatch()
+	defer b.Release()
+	for !task.Done() {
+		if err := task.RunQuantumBatch(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(b.Samples) != 1001 {
+		t.Fatalf("emitted %d samples, want 1001", len(b.Samples))
+	}
+	for i, s := range b.Samples {
+		if s.Index != i {
+			t.Fatalf("sample %d has index %d", i, s.Index)
+		}
+		if i > 0 && s.State[0] != 1 {
+			t.Fatalf("sample %d state = %d, want frozen 1", i, s.State[0])
+		}
+	}
+}
+
+// TestBatchReuseAllocationFree pins the steady-state contract: driving a
+// task through a reused batch allocates nothing once the arena has grown.
+func TestBatchReuseAllocationFree(t *testing.T) {
+	task, err := NewTask(0, &fakeSim{dt: 0.01}, 1e12, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := GetBatch()
+	defer b.Release()
+	// Warm up the arena.
+	if err := task.RunQuantumBatch(b); err != nil {
+		t.Fatal(err)
+	}
+	b.Reset()
+	if avg := testing.AllocsPerRun(100, func() {
+		if err := task.RunQuantumBatch(b); err != nil {
+			t.Fatal(err)
+		}
+		b.Reset()
+	}); avg != 0 {
+		t.Fatalf("RunQuantumBatch allocates %.1f objects per quantum with a reused batch, want 0", avg)
+	}
+}

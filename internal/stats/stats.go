@@ -98,22 +98,29 @@ func (w *Welford) Snapshot() Moments {
 // Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
 // interpolation between order statistics. xs is not modified.
 func Quantile(xs []float64, q float64) (float64, error) {
+	sorted := append([]float64(nil), xs...)
+	return QuantileInPlace(sorted, q)
+}
+
+// QuantileInPlace is Quantile without the defensive copy: it sorts xs in
+// place, so callers that own a scratch buffer (the statistical engines do)
+// compute quantiles allocation-free.
+func QuantileInPlace(xs []float64, q float64) (float64, error) {
 	if len(xs) == 0 {
 		return 0, errors.New("stats: quantile of empty sample")
 	}
 	if q < 0 || q > 1 {
 		return 0, fmt.Errorf("stats: quantile %g out of [0,1]", q)
 	}
-	sorted := append([]float64(nil), xs...)
-	sort.Float64s(sorted)
-	pos := q * float64(len(sorted)-1)
+	sort.Float64s(xs)
+	pos := q * float64(len(xs)-1)
 	lo := int(math.Floor(pos))
 	hi := int(math.Ceil(pos))
 	if lo == hi {
-		return sorted[lo], nil
+		return xs[lo], nil
 	}
 	frac := pos - float64(lo)
-	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
+	return xs[lo]*(1-frac) + xs[hi]*frac, nil
 }
 
 // Histogram counts observations into equal-width bins over [lo, hi);

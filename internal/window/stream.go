@@ -9,6 +9,14 @@ import "cwcflow/internal/sim"
 // notably the job service, where each job owns one Stream fed by batches
 // arriving from the shared simulation pool.
 //
+// Because the whole path is synchronous — a window is fully consumed by
+// the time emit returns — the Stream closes the recycling loop: cuts that
+// slide out of the window buffer return their storage to the aligner's
+// free list, so a steady-state Stream aligns and windows without
+// allocating. Consumers must therefore not retain a Window or its cut
+// States after emit returns (core.AnalyseWindow copies everything it
+// keeps).
+//
 // The zero value is not usable; construct with NewStream.
 type Stream struct {
 	aligner *Aligner
@@ -26,6 +34,7 @@ func NewStream(nTraj, size, step int) (*Stream, error) {
 	if err != nil {
 		return nil, err
 	}
+	s.SetRetire(a.Recycle)
 	return &Stream{aligner: a, slider: s}, nil
 }
 

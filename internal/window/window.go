@@ -10,6 +10,15 @@
 //     groups consecutive cuts into overlapping windows, the unit of work of
 //     the statistical engines that need temporal context (moving averages,
 //     period detection, clustering of trajectory segments).
+//
+// The Aligner buffers its partial cuts in a ring indexed by sample index
+// (the fastest-minus-slowest spread is small, so the ring stays small and
+// grows only on demand), copies each sample's state into a flat per-cut
+// arena (decoupling cut lifetime from the producer's recycled sample
+// batches), and keeps a free list of cut storage: a pipeline that retires
+// cuts back to the aligner (window.Stream does, once a window slides past)
+// aligns an entire run without per-sample or per-cut allocations in steady
+// state.
 package window
 
 import (
@@ -25,10 +34,28 @@ type Cut struct {
 	Index  int
 	Time   float64
 	States [][]int64
+
+	// store, when non-nil, is the recyclable backing of States — returned
+	// to the owning Aligner's free list by Recycle.
+	store *cutStore
 }
 
 // NumTrajectories returns the ensemble size.
 func (c Cut) NumTrajectories() int { return len(c.States) }
+
+// cutStore is the reusable backing of one cut: the States header slice and
+// the flat arena its rows point into (row i is arena[i*ns:(i+1)*ns]).
+type cutStore struct {
+	states [][]int64
+	arena  []int64
+}
+
+// slot is one ring entry: a cut being assembled.
+type slot struct {
+	time   float64
+	filled int
+	store  *cutStore
+}
 
 // Aligner assembles samples into cuts. Samples may arrive in any
 // interleaving across trajectories, but each trajectory must deliver its
@@ -37,14 +64,11 @@ func (c Cut) NumTrajectories() int { return len(c.States) }
 // The zero value is not usable; construct with NewAligner.
 type Aligner struct {
 	nTraj    int
+	ns       int // state width, learned from the first sample
 	nextEmit int
-	pending  map[int]*partialCut
-}
-
-type partialCut struct {
-	time   float64
-	states [][]int64
-	filled int
+	pending  int    // slots currently holding ≥1 sample
+	ring     []slot // len is a power of two; slot for index i is ring[i&mask]
+	free     []*cutStore
 }
 
 // NewAligner returns an aligner for an ensemble of nTraj trajectories.
@@ -53,8 +77,9 @@ func NewAligner(nTraj int) (*Aligner, error) {
 		return nil, fmt.Errorf("window: need at least 1 trajectory, got %d", nTraj)
 	}
 	return &Aligner{
-		nTraj:   nTraj,
-		pending: make(map[int]*partialCut),
+		nTraj: nTraj,
+		ns:    -1,
+		ring:  make([]slot, 8),
 	}, nil
 }
 
@@ -67,25 +92,40 @@ func (a *Aligner) Push(s sim.Sample, emit func(Cut) error) error {
 	if s.Index < a.nextEmit {
 		return fmt.Errorf("window: trajectory %d delivered sample %d twice (cut already emitted)", s.Traj, s.Index)
 	}
-	pc := a.pending[s.Index]
-	if pc == nil {
-		pc = &partialCut{time: s.Time, states: make([][]int64, a.nTraj)}
-		a.pending[s.Index] = pc
+	if a.ns < 0 {
+		a.ns = len(s.State)
+	} else if len(s.State) != a.ns {
+		return fmt.Errorf("window: sample state has %d species, want %d", len(s.State), a.ns)
 	}
-	if pc.states[s.Traj] != nil {
+	if s.Index-a.nextEmit >= len(a.ring) {
+		a.growRing(s.Index - a.nextEmit + 1)
+	}
+	sl := &a.ring[s.Index&(len(a.ring)-1)]
+	if sl.store == nil {
+		sl.store = a.getStore()
+		sl.time = s.Time
+		sl.filled = 0
+		a.pending++
+	}
+	st := sl.store
+	if st.states[s.Traj] != nil {
 		return fmt.Errorf("window: duplicate sample (traj %d, index %d)", s.Traj, s.Index)
 	}
-	pc.states[s.Traj] = s.State
-	pc.filled++
+	row := st.arena[s.Traj*a.ns : (s.Traj+1)*a.ns : (s.Traj+1)*a.ns]
+	copy(row, s.State)
+	st.states[s.Traj] = row
+	sl.filled++
 
 	// Release every consecutive complete cut starting at nextEmit.
 	for {
-		ready := a.pending[a.nextEmit]
-		if ready == nil || ready.filled < a.nTraj {
+		ready := &a.ring[a.nextEmit&(len(a.ring)-1)]
+		if ready.store == nil || ready.filled < a.nTraj {
 			return nil
 		}
-		delete(a.pending, a.nextEmit)
-		cut := Cut{Index: a.nextEmit, Time: ready.time, States: ready.states}
+		cut := Cut{Index: a.nextEmit, Time: ready.time, States: ready.store.states, store: ready.store}
+		ready.store = nil
+		ready.filled = 0
+		a.pending--
 		a.nextEmit++
 		if err := emit(cut); err != nil {
 			return err
@@ -93,9 +133,57 @@ func (a *Aligner) Push(s sim.Sample, emit func(Cut) error) error {
 	}
 }
 
+// growRing enlarges the ring to hold at least need pending cuts,
+// re-placing live slots by their absolute index (a dead trajectory can
+// flood the aligner with its whole frozen tail in one quantum, so the
+// spread is usually — not always — small).
+func (a *Aligner) growRing(need int) {
+	newLen := len(a.ring)
+	for newLen < need {
+		newLen *= 2
+	}
+	nring := make([]slot, newLen)
+	for i := a.nextEmit; i < a.nextEmit+len(a.ring); i++ {
+		old := a.ring[i&(len(a.ring)-1)]
+		if old.store != nil {
+			nring[i&(newLen-1)] = old
+		}
+	}
+	a.ring = nring
+}
+
+// getStore returns cut storage from the free list, or allocates it.
+func (a *Aligner) getStore() *cutStore {
+	if n := len(a.free); n > 0 {
+		st := a.free[n-1]
+		a.free = a.free[:n-1]
+		return st
+	}
+	return &cutStore{
+		states: make([][]int64, a.nTraj),
+		arena:  make([]int64, a.nTraj*a.ns),
+	}
+}
+
+// Recycle returns a cut's storage to the aligner's free list, to back a
+// future cut. Call it only once per cut, and only after the last consumer
+// of the cut's States is done — the synchronous Stream pipeline does this
+// automatically once a window slides past. Recycling cuts from a different
+// Aligner (or cuts assembled by hand) is a safe no-op.
+func (a *Aligner) Recycle(c Cut) {
+	st := c.store
+	if st == nil || len(st.states) != a.nTraj || len(st.arena) != a.nTraj*a.ns {
+		return
+	}
+	for i := range st.states {
+		st.states[i] = nil
+	}
+	a.free = append(a.free, st)
+}
+
 // Pending returns the number of partially assembled cuts currently
 // buffered — the alignment backlog (fastest minus slowest trajectory).
-func (a *Aligner) Pending() int { return len(a.pending) }
+func (a *Aligner) Pending() int { return a.pending }
 
 // EmittedCuts returns how many complete cuts have been released.
 func (a *Aligner) EmittedCuts() int { return a.nextEmit }
@@ -103,8 +191,8 @@ func (a *Aligner) EmittedCuts() int { return a.nextEmit }
 // Close verifies that no partially filled cut is left behind (every
 // trajectory delivered every sample). Call it after the sample stream ends.
 func (a *Aligner) Close() error {
-	if len(a.pending) != 0 {
-		return fmt.Errorf("window: stream ended with %d incomplete cuts (first missing: %d)", len(a.pending), a.nextEmit)
+	if a.pending != 0 {
+		return fmt.Errorf("window: stream ended with %d incomplete cuts (first missing: %d)", a.pending, a.nextEmit)
 	}
 	return nil
 }
@@ -124,6 +212,7 @@ type Slider struct {
 	size, step int
 	buf        []Cut
 	start      int
+	retire     func(Cut)
 }
 
 // NewSlider returns a slider emitting windows of size cuts every step cuts.
@@ -137,6 +226,14 @@ func NewSlider(size, step int) (*Slider, error) {
 	return &Slider{size: size, step: step}, nil
 }
 
+// SetRetire registers a callback invoked for every cut that permanently
+// leaves the slider — after the emit of the last window containing it has
+// returned, so a synchronous consumer (one that finishes analysing each
+// window inside emit, like window.Stream with core.AnalyseWindow) can
+// recycle the cut's storage. Do not set it when windows are analysed
+// asynchronously after emit returns.
+func (s *Slider) SetRetire(retire func(Cut)) { s.retire = retire }
+
 // Push adds a cut, emitting a window whenever one completes. Cuts must
 // arrive in index order (the Aligner guarantees that).
 func (s *Slider) Push(c Cut, emit func(Window) error) error {
@@ -148,10 +245,17 @@ func (s *Slider) Push(c Cut, emit func(Window) error) error {
 		return nil
 	}
 	w := Window{Start: s.start, Cuts: append([]Cut(nil), s.buf...)}
-	// Slide: drop the first step cuts.
+	err := emit(w)
+	// Slide: drop (and retire) the first step cuts. Retiring happens even
+	// when emit failed — the stream is over either way.
+	if s.retire != nil {
+		for _, c := range s.buf[:s.step] {
+			s.retire(c)
+		}
+	}
 	s.buf = append(s.buf[:0], s.buf[s.step:]...)
 	s.start += s.step
-	return emit(w)
+	return err
 }
 
 // Flush emits the trailing partial window (fewer than size cuts), if any
@@ -164,13 +268,18 @@ func (s *Slider) Flush(emit func(Window) error) error {
 	// The buffered cuts overlap previously emitted windows except for the
 	// very tail. Emit a final window only if some cut was never part of an
 	// emitted window.
+	var err error
 	if s.start == 0 || len(s.buf) > s.size-s.step {
 		w := Window{Start: s.start, Cuts: append([]Cut(nil), s.buf...)}
-		s.buf = s.buf[:0]
-		return emit(w)
+		err = emit(w)
+	}
+	if s.retire != nil {
+		for _, c := range s.buf {
+			s.retire(c)
+		}
 	}
 	s.buf = s.buf[:0]
-	return nil
+	return err
 }
 
 // ErrNoCuts is returned by helpers that require a non-empty window.

@@ -267,3 +267,162 @@ func must(t *testing.T, err error) {
 		t.Fatal(err)
 	}
 }
+
+// TestAlignerRejectsOutOfRangeTrajectory: every out-of-range trajectory
+// index — negative or ≥ ensemble size — must error without touching any
+// cut state (the ring rewrite must not index the arena with it first).
+func TestAlignerRejectsOutOfRangeTrajectory(t *testing.T) {
+	a, _ := NewAligner(3)
+	emit := func(Cut) error { t.Fatal("cut emitted from rejected samples"); return nil }
+	for _, traj := range []int{-1, -100, 3, 4, 1 << 30} {
+		if err := a.Push(sim.Sample{Traj: traj, Index: 0, State: []int64{1}}, emit); err == nil {
+			t.Fatalf("trajectory %d accepted (ensemble of 3)", traj)
+		}
+	}
+	if a.Pending() != 0 {
+		t.Fatalf("rejected samples left %d pending cuts", a.Pending())
+	}
+	// A negative sample index must be rejected too (it would otherwise
+	// index the ring with a bogus offset).
+	if err := a.Push(sim.Sample{Traj: 0, Index: -1, State: []int64{1}}, emit); err == nil {
+		t.Fatal("negative sample index accepted")
+	}
+	// Mismatched state width corrupts the flat cut arena: reject.
+	ok := func(Cut) error { return nil }
+	must(t, a.Push(sim.Sample{Traj: 0, Index: 0, State: []int64{1}}, ok))
+	if err := a.Push(sim.Sample{Traj: 1, Index: 0, State: []int64{1, 2}}, ok); err == nil {
+		t.Fatal("mismatched state width accepted")
+	}
+}
+
+// TestAlignerRingGrowth: a dead trajectory floods the aligner with its
+// whole frozen tail at once — a spread far beyond the initial ring — and
+// every cut must still come out exactly once, in order, intact.
+func TestAlignerRingGrowth(t *testing.T) {
+	const nCuts = 300 // ≫ initial ring size
+	a, _ := NewAligner(2)
+	var got []Cut
+	emit := func(c Cut) error {
+		got = append(got, Cut{Index: c.Index, Time: c.Time, States: [][]int64{
+			append([]int64(nil), c.States[0]...),
+			append([]int64(nil), c.States[1]...),
+		}})
+		return nil
+	}
+	// Trajectory 0 delivers everything first (the dead-task flood)...
+	for k := 0; k < nCuts; k++ {
+		must(t, a.Push(sim.Sample{Traj: 0, Index: k, Time: float64(k), State: []int64{int64(k)}}, emit))
+	}
+	if a.Pending() != nCuts {
+		t.Fatalf("pending = %d, want %d", a.Pending(), nCuts)
+	}
+	// ...then trajectory 1 trickles in, releasing cuts one by one.
+	for k := 0; k < nCuts; k++ {
+		must(t, a.Push(sim.Sample{Traj: 1, Index: k, Time: float64(k), State: []int64{int64(-k)}}, emit))
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != nCuts {
+		t.Fatalf("emitted %d cuts, want %d", len(got), nCuts)
+	}
+	for k, c := range got {
+		if c.Index != k || c.States[0][0] != int64(k) || c.States[1][0] != int64(-k) {
+			t.Fatalf("cut %d corrupted: %+v", k, c)
+		}
+	}
+}
+
+// TestAlignerRecycleReusesStorage: recycled cut storage must back later
+// cuts (bounding steady-state allocation) without corrupting contents,
+// and recycling foreign cuts must be a safe no-op.
+func TestAlignerRecycleReusesStorage(t *testing.T) {
+	a, _ := NewAligner(2)
+	emitted := -1
+	emit := func(c Cut) error {
+		// Contents must be verified before Recycle: afterwards the storage
+		// belongs to the free list.
+		if c.States[0][0] != int64(c.Index) || c.States[1][0] != int64(2*c.Index) {
+			t.Fatalf("cut %d contents wrong: %v", c.Index, c.States)
+		}
+		emitted = c.Index
+		a.Recycle(c)
+		return nil
+	}
+	for k := 0; k < 50; k++ {
+		must(t, a.Push(sim.Sample{Traj: 0, Index: k, Time: float64(k), State: []int64{int64(k), 10}}, emit))
+		must(t, a.Push(sim.Sample{Traj: 1, Index: k, Time: float64(k), State: []int64{int64(2 * k), 20}}, emit))
+		if emitted != k {
+			t.Fatalf("cut %d not emitted (last emitted %d)", k, emitted)
+		}
+	}
+	// Foreign cuts (hand-made, or from another geometry) are ignored.
+	a.Recycle(Cut{Index: 0, States: [][]int64{{1}, {2}}})
+	a.Recycle(Cut{})
+}
+
+// TestAlignerSteadyStateAllocationFree pins the recycling contract: with
+// cuts recycled as they are consumed, pushing allocates nothing once the
+// ring and free list have warmed up.
+func TestAlignerSteadyStateAllocationFree(t *testing.T) {
+	a, _ := NewAligner(4)
+	emit := func(c Cut) error { a.Recycle(c); return nil }
+	state := []int64{1, 2, 3}
+	idx := 0
+	push := func() {
+		for traj := 0; traj < 4; traj++ {
+			if err := a.Push(sim.Sample{Traj: traj, Index: idx, Time: float64(idx), State: state}, emit); err != nil {
+				t.Fatal(err)
+			}
+		}
+		idx++
+	}
+	push() // warm up: ring slots, first cut store, free list
+	if avg := testing.AllocsPerRun(200, push); avg != 0 {
+		t.Fatalf("steady-state Push allocates %.2f objects per cut, want 0", avg)
+	}
+}
+
+// TestSliderRetireCallback: cuts must be retired exactly once each, only
+// after the last window containing them was emitted.
+func TestSliderRetireCallback(t *testing.T) {
+	s, err := NewSlider(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	retired := map[int]int{}
+	var emitted []int
+	maxEmittedStart := -1
+	s.SetRetire(func(c Cut) {
+		retired[c.Index]++
+		// A cut may only retire after some window containing it was
+		// emitted: windows are 3 cuts wide, so the newest emitted window
+		// must reach at least cut c.Index.
+		if maxEmittedStart+2 < c.Index {
+			t.Fatalf("cut %d retired but newest emitted window covers only up to %d", c.Index, maxEmittedStart+2)
+		}
+	})
+	emit := func(w Window) error {
+		emitted = append(emitted, w.Start)
+		if w.Start > maxEmittedStart {
+			maxEmittedStart = w.Start
+		}
+		return nil
+	}
+	for k := 0; k < 10; k++ {
+		if err := s.Push(Cut{Index: k, Time: float64(k)}, emit); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Flush(emit); err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 10; k++ {
+		if retired[k] != 1 {
+			t.Fatalf("cut %d retired %d times, want exactly 1", k, retired[k])
+		}
+	}
+	if len(emitted) == 0 {
+		t.Fatal("no windows emitted")
+	}
+}
