@@ -4,9 +4,11 @@
 //	cwc-bench -exp all
 //	cwc-bench -exp fig3 -format csv
 //	cwc-bench -exp table1 -seed 7
+//	cwc-bench -exp pr3 -pr3-out BENCH_PR3.json   # machine-readable throughput report
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -24,10 +26,11 @@ func main() {
 
 func run() error {
 	var (
-		exp    = flag.String("exp", "all", "experiment: fig3, fig4, fig5, fig6top, fig6bottom, table1, ablation, all")
+		exp    = flag.String("exp", "all", "experiment: fig3, fig4, fig5, fig6top, fig6bottom, table1, ablation, pr3, all")
 		format = flag.String("format", "text", "output format: text or csv")
 		seed   = flag.Int64("seed", 1, "workload noise seed")
 		quanta = flag.Int("scale-quanta", 0, "override quanta per trajectory (0 = publication parameters)")
+		pr3Out = flag.String("pr3-out", "BENCH_PR3.json", "output path of the -exp pr3 report")
 	)
 	flag.Parse()
 	sc := bench.Scale{Quanta: *quanta}
@@ -139,6 +142,26 @@ func run() error {
 		if err := writeExp(tap); err != nil {
 			return err
 		}
+	}
+	// The pr3 throughput report runs only when asked for by name: unlike
+	// the figures it measures live wall-clock behaviour of this host, so
+	// it is a CI artifact step, not part of the "all" figure regeneration.
+	if *exp == "pr3" {
+		ran = true
+		rep, err := bench.PR3()
+		if err != nil {
+			return err
+		}
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*pr3Out, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "cwc-bench: wrote %s (analysis %.0f windows/sec, %.1f allocs/op; serve 1→4 engines %.2fx)\n",
+			*pr3Out, rep.AnalyseWindow.WindowsPerSec, rep.AnalyseWindow.AllocsPerOp, rep.ServeMultiJob.Speedup)
 	}
 	if !ran {
 		return fmt.Errorf("unknown experiment %q", *exp)

@@ -42,8 +42,9 @@ func run() error {
 	var (
 		listen       = flag.String("listen", ":8080", "HTTP listen address")
 		workers      = flag.Int("workers", runtime.GOMAXPROCS(0), "shared simulation pool width")
+		statEngines  = flag.Int("stat-engines", runtime.GOMAXPROCS(0), "shared statistical engine farm width")
 		queueDepth   = flag.Int("queue-depth", 16, "pool internal queue depth")
-		sampleBuffer = flag.Int("sample-buffer", 64, "per-job sample batch buffer (batches)")
+		sampleBuffer = flag.Int("sample-buffer", 64, "per-job ingress high-water mark (batches)")
 		resultBuffer = flag.Int("result-buffer", 1024, "per-job retained windows")
 		subBuffer    = flag.Int("subscriber-buffer", 256, "per-stream-client window mailbox")
 		maxJobs      = flag.Int("max-jobs", 64, "maximum concurrently active jobs")
@@ -55,6 +56,7 @@ func run() error {
 
 	svc := serve.New(serve.Options{
 		Workers:          *workers,
+		StatEngines:      *statEngines,
 		QueueDepth:       *queueDepth,
 		SampleBuffer:     *sampleBuffer,
 		ResultBuffer:     *resultBuffer,
@@ -70,7 +72,7 @@ func run() error {
 	defer stop()
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "cwc-serve: listening on %s with %d pool workers\n", *listen, svc.Workers())
+	fmt.Fprintf(os.Stderr, "cwc-serve: listening on %s with %d pool workers, %d stat engines\n", *listen, svc.Workers(), svc.StatEngines())
 
 	select {
 	case err := <-errc:

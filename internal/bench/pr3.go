@@ -1,0 +1,205 @@
+// PR3 is the machine-readable benchmark of the shared-stat-farm work: the
+// per-window analysis hot path (windows/sec and allocs/op of
+// core.AnalyseWindowInto on a reusable engine) and the job service's
+// end-to-end multi-job throughput at stat-farm widths 1 and 4 on a
+// k-means + period-detection heavy configuration. cwc-bench -exp pr3
+// writes it as BENCH_PR3.json, which CI uploads as an artifact next to
+// the bench smoke step.
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"cwcflow/internal/core"
+	"cwcflow/internal/serve"
+	"cwcflow/internal/sim"
+	"cwcflow/internal/stats"
+	"cwcflow/internal/window"
+)
+
+// allocsPerRun measures the average heap allocations of one f() call over
+// runs iterations — testing.AllocsPerRun's contract without linking the
+// testing framework into the cwc-bench binary. Like the original it is
+// best-effort single-goroutine accounting.
+func allocsPerRun(runs int, f func()) float64 {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	f() // warm up
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < runs; i++ {
+		f()
+	}
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs-before.Mallocs) / float64(runs)
+}
+
+// PR3Report is the schema of BENCH_PR3.json.
+type PR3Report struct {
+	// NumCPU qualifies every throughput number: on a single-core host the
+	// multi-engine speedup cannot exceed 1 for CPU-bound analysis.
+	NumCPU     int `json:"num_cpu"`
+	GOMAXPROCS int `json:"gomaxprocs"`
+
+	// AnalyseWindow is the single-engine hot path: one window of 16 cuts ×
+	// 256 trajectories × 3 species with moments, medians, k-means (k=4)
+	// and period detection enabled.
+	AnalyseWindow struct {
+		NsPerOp       float64 `json:"ns_per_op"`
+		AllocsPerOp   float64 `json:"allocs_per_op"`
+		WindowsPerSec float64 `json:"windows_per_sec"`
+	} `json:"analyse_window"`
+
+	// ServeMultiJob is the service's end-to-end throughput: 4 concurrent
+	// stats-heavy jobs on a 4-worker pool, stat farm width 1 vs 4.
+	ServeMultiJob struct {
+		Engines1WindowsPerSec float64 `json:"engines_1_windows_per_sec"`
+		Engines4WindowsPerSec float64 `json:"engines_4_windows_per_sec"`
+		Speedup               float64 `json:"speedup"`
+	} `json:"serve_multi_job"`
+}
+
+// pr3Sim is the deterministic synthetic simulator used by the service
+// benchmark: three species on per-trajectory xorshift walks, so k-means
+// and period detection have non-degenerate work.
+type pr3Sim struct {
+	t     float64
+	dt    float64
+	steps uint64
+	rng   uint64
+	state [3]int64
+}
+
+func (s *pr3Sim) Time() float64 { return s.t }
+func (s *pr3Sim) Step() bool {
+	s.t += s.dt
+	s.steps++
+	for i := range s.state {
+		s.rng ^= s.rng << 13
+		s.rng ^= s.rng >> 7
+		s.rng ^= s.rng << 17
+		s.state[i] += int64(s.rng%7) - 3
+	}
+	return true
+}
+func (s *pr3Sim) NumSpecies() int     { return 3 }
+func (s *pr3Sim) Observe(out []int64) { copy(out, s.state[:]) }
+func (s *pr3Sim) Steps() uint64       { return s.steps }
+
+func pr3Resolver(core.ModelRef) (core.SimulatorFactory, error) {
+	return func(traj int, seed int64) (sim.Simulator, error) {
+		return &pr3Sim{dt: 0.25, rng: uint64(seed)*0x9e3779b97f4a7c15 + uint64(traj)*0xbf58476d1ce4e5b9 + 1}, nil
+	}, nil
+}
+
+// pr3Window builds the hot-path micro workload.
+func pr3Window(nCuts, nTraj, ns int) window.Window {
+	w := window.Window{Cuts: make([]window.Cut, nCuts)}
+	for k := range w.Cuts {
+		states := make([][]int64, nTraj)
+		for i := range states {
+			row := make([]int64, ns)
+			for s := range row {
+				row[s] = int64((i%4)*40 + 10*((k+i+s)%8) + i)
+			}
+			states[i] = row
+		}
+		w.Cuts[k] = window.Cut{Index: k, Time: float64(k) * 0.5, States: states}
+	}
+	return w
+}
+
+// PR3 runs the report's measurements. It takes a few seconds.
+func PR3() (*PR3Report, error) {
+	rep := &PR3Report{NumCPU: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
+
+	// --- AnalyseWindowInto micro-benchmark.
+	w := pr3Window(16, 256, 3)
+	species := []int{0, 1, 2}
+	cfg := core.Config{
+		Factory:       func(int, int64) (sim.Simulator, error) { return nil, nil },
+		Trajectories:  1,
+		End:           1,
+		Period:        1,
+		KMeansK:       4,
+		PeriodHalfWin: 2,
+		BaseSeed:      7,
+	}
+	eng := stats.NewEngine()
+	var ws core.WindowStat
+	if err := core.AnalyseWindowInto(&ws, eng, w, species, cfg); err != nil {
+		return nil, err
+	}
+	rep.AnalyseWindow.AllocsPerOp = allocsPerRun(50, func() {
+		if err := core.AnalyseWindowInto(&ws, eng, w, species, cfg); err != nil {
+			panic(err)
+		}
+	})
+	const minDur = 300 * time.Millisecond
+	iters := 0
+	start := time.Now()
+	for time.Since(start) < minDur {
+		for i := 0; i < 16; i++ {
+			if err := core.AnalyseWindowInto(&ws, eng, w, species, cfg); err != nil {
+				return nil, err
+			}
+		}
+		iters += 16
+	}
+	elapsed := time.Since(start)
+	rep.AnalyseWindow.NsPerOp = float64(elapsed.Nanoseconds()) / float64(iters)
+	rep.AnalyseWindow.WindowsPerSec = float64(iters) / elapsed.Seconds()
+
+	// --- Multi-job service throughput at farm widths 1 and 4.
+	spec := serve.JobSpec{
+		Model:         "pr3",
+		Trajectories:  512,
+		End:           16,
+		Quantum:       16,
+		Period:        0.25,
+		WindowSize:    16,
+		WindowStep:    8,
+		KMeansK:       8,
+		PeriodHalfWin: 2,
+	}
+	measure := func(engines int) (float64, error) {
+		svc := serve.New(serve.Options{
+			Workers:     4,
+			StatEngines: engines,
+			Resolver:    pr3Resolver,
+		})
+		defer svc.Close()
+		const jobs = 4
+		windows := 0
+		start := time.Now()
+		running := make([]*serve.Job, 0, jobs)
+		for j := 0; j < jobs; j++ {
+			s := spec
+			s.Seed = int64(j)
+			job, err := svc.Submit(s)
+			if err != nil {
+				return 0, err
+			}
+			running = append(running, job)
+		}
+		for _, job := range running {
+			<-job.Done()
+			st := job.Status()
+			if st.State != serve.StateDone {
+				return 0, fmt.Errorf("bench: pr3 job ended %s (%s)", st.State, st.Error)
+			}
+			windows += st.Progress.Windows
+		}
+		return float64(windows) / time.Since(start).Seconds(), nil
+	}
+	var err error
+	if rep.ServeMultiJob.Engines1WindowsPerSec, err = measure(1); err != nil {
+		return nil, err
+	}
+	if rep.ServeMultiJob.Engines4WindowsPerSec, err = measure(4); err != nil {
+		return nil, err
+	}
+	rep.ServeMultiJob.Speedup = rep.ServeMultiJob.Engines4WindowsPerSec / rep.ServeMultiJob.Engines1WindowsPerSec
+	return rep, nil
+}

@@ -272,6 +272,10 @@ func analysisPipeline(cfg Config, species []int, cutsEmitted *atomic.Int64) ff.N
 		if err != nil {
 			return err
 		}
+		onCut := func(c window.Cut) error {
+			cutsEmitted.Add(1)
+			return emit(c)
+		}
 		for {
 			select {
 			case <-ctx.Done():
@@ -280,15 +284,20 @@ func analysisPipeline(cfg Config, species []int, cutsEmitted *atomic.Int64) ff.N
 				if !ok {
 					return aligner.Close()
 				}
+				// The batch is released on every path: by the time Push
+				// returns — error or not — the aligner has copied each
+				// pushed state into cut storage, so an early error must not
+				// leak the batch.
+				var err error
 				for _, s := range b.Samples {
-					if err := aligner.Push(s, func(c window.Cut) error {
-						cutsEmitted.Add(1)
-						return emit(c)
-					}); err != nil {
-						return err
+					if err = aligner.Push(s, onCut); err != nil {
+						break
 					}
 				}
 				b.Release()
+				if err != nil {
+					return err
+				}
 			}
 		}
 	})
@@ -314,11 +323,15 @@ func analysisPipeline(cfg Config, species []int, cutsEmitted *atomic.Int64) ff.N
 		}
 	})
 
-	// Stage 5: farm of statistical engines, gathered in window order.
+	// Stage 5: farm of statistical engines, gathered in window order. Each
+	// worker owns a reusable stats.Engine, so the per-window scratch
+	// (k-means arenas, quantile buffers, period traces) is allocated once
+	// per engine, not once per window.
 	statFarm := ff.NewFarm(cfg.StatEngines, func(int) ff.Worker[window.Window, WindowStat] {
+		eng := stats.NewEngine()
 		return ff.WorkerFunc[window.Window, WindowStat](func(_ context.Context, w window.Window, emit ff.Emit[WindowStat]) error {
-			ws, err := analyseWindow(w, species, cfg)
-			if err != nil {
+			var ws WindowStat
+			if err := AnalyseWindowInto(&ws, eng, w, species, cfg); err != nil {
 				return err
 			}
 			return emit(ws)
@@ -370,35 +383,49 @@ func resolveSpecies(cfg Config) ([]int, error) {
 // AnalyseWindow is the statistical engine body: it summarises one window
 // of trajectory cuts into the moments, medians, period estimates and
 // clusters selected by cfg. It is a pure function of its inputs, safe to
-// call concurrently — the stat farm invokes it from every engine, and
-// streaming consumers (the job service) call it directly per window.
+// call concurrently. This convenience form borrows a pooled engine and
+// allocates a fresh WindowStat; loops that analyse many windows should
+// hold a private stats.Engine and a reused WindowStat and call
+// AnalyseWindowInto, which is allocation-free in steady state.
 func AnalyseWindow(w window.Window, species []int, cfg Config) (WindowStat, error) {
-	return analyseWindow(w, species, cfg)
+	eng := stats.GetEngine()
+	defer stats.PutEngine(eng)
+	var ws WindowStat
+	err := AnalyseWindowInto(&ws, eng, w, species, cfg)
+	return ws, err
 }
 
-// analyseWindow is the statistical engine body: it summarises one window
-// of trajectory cuts.
-func analyseWindow(w window.Window, species []int, cfg Config) (WindowStat, error) {
-	ws := WindowStat{
-		Start:   w.Start,
-		NumCuts: len(w.Cuts),
-		Species: species,
-	}
+// AnalyseWindowInto summarises one window of trajectory cuts into ws,
+// reusing both ws's slices and eng's scratch buffers: with a warmed engine
+// and a reused WindowStat of stable shape it performs zero allocations per
+// window. ws is fully overwritten (no field survives from a previous
+// window). The caller owns ws; eng must not be shared between concurrent
+// calls. Deterministic: the same window, species and config produce the
+// identical WindowStat on any engine, which is what lets a farm of these
+// run windows out of order and reassemble results by sequence number.
+func AnalyseWindowInto(ws *WindowStat, eng *stats.Engine, w window.Window, species []int, cfg Config) error {
+	ws.Start = w.Start
+	ws.NumCuts = len(w.Cuts)
+	ws.Species = species
 	if len(w.Cuts) == 0 {
-		return ws, window.ErrNoCuts
+		ws.PerCut = ws.PerCut[:0]
+		ws.Median = ws.Median[:0]
+		ws.Period = nil
+		ws.KMeans = nil
+		return window.ErrNoCuts
 	}
 	ws.TimeLo = w.Cuts[0].Time
 	ws.TimeHi = w.Cuts[len(w.Cuts)-1].Time
+	nTraj := w.Cuts[0].NumTrajectories()
 
-	ws.PerCut = make([][]stats.Moments, len(w.Cuts))
-	ws.Median = make([][]float64, len(w.Cuts))
-	scratch := make([]float64, 0, w.Cuts[0].NumTrajectories())
+	ws.PerCut = growOuter(ws.PerCut, len(w.Cuts))
+	ws.Median = growOuter(ws.Median, len(w.Cuts))
 	for k, c := range w.Cuts {
-		ws.PerCut[k] = make([]stats.Moments, len(species))
-		ws.Median[k] = make([]float64, len(species))
+		ws.PerCut[k] = growRow(ws.PerCut[k], len(species))
+		ws.Median[k] = growRow(ws.Median[k], len(species))
 		for si, sp := range species {
 			var acc stats.Welford
-			scratch = scratch[:0]
+			scratch := eng.Floats(len(c.States))
 			for _, st := range c.States {
 				v := float64(st[sp])
 				acc.Add(v)
@@ -407,45 +434,80 @@ func analyseWindow(w window.Window, species []int, cfg Config) (WindowStat, erro
 			ws.PerCut[k][si] = acc.Snapshot()
 			med, err := stats.QuantileInPlace(scratch, 0.5)
 			if err != nil {
-				return ws, err
+				return err
 			}
 			ws.Median[k][si] = med
 		}
 	}
 
 	if cfg.PeriodHalfWin > 0 && len(w.Cuts) >= 2 {
+		// Period detection walks one trajectory across every cut, so only
+		// here must the window be rectangular. Aligner-built windows are
+		// rectangular by construction; a ragged caller-built window must
+		// surface as an error (as TrajectoryTrace used to report), not as
+		// an index panic inside an engine goroutine.
+		for k, c := range w.Cuts {
+			if c.NumTrajectories() != nTraj {
+				return fmt.Errorf("core: window cut %d holds %d trajectories, want %d", k, c.NumTrajectories(), nTraj)
+			}
+		}
 		dt := w.Cuts[1].Time - w.Cuts[0].Time
-		ws.Period = make([]stats.Moments, len(species))
+		ws.Period = growRow(ws.Period, len(species))
 		for si, sp := range species {
 			var acc stats.Welford
-			for traj := 0; traj < w.Cuts[0].NumTrajectories(); traj++ {
-				trace, err := w.TrajectoryTrace(traj, sp)
-				if err != nil {
-					return ws, err
+			for traj := 0; traj < nTraj; traj++ {
+				trace := eng.Floats(len(w.Cuts))
+				for _, c := range w.Cuts {
+					trace = append(trace, float64(c.States[traj][sp]))
 				}
-				if p, ok := stats.Period(trace, dt, cfg.PeriodHalfWin); ok {
+				if p, ok := eng.Period(trace, dt, cfg.PeriodHalfWin); ok {
 					acc.Add(p)
 				}
 			}
 			ws.Period[si] = acc.Snapshot()
 		}
+	} else {
+		ws.Period = nil
 	}
 
 	if cfg.KMeansK > 0 {
 		last := w.Cuts[len(w.Cuts)-1]
-		points := make([][]float64, len(last.States))
+		dim := len(species)
+		pts := eng.Points(len(last.States), dim)
 		for i, st := range last.States {
-			p := make([]float64, len(species))
+			row := pts[i*dim : (i+1)*dim]
 			for si, sp := range species {
-				p[si] = float64(st[sp])
+				row[si] = float64(st[sp])
 			}
-			points[i] = p
 		}
-		res, err := stats.KMeans(points, cfg.KMeansK, cfg.BaseSeed+int64(w.Start), 100)
-		if err != nil {
-			return ws, err
+		if ws.KMeans == nil {
+			ws.KMeans = &stats.KMeansResult{}
 		}
-		ws.KMeans = &res
+		if err := eng.KMeansFlat(ws.KMeans, pts, len(last.States), dim, cfg.KMeansK, cfg.BaseSeed+int64(w.Start), 100); err != nil {
+			return err
+		}
+	} else {
+		ws.KMeans = nil
 	}
-	return ws, nil
+	return nil
+}
+
+// growOuter resizes an outer slice to n entries, reusing its backing (and
+// therefore the per-entry inner slices) when capacity allows.
+func growOuter[T any](s []T, n int) []T {
+	if cap(s) < n {
+		ns := make([]T, n)
+		copy(ns, s)
+		return ns
+	}
+	return s[:n]
+}
+
+// growRow resizes an inner slice to n entries, reusing its backing when
+// capacity allows. Entries are fully overwritten by the caller.
+func growRow[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
 }

@@ -266,9 +266,40 @@ func (f *Farm[In, Out]) runRoundRobinSPSC(ctx context.Context, in <-chan In, emi
 }
 
 // taggedGroup carries the outputs a worker produced for one input task.
+// The first output is stored inline: in the overwhelmingly common 1:1 case
+// (one result per task, e.g. one WindowStat per window) a group costs no
+// allocation, and only 2+-output tasks spill into the rest slice.
 type taggedGroup[Out any] struct {
-	seq  uint64
-	outs []Out
+	seq   uint64
+	n     int
+	first Out
+	rest  []Out
+}
+
+// add records one output of the group's task.
+func (g *taggedGroup[Out]) add(v Out) {
+	if g.n == 0 {
+		g.first = v
+	} else {
+		g.rest = append(g.rest, v)
+	}
+	g.n++
+}
+
+// flush emits the group's outputs in production order.
+func (g *taggedGroup[Out]) flush(emit Emit[Out]) error {
+	if g.n == 0 {
+		return nil
+	}
+	if err := emit(g.first); err != nil {
+		return err
+	}
+	for _, v := range g.rest {
+		if err := emit(v); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // runOrdered implements the ordered farm (ofarm): the collector releases the
@@ -307,6 +338,13 @@ func (f *Farm[In, Out]) runOrdered(ctx context.Context, in <-chan In, emit Emit[
 	for w := 0; w < f.n; w++ {
 		worker := f.factory(w)
 		workers.Go(func(ctx context.Context) error {
+			// One group cell per worker, reset per task: the common
+			// one-output case crosses to the collector without allocating.
+			var grp taggedGroup[Out]
+			buffered := func(v Out) error {
+				grp.add(v)
+				return nil
+			}
 			for {
 				tt, ok, err := recvOne(ctx, taskq)
 				if err != nil {
@@ -315,16 +353,14 @@ func (f *Farm[In, Out]) runOrdered(ctx context.Context, in <-chan In, emit Emit[
 				if !ok {
 					return nil
 				}
-				var outs []Out
-				buffered := func(v Out) error {
-					outs = append(outs, v)
-					return nil
-				}
+				// Fresh group; rest must not be reused after the send below
+				// (the collector owns it), so it is dropped, not truncated.
+				grp = taggedGroup[Out]{seq: tt.seq}
 				if err := worker.Do(ctx, tt.task, buffered); err != nil {
 					return err
 				}
 				select {
-				case collect <- taggedGroup[Out]{seq: tt.seq, outs: outs}:
+				case collect <- grp:
 				case <-ctx.Done():
 					return ctx.Err()
 				}
@@ -338,8 +374,21 @@ func (f *Farm[In, Out]) runOrdered(ctx context.Context, in <-chan In, emit Emit[
 
 	// Reordering collector.
 	g.Go(func(ctx context.Context) error {
-		pendingBySeq := make(map[uint64][]Out)
+		pendingBySeq := make(map[uint64]taggedGroup[Out])
 		var next uint64
+		release := func() error {
+			for {
+				grp, ok := pendingBySeq[next]
+				if !ok {
+					return nil
+				}
+				delete(pendingBySeq, next)
+				if err := grp.flush(emit); err != nil {
+					return err
+				}
+				next++
+			}
+		}
 		for {
 			grp, ok, err := recvOne(ctx, collect)
 			if err != nil {
@@ -348,34 +397,11 @@ func (f *Farm[In, Out]) runOrdered(ctx context.Context, in <-chan In, emit Emit[
 			if !ok {
 				// Flush anything ready (there should be nothing out of
 				// order left if all workers completed cleanly).
-				for {
-					outs, ok := pendingBySeq[next]
-					if !ok {
-						break
-					}
-					delete(pendingBySeq, next)
-					for _, v := range outs {
-						if err := emit(v); err != nil {
-							return err
-						}
-					}
-					next++
-				}
-				return nil
+				return release()
 			}
-			pendingBySeq[grp.seq] = grp.outs
-			for {
-				outs, ok := pendingBySeq[next]
-				if !ok {
-					break
-				}
-				delete(pendingBySeq, next)
-				for _, v := range outs {
-					if err := emit(v); err != nil {
-						return err
-					}
-				}
-				next++
+			pendingBySeq[grp.seq] = grp
+			if err := release(); err != nil {
+				return err
 			}
 		}
 	})

@@ -1,0 +1,206 @@
+package serve_test
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"cwcflow/internal/core"
+	"cwcflow/internal/serve"
+	"cwcflow/internal/sim"
+)
+
+// noisySim is a deterministic synthetic simulator with a varied ensemble:
+// three species follow per-trajectory xorshift random walks, so k-means
+// and period detection operate on non-degenerate data while every
+// trajectory stays bit-reproducible for a given seed.
+type noisySim struct {
+	t     float64
+	dt    float64
+	steps uint64
+	rng   uint64
+	state [3]int64
+}
+
+func newNoisySim(traj int, seed int64) *noisySim {
+	s := &noisySim{dt: 0.25, rng: uint64(seed)*0x9e3779b97f4a7c15 + uint64(traj)*0xbf58476d1ce4e5b9 + 1}
+	return s
+}
+
+func (s *noisySim) next() uint64 {
+	s.rng ^= s.rng << 13
+	s.rng ^= s.rng >> 7
+	s.rng ^= s.rng << 17
+	return s.rng
+}
+
+func (s *noisySim) Time() float64 { return s.t }
+func (s *noisySim) Step() bool {
+	s.t += s.dt
+	s.steps++
+	for i := range s.state {
+		s.state[i] += int64(s.next()%7) - 3
+	}
+	return true
+}
+func (s *noisySim) NumSpecies() int     { return 3 }
+func (s *noisySim) Observe(out []int64) { copy(out, s.state[:]) }
+func (s *noisySim) Steps() uint64       { return s.steps }
+
+func noisyResolver(ref core.ModelRef) (core.SimulatorFactory, error) {
+	if ref.Name == "noisy" {
+		return func(traj int, seed int64) (sim.Simulator, error) {
+			return newNoisySim(traj, seed), nil
+		}, nil
+	}
+	return core.FactoryFor(ref)
+}
+
+// statHeavySpec exercises every statistical engine feature: moments,
+// medians, k-means clustering and period detection over a varied
+// ensemble. Quantum == End keeps the (cheap) synthetic simulation to one
+// delivery per trajectory, so the workload is dominated by the statistics
+// stage — the stage this PR parallelises.
+func statHeavySpec(traj int) serve.JobSpec {
+	return serve.JobSpec{
+		Model:         "noisy",
+		Trajectories:  traj,
+		End:           16,
+		Quantum:       16,
+		Period:        0.25,
+		WindowSize:    16,
+		WindowStep:    8,
+		KMeansK:       8,
+		PeriodHalfWin: 2,
+		Seed:          42,
+	}
+}
+
+// runToResult submits a spec over HTTP and returns the job's full
+// in-order window sequence (the /result wire format) after completion.
+func runToResult(t *testing.T, base string, spec serve.JobSpec) []core.WindowStat {
+	t.Helper()
+	st := submitJob(t, base, spec)
+	resp, err := http.Get(base + "/jobs/" + st.ID + "/result?wait=true")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var res struct {
+		Status      serve.Status      `json:"status"`
+		FirstWindow int               `json:"first_window"`
+		Windows     []core.WindowStat `json:"windows"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Status.State != serve.StateDone {
+		t.Fatalf("job ended %s (%s)", res.Status.State, res.Status.Error)
+	}
+	if res.FirstWindow != 0 {
+		t.Fatalf("result ring evicted windows before %d", res.FirstWindow)
+	}
+	return res.Windows
+}
+
+// digestWindows canonicalises a window sequence as JSON (the wire format
+// clients decode) and hashes it.
+func digestWindows(t *testing.T, windows []core.WindowStat) string {
+	t.Helper()
+	raw, err := json.Marshal(windows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := sha256.Sum256(raw)
+	return hex.EncodeToString(sum[:])
+}
+
+// goldenFarmDigest pins the exact WindowStat sequence (wire format) of
+// statHeavySpec(16) on the noisy model: ordered reassembly must make the
+// stream identical whatever the stat farm width, across releases.
+const goldenFarmDigest = "5503a34d95b7a5b4b3f7acb23ebf481a29df2ba1ee091157dac71c1117ca20d8"
+
+// TestDeterministicAcrossStatEngineCounts is the tentpole correctness
+// check: the same job produces the identical WindowStat sequence with 1
+// and with 4 stat engines (ordered reassembly), pinned by a golden digest.
+func TestDeterministicAcrossStatEngineCounts(t *testing.T) {
+	digests := make(map[int]string)
+	for _, engines := range []int{1, 4} {
+		svc := serve.New(serve.Options{
+			Workers:     4,
+			StatEngines: engines,
+			Resolver:    noisyResolver,
+		})
+		ts := httptest.NewServer(svc.Handler())
+		windows := runToResult(t, ts.URL, statHeavySpec(16))
+		if len(windows) == 0 {
+			t.Fatalf("engines=%d: no windows", engines)
+		}
+		digests[engines] = digestWindows(t, windows)
+		ts.Close()
+		svc.Close()
+	}
+	if digests[1] != digests[4] {
+		t.Fatalf("window sequence differs across farm widths:\n  1 engine:  %s\n  4 engines: %s", digests[1], digests[4])
+	}
+	if digests[1] != goldenFarmDigest {
+		t.Fatalf("window sequence digest drifted:\n  got  %s\n  want %s", digests[1], goldenFarmDigest)
+	}
+}
+
+// BenchmarkServeMultiJob measures the service's end-to-end analysis
+// throughput (windows/sec) on a k-means + period-detection heavy workload:
+// 4 concurrent jobs on a 4-worker pool, with the shared stat farm at
+// width 1 vs 4. This is the PR's headline number: the farm parallelises
+// the statistics stage across tenants instead of serialising each job on
+// one goroutine.
+func BenchmarkServeMultiJob(b *testing.B) {
+	for _, engines := range []int{1, 4} {
+		b.Run(benchName(engines), func(b *testing.B) {
+			svc := serve.New(serve.Options{
+				Workers:     4,
+				StatEngines: engines,
+				Resolver:    noisyResolver,
+			})
+			defer svc.Close()
+			const jobsPerRound = 4
+			spec := statHeavySpec(1024)
+			totalWindows := 0
+			b.ResetTimer()
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				jobs := make([]*serve.Job, 0, jobsPerRound)
+				for j := 0; j < jobsPerRound; j++ {
+					s := spec
+					s.Seed = int64(i*jobsPerRound + j)
+					job, err := svc.Submit(s)
+					if err != nil {
+						b.Fatal(err)
+					}
+					jobs = append(jobs, job)
+				}
+				for _, job := range jobs {
+					<-job.Done()
+					st := job.Status()
+					if st.State != serve.StateDone {
+						b.Fatalf("job ended %s (%s)", st.State, st.Error)
+					}
+					totalWindows += st.Progress.Windows
+				}
+			}
+			elapsed := time.Since(start)
+			b.ReportMetric(float64(totalWindows)/elapsed.Seconds(), "windows/sec")
+		})
+	}
+}
+
+func benchName(engines int) string {
+	if engines == 1 {
+		return "engines=1"
+	}
+	return "engines=4"
+}

@@ -12,10 +12,12 @@ import (
 )
 
 // streamEvent is one NDJSON line (or SSE data payload) of a job stream: a
-// window, a leading "gap" marker when requested windows were already
-// evicted from the bounded result ring, or the terminal "end" marker.
+// leading "status" snapshot (progress plus the backpressure/throughput
+// counters), a window, a "gap" marker when requested windows were already
+// evicted from the bounded result ring, or the terminal "end" marker
+// (which carries the final status).
 type streamEvent struct {
-	Type   string           `json:"type"` // "window", "gap" or "end"
+	Type   string           `json:"type"` // "status", "window", "gap" or "end"
 	Window *core.WindowStat `json:"window,omitempty"`
 	Status *Status          `json:"status,omitempty"`
 	// Lost counts windows the client will not see: evicted-before-replay
@@ -74,9 +76,10 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	h := map[string]any{
-		"workers":     s.pool.Workers(),
-		"jobs_total":  len(jobs),
-		"jobs_active": active,
+		"workers":      s.pool.Workers(),
+		"stat_engines": s.stats.Engines(),
+		"jobs_total":   len(jobs),
+		"jobs_active":  active,
 	}
 	code := http.StatusOK
 	if err := s.pool.Err(); err != nil {
@@ -156,10 +159,11 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleStream streams a job's windowed statistics incrementally: first a
-// replay of the buffered windows from ?from= (default 0) onward, then live
-// windows as the analysis publishes them, then one "end" event carrying
-// the terminal status. The format is NDJSON by default and Server-Sent
-// Events when the client asks for text/event-stream.
+// "status" snapshot of the job's progress and backpressure counters, then
+// a replay of the buffered windows from ?from= (default 0) onward, then
+// live windows as the analysis publishes them, then one "end" event
+// carrying the terminal status. The format is NDJSON by default and
+// Server-Sent Events when the client asks for text/event-stream.
 func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	job, ok := s.jobFromPath(w, r)
 	if !ok {
@@ -219,6 +223,16 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		send(ev)
 	}
 
+	// Leading status snapshot: progress and the backpressure/throughput
+	// counters (windows emitted, batches spilled, queue depth) at stream
+	// open, so a client sees the job's health before the first window.
+	st := job.Status()
+	if !send(streamEvent{Type: "status", Status: &st}) {
+		if sub != nil {
+			job.unsubscribe(sub)
+		}
+		return
+	}
 	if gap > 0 {
 		if !send(streamEvent{Type: "gap", Lost: gap}) {
 			if sub != nil {

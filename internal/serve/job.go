@@ -6,11 +6,11 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"cwcflow/internal/core"
 	"cwcflow/internal/platform"
-	"cwcflow/internal/sim"
 	"cwcflow/internal/stats"
 	"cwcflow/internal/window"
 )
@@ -67,17 +67,29 @@ type JobSpec struct {
 	Seed int64 `json:"seed,omitempty"`
 }
 
-// Progress counts a job's work, both completed and total.
+// Progress counts a job's work, both completed and total, plus the
+// backpressure counters of the job's path through the shared pool and stat
+// farm: QueueDepth is the number of sample batches waiting between the
+// pool collector and the job's windower, DeferredQuanta counts simulation
+// quanta the pool postponed because that queue was over its high-water
+// mark, StatsInFlight is the number of this job's windows currently on the
+// shared stat farm, and SpilledBatches counts batches dropped on the floor
+// by the last-resort overflow bound (a job that spilled cannot complete
+// and is failed).
 type Progress struct {
-	TasksDone    int    `json:"tasks_done"`
-	Trajectories int    `json:"trajectories"`
-	Samples      int64  `json:"samples"`
-	Cuts         int    `json:"cuts"`
-	TotalCuts    int    `json:"total_cuts"`
-	Windows      int    `json:"windows"`
-	TotalWindows int    `json:"total_windows"`
-	Reactions    uint64 `json:"reactions"`
-	DeadTasks    int    `json:"dead_tasks,omitempty"`
+	TasksDone      int    `json:"tasks_done"`
+	Trajectories   int    `json:"trajectories"`
+	Samples        int64  `json:"samples"`
+	Cuts           int    `json:"cuts"`
+	TotalCuts      int    `json:"total_cuts"`
+	Windows        int    `json:"windows"`
+	TotalWindows   int    `json:"total_windows"`
+	Reactions      uint64 `json:"reactions"`
+	DeadTasks      int    `json:"dead_tasks,omitempty"`
+	QueueDepth     int    `json:"queue_depth"`
+	DeferredQuanta int64  `json:"deferred_quanta,omitempty"`
+	StatsInFlight  int    `json:"stats_in_flight,omitempty"`
+	SpilledBatches int64  `json:"spilled_batches,omitempty"`
 }
 
 // LatencySummary summarises a streaming latency distribution in
@@ -114,12 +126,14 @@ type subscriber struct {
 	lost int // guarded by the job mutex
 }
 
-// Job is one simulation-analysis run multiplexed onto the shared pool: its
-// trajectory tasks interleave with every other job's on the farm, while a
-// single analysis goroutine drains the job's sample buffer through the
-// alignment → windowing → statistics stages (window.Stream +
-// core.AnalyseWindow) and publishes each WindowStat to the result ring and
-// the live subscribers.
+// Job is one simulation-analysis run multiplexed onto the shared
+// infrastructure: its trajectory tasks interleave with every other job's
+// on the simulation pool, a windower goroutine drains the job's ingress
+// queue through the alignment → windowing stages (window.Stream) and feeds
+// each completed window to the service-wide farm of statistical engines,
+// and the per-job reorder buffer republishes the engines' out-of-order
+// results as an in-order WindowStat stream to the result ring and the live
+// subscribers.
 type Job struct {
 	id          string
 	spec        JobSpec
@@ -132,28 +146,47 @@ type Job struct {
 	resultCap   int
 	subCap      int
 
-	ctx      context.Context
-	cancel   context.CancelFunc
-	sampleCh chan *sim.Batch
+	ctx    context.Context
+	cancel context.CancelFunc
+	in     *ingress // pool collector → windower, never blocking the collector
 
-	mu        sync.Mutex
-	state     State
-	errMsg    string
-	submitted time.Time
-	finished  time.Time
-	samples   int64
-	cuts      int
-	windows   int
-	tasksDone int
-	deadTasks int
-	reactions uint64
-	quantum   stats.Welford // seconds of service per simulation quantum
-	winLat    stats.Welford // seconds of analysis per window
-	winP50    *stats.P2Quantile
-	winP95    *stats.P2Quantile
-	results   []core.WindowStat // ring of the most recent windows
-	firstKept int               // window index of results[0]
-	subs      map[*subscriber]struct{}
+	// lowWater is the ingress depth below which parked tasks reinject;
+	// resubmit (set once at submission, before any task runs) trickles
+	// them back into the pool.
+	lowWater int
+	resubmit func([]poolTask)
+
+	// statSlots caps this job's windows in flight on the shared stat farm
+	// (fairness: one heavy tenant cannot occupy every engine). The
+	// windower acquires a slot before submitting; the engine side frees it.
+	statSlots chan struct{}
+
+	deferred  atomic.Int64 // quanta the pool deferred due to congestion
+	statDelay atomic.Int64 // test seam: extra ns of analysis per window
+
+	mu          sync.Mutex
+	state       State
+	errMsg      string
+	submitted   time.Time
+	finished    time.Time
+	samples     int64
+	cuts        int
+	windows     int
+	tasksDone   int
+	deadTasks   int
+	reactions   uint64
+	quantum     stats.Welford // seconds of service per simulation quantum
+	winLat      stats.Welford // seconds of analysis per window
+	winP50      *stats.P2Quantile
+	winP95      *stats.P2Quantile
+	parked      []poolTask          // congestion-deferred tasks, off the farm
+	pending     map[int]pendingStat // reorder buffer: seq → analysed window
+	nextPublish int                 // next window sequence number to publish
+	subAll      bool                // windower submitted every window
+	subTotal    int                 // total windows submitted (valid once subAll)
+	results     []core.WindowStat   // ring of the most recent windows
+	firstKept   int                 // window index of results[0]
+	subs        map[*subscriber]struct{}
 
 	// etaAt/etaVal/etaOK cache the DES projection so status polling does
 	// not re-run the simulation on every request.
@@ -162,10 +195,30 @@ type Job struct {
 	etaOK  bool
 }
 
-func newJob(id string, spec JobSpec, cfg core.Config, species []int, samplesPerTraj int, opts Options, poolWorkers int) *Job {
+// pendingStat is one analysed window parked in the reorder buffer until
+// every earlier window has been published.
+type pendingStat struct {
+	ws  core.WindowStat
+	lat time.Duration
+}
+
+func newJob(id string, spec JobSpec, cfg core.Config, species []int, samplesPerTraj int, opts Options, poolWorkers, statInflight int) *Job {
 	ctx, cancel := context.WithCancel(context.Background())
 	p50, _ := stats.NewP2Quantile(0.5)
 	p95, _ := stats.NewP2Quantile(0.95)
+	// The ingress high-water mark is where the pool starts deferring this
+	// job's quanta; the hard capacity sits far enough above it that the
+	// quanta already in flight through the pool (at most one per worker
+	// plus the collector queue) can always land without spilling.
+	highWater := opts.SampleBuffer
+	capacity := highWater + poolWorkers + opts.QueueDepth + 8
+	if statInflight < 1 {
+		statInflight = 1
+	}
+	lowWater := highWater / 2
+	if lowWater < 1 {
+		lowWater = 1
+	}
 	return &Job{
 		id:          id,
 		spec:        spec,
@@ -179,11 +232,14 @@ func newJob(id string, spec JobSpec, cfg core.Config, species []int, samplesPerT
 		subCap:      opts.SubscriberBuffer,
 		ctx:         ctx,
 		cancel:      cancel,
-		sampleCh:    make(chan *sim.Batch, opts.SampleBuffer),
+		in:          newIngress(highWater, capacity),
+		lowWater:    lowWater,
+		statSlots:   make(chan struct{}, statInflight),
 		state:       StateRunning,
 		submitted:   time.Now(),
 		winP50:      p50,
 		winP95:      p95,
+		pending:     make(map[int]pendingStat),
 		subs:        make(map[*subscriber]struct{}),
 	}
 }
@@ -209,8 +265,8 @@ func (j *Job) fail(err error) { j.setTerminal(StateFailed, err.Error()) }
 
 // setTerminal performs the one idempotent transition into a final state:
 // it stamps the finish time, cancels the job context (which stops the
-// feeder, the workers' interest and the analysis loop) and closes every
-// subscriber's channel.
+// feeder, the workers' interest and the windower), drains the ingress
+// queue and closes every subscriber's channel.
 func (j *Job) setTerminal(st State, errMsg string) {
 	j.mu.Lock()
 	if j.state.Terminal() {
@@ -222,34 +278,40 @@ func (j *Job) setTerminal(st State, errMsg string) {
 	j.finished = time.Now()
 	subs := j.subs
 	j.subs = nil
+	parked := j.parked
+	j.parked = nil
 	j.mu.Unlock()
 	j.cancel()
+	j.in.drain()
+	// Hand any parked tasks back to the pool: its workers drop a terminal
+	// job's tasks with completion accounting, which is what drains the
+	// job from the pool (park refuses new tasks once terminal).
+	if len(parked) > 0 && j.resubmit != nil {
+		j.resubmit(parked)
+	}
 	for sub := range subs {
 		close(sub.ch)
 	}
 }
 
 // accept routes one delivery from the pool collector into the job. It runs
-// only on the collector goroutine: deliveries of one task arrive in order,
-// and the final task-done marker arrives after every sample batch, so
-// closing the sample stream here is race-free.
-func (j *Job) accept(poolCtx context.Context, d delivery) error {
+// only on the collector goroutine and NEVER blocks: the batch lands in the
+// job's bounded ingress queue (or, past the hard bound, spills), so a job
+// whose analysis lags cannot pause delivery to any other job. Deliveries
+// of one task arrive in order and the final task-done marker arrives after
+// every sample batch, so closing the ingress here is race-free.
+func (j *Job) accept(_ context.Context, d delivery) error {
 	if d.err != nil {
 		j.fail(fmt.Errorf("serve: trajectory simulation: %w", d.err))
 	}
 	if d.batch != nil {
 		if j.terminal() {
 			d.batch.Release()
-		} else {
-			select {
-			case j.sampleCh <- d.batch:
-				// Ownership moved to the analysis goroutine.
-			case <-j.ctx.Done():
-				// Terminal while waiting: drop and recycle the batch.
-				d.batch.Release()
-			case <-poolCtx.Done():
-				return poolCtx.Err()
-			}
+		} else if spilled := j.in.push(d.batch); spilled > 0 {
+			// The overflow ring dropped a batch: cuts can never complete,
+			// so the job cannot finish correctly. Fail it rather than run
+			// a simulation whose analysis silently lost data.
+			j.fail(fmt.Errorf("serve: analysis backlog overflow: %d sample batches spilled", spilled))
 		}
 	}
 	j.mu.Lock()
@@ -267,74 +329,183 @@ func (j *Job) accept(poolCtx context.Context, d delivery) error {
 	}
 	j.mu.Unlock()
 	if closeStream {
-		close(j.sampleCh)
+		j.in.close()
 	}
 	return nil
 }
 
-// runAnalysis is the job's single analysis goroutine: it drains the sample
-// buffer through the fused alignment/windowing stream and the statistical
-// engine, publishing each window as it completes. One goroutine per job —
-// never one per trajectory — keeps the service's goroutine count at
-// O(jobs + pool workers).
-func (j *Job) runAnalysis() {
+// congested reports whether the job's ingress backlog is over its
+// high-water mark; the pool then parks the job's quanta instead of
+// simulating into a queue its analysis cannot drain.
+func (j *Job) congested() bool { return j.in.congested() }
+
+// noteDeferred counts one deferred simulation quantum.
+func (j *Job) noteDeferred() { j.deferred.Add(1) }
+
+// park shelves a congestion-deferred task on the job, off the farm
+// entirely, until unparkIfDrained (or the terminal transition) reinjects
+// it. It reports false if the job is already terminal — the caller then
+// drops the task with completion accounting instead.
+func (j *Job) park(pt poolTask) bool {
+	j.mu.Lock()
+	if j.state.Terminal() {
+		j.mu.Unlock()
+		return false
+	}
+	j.parked = append(j.parked, pt)
+	j.mu.Unlock()
+	// The congestion observation that led here may be stale: the windower
+	// can have drained the ring (and run its unpark check) between the
+	// worker's congested() check and this park. Wake it so the task can
+	// never be stranded — a spurious wakeup just costs one empty loop.
+	if j.in.depth() < j.lowWater {
+		j.in.wake()
+	}
+	return true
+}
+
+// unparkIfDrained reinjects the parked tasks once the ingress backlog has
+// drained below the low-water mark. Called by the windower between
+// batches; the reinjection itself runs on a pool feeder goroutine, so the
+// windower never blocks on the dispatcher.
+func (j *Job) unparkIfDrained() {
+	if j.in.depth() >= j.lowWater {
+		return
+	}
+	j.mu.Lock()
+	tasks := j.parked
+	j.parked = nil
+	j.mu.Unlock()
+	if len(tasks) > 0 && j.resubmit != nil {
+		j.resubmit(tasks)
+	}
+}
+
+// runWindower is the job's stream-reshaping goroutine: it drains the
+// ingress queue through the fused alignment/windowing stream
+// (window.Stream) and submits every completed window — deep-copied, so the
+// stream's cut recycling stays intact — to the shared stat farm, tagged
+// with the job and a per-job sequence number. One goroutine per job, never
+// one per trajectory or per window: the service's goroutine count stays at
+// O(pool workers + stat engines + active jobs).
+func (j *Job) runWindower(farm *statFarm) {
 	stream, err := window.NewStream(j.cfg.Trajectories, j.cfg.WindowSize, j.cfg.WindowStep)
 	if err != nil {
 		j.fail(err)
 		return
 	}
+	seq := 0
 	emit := func(w window.Window) error {
-		start := time.Now()
-		ws, err := core.AnalyseWindow(w, j.species, j.cfg)
-		if err != nil {
+		// Fairness cap: hold at most statSlots windows on the shared farm.
+		select {
+		case j.statSlots <- struct{}{}:
+		case <-j.ctx.Done():
+			return j.ctx.Err()
+		}
+		if err := farm.submit(j, getWinTask(j, seq, w)); err != nil {
 			return err
 		}
-		j.publish(ws, time.Since(start))
+		seq++
 		return nil
 	}
 	for {
-		select {
-		case <-j.ctx.Done():
-			return // already terminal (cancelled, failed, or server closing)
-		case batch, ok := <-j.sampleCh:
-			if !ok {
+		batch, done, spilled := j.in.pop()
+		if spilled > 0 {
+			// accept already failed the job; stop consuming, but release
+			// the batch this pop may have handed us first.
+			if batch != nil {
+				batch.Release()
+			}
+			return
+		}
+		if batch == nil {
+			if done {
 				if err := stream.Close(emit); err != nil {
 					j.fail(err)
 					return
 				}
-				j.setTerminal(StateDone, "")
+				j.finishSubmitting(seq)
 				return
 			}
-			// The aligner inside stream copies every state into recycled
-			// cut storage, so the batch goes back to the pool as soon as
-			// its samples are pushed.
-			n := len(batch.Samples)
-			for _, s := range batch.Samples {
-				if err := stream.Push(s, emit); err != nil {
-					batch.Release()
-					j.fail(err)
-					return
-				}
+			j.unparkIfDrained()
+			select {
+			case <-j.in.notify:
+				continue
+			case <-j.ctx.Done():
+				return // already terminal (cancelled, failed, or closing)
 			}
-			batch.Release()
-			j.mu.Lock()
-			j.samples += int64(n)
-			j.cuts = stream.Cuts()
-			j.mu.Unlock()
 		}
+		// The aligner inside stream copies every state into recycled cut
+		// storage, so the batch goes back to the pool as soon as its
+		// samples are pushed.
+		n := len(batch.Samples)
+		for _, s := range batch.Samples {
+			if err := stream.Push(s, emit); err != nil {
+				batch.Release()
+				if j.ctx.Err() == nil {
+					j.fail(err)
+				}
+				return
+			}
+		}
+		batch.Release()
+		j.mu.Lock()
+		j.samples += int64(n)
+		j.cuts = stream.Cuts()
+		j.mu.Unlock()
+		j.unparkIfDrained()
 	}
 }
 
-// publish appends one analysed window to the bounded result ring and fans
-// it out to the live subscribers without ever blocking: a subscriber whose
-// mailbox is full loses the window (and is told how many it lost when the
-// stream ends).
-func (j *Job) publish(ws core.WindowStat, lat time.Duration) {
+// finishSubmitting records that every window of the job has been handed to
+// the stat farm; the job completes when the last of them is published.
+func (j *Job) finishSubmitting(total int) {
 	j.mu.Lock()
-	defer j.mu.Unlock()
+	j.subAll = true
+	j.subTotal = total
+	done := j.nextPublish == total
+	j.mu.Unlock()
+	if done {
+		j.setTerminal(StateDone, "")
+	}
+}
+
+// statSlotFree releases one of the job's in-flight analysis slots.
+func (j *Job) statSlotFree() { <-j.statSlots }
+
+// completeStat receives one analysed window from a stat engine, parks it
+// in the reorder buffer, and publishes every consecutively-ready window in
+// window order — the ordered reassembly that makes N engines
+// indistinguishable from 1 in the result stream.
+func (j *Job) completeStat(seq int, ws core.WindowStat, lat time.Duration) {
+	j.statSlotFree()
+	j.mu.Lock()
 	if j.state.Terminal() {
+		j.mu.Unlock()
 		return
 	}
+	j.pending[seq] = pendingStat{ws: ws, lat: lat}
+	for {
+		p, ok := j.pending[j.nextPublish]
+		if !ok {
+			break
+		}
+		delete(j.pending, j.nextPublish)
+		j.nextPublish++
+		j.publishLocked(p.ws, p.lat)
+	}
+	done := j.subAll && j.nextPublish == j.subTotal
+	j.mu.Unlock()
+	if done {
+		j.setTerminal(StateDone, "")
+	}
+}
+
+// publishLocked appends one analysed window to the bounded result ring and
+// fans it out to the live subscribers without ever blocking: a subscriber
+// whose mailbox is full loses the window (and is told how many it lost
+// when the stream ends). Callers hold j.mu.
+func (j *Job) publishLocked(ws core.WindowStat, lat time.Duration) {
 	j.windows++
 	sec := lat.Seconds()
 	j.winLat.Add(sec)
@@ -440,15 +611,19 @@ func (j *Job) status(withETA bool) Status {
 		SubmittedAt: j.submitted,
 		Error:       j.errMsg,
 		Progress: Progress{
-			TasksDone:    j.tasksDone,
-			Trajectories: j.totalTasks,
-			Samples:      j.samples,
-			Cuts:         j.cuts,
-			TotalCuts:    j.totalCuts,
-			Windows:      j.windows,
-			TotalWindows: j.totalWins,
-			Reactions:    j.reactions,
-			DeadTasks:    j.deadTasks,
+			TasksDone:      j.tasksDone,
+			Trajectories:   j.totalTasks,
+			Samples:        j.samples,
+			Cuts:           j.cuts,
+			TotalCuts:      j.totalCuts,
+			Windows:        j.windows,
+			TotalWindows:   j.totalWins,
+			Reactions:      j.reactions,
+			DeadTasks:      j.deadTasks,
+			QueueDepth:     j.in.depth(),
+			DeferredQuanta: j.deferred.Load(),
+			StatsInFlight:  len(j.statSlots),
+			SpilledBatches: j.in.spilledCount(),
 		},
 	}
 	if j.state.Terminal() {

@@ -20,10 +20,15 @@ import (
 // Workers emit one delivery per quantum — the whole quantum's samples in a
 // single batch — so the per-sample cost of crossing the farm collector is
 // amortised by the quantum/τ ratio. The collector routes each delivery to
-// the owning job's bounded sample buffer; a job whose analysis stage lags
-// behind its simulation rate therefore applies backpressure to the pool
-// (by design: there is no point simulating faster than the service can
-// analyse).
+// the owning job's ingress queue with a non-blocking push: a job whose
+// analysis lags cannot stall delivery to any other tenant. Backpressure on
+// a lagging job is applied at the *scheduling* step instead — a worker
+// that picks up a quantum for a congested job (ingress over its high-water
+// mark) parks the task on the job, off the farm entirely, until the job's
+// windower drains below its low-water mark and reinjects it. The pool's
+// capacity flows to the tenants that can absorb results (a congested
+// tenant costs neither worker time nor dispatcher churn while parked),
+// and there is still no point simulating faster than a job can analyse.
 type Pool struct {
 	workers int
 	submit  chan poolTask
@@ -112,6 +117,20 @@ func poolWorker(_ context.Context, pt poolTask, emit ff.Emit[delivery]) (again b
 		// accounting (and sample-stream close) stays consistent.
 		return false, emit(delivery{job: job, taskDone: true})
 	}
+	if job.congested() {
+		// The job's ingress queue is over its high-water mark: simulating
+		// another quantum would only grow a backlog its analysis cannot
+		// drain. Park the task on the job — off the farm entirely, costing
+		// no worker time and no dispatcher churn — until the job's
+		// windower drains below the low-water mark (or the job turns
+		// terminal) and reinjects it. park fails only if the job went
+		// terminal in between; then drop-with-accounting as above.
+		if job.park(pt) {
+			job.noteDeferred()
+			return false, nil
+		}
+		return false, emit(delivery{job: job, taskDone: true})
+	}
 	start := time.Now()
 	b := sim.GetBatch()
 	if err := pt.task.RunQuantumBatch(b); err != nil {
@@ -180,6 +199,33 @@ func (p *Pool) Submit(job *Job, n int, build func(i int) (*sim.Task, error)) err
 		}
 	}()
 	return nil
+}
+
+// resubmit trickles previously parked tasks back into the farm's input
+// stream, from a short-lived feeder goroutine so the caller (a job's
+// windower, or a terminal transition) never blocks on the dispatcher. On
+// pool shutdown the remaining tasks are dropped, exactly like queued ones.
+func (p *Pool) resubmit(tasks []poolTask) {
+	if len(tasks) == 0 {
+		return
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.feeders.Add(1)
+	p.mu.Unlock()
+	go func() {
+		defer p.feeders.Done()
+		for _, pt := range tasks {
+			select {
+			case p.submit <- pt:
+			case <-p.ctx.Done():
+				return
+			}
+		}
+	}()
 }
 
 // Close aborts the pool: in-flight quanta finish, everything else is

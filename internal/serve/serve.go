@@ -3,16 +3,22 @@
 // multi-user serving story.
 //
 // One service instance owns a single shared simulation worker pool (a
-// long-lived ff feedback farm, see Pool). Each submitted job contributes
-// quantum-sized trajectory tasks to that pool; on-demand scheduling
-// interleaves every job's tasks, so many jobs progress concurrently on a
-// fixed set of workers with no per-job goroutine explosion: the service
-// runs O(pool workers + active jobs) goroutines in total. Per job, a
-// single analysis goroutine drains batched samples through the alignment →
-// sliding-window → statistics stages (window.Stream, core.AnalyseWindow)
-// and publishes every windowed statistic incrementally — results stream
-// out while the simulation is still running, the paper's on-line property,
-// carried over to the service.
+// long-lived ff feedback farm, see Pool) and a single shared farm of
+// statistical engines (see statFarm), sized independently. Each submitted
+// job contributes quantum-sized trajectory tasks to the pool; on-demand
+// scheduling interleaves every job's tasks, so many jobs progress
+// concurrently on a fixed set of workers with no per-job goroutine
+// explosion: the service runs O(pool workers + stat engines + active jobs)
+// goroutines in total. Per job, one windower goroutine drains batched
+// samples through the alignment → sliding-window stages (window.Stream)
+// and fans the completed windows out across the stat farm's engines
+// (core.AnalyseWindowInto on reusable per-engine scratch); a per-job
+// reorder buffer republishes the results in window order, incrementally —
+// results stream out while the simulation is still running, the paper's
+// on-line property, carried over to the service. The pool collector never
+// blocks on a tenant: a job whose analysis lags is deferred at the
+// scheduling step and, past a hard bound, spills (and fails) rather than
+// pausing any other job's delivery.
 //
 // The HTTP surface (see Server.Handler) is:
 //
@@ -32,6 +38,7 @@ import (
 	"net/http"
 	"runtime"
 	"sync"
+	"time"
 
 	"cwcflow/internal/core"
 	"cwcflow/internal/sim"
@@ -50,12 +57,22 @@ var ErrClosed = errors.New("serve: server is closed")
 type Options struct {
 	// Workers is the shared simulation pool width (default GOMAXPROCS).
 	Workers int
+	// StatEngines is the width of the shared farm of statistical engines
+	// that analyses every job's windows (default GOMAXPROCS). It is sized
+	// independently of the simulation pool: stats-heavy services (k-means,
+	// period detection over large ensembles) want more engines, sim-heavy
+	// ones fewer. Each job may occupy at most ceil(StatEngines/2) engines
+	// at once, so one heavy tenant can never starve the farm.
+	StatEngines int
 	// QueueDepth is the pool's internal channel capacity (default 16).
 	QueueDepth int
-	// SampleBuffer bounds each job's queue of in-flight sample batches
-	// between the pool collector and the job's analysis goroutine
-	// (default 64 batches). A full buffer applies backpressure to the
-	// pool rather than growing without bound.
+	// SampleBuffer is the high-water mark of each job's ingress queue of
+	// in-flight sample batches between the pool collector and the job's
+	// windower (default 64 batches). A job over the mark has its quanta
+	// deferred by the pool (backpressure at the scheduling step) instead
+	// of blocking the collector; the queue's hard bound sits above the
+	// mark by the pool's maximum in-flight quanta, so nothing spills while
+	// deferral works.
 	SampleBuffer int
 	// ResultBuffer bounds each job's ring of retained WindowStats
 	// (default 1024); older windows are evicted once exceeded.
@@ -81,11 +98,20 @@ type Options struct {
 	// Resolver maps a model reference to a simulator factory (default
 	// core.FactoryFor). Tests inject synthetic models here.
 	Resolver func(core.ModelRef) (core.SimulatorFactory, error)
+
+	// statDelay, when non-zero, adds a fixed sleep to every window's
+	// analysis. Test-only seam (unexported): it emulates an expensive
+	// statistical configuration with a cost that parallelises across
+	// engines independently of the host's core count.
+	statDelay time.Duration
 }
 
 func (o Options) withDefaults() Options {
 	if o.Workers < 1 {
 		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.StatEngines < 1 {
+		o.StatEngines = runtime.GOMAXPROCS(0)
 	}
 	if o.QueueDepth < 1 {
 		o.QueueDepth = 16
@@ -118,11 +144,13 @@ func (o Options) withDefaults() Options {
 }
 
 // Server is the job service: a registry of jobs multiplexed onto one
-// shared simulation pool, plus the HTTP API over both.
+// shared simulation pool and one shared stat farm, plus the HTTP API over
+// them.
 type Server struct {
-	opts Options
-	pool *Pool
-	mux  *http.ServeMux
+	opts  Options
+	pool  *Pool
+	stats *statFarm
+	mux   *http.ServeMux
 
 	mu     sync.Mutex
 	closed bool
@@ -131,14 +159,16 @@ type Server struct {
 	seq    int
 }
 
-// New starts a Server (and its worker pool) with the given options.
+// New starts a Server (its simulation pool and stat farm) with the given
+// options.
 func New(opts Options) *Server {
 	opts = opts.withDefaults()
 	s := &Server{
-		opts: opts,
-		pool: NewPool(opts.Workers, opts.QueueDepth),
-		mux:  http.NewServeMux(),
-		jobs: make(map[string]*Job),
+		opts:  opts,
+		pool:  NewPool(opts.Workers, opts.QueueDepth),
+		stats: newStatFarm(opts.StatEngines, opts.QueueDepth),
+		mux:   http.NewServeMux(),
+		jobs:  make(map[string]*Job),
 	}
 	s.routes()
 	return s
@@ -149,6 +179,9 @@ func (s *Server) Handler() http.Handler { return s.mux }
 
 // Workers returns the shared pool width.
 func (s *Server) Workers() int { return s.pool.Workers() }
+
+// StatEngines returns the shared stat farm width.
+func (s *Server) StatEngines() int { return s.stats.Engines() }
 
 // Submit validates a spec, builds the job's simulators and schedules its
 // trajectory tasks on the shared pool. It returns once the job is
@@ -212,13 +245,20 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 	}
 	s.seq++
 	id := fmt.Sprintf("job-%06d", s.seq)
-	job := newJob(id, spec, cfg, species, int(cutsF), s.opts, s.pool.Workers())
+	// Per-job cap on concurrently analysed windows: half the farm (rounded
+	// up), so a single stats-heavy tenant leaves engines for everyone else.
+	statInflight := (s.stats.Engines() + 1) / 2
+	job := newJob(id, spec, cfg, species, int(cutsF), s.opts, s.pool.Workers(), statInflight)
+	job.resubmit = s.pool.resubmit
+	if s.opts.statDelay > 0 {
+		job.statDelay.Store(int64(s.opts.statDelay))
+	}
 	s.jobs[id] = job
 	s.order = append(s.order, id)
 	s.pruneLocked()
 	s.mu.Unlock()
 
-	go job.runAnalysis()
+	go job.runWindower(s.stats)
 	build := func(i int) (*sim.Task, error) { return core.NewTrajectoryTask(cfg, i) }
 	if err := s.pool.Submit(job, cfg.Trajectories, build); err != nil {
 		// The pool closed between admission and scheduling: unregister
@@ -300,12 +340,13 @@ func (s *Server) List() []*Job {
 	return out
 }
 
-// Close fails every non-terminal job and shuts the pool down. The HTTP
-// handler stays callable (reads keep working; submissions fail). Marking
-// the server closed before snapshotting the registry makes the shutdown
-// race-free against concurrent Submits: a submission that registers after
-// this point is rejected by admitLocked, so no job can slip past both the
-// fail loop and the pool's closed check and be left running forever.
+// Close fails every non-terminal job and shuts the pool and the stat farm
+// down. The HTTP handler stays callable (reads keep working; submissions
+// fail). Marking the server closed before snapshotting the registry makes
+// the shutdown race-free against concurrent Submits: a submission that
+// registers after this point is rejected by admitLocked, so no job can
+// slip past both the fail loop and the pool's closed check and be left
+// running forever.
 func (s *Server) Close() {
 	s.mu.Lock()
 	s.closed = true
@@ -314,4 +355,5 @@ func (s *Server) Close() {
 		j.setTerminal(StateFailed, "server shutting down")
 	}
 	s.pool.Close()
+	s.stats.Close()
 }

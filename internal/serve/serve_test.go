@@ -162,6 +162,18 @@ func nextEvent(t *testing.T, sc *bufio.Scanner) streamEvent {
 	return ev
 }
 
+// nextDataEvent returns the next non-"status" event (status snapshots are
+// informational and may appear at stream open).
+func nextDataEvent(t *testing.T, sc *bufio.Scanner) streamEvent {
+	t.Helper()
+	for {
+		ev := nextEvent(t, sc)
+		if ev.Type != "status" {
+			return ev
+		}
+	}
+}
+
 // checkWindow verifies the deterministic content of one slow-model window:
 // at cut index c the ensemble is uniformly 2c, so mean = 2c and var = 0.
 func checkWindow(t *testing.T, windowIdx int, ws *core.WindowStat) {
@@ -194,7 +206,7 @@ func TestJobLifecycle(t *testing.T) {
 	defer closeStream()
 	got := 0
 	for {
-		ev := nextEvent(t, sc)
+		ev := nextDataEvent(t, sc)
 		if ev.Type == "end" {
 			if ev.Status == nil || ev.Status.State != serve.StateDone {
 				t.Fatalf("end event status: %+v", ev.Status)
@@ -243,7 +255,7 @@ func TestStreamsFirstWindowBeforeCompletion(t *testing.T) {
 	sc, closeStream := openStream(t, ts.URL, st.ID)
 	defer closeStream()
 
-	ev := nextEvent(t, sc)
+	ev := nextDataEvent(t, sc)
 	if ev.Type != "window" {
 		t.Fatalf("first event is %q, want window", ev.Type)
 	}
@@ -260,7 +272,7 @@ func TestStreamsFirstWindowBeforeCompletion(t *testing.T) {
 
 	got := 1
 	for {
-		ev := nextEvent(t, sc)
+		ev := nextDataEvent(t, sc)
 		if ev.Type == "end" {
 			if ev.Status.State != serve.StateDone {
 				t.Fatalf("end state %s", ev.Status.State)
@@ -280,7 +292,7 @@ func TestCancelMidRun(t *testing.T) {
 	sc, closeStream := openStream(t, ts.URL, st.ID)
 	defer closeStream()
 
-	if ev := nextEvent(t, sc); ev.Type != "window" {
+	if ev := nextDataEvent(t, sc); ev.Type != "window" {
 		t.Fatalf("first event %q", ev.Type)
 	}
 	resp, err := http.Post(ts.URL+"/jobs/"+st.ID+"/cancel", "application/json", nil)
@@ -291,7 +303,7 @@ func TestCancelMidRun(t *testing.T) {
 
 	// The stream must terminate with a cancelled end event.
 	for {
-		ev := nextEvent(t, sc)
+		ev := nextDataEvent(t, sc)
 		if ev.Type == "end" {
 			if ev.Status.State != serve.StateCancelled {
 				t.Fatalf("end state %s, want cancelled", ev.Status.State)
@@ -530,13 +542,13 @@ func TestStreamReportsEvictionGap(t *testing.T) {
 
 	sc, closeStream := openStream(t, ts.URL, st.ID)
 	defer closeStream()
-	ev := nextEvent(t, sc)
+	ev := nextDataEvent(t, sc)
 	if ev.Type != "gap" || ev.Lost != 3 {
 		t.Fatalf("first event = %s (lost %d), want gap with lost 3", ev.Type, ev.Lost)
 	}
 	var starts []int
 	for {
-		ev := nextEvent(t, sc)
+		ev := nextDataEvent(t, sc)
 		if ev.Type == "end" {
 			break
 		}

@@ -1,0 +1,303 @@
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Engine is the reusable scratch state of one statistical engine: every
+// buffer the per-window analyses (quantiles, k-means, period detection)
+// would otherwise allocate, grown on demand and reused across windows. One
+// Engine per analysis goroutine makes the whole per-window statistics path
+// allocation-free in steady state; an Engine is not safe for concurrent
+// use.
+//
+// The zero value is ready to use (NewEngine is provided for symmetry).
+type Engine struct {
+	scratch []float64 // general float scratch (quantiles, traces)
+	smooth  []float64 // moving-average output for period detection
+	peaks   []int     // peak indices for period detection
+
+	// k-means state, all flat:
+	points []float64 // caller-filled point arena, n*dim
+	cent   []float64 // centroids, k*dim
+	cnorm  []float64 // per-centroid squared norms
+	sums   []float64 // per-cluster coordinate sums, k*dim
+	counts []int
+	assign []int
+	d2     []float64 // k-means++ seeding distances
+
+	src rand.Source
+	rng *rand.Rand
+}
+
+// NewEngine returns an empty engine; buffers grow on first use.
+func NewEngine() *Engine { return &Engine{} }
+
+// Floats returns a zero-length float scratch slice with capacity at least
+// n, valid until the next Floats call on this engine. Callers append their
+// values and may pass the result to QuantileInPlace or Engine.Period.
+func (e *Engine) Floats(n int) []float64 {
+	if cap(e.scratch) < n {
+		e.scratch = make([]float64, 0, n)
+	}
+	return e.scratch[:0]
+}
+
+// Points returns the engine's flat point arena resized to n*dim, for the
+// caller to fill row-major (point i occupies [i*dim, (i+1)*dim)) and pass
+// to KMeansFlat. Valid until the next Points call.
+func (e *Engine) Points(n, dim int) []float64 {
+	need := n * dim
+	if cap(e.points) < need {
+		e.points = make([]float64, need)
+	}
+	e.points = e.points[:need]
+	return e.points
+}
+
+// seed (re)seeds the engine's private RNG. Reusing one source keeps the
+// deterministic stream identical to rand.New(rand.NewSource(seed)) without
+// allocating per call.
+func (e *Engine) seed(seed int64) *rand.Rand {
+	if e.src == nil {
+		e.src = rand.NewSource(seed)
+		e.rng = rand.New(e.src)
+	} else {
+		e.src.Seed(seed)
+	}
+	return e.rng
+}
+
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+// KMeansFlat clusters n points of the given dimension, laid out row-major
+// in pts (typically the slice returned by Points), into k groups with
+// Lloyd's algorithm and k-means++ seeding, writing the outcome into res —
+// whose slices are reused when already large enough, so a caller that
+// keeps both the engine and the result across windows clusters without
+// allocating. The algorithm is deterministic for a given seed.
+//
+// Seeding and the final inertia use exact squared distances (the D²
+// seeding weights are differences of nearby values, where the expanded
+// ‖x‖² − 2x·c + ‖c‖² form would cancel catastrophically for large
+// coordinate magnitudes); only the Lloyd assignment scan uses the
+// expanded form with per-iteration precomputed centroid norms, where a
+// rounding flip can at worst move a point between equidistant centroids.
+// A Lloyd iteration exits early as soon as no assignment changed.
+func (e *Engine) KMeansFlat(res *KMeansResult, pts []float64, n, dim, k int, seed int64, maxIter int) error {
+	if k < 1 {
+		return fmt.Errorf("stats: k must be >= 1, got %d", k)
+	}
+	if n == 0 {
+		return errors.New("stats: k-means of empty point set")
+	}
+	if dim < 1 {
+		return fmt.Errorf("stats: k-means needs dimension >= 1, got %d", dim)
+	}
+	if len(pts) != n*dim {
+		return fmt.Errorf("stats: flat point buffer holds %d values, want %d", len(pts), n*dim)
+	}
+	if k > n {
+		k = n
+	}
+	if maxIter < 1 {
+		maxIter = 100
+	}
+	rng := e.seed(seed)
+
+	point := func(i int) []float64 { return pts[i*dim : (i+1)*dim] }
+
+	e.cent = growFloats(e.cent, k*dim)
+	e.cnorm = growFloats(e.cnorm, k)
+	cent := func(j int) []float64 { return e.cent[j*dim : (j+1)*dim] }
+
+	// k-means++ seeding: the first centroid uniformly, the rest with
+	// probability proportional to the squared distance to the nearest
+	// centroid chosen so far.
+	e.d2 = growFloats(e.d2, n)
+	copy(cent(0), point(rng.Intn(n)))
+	for c := 1; c < k; c++ {
+		total := 0.0
+		for i := 0; i < n; i++ {
+			best := math.Inf(1)
+			for j := 0; j < c; j++ {
+				if d := sqDist(point(i), cent(j)); d < best {
+					best = d
+				}
+			}
+			e.d2[i] = best
+			total += best
+		}
+		pick := n - 1
+		if total == 0 {
+			// All remaining points coincide with existing centroids.
+			pick = rng.Intn(n)
+		} else {
+			target := rng.Float64() * total
+			acc := 0.0
+			for i, d := range e.d2[:n] {
+				acc += d
+				if target < acc {
+					pick = i
+					break
+				}
+			}
+		}
+		copy(cent(c), point(pick))
+	}
+
+	e.assign = growInts(e.assign, n)
+	e.counts = growInts(e.counts, k)
+	e.sums = growFloats(e.sums, k*dim)
+	iter := 0
+	for ; iter < maxIter; iter++ {
+		for j := 0; j < k; j++ {
+			e.cnorm[j] = dot(cent(j), cent(j))
+		}
+		changed := false
+		for i := 0; i < n; i++ {
+			p := point(i)
+			// argmin over centroids of ‖p−c‖² = pnorm − 2p·c + cnorm; the
+			// constant pnorm term drops out of the comparison.
+			best, bestScore := 0, math.Inf(1)
+			for j := 0; j < k; j++ {
+				if s := e.cnorm[j] - 2*dot(p, cent(j)); s < bestScore {
+					best, bestScore = j, s
+				}
+			}
+			if iter == 0 || e.assign[i] != best {
+				changed = changed || e.assign[i] != best
+				e.assign[i] = best
+			}
+		}
+		if iter > 0 && !changed {
+			break // early exit: assignments (hence centroids) are stable
+		}
+		for j := 0; j < k; j++ {
+			e.counts[j] = 0
+		}
+		for i := range e.sums[:k*dim] {
+			e.sums[i] = 0
+		}
+		for i := 0; i < n; i++ {
+			j := e.assign[i]
+			e.counts[j]++
+			row := e.sums[j*dim : (j+1)*dim]
+			for d, v := range point(i) {
+				row[d] += v
+			}
+		}
+		for j := 0; j < k; j++ {
+			if e.counts[j] == 0 {
+				continue // keep empty cluster's centroid in place
+			}
+			inv := 1 / float64(e.counts[j])
+			c := cent(j)
+			row := e.sums[j*dim : (j+1)*dim]
+			for d := range c {
+				c[d] = row[d] * inv
+			}
+		}
+	}
+
+	// Publish into res, reusing its storage when possible.
+	if cap(res.Centroids) < k {
+		res.Centroids = make([][]float64, k)
+	}
+	res.Centroids = res.Centroids[:k]
+	for j := 0; j < k; j++ {
+		if cap(res.Centroids[j]) < dim {
+			res.Centroids[j] = make([]float64, dim)
+		}
+		res.Centroids[j] = res.Centroids[j][:dim]
+		copy(res.Centroids[j], cent(j))
+	}
+	res.Assign = growInts(res.Assign, n)
+	copy(res.Assign, e.assign[:n])
+	inertia := 0.0
+	for i := 0; i < n; i++ {
+		inertia += sqDist(point(i), res.Centroids[e.assign[i]])
+	}
+	res.Inertia = inertia
+	res.Iterations = iter
+	return nil
+}
+
+// Period estimates the oscillation period of the series xs sampled every
+// dt time units, exactly as the package-level Period, but using the
+// engine's reusable smoothing and peak buffers instead of allocating.
+func (e *Engine) Period(xs []float64, dt float64, halfWin int) (period float64, ok bool) {
+	if len(xs) == 0 {
+		return 0, false
+	}
+	if halfWin < 0 {
+		halfWin = 0
+	}
+	e.smooth = growFloats(e.smooth, len(xs))
+	movingAverageInto(e.smooth, xs, halfWin)
+	e.peaks = peaksInto(e.peaks[:0], e.smooth, halfWin)
+	if len(e.peaks) < 2 {
+		return 0, false
+	}
+	gap := float64(e.peaks[len(e.peaks)-1]-e.peaks[0]) / float64(len(e.peaks)-1)
+	return gap * dt, true
+}
+
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// movingAverageInto writes the centred moving average of xs into dst
+// (len(dst) == len(xs)).
+func movingAverageInto(dst, xs []float64, halfWin int) {
+	for i := range xs {
+		lo, hi := i-halfWin, i+halfWin
+		if lo < 0 {
+			lo = 0
+		}
+		if hi >= len(xs) {
+			hi = len(xs) - 1
+		}
+		s := 0.0
+		for j := lo; j <= hi; j++ {
+			s += xs[j]
+		}
+		dst[i] = s / float64(hi-lo+1)
+	}
+}
+
+// peaksInto appends the local-maxima indices of the smoothed series sm to
+// dst (peaks closer than halfWin samples are merged, first wins).
+func peaksInto(dst []int, sm []float64, halfWin int) []int {
+	for i := halfWin; i < len(sm)-halfWin; i++ {
+		isPeak := true
+		for j := i - halfWin; j <= i+halfWin && isPeak; j++ {
+			if sm[j] > sm[i] {
+				isPeak = false
+			}
+		}
+		if isPeak && (len(dst) == 0 || i-dst[len(dst)-1] > halfWin) {
+			dst = append(dst, i)
+		}
+	}
+	return dst
+}

@@ -13,8 +13,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"math/rand"
-	"sort"
+	"slices"
+	"sync"
 )
 
 // Welford is a numerically stable streaming accumulator for mean and
@@ -112,7 +112,7 @@ func QuantileInPlace(xs []float64, q float64) (float64, error) {
 	if q < 0 || q > 1 {
 		return 0, fmt.Errorf("stats: quantile %g out of [0,1]", q)
 	}
-	sort.Float64s(xs)
+	slices.Sort(xs)
 	pos := q * float64(len(xs)-1)
 	lo := int(math.Floor(pos))
 	hi := int(math.Ceil(pos))
@@ -174,19 +174,27 @@ type KMeansResult struct {
 	Iterations int
 }
 
+// enginePool backs the convenience entry points (KMeans, core.AnalyseWindow)
+// that have no caller-owned Engine to reuse.
+var enginePool = sync.Pool{New: func() any { return NewEngine() }}
+
+// GetEngine borrows an engine from the shared pool; return it with
+// PutEngine. Long-lived analysis loops should own a private NewEngine
+// instead.
+func GetEngine() *Engine { return enginePool.Get().(*Engine) }
+
+// PutEngine returns a borrowed engine to the shared pool.
+func PutEngine(e *Engine) { enginePool.Put(e) }
+
 // KMeans clusters points into k groups with Lloyd's algorithm and
 // k-means++ seeding (deterministic for a given seed). maxIter bounds the
-// Lloyd iterations.
+// Lloyd iterations. It is the convenience form of Engine.KMeansFlat:
+// points are flattened into a pooled engine's arena and the result is
+// freshly allocated.
 func KMeans(points [][]float64, k int, seed int64, maxIter int) (KMeansResult, error) {
 	var res KMeansResult
-	if k < 1 {
-		return res, fmt.Errorf("stats: k must be >= 1, got %d", k)
-	}
 	if len(points) == 0 {
 		return res, errors.New("stats: k-means of empty point set")
-	}
-	if k > len(points) {
-		k = len(points)
 	}
 	dim := len(points[0])
 	for i, p := range points {
@@ -194,97 +202,14 @@ func KMeans(points [][]float64, k int, seed int64, maxIter int) (KMeansResult, e
 			return res, fmt.Errorf("stats: point %d has dimension %d, want %d", i, len(p), dim)
 		}
 	}
-	if maxIter < 1 {
-		maxIter = 100
-	}
-	rng := rand.New(rand.NewSource(seed))
-
-	// k-means++ seeding.
-	centroids := make([][]float64, 0, k)
-	first := points[rng.Intn(len(points))]
-	centroids = append(centroids, append([]float64(nil), first...))
-	d2 := make([]float64, len(points))
-	for len(centroids) < k {
-		total := 0.0
-		for i, p := range points {
-			best := math.Inf(1)
-			for _, c := range centroids {
-				if d := sqDist(p, c); d < best {
-					best = d
-				}
-			}
-			d2[i] = best
-			total += best
-		}
-		if total == 0 {
-			// All remaining points coincide with existing centroids.
-			centroids = append(centroids, append([]float64(nil), points[rng.Intn(len(points))]...))
-			continue
-		}
-		target := rng.Float64() * total
-		acc := 0.0
-		pick := len(points) - 1
-		for i, d := range d2 {
-			acc += d
-			if target < acc {
-				pick = i
-				break
-			}
-		}
-		centroids = append(centroids, append([]float64(nil), points[pick]...))
-	}
-
-	assign := make([]int, len(points))
-	counts := make([]int, k)
-	sums := make([][]float64, k)
-	for i := range sums {
-		sums[i] = make([]float64, dim)
-	}
-	iter := 0
-	for ; iter < maxIter; iter++ {
-		changed := false
-		for i, p := range points {
-			best, bestD := 0, math.Inf(1)
-			for j, c := range centroids {
-				if d := sqDist(p, c); d < bestD {
-					best, bestD = j, d
-				}
-			}
-			if assign[i] != best || iter == 0 {
-				changed = changed || assign[i] != best
-				assign[i] = best
-			}
-		}
-		if iter > 0 && !changed {
-			break
-		}
-		for j := range sums {
-			counts[j] = 0
-			for d := range sums[j] {
-				sums[j][d] = 0
-			}
-		}
-		for i, p := range points {
-			j := assign[i]
-			counts[j]++
-			for d, v := range p {
-				sums[j][d] += v
-			}
-		}
-		for j := range centroids {
-			if counts[j] == 0 {
-				continue // keep empty cluster's centroid in place
-			}
-			for d := range centroids[j] {
-				centroids[j][d] = sums[j][d] / float64(counts[j])
-			}
-		}
-	}
-	inertia := 0.0
+	e := GetEngine()
+	defer PutEngine(e)
+	flat := e.Points(len(points), dim)
 	for i, p := range points {
-		inertia += sqDist(p, centroids[assign[i]])
+		copy(flat[i*dim:(i+1)*dim], p)
 	}
-	return KMeansResult{Centroids: centroids, Assign: assign, Inertia: inertia, Iterations: iter}, nil
+	err := e.KMeansFlat(&res, flat, len(points), dim, k, seed, maxIter)
+	return res, err
 }
 
 func sqDist(a, b []float64) float64 {
@@ -303,20 +228,7 @@ func MovingAverage(xs []float64, halfWin int) []float64 {
 		halfWin = 0
 	}
 	out := make([]float64, len(xs))
-	for i := range xs {
-		lo, hi := i-halfWin, i+halfWin
-		if lo < 0 {
-			lo = 0
-		}
-		if hi >= len(xs) {
-			hi = len(xs) - 1
-		}
-		s := 0.0
-		for j := lo; j <= hi; j++ {
-			s += xs[j]
-		}
-		out[i] = s / float64(hi-lo+1)
-	}
+	movingAverageInto(out, xs, halfWin)
 	return out
 }
 
@@ -327,25 +239,17 @@ func Peaks(xs []float64, halfWin int) []int {
 	if len(xs) == 0 {
 		return nil
 	}
-	sm := MovingAverage(xs, halfWin)
-	var peaks []int
-	for i := halfWin; i < len(sm)-halfWin; i++ {
-		isPeak := true
-		for j := i - halfWin; j <= i+halfWin && isPeak; j++ {
-			if sm[j] > sm[i] {
-				isPeak = false
-			}
-		}
-		if isPeak && (len(peaks) == 0 || i-peaks[len(peaks)-1] > halfWin) {
-			peaks = append(peaks, i)
-		}
+	if halfWin < 0 {
+		halfWin = 0
 	}
-	return peaks
+	sm := MovingAverage(xs, halfWin)
+	return peaksInto(nil, sm, halfWin)
 }
 
 // Period estimates the oscillation period of the series xs sampled every
 // dt time units, as the mean gap between detected peaks. ok is false when
-// fewer than two peaks are found.
+// fewer than two peaks are found. Engine.Period is the allocation-free
+// equivalent.
 func Period(xs []float64, dt float64, halfWin int) (period float64, ok bool) {
 	peaks := Peaks(xs, halfWin)
 	if len(peaks) < 2 {

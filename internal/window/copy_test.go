@@ -1,0 +1,65 @@
+package window
+
+import "testing"
+
+func copyTestWindow(nCuts, nTraj, ns int, base int64) Window {
+	w := Window{Start: 3, Cuts: make([]Cut, nCuts)}
+	for k := range w.Cuts {
+		states := make([][]int64, nTraj)
+		for i := range states {
+			row := make([]int64, ns)
+			for s := range row {
+				row[s] = base + int64(k*100+i*10+s)
+			}
+			states[i] = row
+		}
+		w.Cuts[k] = Cut{Index: 3 + k, Time: float64(k), States: states}
+	}
+	return w
+}
+
+func TestCopyBufferCapturesIndependently(t *testing.T) {
+	src := copyTestWindow(4, 3, 2, 0)
+	var buf CopyBuffer
+	got := buf.Capture(src)
+
+	if got.Start != src.Start || len(got.Cuts) != len(src.Cuts) {
+		t.Fatalf("copy shape: start %d/%d cuts, want %d/%d", got.Start, len(got.Cuts), src.Start, len(src.Cuts))
+	}
+	for k, c := range src.Cuts {
+		gc := got.Cuts[k]
+		if gc.Index != c.Index || gc.Time != c.Time {
+			t.Fatalf("cut %d header (%d, %g), want (%d, %g)", k, gc.Index, gc.Time, c.Index, c.Time)
+		}
+		for i := range c.States {
+			for s := range c.States[i] {
+				if gc.States[i][s] != c.States[i][s] {
+					t.Fatalf("cut %d traj %d species %d: %d, want %d", k, i, s, gc.States[i][s], c.States[i][s])
+				}
+			}
+		}
+	}
+	// Independence: mutating (recycling) the source must not change the copy.
+	src.Cuts[0].States[0][0] = -999
+	if got.Cuts[0].States[0][0] == -999 {
+		t.Fatal("copy aliases the source states")
+	}
+}
+
+func TestCopyBufferReuseIsAllocationFree(t *testing.T) {
+	src := copyTestWindow(8, 16, 3, 42)
+	var buf CopyBuffer
+	buf.Capture(src)
+	allocs := testing.AllocsPerRun(50, func() { buf.Capture(src) })
+	if allocs != 0 {
+		t.Fatalf("warmed Capture allocates %.1f times per window, want 0", allocs)
+	}
+}
+
+func TestCopyBufferEmptyWindow(t *testing.T) {
+	var buf CopyBuffer
+	got := buf.Capture(Window{Start: 7})
+	if got.Start != 7 || len(got.Cuts) != 0 {
+		t.Fatalf("empty window copy = %+v", got)
+	}
+}

@@ -285,6 +285,64 @@ func (s *Slider) Flush(emit func(Window) error) error {
 // ErrNoCuts is returned by helpers that require a non-empty window.
 var ErrNoCuts = errors.New("window: empty window")
 
+// CopyBuffer is a reusable deep copy of one window: Capture copies every
+// cut's states into a single flat arena owned by the buffer, so the copy's
+// lifetime is independent of the producer's recycled cut storage. A
+// consumer that must hold a window past the emit callback (e.g. a farm
+// that analyses windows asynchronously while the stream recycles cuts)
+// captures into a pooled CopyBuffer and releases it afterwards; a warmed
+// buffer captures without allocating.
+type CopyBuffer struct {
+	cuts   []Cut
+	states [][]int64
+	arena  []int64
+}
+
+// Capture deep-copies w into the buffer and returns the copy, valid until
+// the next Capture on the same buffer. Every cut of w must hold the same
+// number of trajectories with the same state width (the Aligner
+// guarantees both).
+func (b *CopyBuffer) Capture(w Window) Window {
+	nCuts := len(w.Cuts)
+	if nCuts == 0 {
+		return Window{Start: w.Start}
+	}
+	nTraj := w.Cuts[0].NumTrajectories()
+	ns := 0
+	if nTraj > 0 {
+		ns = len(w.Cuts[0].States[0])
+	}
+	if need := nCuts * nTraj * ns; cap(b.arena) < need {
+		b.arena = make([]int64, need)
+	} else {
+		b.arena = b.arena[:need]
+	}
+	if need := nCuts * nTraj; cap(b.states) < need {
+		b.states = make([][]int64, need)
+	} else {
+		b.states = b.states[:need]
+	}
+	if cap(b.cuts) < nCuts {
+		b.cuts = make([]Cut, nCuts)
+	} else {
+		b.cuts = b.cuts[:nCuts]
+	}
+	for k, c := range w.Cuts {
+		for i, st := range c.States {
+			off := (k*nTraj + i) * ns
+			row := b.arena[off : off+ns : off+ns]
+			copy(row, st)
+			b.states[k*nTraj+i] = row
+		}
+		b.cuts[k] = Cut{
+			Index:  c.Index,
+			Time:   c.Time,
+			States: b.states[k*nTraj : (k+1)*nTraj],
+		}
+	}
+	return Window{Start: w.Start, Cuts: b.cuts}
+}
+
 // Series extracts the per-cut ensemble of one species: out[k][i] is the
 // count of species sp for trajectory i at the window's k-th cut.
 func (w Window) Series(sp int) ([][]int64, error) {
