@@ -1,10 +1,15 @@
 // Command cwc-bench regenerates the paper's evaluation: every figure
-// (Fig. 3–6) and Table I, as text tables or CSV.
+// (Fig. 3–6) and Table I, as text tables or CSV. It also carries the
+// repo's machine-readable performance reports and the CI bench-regression
+// gate.
 //
 //	cwc-bench -exp all
 //	cwc-bench -exp fig3 -format csv
 //	cwc-bench -exp table1 -seed 7
-//	cwc-bench -exp pr3 -pr3-out BENCH_PR3.json   # machine-readable throughput report
+//	cwc-bench -exp pr3 -pr3-out BENCH_PR3.json   # stat-farm throughput report
+//	cwc-bench -exp pr4 -pr4-out BENCH_PR4.json   # local vs distributed throughput
+//	cwc-bench -write-baseline BENCH_BASELINE.json
+//	cwc-bench -compare BENCH_BASELINE.json       # exits 1 on >20% ns/op or any allocs/op regression
 package main
 
 import (
@@ -26,13 +31,20 @@ func main() {
 
 func run() error {
 	var (
-		exp    = flag.String("exp", "all", "experiment: fig3, fig4, fig5, fig6top, fig6bottom, table1, ablation, pr3, all")
-		format = flag.String("format", "text", "output format: text or csv")
-		seed   = flag.Int64("seed", 1, "workload noise seed")
-		quanta = flag.Int("scale-quanta", 0, "override quanta per trajectory (0 = publication parameters)")
-		pr3Out = flag.String("pr3-out", "BENCH_PR3.json", "output path of the -exp pr3 report")
+		exp           = flag.String("exp", "all", "experiment: fig3, fig4, fig5, fig6top, fig6bottom, table1, ablation, pr3, pr4, all")
+		format        = flag.String("format", "text", "output format: text or csv")
+		seed          = flag.Int64("seed", 1, "workload noise seed")
+		quanta        = flag.Int("scale-quanta", 0, "override quanta per trajectory (0 = publication parameters)")
+		pr3Out        = flag.String("pr3-out", "BENCH_PR3.json", "output path of the -exp pr3 report")
+		pr4Out        = flag.String("pr4-out", "BENCH_PR4.json", "output path of the -exp pr4 report")
+		writeBaseline = flag.String("write-baseline", "", "measure the pinned hot-path benchmarks and write the baseline to this path")
+		compare       = flag.String("compare", "", "measure the pinned hot-path benchmarks and gate against this baseline (exit 1 on regression)")
+		tolerance     = flag.Float64("bench-tolerance", 0.20, "allowed fractional ns/op regression in -compare")
 	)
 	flag.Parse()
+	if *writeBaseline != "" || *compare != "" {
+		return runBaseline(*writeBaseline, *compare, *tolerance)
+	}
 	sc := bench.Scale{Quanta: *quanta}
 	w := os.Stdout
 
@@ -163,9 +175,74 @@ func run() error {
 		fmt.Fprintf(os.Stderr, "cwc-bench: wrote %s (analysis %.0f windows/sec, %.1f allocs/op; serve 1→4 engines %.2fx)\n",
 			*pr3Out, rep.AnalyseWindow.WindowsPerSec, rep.AnalyseWindow.AllocsPerOp, rep.ServeMultiJob.Speedup)
 	}
+	// The pr4 throughput report likewise runs only by name: it spins up an
+	// in-process two-worker cluster and measures this host's wall clock.
+	if *exp == "pr4" {
+		ran = true
+		rep, err := bench.PR4()
+		if err != nil {
+			return err
+		}
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*pr4Out, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "cwc-bench: wrote %s (local %.0f w/s, 2-worker distributed %.0f w/s, %.2fx, %d remote tasks)\n",
+			*pr4Out, rep.LocalWindowsPerSec, rep.Distributed2WindowsPerSec, rep.Speedup, rep.RemoteTasksDone)
+	}
 	if !ran {
 		return fmt.Errorf("unknown experiment %q", *exp)
 	}
+	return nil
+}
+
+// runBaseline implements -write-baseline and -compare: the CI
+// bench-regression gate over the pinned hot-path benchmarks.
+func runBaseline(writePath, comparePath string, tolerance float64) error {
+	current, err := bench.MeasureBaseline()
+	if err != nil {
+		return err
+	}
+	if writePath != "" {
+		data, err := json.MarshalIndent(current, "", "  ")
+		if err != nil {
+			return err
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(writePath, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "cwc-bench: wrote baseline %s (%d benchmarks, calibration %.0f ns)\n",
+			writePath, len(current.Benchmarks), current.CalibrationNs)
+	}
+	if comparePath == "" {
+		return nil
+	}
+	data, err := os.ReadFile(comparePath)
+	if err != nil {
+		return err
+	}
+	var baseline bench.BaselineReport
+	if err := json.Unmarshal(data, &baseline); err != nil {
+		return fmt.Errorf("decoding baseline %s: %w", comparePath, err)
+	}
+	violations := bench.CompareBaseline(&baseline, current, tolerance)
+	for name, pt := range current.Benchmarks {
+		base := baseline.Benchmarks[name]
+		fmt.Fprintf(os.Stderr, "cwc-bench: %-16s %10.0f ns/op (baseline %10.0f)  %6.1f allocs/op (baseline %.1f)\n",
+			name, pt.NsPerOp, base.NsPerOp, pt.AllocsPerOp, base.AllocsPerOp)
+	}
+	if len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintln(os.Stderr, "cwc-bench: REGRESSION:", v)
+		}
+		return fmt.Errorf("bench-regression gate failed: %d violation(s)", len(violations))
+	}
+	fmt.Fprintln(os.Stderr, "cwc-bench: bench-regression gate passed")
 	return nil
 }
 

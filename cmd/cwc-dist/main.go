@@ -12,8 +12,11 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -50,12 +53,22 @@ func runWorker(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("worker", flag.ContinueOnError)
 	listen := fs.String("listen", "127.0.0.1:7001", "address to listen on")
 	simWorkers := fs.Int("sim-workers", 4, "local simulation farm width")
+	register := fs.String("register", "", "cwc-serve base URL to register with (heartbeats every ttl/3)")
+	advertise := fs.String("advertise", "", "dialable address to advertise when registering (default the listen address)")
+	inflight := fs.Int("inflight", 0, "in-flight trajectory cap to advertise (0 = server default)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	l, err := dff.Listen(*listen)
 	if err != nil {
 		return err
+	}
+	if *register != "" {
+		addr := *advertise
+		if addr == "" {
+			addr = l.Addr().String()
+		}
+		go heartbeat(ctx, *register, addr, *inflight)
 	}
 	fmt.Fprintf(os.Stderr, "sim worker listening on %s (%d engines); ^C to stop\n", l.Addr(), *simWorkers)
 	err = core.ServeSimWorker(ctx, l, *simWorkers, func(err error) {
@@ -65,6 +78,51 @@ func runWorker(ctx context.Context, args []string) error {
 		return nil
 	}
 	return err
+}
+
+// heartbeat registers the worker with a cwc-serve instance and keeps the
+// registration fresh: POST /workers/register doubles as the heartbeat, and
+// the server replies with the TTL that paces the next beat. A bounded
+// client keeps a hung server from wedging the loop, and rejections are
+// logged instead of silently dropping the worker out of the cluster.
+func heartbeat(ctx context.Context, base, addr string, inflight int) {
+	client := &http.Client{Timeout: 5 * time.Second}
+	interval := 5 * time.Second
+	body := fmt.Sprintf(`{"addr":%q,"cap":%d}`, addr, inflight)
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+			base+"/workers/register", strings.NewReader(body))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "register:", err)
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(req)
+		switch {
+		case err != nil:
+			if ctx.Err() != nil {
+				return
+			}
+			fmt.Fprintln(os.Stderr, "register:", err)
+		case resp.StatusCode != http.StatusOK:
+			msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+			resp.Body.Close()
+			fmt.Fprintf(os.Stderr, "register: server rejected %s: %s %s\n", addr, resp.Status, strings.TrimSpace(string(msg)))
+		default:
+			var ack struct {
+				TTLSeconds float64 `json:"ttl_seconds"`
+			}
+			if json.NewDecoder(resp.Body).Decode(&ack) == nil && ack.TTLSeconds > 0 {
+				interval = time.Duration(ack.TTLSeconds / 3 * float64(time.Second))
+			}
+			resp.Body.Close()
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(interval):
+		}
+	}
 }
 
 func runMaster(ctx context.Context, args []string) error {
@@ -80,6 +138,7 @@ func runMaster(ctx context.Context, args []string) error {
 		statEngines = fs.Int("stat-engines", 4, "statistics farm width on the master")
 		winSize     = fs.Int("window", 16, "sliding window size (cuts)")
 		seed        = fs.Int64("seed", 1, "base RNG seed")
+		idleTimeout = fs.Duration("worker-timeout", 0, "fail the run if a worker sends nothing for this long (0 = wait forever)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -89,13 +148,14 @@ func runMaster(ctx context.Context, args []string) error {
 	}
 	addrs := strings.Split(*workers, ",")
 	cfg := core.Config{
-		Trajectories: *traj,
-		End:          *end,
-		Quantum:      *quantum,
-		Period:       *period,
-		StatEngines:  *statEngines,
-		WindowSize:   *winSize,
-		BaseSeed:     *seed,
+		Trajectories:      *traj,
+		End:               *end,
+		Quantum:           *quantum,
+		Period:            *period,
+		StatEngines:       *statEngines,
+		WindowSize:        *winSize,
+		BaseSeed:          *seed,
+		WorkerIdleTimeout: *idleTimeout,
 	}
 	start := time.Now()
 	info, err := core.RunDistributed(ctx, cfg, core.ModelRef{Name: *model, Omega: *omega}, addrs,

@@ -1,9 +1,15 @@
 // Command cwc-serve runs the CWC simulation job service: an HTTP server
 // that accepts simulation jobs, schedules their trajectories onto one
-// shared simulation worker pool, and streams windowed statistics back
-// incrementally while the jobs run.
+// shared simulation worker pool — and, when remote sim workers are
+// configured, shards trajectory quanta across the cluster — streaming
+// windowed statistics back incrementally while the jobs run.
 //
-//	cwc-serve -listen :8080 -workers 8
+//	cwc-serve -listen :8080 -sim-workers 8
+//
+//	# cluster mode: start cwc-dist workers first, then point serve at them
+//	cwc-dist worker -listen 127.0.0.1:7001 -sim-workers 4
+//	cwc-dist worker -listen 127.0.0.1:7002 -sim-workers 4
+//	cwc-serve -listen :8080 -workers 127.0.0.1:7001,127.0.0.1:7002
 //
 //	# submit a job
 //	curl -s localhost:8080/jobs -d '{"model":"neurospora","omega":100,
@@ -26,6 +32,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"time"
 
 	"cwcflow/internal/serve"
@@ -40,22 +47,41 @@ func main() {
 
 func run() error {
 	var (
-		listen       = flag.String("listen", ":8080", "HTTP listen address")
-		workers      = flag.Int("workers", runtime.GOMAXPROCS(0), "shared simulation pool width")
-		statEngines  = flag.Int("stat-engines", runtime.GOMAXPROCS(0), "shared statistical engine farm width")
-		queueDepth   = flag.Int("queue-depth", 16, "pool internal queue depth")
-		sampleBuffer = flag.Int("sample-buffer", 64, "per-job ingress high-water mark (batches)")
-		resultBuffer = flag.Int("result-buffer", 1024, "per-job retained windows")
-		subBuffer    = flag.Int("subscriber-buffer", 256, "per-stream-client window mailbox")
-		maxJobs      = flag.Int("max-jobs", 64, "maximum concurrently active jobs")
-		maxCompleted = flag.Int("max-completed", 256, "finished jobs retained before eviction")
-		maxTraj      = flag.Int("max-trajectories", 4096, "maximum trajectories per job")
-		maxCuts      = flag.Int("max-cuts", 1_000_000, "maximum samples per trajectory (end/period)")
+		listen         = flag.String("listen", ":8080", "HTTP listen address")
+		simWorkers     = flag.Int("sim-workers", runtime.GOMAXPROCS(0), "local shared simulation pool width")
+		workers        = flag.String("workers", "", "comma-separated remote sim worker addresses (cwc-dist worker)")
+		workerInflight = flag.Int("worker-inflight", 8, "max trajectories in flight per remote worker")
+		workerTimeout  = flag.Duration("worker-timeout", 30*time.Second, "declare a silent remote worker dead after this long")
+		workerTTL      = flag.Duration("worker-ttl", 15*time.Second, "heartbeat window for dynamically registered workers")
+		statEngines    = flag.Int("stat-engines", runtime.GOMAXPROCS(0), "shared statistical engine farm width")
+		queueDepth     = flag.Int("queue-depth", 16, "pool internal queue depth")
+		sampleBuffer   = flag.Int("sample-buffer", 64, "per-job ingress high-water mark (batches)")
+		resultBuffer   = flag.Int("result-buffer", 1024, "per-job retained windows")
+		subBuffer      = flag.Int("subscriber-buffer", 256, "per-stream-client window mailbox")
+		maxJobs        = flag.Int("max-jobs", 64, "maximum concurrently active jobs")
+		maxCompleted   = flag.Int("max-completed", 256, "finished jobs retained before eviction")
+		maxTraj        = flag.Int("max-trajectories", 4096, "maximum trajectories per job")
+		maxCuts        = flag.Int("max-cuts", 1_000_000, "maximum samples per trajectory (end/period)")
 	)
 	flag.Parse()
 
+	var workerAddrs []string
+	if *workers != "" {
+		for _, a := range strings.Split(*workers, ",") {
+			a = strings.TrimSpace(a)
+			if a == "" {
+				continue
+			}
+			// -workers used to be the pool width; fail loudly on a bare
+			// number instead of dialing a nonsense "address" forever.
+			if !strings.Contains(a, ":") {
+				return fmt.Errorf("-workers takes remote sim worker addresses (host:port, comma-separated), got %q; the local pool width is -sim-workers", a)
+			}
+			workerAddrs = append(workerAddrs, a)
+		}
+	}
 	svc := serve.New(serve.Options{
-		Workers:          *workers,
+		Workers:          *simWorkers,
 		StatEngines:      *statEngines,
 		QueueDepth:       *queueDepth,
 		SampleBuffer:     *sampleBuffer,
@@ -65,6 +91,10 @@ func run() error {
 		MaxCompleted:     *maxCompleted,
 		MaxTrajectories:  *maxTraj,
 		MaxCuts:          *maxCuts,
+		WorkerAddrs:      workerAddrs,
+		WorkerInFlight:   *workerInflight,
+		WorkerTimeout:    *workerTimeout,
+		WorkerTTL:        *workerTTL,
 	})
 	httpSrv := &http.Server{Addr: *listen, Handler: svc.Handler()}
 
@@ -72,7 +102,8 @@ func run() error {
 	defer stop()
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "cwc-serve: listening on %s with %d pool workers, %d stat engines\n", *listen, svc.Workers(), svc.StatEngines())
+	fmt.Fprintf(os.Stderr, "cwc-serve: listening on %s with %d pool workers, %d stat engines, %d remote sim workers\n",
+		*listen, svc.Workers(), svc.StatEngines(), len(workerAddrs))
 
 	select {
 	case err := <-errc:

@@ -21,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"cwcflow/internal/ff"
 	"cwcflow/internal/sim"
@@ -75,6 +76,14 @@ type Config struct {
 	// The sample's State is backed by a pooled batch arena and is only
 	// valid for the duration of the call: copy it to retain it.
 	RawSink func(sim.Sample) error
+
+	// WorkerIdleTimeout, when > 0, bounds how long RunDistributed waits
+	// for the next result frame from any sim worker: a silently dead
+	// worker host (no TCP reset reaches the master) fails the run instead
+	// of hanging it forever. Leave generous headroom over the longest
+	// expected quantum; 0 disables the bound. Shared-memory runs ignore
+	// it.
+	WorkerIdleTimeout time.Duration
 }
 
 // Normalized validates the configuration and returns a copy with every

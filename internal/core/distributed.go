@@ -94,7 +94,9 @@ type JobHeader struct {
 }
 
 // WorkerMsg is the master→worker stream: a header first, then one message
-// per assigned trajectory.
+// per assigned trajectory. Assignments may keep arriving at any time while
+// the stream is open — the serve-side quantum scheduler requeues
+// trajectories from dead workers onto live streams mid-job.
 type WorkerMsg struct {
 	Header *JobHeader
 	Traj   int
@@ -107,23 +109,60 @@ type WorkerTrailer struct {
 	Tasks     int
 }
 
-// ResultMsg is the worker→master stream: samples, then one trailer.
+// ResultMsg is the worker→master stream: one message per simulation
+// quantum, carrying the quantum's whole sample batch for one trajectory
+// (the per-sample cost of crossing the wire amortises by the quantum/τ
+// ratio, mirroring the shared-memory pool's batched collector hop). The
+// trajectory id plus the deterministic per-trajectory seeding is what lets
+// a master requeue a half-delivered trajectory elsewhere and deduplicate
+// the replayed prefix. TaskDone marks the trajectory's final quantum; a
+// trailer with per-worker totals ends the stream.
 type ResultMsg struct {
-	Sample  *sim.Sample
-	Trailer *WorkerTrailer
+	Traj    int
+	Samples []sim.Sample
+	// TaskDone marks the trajectory complete; Dead and Steps qualify it.
+	TaskDone bool
+	Dead     bool
+	Steps    uint64
+	// ElapsedNs is the worker-measured service time of this quantum, which
+	// feeds the master's ETA model exactly like a local quantum would.
+	ElapsedNs int64
+	Trailer   *WorkerTrailer
 }
 
+// ModelResolver maps a model reference to a simulator factory. Workers
+// default to FactoryFor; tests inject synthetic deterministic models.
+type ModelResolver func(ModelRef) (SimulatorFactory, error)
+
 // ServeSimWorker runs a sim-worker server on l: each connection carries
-// one job (header + trajectory assignments in, samples + trailer out).
-// simWorkers is the local farm width (the worker host's cores). The call
-// blocks until ctx is cancelled.
+// one job (header + trajectory assignments in, quantum batches + trailer
+// out). simWorkers is the local farm width (the worker host's cores). The
+// call blocks until ctx is cancelled.
 func ServeSimWorker(ctx context.Context, l net.Listener, simWorkers int, onError func(error)) error {
+	return ServeSimWorkerWith(ctx, l, simWorkers, FactoryFor, onError)
+}
+
+// ServeSimWorkerWith is ServeSimWorker with an injectable model resolver,
+// so a test cluster can run the same synthetic models as its master.
+func ServeSimWorkerWith(ctx context.Context, l net.Listener, simWorkers int, resolver ModelResolver, onError func(error)) error {
 	return dff.Serve(ctx, l, func(ctx context.Context, conn net.Conn) error {
-		return handleJob(ctx, conn, simWorkers)
+		return handleJob(ctx, conn, simWorkers, resolver)
 	}, onError)
 }
 
-func handleJob(ctx context.Context, conn net.Conn, simWorkers int) error {
+// workerDelivery is one quantum's result inside the worker process, on its
+// way from the local simulation farm to the connection's collector (which
+// serialises it as a ResultMsg and recycles the batch).
+type workerDelivery struct {
+	traj    int
+	batch   *sim.Batch
+	done    bool
+	dead    bool
+	steps   uint64
+	elapsed time.Duration
+}
+
+func handleJob(ctx context.Context, conn net.Conn, simWorkers int, resolver ModelResolver) error {
 	in := dff.NewReader[WorkerMsg](conn)
 	out := dff.NewWriter[ResultMsg](conn)
 
@@ -135,7 +174,7 @@ func handleJob(ctx context.Context, conn net.Conn, simWorkers int) error {
 		return errors.New("core: job stream did not start with a header")
 	}
 	hdr := *first.Header
-	factory, err := FactoryFor(hdr.Model)
+	factory, err := resolver(hdr.Model)
 	if err != nil {
 		return err
 	}
@@ -173,26 +212,53 @@ func handleJob(ctx context.Context, conn net.Conn, simWorkers int) error {
 			}
 		}
 	})
-	farm := ff.NewFarmFeedback(simWorkers, func(int) ff.FeedbackWorker[*sim.Task, sim.Sample] {
+	farm := ff.NewFarmFeedback(simWorkers, func(int) ff.FeedbackWorker[*sim.Task, workerDelivery] {
 		var fb *sim.Task // per-worker feedback cell, read before the next DoStep
-		return ff.FeedbackWorkerFunc[*sim.Task, sim.Sample](func(_ context.Context, task *sim.Task, emit ff.Emit[sim.Sample]) (**sim.Task, error) {
-			if err := task.RunQuantum(func(s sim.Sample) error { return emit(s) }); err != nil {
+		return ff.FeedbackWorkerFunc[*sim.Task, workerDelivery](func(_ context.Context, task *sim.Task, emit ff.Emit[workerDelivery]) (**sim.Task, error) {
+			start := time.Now()
+			b := sim.GetBatch()
+			if err := task.RunQuantumBatch(b); err != nil {
+				b.Release()
 				return nil, err
 			}
+			d := workerDelivery{traj: task.Traj, batch: b, elapsed: time.Since(start)}
+			if len(b.Samples) == 0 {
+				b.Release()
+				d.batch = nil
+			}
 			if task.Done() {
+				d.done, d.dead, d.steps = true, task.Dead(), task.Steps()
 				reactions.Add(task.Steps())
 				if task.Dead() {
 					deadTasks.Add(1)
 				}
-				return nil, nil
+				return nil, emit(d)
+			}
+			if err := emit(d); err != nil {
+				return nil, err
 			}
 			fb = task
 			return &fb, nil
 		})
 	})
-	err = ff.Run(ctx, source, ff.Node[*sim.Task, sim.Sample](farm), func(s sim.Sample) error {
-		sc := s
-		return out.Send(ResultMsg{Sample: &sc})
+	err = ff.Run(ctx, source, ff.Node[*sim.Task, workerDelivery](farm), func(d workerDelivery) error {
+		msg := ResultMsg{
+			Traj:      d.traj,
+			TaskDone:  d.done,
+			Dead:      d.dead,
+			Steps:     d.steps,
+			ElapsedNs: int64(d.elapsed),
+		}
+		if d.batch != nil {
+			// The samples alias the batch arena; gob copies them during
+			// Encode, so the batch recycles the moment Send returns.
+			msg.Samples = d.batch.Samples
+		}
+		err := out.Send(msg)
+		if d.batch != nil {
+			d.batch.Release()
+		}
+		return err
 	})
 	if err != nil {
 		return err
@@ -256,10 +322,16 @@ func RunDistributed(ctx context.Context, cfg Config, model ModelRef, workerAddrs
 		if err != nil {
 			return info, err
 		}
+		in := dff.NewReader[ResultMsg](conn)
+		if cfg.WorkerIdleTimeout > 0 {
+			// Idle bound on each result stream: a worker host that dies
+			// without a TCP reset fails the run instead of hanging it.
+			in = dff.NewReaderTimeout[ResultMsg](conn, cfg.WorkerIdleTimeout)
+		}
 		peers = append(peers, &peer{
 			conn: conn,
 			out:  dff.NewWriter[WorkerMsg](conn),
-			in:   dff.NewReader[ResultMsg](conn),
+			in:   in,
 		})
 	}
 
@@ -296,7 +368,8 @@ func RunDistributed(ctx context.Context, cfg Config, model ModelRef, workerAddrs
 		return nil
 	})
 
-	// Sample merge: one drainer per worker into a shared channel.
+	// Sample merge: one drainer per worker into a shared channel. Each
+	// ResultMsg carries one quantum's batch of samples for one trajectory.
 	merged := make(chan sim.Sample, 64)
 	drainers := ff.NewGroup(g.Context())
 	for _, p := range peers {
@@ -313,18 +386,19 @@ func RunDistributed(ctx context.Context, cfg Config, model ModelRef, workerAddrs
 					}
 					return nil
 				}
-				switch {
-				case msg.Sample != nil:
+				if msg.Trailer != nil {
+					sawTrailer = true
+					reactions.Add(msg.Trailer.Reactions)
+					deadTasks.Add(int64(msg.Trailer.DeadTasks))
+					continue
+				}
+				for _, s := range msg.Samples {
 					select {
-					case merged <- *msg.Sample:
+					case merged <- s:
 						samples.Add(1)
 					case <-ctx.Done():
 						return ctx.Err()
 					}
-				case msg.Trailer != nil:
-					sawTrailer = true
-					reactions.Add(msg.Trailer.Reactions)
-					deadTasks.Add(int64(msg.Trailer.DeadTasks))
 				}
 			}
 		})

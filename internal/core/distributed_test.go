@@ -182,3 +182,41 @@ func TestDistributedWorkerTeardownMidStream(t *testing.T) {
 		t.Fatal("master hung after worker teardown")
 	}
 }
+
+func TestDistributedIdleTimeoutFailsFast(t *testing.T) {
+	// A black-hole worker: accepts the connection, never answers. With
+	// WorkerIdleTimeout set the master must fail the run quickly instead
+	// of waiting on the silent stream forever.
+	l, err := dff.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			defer conn.Close() // keep it open, stay silent
+		}
+	}()
+
+	cfg := smallConfig()
+	cfg.Factory = nil
+	cfg.WorkerIdleTimeout = 200 * time.Millisecond
+	errc := make(chan error, 1)
+	go func() {
+		_, err := RunDistributed(context.Background(), cfg, ModelRef{Name: "sir"},
+			[]string{l.Addr().String()}, nil)
+		errc <- err
+	}()
+	select {
+	case err := <-errc:
+		if err == nil {
+			t.Fatal("run succeeded against a silent worker")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("master hung on a silent worker despite the idle timeout")
+	}
+}

@@ -33,6 +33,7 @@ type Writer[T any] struct {
 	mu     sync.Mutex
 	enc    *gob.Encoder
 	closed bool
+	err    error // sticky: a gob encoder is undefined after one failure
 }
 
 // NewWriter wraps w into a typed stream sender.
@@ -40,37 +41,59 @@ func NewWriter[T any](w io.Writer) *Writer[T] {
 	return &Writer[T]{enc: gob.NewEncoder(w)}
 }
 
-// Send transmits one value. It is safe for concurrent use.
+// Send transmits one value. It is safe for concurrent use. After any
+// transport failure the stream is broken for good: the error is sticky and
+// every later Send returns it (a gob encoder's state is undefined once an
+// Encode fails mid-frame, so retrying on the same connection could emit a
+// torn stream the peer misparses).
 func (w *Writer[T]) Send(v T) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
 	if w.closed {
 		return errors.New("dff: send on closed stream")
 	}
 	if err := w.enc.Encode(envelope[T]{Val: v}); err != nil {
-		return fmt.Errorf("dff: send: %w", err)
+		w.err = fmt.Errorf("dff: send: %w", err)
+		return w.err
 	}
 	return nil
 }
 
 // Close transmits the end-of-stream marker. It does not close the
-// underlying connection (the other direction may still be active).
+// underlying connection (the other direction may still be active). On an
+// already-broken stream it reports the sticky transport error.
 func (w *Writer[T]) Close() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
 	if w.closed {
 		return nil
 	}
 	w.closed = true
 	if err := w.enc.Encode(envelope[T]{EOF: true}); err != nil {
-		return fmt.Errorf("dff: close: %w", err)
+		w.err = fmt.Errorf("dff: close: %w", err)
+		return w.err
 	}
 	return nil
 }
 
+// Err returns the sticky transport error, if any (nil while healthy).
+func (w *Writer[T]) Err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}
+
 // Reader is the receiving endpoint of a typed stream.
 type Reader[T any] struct {
-	dec *gob.Decoder
+	dec  *gob.Decoder
+	conn net.Conn      // non-nil when an idle timeout is armed
+	idle time.Duration // max gap between values before Recv errors
 }
 
 // NewReader wraps r into a typed stream receiver.
@@ -78,9 +101,22 @@ func NewReader[T any](r io.Reader) *Reader[T] {
 	return &Reader[T]{dec: gob.NewDecoder(r)}
 }
 
+// NewReaderTimeout wraps conn into a typed stream receiver whose Recv
+// fails if the peer sends nothing for idle — the per-quantum watchdog of
+// a long-lived result stream. idle <= 0 disables the deadline.
+func NewReaderTimeout[T any](conn net.Conn, idle time.Duration) *Reader[T] {
+	return &Reader[T]{dec: gob.NewDecoder(conn), conn: conn, idle: idle}
+}
+
 // Recv returns the next value; ok=false (with nil error) after the peer
-// closed the stream. A broken connection surfaces as an error.
+// closed the stream. A broken connection (or an expired idle deadline on a
+// Reader built with NewReaderTimeout) surfaces as an error.
 func (r *Reader[T]) Recv() (v T, ok bool, err error) {
+	if r.conn != nil && r.idle > 0 {
+		if err := r.conn.SetReadDeadline(time.Now().Add(r.idle)); err != nil {
+			return v, false, fmt.Errorf("dff: arming idle deadline: %w", err)
+		}
+	}
 	var env envelope[T]
 	if err := r.dec.Decode(&env); err != nil {
 		if errors.Is(err, io.EOF) {
@@ -138,6 +174,32 @@ func Dial(addr string, timeout time.Duration) (net.Conn, error) {
 		return nil, fmt.Errorf("dff: dial %s: %w", addr, err)
 	}
 	return conn, nil
+}
+
+// DialRetry dials addr up to attempts times with backoff between tries,
+// honouring ctx between attempts — the reconnect path of a master or
+// scheduler whose worker is restarting. The last dial error is returned if
+// every attempt fails.
+func DialRetry(ctx context.Context, addr string, timeout time.Duration, attempts int, backoff time.Duration) (net.Conn, error) {
+	if attempts < 1 {
+		attempts = 1
+	}
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(backoff):
+			}
+		}
+		conn, err := Dial(addr, timeout)
+		if err == nil {
+			return conn, nil
+		}
+		lastErr = err
+	}
+	return nil, lastErr
 }
 
 // Listen opens a TCP listener. addr "127.0.0.1:0" picks a free port

@@ -312,3 +312,232 @@ func BenchmarkStreamThroughput(b *testing.B) {
 		}
 	}
 }
+
+// --- error-path coverage: closed/half-closed connections, peer death,
+// cancellation, idle timeouts and reconnect-after-restart.
+
+func TestWriterStickyErrorAfterConnClose(t *testing.T) {
+	client, server := net.Pipe()
+	server.Close()
+	client.Close()
+	w := NewWriter[int](client)
+	if err := w.Send(1); err == nil {
+		t.Fatal("Send on closed connection succeeded")
+	}
+	first := w.Err()
+	if first == nil {
+		t.Fatal("no sticky error recorded")
+	}
+	// The stream is broken for good: every later Send (and Close) reports
+	// the same sticky error instead of writing a torn frame.
+	if err := w.Send(2); err != first {
+		t.Fatalf("second Send: %v, want sticky %v", err, first)
+	}
+	if err := w.Close(); err != first {
+		t.Fatalf("Close: %v, want sticky %v", err, first)
+	}
+}
+
+func TestSendAfterPeerDeath(t *testing.T) {
+	l, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		c, err := l.Accept()
+		if err == nil {
+			accepted <- c
+		}
+	}()
+	conn, err := Dial(l.Addr().String(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	peer := <-accepted
+	peer.Close() // the peer dies without reading anything
+
+	w := NewWriter[[64]int64](conn)
+	// TCP buffering may absorb a few sends; the dead peer must surface as
+	// an error within a bounded number of writes, and then stick.
+	var sendErr error
+	for i := 0; i < 10000; i++ {
+		if sendErr = w.Send([64]int64{}); sendErr != nil {
+			break
+		}
+	}
+	if sendErr == nil {
+		t.Fatal("Send never failed against a dead peer")
+	}
+	if err := w.Send([64]int64{}); err != sendErr {
+		t.Fatalf("Send after failure: %v, want sticky %v", err, sendErr)
+	}
+}
+
+func TestReaderHalfClosedConnection(t *testing.T) {
+	l, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		c, err := l.Accept()
+		if err == nil {
+			accepted <- c
+		}
+	}()
+	conn, err := Dial(l.Addr().String(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	peer := <-accepted
+	defer peer.Close()
+
+	// The peer sends one value then half-closes its write side without the
+	// end-of-stream marker — a worker that crashed between quanta. The
+	// reader must surface the second Recv as an error, not a clean close.
+	w := NewWriter[int](peer)
+	if err := w.Send(7); err != nil {
+		t.Fatal(err)
+	}
+	if tc, ok := peer.(*net.TCPConn); ok {
+		tc.CloseWrite()
+	} else {
+		t.Fatal("expected a TCP connection")
+	}
+	r := NewReader[int](conn)
+	v, ok, err := r.Recv()
+	if err != nil || !ok || v != 7 {
+		t.Fatalf("first Recv = (%d, %v, %v)", v, ok, err)
+	}
+	if _, ok, err := r.Recv(); ok || err == nil {
+		t.Fatalf("half-closed connection: ok=%v err=%v, want error", ok, err)
+	}
+}
+
+func TestPumpCancelledByContext(t *testing.T) {
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	in := make(chan int) // nothing ever sent: Pump blocks on the input
+	done := make(chan error, 1)
+	go func() { done <- Pump(ctx, NewWriter[int](client), in) }()
+	cancel()
+	select {
+	case err := <-done:
+		if err != context.Canceled {
+			t.Fatalf("Pump = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Pump did not honour cancellation")
+	}
+}
+
+func TestDrainCancelledByContext(t *testing.T) {
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+	go func() {
+		w := NewWriter[int](client)
+		for i := 0; ; i++ {
+			if err := w.Send(i); err != nil {
+				return
+			}
+		}
+	}()
+	ctx, cancel := context.WithCancel(context.Background())
+	out := make(chan int) // never drained: Drain blocks on the output
+	done := make(chan error, 1)
+	go func() { done <- NewReader[int](server).Drain(ctx, out) }()
+	cancel()
+	select {
+	case err := <-done:
+		if err != context.Canceled {
+			t.Fatalf("Drain = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Drain did not honour cancellation")
+	}
+}
+
+func TestReaderTimeoutOnSilentPeer(t *testing.T) {
+	l, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		c, err := l.Accept()
+		if err == nil {
+			defer c.Close()
+			time.Sleep(2 * time.Second) // silent peer: no frames, no close
+		}
+	}()
+	conn, err := Dial(l.Addr().String(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	r := NewReaderTimeout[int](conn, 100*time.Millisecond)
+	start := time.Now()
+	if _, ok, err := r.Recv(); ok || err == nil {
+		t.Fatalf("silent peer: ok=%v err=%v, want timeout error", ok, err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatalf("idle deadline fired after %v, want ~100ms", time.Since(start))
+	}
+}
+
+func TestDialRetryReconnectsAfterRestart(t *testing.T) {
+	// Grab a port, then shut the listener down — the "worker crashed"
+	// window — and restart it on the same address while DialRetry is
+	// already spinning.
+	l, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+
+	restarted := make(chan net.Listener, 1)
+	go func() {
+		time.Sleep(150 * time.Millisecond)
+		nl, err := Listen(addr)
+		if err == nil {
+			restarted <- nl
+		}
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	conn, err := DialRetry(ctx, addr, time.Second, 50, 50*time.Millisecond)
+	if err != nil {
+		t.Fatalf("DialRetry never reconnected: %v", err)
+	}
+	conn.Close()
+	if nl := <-restarted; nl != nil {
+		nl.Close()
+	}
+}
+
+func TestDialRetryHonoursContext(t *testing.T) {
+	l, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close() // nothing will ever listen again
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	_, err = DialRetry(ctx, addr, time.Second, 1000, 20*time.Millisecond)
+	if err != context.Canceled {
+		t.Fatalf("DialRetry = %v, want context.Canceled", err)
+	}
+}

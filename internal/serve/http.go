@@ -36,6 +36,8 @@ type resultResponse struct {
 
 func (s *Server) routes() {
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /workers", s.handleWorkers)
+	s.mux.HandleFunc("POST /workers/register", s.handleRegisterWorker)
 	s.mux.HandleFunc("POST /jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /jobs", s.handleList)
 	s.mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
@@ -75,11 +77,22 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 			active++
 		}
 	}
+	workers := s.registry.snapshot()
+	liveWorkers := 0
+	for _, w := range workers {
+		if w.Alive {
+			liveWorkers++
+		}
+	}
 	h := map[string]any{
-		"workers":      s.pool.Workers(),
-		"stat_engines": s.stats.Engines(),
-		"jobs_total":   len(jobs),
-		"jobs_active":  active,
+		// "workers" keeps its PR1 meaning (local pool width, the
+		// -sim-workers flag); the remote cluster gets unambiguous keys.
+		"workers":             s.pool.Workers(),
+		"stat_engines":        s.stats.Engines(),
+		"jobs_total":          len(jobs),
+		"jobs_active":         active,
+		"remote_workers":      len(workers),
+		"remote_workers_live": liveWorkers,
 	}
 	code := http.StatusOK
 	if err := s.pool.Err(); err != nil {
@@ -87,6 +100,36 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		code = http.StatusInternalServerError
 	}
 	writeJSON(w, code, h)
+}
+
+// handleWorkers lists every known remote sim worker with its liveness,
+// in-flight load and failure count.
+func (s *Server) handleWorkers(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.registry.snapshot())
+}
+
+// registerRequest is the body of POST /workers/register — the worker's
+// dialable address plus an optional in-flight cap. Workers re-register
+// periodically; the call doubles as the heartbeat.
+type registerRequest struct {
+	Addr string `json:"addr"`
+	Cap  int    `json:"cap,omitempty"`
+}
+
+func (s *Server) handleRegisterWorker(w http.ResponseWriter, r *http.Request) {
+	var req registerRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding register request: %v", err)
+		return
+	}
+	if err := s.registry.register(req.Addr, req.Cap, s.opts.WorkerInFlight); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":          true,
+		"ttl_seconds": s.opts.WorkerTTL.Seconds(),
+	})
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {

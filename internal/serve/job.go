@@ -90,6 +90,12 @@ type Progress struct {
 	DeferredQuanta int64  `json:"deferred_quanta,omitempty"`
 	StatsInFlight  int    `json:"stats_in_flight,omitempty"`
 	SpilledBatches int64  `json:"spilled_batches,omitempty"`
+	// RemoteTasksDone counts trajectories completed on remote sim workers;
+	// RequeuedTasks counts trajectories rescheduled off a dead or
+	// timed-out worker (each re-run deduplicates its replayed prefix, so
+	// requeues never change the result stream).
+	RemoteTasksDone int64 `json:"remote_tasks_done,omitempty"`
+	RequeuedTasks   int64 `json:"requeued_tasks,omitempty"`
 }
 
 // LatencySummary summarises a streaming latency distribution in
@@ -161,8 +167,16 @@ type Job struct {
 	// windower acquires a slot before submitting; the engine side frees it.
 	statSlots chan struct{}
 
-	deferred  atomic.Int64 // quanta the pool deferred due to congestion
-	statDelay atomic.Int64 // test seam: extra ns of analysis per window
+	deferred   atomic.Int64 // quanta the pool deferred due to congestion
+	statDelay  atomic.Int64 // test seam: extra ns of analysis per window
+	remoteDone atomic.Int64 // trajectories completed on remote workers
+	requeued   atomic.Int64 // trajectories requeued off dead workers
+
+	// sched, when non-nil, is the job's remote quantum scheduler: every
+	// delivery passes through its dedup filter and terminal transitions
+	// stop it. Set once at submission, before any task can produce a
+	// delivery.
+	sched atomic.Pointer[remoteJob]
 
 	mu          sync.Mutex
 	state       State
@@ -209,9 +223,13 @@ func newJob(id string, spec JobSpec, cfg core.Config, species []int, samplesPerT
 	// The ingress high-water mark is where the pool starts deferring this
 	// job's quanta; the hard capacity sits far enough above it that the
 	// quanta already in flight through the pool (at most one per worker
-	// plus the collector queue) can always land without spilling.
+	// plus the collector queue) can always land without spilling. The
+	// maxJobWorkerStreams term covers remote delivery: each of the job's
+	// worker-connection readers blocks on congestion holding at most one
+	// undelivered batch, and the scheduler opens at most that many
+	// streams, so remote pushes can never overshoot the bound either.
 	highWater := opts.SampleBuffer
-	capacity := highWater + poolWorkers + opts.QueueDepth + 8
+	capacity := highWater + poolWorkers + opts.QueueDepth + 8 + maxJobWorkerStreams
 	if statInflight < 1 {
 		statInflight = 1
 	}
@@ -246,6 +264,9 @@ func newJob(id string, spec JobSpec, cfg core.Config, species []int, samplesPerT
 
 // ID returns the job's identifier.
 func (j *Job) ID() string { return j.id }
+
+// setSched installs the job's remote quantum scheduler.
+func (j *Job) setSched(rj *remoteJob) { j.sched.Store(rj) }
 
 // State returns the job's current lifecycle phase.
 func (j *Job) State() State {
@@ -282,6 +303,9 @@ func (j *Job) setTerminal(st State, errMsg string) {
 	j.parked = nil
 	j.mu.Unlock()
 	j.cancel()
+	if rj := j.sched.Load(); rj != nil {
+		rj.stop()
+	}
 	j.in.drain()
 	// Hand any parked tasks back to the pool: its workers drop a terminal
 	// job's tasks with completion accounting, which is what drains the
@@ -294,13 +318,20 @@ func (j *Job) setTerminal(st State, errMsg string) {
 	}
 }
 
-// accept routes one delivery from the pool collector into the job. It runs
-// only on the collector goroutine and NEVER blocks: the batch lands in the
-// job's bounded ingress queue (or, past the hard bound, spills), so a job
-// whose analysis lags cannot pause delivery to any other job. Deliveries
-// of one task arrive in order and the final task-done marker arrives after
-// every sample batch, so closing the ingress here is race-free.
+// accept routes one delivery into the job — from the pool collector for
+// locally-simulated quanta, and from the remote scheduler's per-worker
+// readers for quanta simulated on the cluster. It NEVER blocks: the batch
+// lands in the job's bounded ingress queue (or, past the hard bound,
+// spills), so a job whose analysis lags cannot pause delivery to any other
+// job. Deliveries of one task arrive in order from whichever single source
+// currently owns the trajectory, and its final task-done marker arrives
+// after every sample batch, so closing the ingress here is race-free.
 func (j *Job) accept(_ context.Context, d delivery) error {
+	if rj := j.sched.Load(); rj != nil {
+		// Dedup for requeued trajectories: drop the replayed sample prefix
+		// and duplicate completion markers before any accounting.
+		rj.filter(&d)
+	}
 	if d.err != nil {
 		j.fail(fmt.Errorf("serve: trajectory simulation: %w", d.err))
 	}
@@ -378,6 +409,11 @@ func (j *Job) unparkIfDrained() {
 	j.mu.Unlock()
 	if len(tasks) > 0 && j.resubmit != nil {
 		j.resubmit(tasks)
+	}
+	if rj := j.sched.Load(); rj != nil {
+		// The remote scheduler also defers trajectory starts while the
+		// ingress is congested; resume them now that it drained.
+		rj.kick()
 	}
 }
 
@@ -611,19 +647,21 @@ func (j *Job) status(withETA bool) Status {
 		SubmittedAt: j.submitted,
 		Error:       j.errMsg,
 		Progress: Progress{
-			TasksDone:      j.tasksDone,
-			Trajectories:   j.totalTasks,
-			Samples:        j.samples,
-			Cuts:           j.cuts,
-			TotalCuts:      j.totalCuts,
-			Windows:        j.windows,
-			TotalWindows:   j.totalWins,
-			Reactions:      j.reactions,
-			DeadTasks:      j.deadTasks,
-			QueueDepth:     j.in.depth(),
-			DeferredQuanta: j.deferred.Load(),
-			StatsInFlight:  len(j.statSlots),
-			SpilledBatches: j.in.spilledCount(),
+			TasksDone:       j.tasksDone,
+			Trajectories:    j.totalTasks,
+			Samples:         j.samples,
+			Cuts:            j.cuts,
+			TotalCuts:       j.totalCuts,
+			Windows:         j.windows,
+			TotalWindows:    j.totalWins,
+			Reactions:       j.reactions,
+			DeadTasks:       j.deadTasks,
+			QueueDepth:      j.in.depth(),
+			DeferredQuanta:  j.deferred.Load(),
+			StatsInFlight:   len(j.statSlots),
+			SpilledBatches:  j.in.spilledCount(),
+			RemoteTasksDone: j.remoteDone.Load(),
+			RequeuedTasks:   j.requeued.Load(),
 		},
 	}
 	if j.state.Terminal() {

@@ -57,6 +57,7 @@ type poolTask struct {
 // worker would tear down the shared farm and every other job with it.
 type delivery struct {
 	job      *Job
+	traj     int // trajectory id, for the remote scheduler's bookkeeping
 	batch    *sim.Batch
 	elapsed  time.Duration
 	taskDone bool
@@ -111,11 +112,12 @@ func NewPool(workers, queueDepth int) *Pool {
 // farm's feedback channel.
 func poolWorker(_ context.Context, pt poolTask, emit ff.Emit[delivery]) (again bool, err error) {
 	job := pt.job
+	traj := pt.task.Traj
 	if job.terminal() {
 		// The job was cancelled or failed while this task was queued:
 		// drop the task, but still report completion so the job's
 		// accounting (and sample-stream close) stays consistent.
-		return false, emit(delivery{job: job, taskDone: true})
+		return false, emit(delivery{job: job, traj: traj, taskDone: true})
 	}
 	if job.congested() {
 		// The job's ingress queue is over its high-water mark: simulating
@@ -129,19 +131,19 @@ func poolWorker(_ context.Context, pt poolTask, emit ff.Emit[delivery]) (again b
 			job.noteDeferred()
 			return false, nil
 		}
-		return false, emit(delivery{job: job, taskDone: true})
+		return false, emit(delivery{job: job, traj: traj, taskDone: true})
 	}
 	start := time.Now()
 	b := sim.GetBatch()
 	if err := pt.task.RunQuantumBatch(b); err != nil {
 		b.Release()
-		return false, emit(delivery{job: job, err: err, taskDone: true})
+		return false, emit(delivery{job: job, traj: traj, err: err, taskDone: true})
 	}
 	if len(b.Samples) == 0 {
 		b.Release()
 		b = nil
 	}
-	d := delivery{job: job, batch: b, elapsed: time.Since(start)}
+	d := delivery{job: job, traj: traj, batch: b, elapsed: time.Since(start)}
 	if pt.task.Done() {
 		d.taskDone, d.dead, d.steps = true, pt.task.Dead(), pt.task.Steps()
 		return false, emit(d)
@@ -153,8 +155,12 @@ func poolWorker(_ context.Context, pt poolTask, emit ff.Emit[delivery]) (again b
 }
 
 // route is the farm's collector body. It runs in a single goroutine, so
-// per-task delivery order is preserved and the per-job bookkeeping inside
-// accept needs no serialisation against other deliveries.
+// per-task delivery order is preserved for locally-simulated tasks. Jobs
+// sharded across remote workers also receive deliveries from their
+// per-connection reader goroutines; accept is safe for that concurrency
+// (per-job mutex plus the ingress queue's own lock), and per-task order
+// still holds because any one trajectory streams from one source at a
+// time.
 func (p *Pool) route(d delivery) error { return d.job.accept(p.ctx, d) }
 
 // Workers returns the pool width.

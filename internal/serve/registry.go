@@ -1,0 +1,228 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// WorkerInfo is the wire format of one registered sim worker — the
+// /workers listing and the healthz summary.
+type WorkerInfo struct {
+	Addr string `json:"addr"`
+	// Cap is the worker's in-flight trajectory cap across all jobs.
+	Cap int `json:"cap"`
+	// Static workers come from the -workers flag and never expire; dynamic
+	// ones arrive via POST /workers/register and must heartbeat within TTL.
+	Static   bool       `json:"static"`
+	Alive    bool       `json:"alive"`
+	InFlight int        `json:"in_flight"`
+	Failures int64      `json:"failures"`
+	LastSeen *time.Time `json:"last_seen,omitempty"`
+}
+
+// regWorker is the registry's record of one sim worker.
+type regWorker struct {
+	addr        string
+	cap         int
+	static      bool
+	lastSeen    time.Time // dynamic: last heartbeat
+	lastFail    time.Time // start of the post-failure cooldown
+	inFlight    int       // trajectories currently assigned, across all jobs
+	failures    int64
+	consecFails int // consecutive failures since the last healthy dial
+}
+
+// registry tracks the service's remote sim workers: the static -workers
+// list plus dynamically registered ones (POST /workers/register, which
+// doubles as the heartbeat). It owns the per-worker in-flight caps: a
+// scheduler acquires one slot per assigned trajectory and releases it on
+// completion or requeue, so a worker shared by many jobs is never
+// oversubscribed past its cap.
+type registry struct {
+	mu       sync.Mutex
+	ttl      time.Duration // dynamic-worker heartbeat window
+	cooldown time.Duration // how long a failed worker sits out
+	workers  map[string]*regWorker
+	order    []string
+	now      func() time.Time // test seam
+}
+
+func newRegistry(static []string, defaultCap int, ttl, cooldown time.Duration) *registry {
+	r := &registry{
+		ttl:      ttl,
+		cooldown: cooldown,
+		workers:  make(map[string]*regWorker),
+		now:      time.Now,
+	}
+	for _, addr := range static {
+		if addr == "" {
+			continue
+		}
+		if _, ok := r.workers[addr]; ok {
+			continue
+		}
+		r.workers[addr] = &regWorker{addr: addr, cap: defaultCap, static: true}
+		r.order = append(r.order, addr)
+	}
+	return r
+}
+
+// maxRegistryWorkers bounds the registry against an unauthenticated
+// caller looping unique addresses through /workers/register.
+const maxRegistryWorkers = 1024
+
+// register adds or refreshes a dynamic worker — the heartbeat. cap <= 0
+// keeps the previous (or default) cap. A heartbeat proves the worker
+// process is up, not that it is dialable, so it does not shorten an
+// active failure cooldown: a restarted worker that was cooling down
+// resumes receiving trajectories when the (backed-off) cooldown elapses
+// or its next successful dial clears it.
+func (r *registry) register(addr string, cap, defaultCap int) error {
+	if addr == "" {
+		return fmt.Errorf("serve: register needs a worker address")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.pruneLocked(r.now())
+	w, ok := r.workers[addr]
+	if !ok {
+		if len(r.workers) >= maxRegistryWorkers {
+			return fmt.Errorf("serve: worker registry is full (%d workers)", len(r.workers))
+		}
+		w = &regWorker{addr: addr, cap: defaultCap}
+		r.workers[addr] = w
+		r.order = append(r.order, addr)
+	}
+	if cap > 0 {
+		w.cap = cap
+	}
+	w.lastSeen = r.now()
+	// Deliberately NOT clearing the failure cooldown: a worker behind a
+	// NAT can heartbeat forever while being undialable, and wiping the
+	// cooldown on every beat would make every job submission pay the dial
+	// timeout for it. Only a successful dial (markHealthy) or the cooldown
+	// elapsing restores eligibility.
+	return nil
+}
+
+// pruneLocked evicts dynamic workers whose heartbeat lapsed many TTLs ago
+// and that hold no in-flight work — long-gone cluster members (or junk
+// registrations) stop costing memory and dial attempts. Static workers
+// are configuration and never evicted. Callers hold r.mu.
+func (r *registry) pruneLocked(t time.Time) {
+	const staleTTLs = 10
+	kept := r.order[:0]
+	for _, addr := range r.order {
+		w := r.workers[addr]
+		if !w.static && w.inFlight == 0 && t.Sub(w.lastSeen) > staleTTLs*r.ttl {
+			delete(r.workers, addr)
+			continue
+		}
+		kept = append(kept, addr)
+	}
+	r.order = kept
+}
+
+// aliveLocked reports liveness at t: static workers are alive unless
+// cooling down after a failure; dynamic workers additionally need a fresh
+// heartbeat. The cooldown doubles per consecutive failure (capped at
+// 64×), so a worker that keeps failing dials costs a submission attempt
+// at a geometrically decreasing rate instead of once per cooldown
+// forever.
+func (r *registry) aliveLocked(w *regWorker, t time.Time) bool {
+	if !w.lastFail.IsZero() {
+		backoff := r.cooldown << min(max(w.consecFails-1, 0), 6)
+		if t.Sub(w.lastFail) < backoff {
+			return false
+		}
+	}
+	if w.static {
+		return true
+	}
+	return t.Sub(w.lastSeen) <= r.ttl
+}
+
+// live returns the addresses of the currently-live workers in
+// registration order.
+func (r *registry) live() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t := r.now()
+	out := make([]string, 0, len(r.order))
+	for _, addr := range r.order {
+		if r.aliveLocked(r.workers[addr], t) {
+			out = append(out, addr)
+		}
+	}
+	return out
+}
+
+// tryAcquire claims one in-flight slot on addr, reporting false when the
+// worker is unknown, not live, or at its cap.
+func (r *registry) tryAcquire(addr string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	w, ok := r.workers[addr]
+	if !ok || !r.aliveLocked(w, r.now()) || w.inFlight >= w.cap {
+		return false
+	}
+	w.inFlight++
+	return true
+}
+
+// release frees one in-flight slot on addr.
+func (r *registry) release(addr string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if w, ok := r.workers[addr]; ok && w.inFlight > 0 {
+		w.inFlight--
+	}
+}
+
+// markFailed records a dial or stream failure: the worker sits out the
+// (consecutive-failure-scaled) cooldown.
+func (r *registry) markFailed(addr string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if w, ok := r.workers[addr]; ok {
+		w.lastFail = r.now()
+		w.failures++
+		w.consecFails++
+	}
+}
+
+// markHealthy records a successful dial, resetting the failure backoff.
+func (r *registry) markHealthy(addr string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if w, ok := r.workers[addr]; ok {
+		w.consecFails = 0
+		w.lastFail = time.Time{}
+	}
+}
+
+// snapshot lists every known worker for the HTTP surface.
+func (r *registry) snapshot() []WorkerInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t := r.now()
+	out := make([]WorkerInfo, 0, len(r.order))
+	for _, addr := range r.order {
+		w := r.workers[addr]
+		info := WorkerInfo{
+			Addr:     w.addr,
+			Cap:      w.cap,
+			Static:   w.static,
+			Alive:    r.aliveLocked(w, t),
+			InFlight: w.inFlight,
+			Failures: w.failures,
+		}
+		if !w.lastSeen.IsZero() {
+			ls := w.lastSeen
+			info.LastSeen = &ls
+		}
+		out = append(out, info)
+	}
+	return out
+}

@@ -1,0 +1,75 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRegistryPrunesStaleDynamicWorkers(t *testing.T) {
+	now := time.Unix(0, 0)
+	r := newRegistry([]string{"static:1"}, 4, time.Second, time.Second)
+	r.now = func() time.Time { return now }
+
+	if err := r.register("dyn:1", 0, 4); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(r.snapshot()); got != 2 {
+		t.Fatalf("registry holds %d workers, want 2", got)
+	}
+
+	// Far past the stale horizon, the next register evicts the dynamic
+	// entry; the static one is configuration and stays.
+	now = now.Add(time.Hour)
+	if err := r.register("dyn:2", 0, 4); err != nil {
+		t.Fatal(err)
+	}
+	infos := r.snapshot()
+	if len(infos) != 2 {
+		t.Fatalf("after pruning: %d workers, want 2 (static + fresh dynamic)", len(infos))
+	}
+	for _, w := range infos {
+		if w.Addr == "dyn:1" {
+			t.Fatal("stale dynamic worker was not evicted")
+		}
+	}
+
+	// A stale worker with in-flight work is NOT evicted (its scheduler
+	// still holds slot references).
+	if !r.tryAcquire("dyn:2") {
+		t.Fatal("tryAcquire on a fresh worker failed")
+	}
+	now = now.Add(time.Hour)
+	if err := r.register("dyn:3", 0, 4); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, w := range r.snapshot() {
+		if w.Addr == "dyn:2" {
+			found = true
+			if w.InFlight != 1 {
+				t.Fatalf("dyn:2 in-flight = %d, want 1", w.InFlight)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("worker with in-flight work was evicted")
+	}
+	r.release("dyn:2")
+}
+
+func TestRegistryCapsInFlight(t *testing.T) {
+	r := newRegistry([]string{"w:1"}, 2, time.Second, time.Second)
+	if !r.tryAcquire("w:1") || !r.tryAcquire("w:1") {
+		t.Fatal("could not acquire up to the cap")
+	}
+	if r.tryAcquire("w:1") {
+		t.Fatal("acquired past the cap")
+	}
+	r.release("w:1")
+	if !r.tryAcquire("w:1") {
+		t.Fatal("release did not free a slot")
+	}
+	if r.tryAcquire("unknown:1") {
+		t.Fatal("acquired a slot on an unknown worker")
+	}
+}

@@ -1,0 +1,510 @@
+package serve
+
+import (
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cwcflow/internal/core"
+	"cwcflow/internal/dff"
+	"cwcflow/internal/sim"
+)
+
+// remoteJob is one job's quantum scheduler across the cluster: it routes
+// the job's trajectories either onto the local simulation pool or over a
+// dff stream to a remote sim worker (cwc-dist worker), enforcing the
+// registry's per-worker in-flight caps, and it owns the fault handling —
+// a trajectory in flight on a dead or timed-out worker is requeued onto a
+// surviving worker (or the local pool) without breaking determinism.
+//
+// Determinism across requeues rests on two invariants:
+//
+//  1. every trajectory is rebuilt from (model, BaseSeed+traj) wherever it
+//     runs, so a re-run emits bit-identical samples;
+//  2. filter deduplicates the replayed prefix by tracking, per trajectory,
+//     the next sample index the analysis has not yet seen, and squashes
+//     duplicate completion markers — the aligner downstream therefore sees
+//     every (trajectory, index) sample exactly once, and the window-stats
+//     digest matches a single-process run of the same spec.
+//
+// Quanta stream back as one batch per quantum and merge into the job's
+// ordinary ingress ring via Job.accept, so everything downstream of the
+// scheduler (windower, stat farm, reorder buffer) is oblivious to where a
+// quantum was simulated.
+type remoteJob struct {
+	srv     *Server
+	job     *Job
+	cfg     core.Config
+	hdr     core.JobHeader
+	timeout time.Duration // per-quantum result watchdog
+
+	mu            sync.Mutex
+	queue         []int // unassigned trajectory ids, FIFO
+	conns         map[*workerConn]struct{}
+	local         map[int]struct{} // trajectories in flight on the local pool
+	localCap      int
+	nextIdx       map[int]int // per-trajectory dedup: next unseen sample index
+	done          map[int]bool
+	doneCount     int
+	total         int
+	assignsClosed bool // all trajectories done: streams closing gracefully
+	closed        bool // job went terminal: hard stop, no requeues
+}
+
+// workerConn is one live serve→worker stream: a sender goroutine forwards
+// assignments, a reader goroutine merges result quanta into the job.
+type workerConn struct {
+	rj         *remoteJob
+	addr       string
+	conn       net.Conn
+	assign     chan int
+	assignOnce sync.Once
+	inflight   map[int]struct{} // guarded by rj.mu
+	lastMsg    atomic.Int64     // unixnano of the last stream activity
+}
+
+func (wc *workerConn) closeAssigns() {
+	wc.assignOnce.Do(func() { close(wc.assign) })
+}
+
+func (wc *workerConn) touch() {
+	wc.lastMsg.Store(time.Now().UnixNano())
+}
+
+// maxJobWorkerStreams caps how many worker connections one job opens.
+// It bounds both the submit-time dial fan-out and — critically — the
+// number of reader goroutines that can concurrently push a batch past the
+// congestion check into the job's ingress ring: the ring's hard capacity
+// reserves exactly this much slack above the high-water mark (see
+// newJob), so remote delivery can never spill a healthy job.
+const maxJobWorkerStreams = 32
+
+// startRemote shards a job across the registry's live workers, returning
+// false (job untouched) when none are reachable — the caller then falls
+// back to the all-local pool path. On success the scheduler owns the
+// submission of every trajectory.
+func (s *Server) startRemote(job *Job, cfg core.Config, model core.ModelRef) bool {
+	if s.registry == nil {
+		return false
+	}
+	addrs := s.registry.live()
+	if len(addrs) == 0 {
+		return false
+	}
+	if len(addrs) > maxJobWorkerStreams {
+		addrs = addrs[:maxJobWorkerStreams]
+	}
+	rj := &remoteJob{
+		srv: s,
+		job: job,
+		cfg: cfg,
+		hdr: core.JobHeader{
+			Model:    model,
+			End:      cfg.End,
+			Quantum:  cfg.Quantum,
+			Period:   cfg.Period,
+			BaseSeed: cfg.BaseSeed,
+		},
+		timeout:  s.opts.WorkerTimeout,
+		conns:    make(map[*workerConn]struct{}),
+		local:    make(map[int]struct{}),
+		localCap: s.pool.Workers(),
+		nextIdx:  make(map[int]int),
+		done:     make(map[int]bool),
+		total:    cfg.Trajectories,
+	}
+	// Dial every live worker concurrently (submit latency is bounded by
+	// one dial window, not the cluster size), retrying once per worker so
+	// a worker mid-restart is caught on its way back up.
+	conns := make([]net.Conn, len(addrs))
+	var dials sync.WaitGroup
+	for i, addr := range addrs {
+		dials.Add(1)
+		go func() {
+			defer dials.Done()
+			conn, err := dff.DialRetry(job.ctx, addr, s.opts.DialTimeout, 2, 100*time.Millisecond)
+			if err != nil {
+				s.registry.markFailed(addr)
+				return
+			}
+			conns[i] = conn
+		}()
+	}
+	dials.Wait()
+	for i, conn := range conns {
+		if conn == nil {
+			continue
+		}
+		s.registry.markHealthy(addrs[i])
+		wc := &workerConn{
+			rj:       rj,
+			addr:     addrs[i],
+			conn:     conn,
+			assign:   make(chan int, 1024),
+			inflight: make(map[int]struct{}),
+		}
+		wc.touch()
+		rj.conns[wc] = struct{}{}
+	}
+	if len(rj.conns) == 0 {
+		return false
+	}
+	job.setSched(rj)
+	rj.queue = make([]int, cfg.Trajectories)
+	for i := range rj.queue {
+		rj.queue[i] = i
+	}
+	for wc := range rj.conns {
+		go wc.sender(rj.hdr)
+		go wc.reader()
+	}
+	go rj.watchdog()
+	rj.mu.Lock()
+	rj.assignLocked()
+	rj.mu.Unlock()
+	return true
+}
+
+// sender pushes the job header and then every assignment onto the stream.
+// A transport failure closes the connection; the reader notices and the
+// scheduler requeues whatever was in flight.
+func (wc *workerConn) sender(hdr core.JobHeader) {
+	out := dff.NewWriter[core.WorkerMsg](wc.conn)
+	if err := out.Send(core.WorkerMsg{Header: &hdr}); err != nil {
+		wc.conn.Close()
+		return
+	}
+	for traj := range wc.assign {
+		if err := out.Send(core.WorkerMsg{Traj: traj}); err != nil {
+			wc.conn.Close()
+			return
+		}
+	}
+	// End of assignments: the worker finishes its tasks, sends the trailer
+	// and closes its side.
+	_ = out.Close()
+}
+
+// reader merges the worker's result stream into the job until the stream
+// ends (cleanly after a trailer, or with an error on worker death).
+func (wc *workerConn) reader() {
+	in := dff.NewReader[core.ResultMsg](wc.conn)
+	for {
+		msg, ok, err := in.Recv()
+		if err != nil {
+			wc.rj.connDown(wc, err)
+			return
+		}
+		if !ok {
+			wc.rj.connDown(wc, nil)
+			return
+		}
+		wc.touch()
+		if msg.Trailer != nil {
+			// Serve-side accounting rides the per-task markers; the trailer
+			// only signals that the worker is done with this stream.
+			continue
+		}
+		wc.rj.deliver(wc, msg)
+	}
+}
+
+// deliver converts one remote quantum into a pool-style delivery and
+// merges it through the job's ordinary ingress path. Flow control is the
+// reader itself: while the job's ingress is congested the reader stops
+// consuming, TCP backpressure reaches the worker's collector, and the
+// worker's farm stalls — the distributed analogue of parking local tasks.
+func (rj *remoteJob) deliver(wc *workerConn, msg core.ResultMsg) {
+	d := delivery{
+		job:      rj.job,
+		traj:     msg.Traj,
+		elapsed:  time.Duration(msg.ElapsedNs),
+		taskDone: msg.TaskDone,
+		dead:     msg.Dead,
+		steps:    msg.Steps,
+	}
+	if len(msg.Samples) > 0 {
+		b := sim.GetBatch()
+		for _, s := range msg.Samples {
+			b.Append(s)
+		}
+		d.batch = b
+	}
+	for rj.job.congested() && !rj.job.terminal() {
+		wc.touch() // alive, just backpressured: keep the watchdog quiet
+		time.Sleep(2 * time.Millisecond)
+	}
+	_ = rj.job.accept(rj.job.ctx, d)
+	if msg.TaskDone {
+		rj.taskDelivered(wc, msg.Traj)
+	}
+}
+
+// filter runs inside Job.accept for every delivery (local and remote) of
+// a scheduled job: it drops the already-seen sample prefix of a requeued
+// trajectory and squashes duplicate completion markers, so the windower
+// sees each sample and each completion exactly once however many times a
+// trajectory was (re)started.
+func (rj *remoteJob) filter(d *delivery) {
+	rj.mu.Lock()
+	defer rj.mu.Unlock()
+	if d.batch != nil {
+		next := rj.nextIdx[d.traj]
+		kept := d.batch.Samples[:0]
+		for _, s := range d.batch.Samples {
+			if s.Index >= next {
+				kept = append(kept, s)
+				next = s.Index + 1
+			}
+		}
+		d.batch.Samples = kept
+		rj.nextIdx[d.traj] = next
+		if len(kept) == 0 {
+			d.batch.Release()
+			d.batch = nil
+		}
+	}
+	if d.taskDone {
+		if rj.done[d.traj] {
+			// A duplicate completion: the trajectory already finished on
+			// another assignee (requeue raced a slow-but-alive worker).
+			d.taskDone, d.dead, d.steps = false, false, 0
+		} else {
+			rj.done[d.traj] = true
+			rj.doneCount++
+			delete(rj.local, d.traj)
+			if rj.doneCount == rj.total {
+				rj.closeAssignsLocked()
+			} else {
+				rj.assignLocked()
+			}
+		}
+	}
+}
+
+// taskDelivered releases the worker's in-flight slot for a completed
+// trajectory and tops the worker back up.
+func (rj *remoteJob) taskDelivered(wc *workerConn, traj int) {
+	rj.mu.Lock()
+	if _, ok := wc.inflight[traj]; ok {
+		delete(wc.inflight, traj)
+		rj.srv.registry.release(wc.addr)
+		rj.job.remoteDone.Add(1)
+	}
+	rj.assignLocked()
+	rj.mu.Unlock()
+}
+
+// assignLocked distributes queued trajectories: remote workers first (one
+// registry slot per trajectory, skipping workers whose sender is
+// backlogged), then the local pool up to localCap. When no remote
+// connection survives, the local pool absorbs everything — a job never
+// stalls because the cluster shrank. Callers hold rj.mu.
+func (rj *remoteJob) assignLocked() {
+	if rj.closed || rj.assignsClosed || len(rj.queue) == 0 {
+		return
+	}
+	if rj.job.congested() {
+		// Starting more trajectories would only deepen a backlog the
+		// analysis cannot drain; the windower kicks us below the low-water
+		// mark.
+		return
+	}
+	progress := true
+	for progress && len(rj.queue) > 0 {
+		progress = false
+		for wc := range rj.conns {
+			if len(rj.queue) == 0 {
+				break
+			}
+			if !rj.srv.registry.tryAcquire(wc.addr) {
+				continue
+			}
+			traj := rj.queue[0]
+			select {
+			case wc.assign <- traj:
+				rj.queue = rj.queue[1:]
+				wc.inflight[traj] = struct{}{}
+				progress = true
+			default:
+				// Sender backlogged (slow worker): give the slot back and
+				// let another destination take the trajectory.
+				rj.srv.registry.release(wc.addr)
+			}
+		}
+	}
+	var localBatch []int
+	for len(rj.queue) > 0 && (len(rj.conns) == 0 || len(rj.local) < rj.localCap) {
+		traj := rj.queue[0]
+		rj.queue = rj.queue[1:]
+		rj.local[traj] = struct{}{}
+		localBatch = append(localBatch, traj)
+	}
+	if len(localBatch) > 0 {
+		rj.submitLocal(localBatch)
+	}
+}
+
+// submitLocal hands trajectories to the shared local pool in one
+// submission (one feeder goroutine however many trajectories fall back at
+// once). It runs under rj.mu (from assignLocked), so a submission failure
+// must not fail the job inline: fail → setTerminal → stop() re-acquires
+// rj.mu, which would self-deadlock. The fail is deferred to its own
+// goroutine instead.
+func (rj *remoteJob) submitLocal(trajs []int) {
+	cfg := rj.cfg
+	err := rj.srv.pool.Submit(rj.job, len(trajs), func(i int) (*sim.Task, error) {
+		return core.NewTrajectoryTask(cfg, trajs[i])
+	})
+	if err != nil {
+		go rj.job.fail(err)
+	}
+}
+
+// connDown retires one worker connection: clean EOF after the trailer on
+// the graceful path, or a failure — then every trajectory still in flight
+// on it is requeued and the worker enters its registry cooldown. The conn
+// is removed from rj.conns under the mutex BEFORE its assign channel
+// closes: assignLocked only ever sends to members of rj.conns while
+// holding rj.mu, so the ordering makes a send on the closed channel
+// impossible.
+func (rj *remoteJob) connDown(wc *workerConn, err error) {
+	wc.conn.Close()
+	rj.mu.Lock()
+	if _, ok := rj.conns[wc]; !ok {
+		rj.mu.Unlock()
+		wc.closeAssigns() // already retired elsewhere; still stop the sender
+		return
+	}
+	delete(rj.conns, wc)
+	requeue := make([]int, 0, len(wc.inflight))
+	for traj := range wc.inflight {
+		requeue = append(requeue, traj)
+		rj.srv.registry.release(wc.addr)
+	}
+	wc.inflight = nil
+	if err != nil || len(requeue) > 0 {
+		rj.srv.registry.markFailed(wc.addr)
+	}
+	if !rj.closed {
+		if len(requeue) > 0 {
+			sort.Ints(requeue)
+			rj.queue = append(rj.queue, requeue...)
+			rj.job.requeued.Add(int64(len(requeue)))
+		}
+		rj.assignLocked()
+	}
+	rj.mu.Unlock()
+	wc.closeAssigns()
+}
+
+// closeAssignsLocked starts the graceful shutdown of every stream once no
+// trajectory remains: senders emit end-of-stream, workers answer with
+// their trailer and close, readers retire the connections. Callers hold
+// rj.mu.
+func (rj *remoteJob) closeAssignsLocked() {
+	if rj.assignsClosed {
+		return
+	}
+	rj.assignsClosed = true
+	for wc := range rj.conns {
+		wc.closeAssigns()
+	}
+}
+
+// kick re-runs assignment — the windower calls it when the ingress drains
+// below the low-water mark, resuming trajectory starts deferred by
+// congestion.
+func (rj *remoteJob) kick() {
+	rj.mu.Lock()
+	rj.assignLocked()
+	rj.mu.Unlock()
+}
+
+// stop ends the scheduler on a terminal job. On cancel or failure the
+// connections close hard: in-flight work is abandoned (the workers' late
+// results have nowhere to go) and nothing is requeued. On normal
+// completion the streams already carry end-of-assignments, so the workers
+// are left to answer with their trailer and a clean close — their logs
+// stay free of torn-connection errors — with a reaper closing stragglers.
+func (rj *remoteJob) stop() {
+	rj.mu.Lock()
+	if rj.closed {
+		rj.mu.Unlock()
+		return
+	}
+	rj.closed = true
+	rj.queue = nil
+	graceful := rj.assignsClosed
+	conns := make([]*workerConn, 0, len(rj.conns))
+	for wc := range rj.conns {
+		conns = append(conns, wc)
+	}
+	rj.mu.Unlock()
+	if !graceful {
+		for _, wc := range conns {
+			wc.closeAssigns()
+			wc.conn.Close()
+		}
+		return
+	}
+	if len(conns) == 0 {
+		return
+	}
+	go func() {
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			rj.mu.Lock()
+			n := len(rj.conns)
+			rj.mu.Unlock()
+			if n == 0 {
+				return
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+		rj.mu.Lock()
+		leftover := make([]*workerConn, 0, len(rj.conns))
+		for wc := range rj.conns {
+			leftover = append(leftover, wc)
+		}
+		rj.mu.Unlock()
+		for _, wc := range leftover {
+			wc.conn.Close()
+		}
+	}()
+}
+
+// watchdog kills connections whose worker holds work but has produced no
+// stream activity for the timeout — the reader then unblocks with an
+// error and the in-flight trajectories requeue. It also re-kicks
+// assignment each tick as a safety net against missed capacity wakeups.
+func (rj *remoteJob) watchdog() {
+	tick := rj.timeout / 4
+	if tick < 10*time.Millisecond {
+		tick = 10 * time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-rj.job.ctx.Done():
+			return
+		case <-t.C:
+		}
+		now := time.Now().UnixNano()
+		rj.mu.Lock()
+		var stale []*workerConn
+		for wc := range rj.conns {
+			if len(wc.inflight) > 0 && now-wc.lastMsg.Load() > int64(rj.timeout) {
+				stale = append(stale, wc)
+			}
+		}
+		rj.assignLocked()
+		rj.mu.Unlock()
+		for _, wc := range stale {
+			wc.conn.Close()
+		}
+	}
+}

@@ -28,7 +28,15 @@
 //	GET    /jobs/{id}/stream  windows as NDJSON (or SSE), live + replay
 //	GET    /jobs/{id}/result  buffered windows; ?wait=true blocks to end
 //	POST   /jobs/{id}/cancel  cancel (DELETE /jobs/{id} is equivalent)
+//	GET    /workers           remote sim workers: liveness, load, failures
+//	POST   /workers/register  join the cluster / heartbeat
 //	GET    /healthz           pool and registry health
+//
+// With remote sim workers configured (Options.WorkerAddrs, or workers
+// registering dynamically), each job's trajectory quanta are sharded
+// across the cluster and the local pool by a per-job quantum scheduler
+// (see remoteJob); results merge through the same ingress/analysis path,
+// deterministically even across worker failures and requeues.
 package serve
 
 import (
@@ -99,6 +107,29 @@ type Options struct {
 	// core.FactoryFor). Tests inject synthetic models here.
 	Resolver func(core.ModelRef) (core.SimulatorFactory, error)
 
+	// WorkerAddrs is the static list of remote sim workers (cwc-dist
+	// worker processes) the service may shard trajectory quanta onto.
+	// More workers can join at runtime via POST /workers/register.
+	WorkerAddrs []string
+	// WorkerInFlight caps the trajectories in flight on one remote worker
+	// across all jobs (default 8); a register call may override it per
+	// worker.
+	WorkerInFlight int
+	// WorkerTTL is the heartbeat window of dynamically registered workers
+	// (default 15s): a worker that has not re-registered within it stops
+	// receiving new trajectories.
+	WorkerTTL time.Duration
+	// WorkerCooldown is how long a failed worker sits out before the
+	// scheduler retries it (default 10s).
+	WorkerCooldown time.Duration
+	// WorkerTimeout is the per-connection result watchdog (default 30s):
+	// a worker holding trajectories that produces no stream activity for
+	// this long is declared dead and its work requeued.
+	WorkerTimeout time.Duration
+	// DialTimeout bounds the connection attempt to a worker at job
+	// submission (default 3s).
+	DialTimeout time.Duration
+
 	// statDelay, when non-zero, adds a fixed sleep to every window's
 	// analysis. Test-only seam (unexported): it emulates an expensive
 	// statistical configuration with a cost that parallelises across
@@ -140,6 +171,21 @@ func (o Options) withDefaults() Options {
 	if o.Resolver == nil {
 		o.Resolver = core.FactoryFor
 	}
+	if o.WorkerInFlight < 1 {
+		o.WorkerInFlight = 8
+	}
+	if o.WorkerTTL <= 0 {
+		o.WorkerTTL = 15 * time.Second
+	}
+	if o.WorkerCooldown <= 0 {
+		o.WorkerCooldown = 10 * time.Second
+	}
+	if o.WorkerTimeout <= 0 {
+		o.WorkerTimeout = 30 * time.Second
+	}
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 3 * time.Second
+	}
 	return o
 }
 
@@ -147,10 +193,11 @@ func (o Options) withDefaults() Options {
 // shared simulation pool and one shared stat farm, plus the HTTP API over
 // them.
 type Server struct {
-	opts  Options
-	pool  *Pool
-	stats *statFarm
-	mux   *http.ServeMux
+	opts     Options
+	pool     *Pool
+	stats    *statFarm
+	registry *registry
+	mux      *http.ServeMux
 
 	mu     sync.Mutex
 	closed bool
@@ -159,16 +206,17 @@ type Server struct {
 	seq    int
 }
 
-// New starts a Server (its simulation pool and stat farm) with the given
-// options.
+// New starts a Server (its simulation pool, stat farm and worker
+// registry) with the given options.
 func New(opts Options) *Server {
 	opts = opts.withDefaults()
 	s := &Server{
-		opts:  opts,
-		pool:  NewPool(opts.Workers, opts.QueueDepth),
-		stats: newStatFarm(opts.StatEngines, opts.QueueDepth),
-		mux:   http.NewServeMux(),
-		jobs:  make(map[string]*Job),
+		opts:     opts,
+		pool:     NewPool(opts.Workers, opts.QueueDepth),
+		stats:    newStatFarm(opts.StatEngines, opts.QueueDepth),
+		registry: newRegistry(opts.WorkerAddrs, opts.WorkerInFlight, opts.WorkerTTL, opts.WorkerCooldown),
+		mux:      http.NewServeMux(),
+		jobs:     make(map[string]*Job),
 	}
 	s.routes()
 	return s
@@ -259,6 +307,12 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 	s.mu.Unlock()
 
 	go job.runWindower(s.stats)
+	// Remote sharding first: with live cluster workers the quantum
+	// scheduler owns the submission (mixing remote streams and the local
+	// pool); otherwise everything goes to the local pool as before.
+	if s.startRemote(job, cfg, core.ModelRef{Name: spec.Model, Omega: spec.Omega}) {
+		return job, nil
+	}
 	build := func(i int) (*sim.Task, error) { return core.NewTrajectoryTask(cfg, i) }
 	if err := s.pool.Submit(job, cfg.Trajectories, build); err != nil {
 		// The pool closed between admission and scheduling: unregister
