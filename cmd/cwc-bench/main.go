@@ -20,6 +20,7 @@ import (
 	"os"
 
 	"cwcflow/internal/bench"
+	"cwcflow/internal/buildinfo"
 )
 
 func main() {
@@ -40,8 +41,13 @@ func run() error {
 		writeBaseline = flag.String("write-baseline", "", "measure the pinned hot-path benchmarks and write the baseline to this path")
 		compare       = flag.String("compare", "", "measure the pinned hot-path benchmarks and gate against this baseline (exit 1 on regression)")
 		tolerance     = flag.Float64("bench-tolerance", 0.20, "allowed fractional ns/op regression in -compare")
+		showVersion   = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
+	if *showVersion {
+		fmt.Println("cwc-bench", buildinfo.Version)
+		return nil
+	}
 	if *writeBaseline != "" || *compare != "" {
 		return runBaseline(*writeBaseline, *compare, *tolerance)
 	}

@@ -22,6 +22,7 @@ import (
 	"strings"
 	"time"
 
+	"cwcflow/internal/buildinfo"
 	"cwcflow/internal/core"
 	"cwcflow/internal/dff"
 )
@@ -35,7 +36,7 @@ func main() {
 
 func run() error {
 	if len(os.Args) < 2 {
-		return fmt.Errorf("usage: cwc-dist worker|master [flags]")
+		return fmt.Errorf("usage: cwc-dist worker|master [flags] (or -version)")
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -44,6 +45,9 @@ func run() error {
 		return runWorker(ctx, os.Args[2:])
 	case "master":
 		return runMaster(ctx, os.Args[2:])
+	case "version", "-version", "--version":
+		fmt.Println("cwc-dist", buildinfo.Version)
+		return nil
 	default:
 		return fmt.Errorf("unknown subcommand %q (want worker or master)", os.Args[1])
 	}

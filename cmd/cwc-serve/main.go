@@ -33,8 +33,10 @@ import (
 	"os/signal"
 	"runtime"
 	"strings"
+	"syscall"
 	"time"
 
+	"cwcflow/internal/buildinfo"
 	"cwcflow/internal/serve"
 )
 
@@ -62,8 +64,15 @@ func run() error {
 		maxCompleted   = flag.Int("max-completed", 256, "finished jobs retained before eviction")
 		maxTraj        = flag.Int("max-trajectories", 4096, "maximum trajectories per job")
 		maxCuts        = flag.Int("max-cuts", 1_000_000, "maximum samples per trajectory (end/period)")
+		dataDir        = flag.String("data-dir", "", "durable job store directory (empty = in-memory only, nothing survives a restart)")
+		ckptSamples    = flag.Int("checkpoint-samples", 16, "journal a trajectory checkpoint every N samples (with -data-dir)")
+		showVersion    = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
+	if *showVersion {
+		fmt.Println("cwc-serve", buildinfo.Version)
+		return nil
+	}
 
 	var workerAddrs []string
 	if *workers != "" {
@@ -80,30 +89,42 @@ func run() error {
 			workerAddrs = append(workerAddrs, a)
 		}
 	}
-	svc := serve.New(serve.Options{
-		Workers:          *simWorkers,
-		StatEngines:      *statEngines,
-		QueueDepth:       *queueDepth,
-		SampleBuffer:     *sampleBuffer,
-		ResultBuffer:     *resultBuffer,
-		SubscriberBuffer: *subBuffer,
-		MaxJobs:          *maxJobs,
-		MaxCompleted:     *maxCompleted,
-		MaxTrajectories:  *maxTraj,
-		MaxCuts:          *maxCuts,
-		WorkerAddrs:      workerAddrs,
-		WorkerInFlight:   *workerInflight,
-		WorkerTimeout:    *workerTimeout,
-		WorkerTTL:        *workerTTL,
+	svc, err := serve.New(serve.Options{
+		Workers:           *simWorkers,
+		StatEngines:       *statEngines,
+		QueueDepth:        *queueDepth,
+		SampleBuffer:      *sampleBuffer,
+		ResultBuffer:      *resultBuffer,
+		SubscriberBuffer:  *subBuffer,
+		MaxJobs:           *maxJobs,
+		MaxCompleted:      *maxCompleted,
+		MaxTrajectories:   *maxTraj,
+		MaxCuts:           *maxCuts,
+		WorkerAddrs:       workerAddrs,
+		WorkerInFlight:    *workerInflight,
+		WorkerTimeout:     *workerTimeout,
+		WorkerTTL:         *workerTTL,
+		DataDir:           *dataDir,
+		CheckpointSamples: *ckptSamples,
+		Version:           buildinfo.Version,
 	})
+	if err != nil {
+		return err
+	}
 	httpSrv := &http.Server{Addr: *listen, Handler: svc.Handler()}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	// SIGINT and SIGTERM both take the graceful path: fail the in-memory
+	// jobs (without journaling shutdown as a job outcome), drain HTTP, and
+	// fsync+close the journal so the next start resumes cleanly.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "cwc-serve: listening on %s with %d pool workers, %d stat engines, %d remote sim workers\n",
-		*listen, svc.Workers(), svc.StatEngines(), len(workerAddrs))
+	fmt.Fprintf(os.Stderr, "cwc-serve %s: listening on %s with %d pool workers, %d stat engines, %d remote sim workers\n",
+		buildinfo.Version, *listen, svc.Workers(), svc.StatEngines(), len(workerAddrs))
+	if *dataDir != "" {
+		fmt.Fprintf(os.Stderr, "cwc-serve: durable job store at %s (checkpoint every %d samples)\n", *dataDir, *ckptSamples)
+	}
 
 	select {
 	case err := <-errc:
@@ -112,13 +133,16 @@ func run() error {
 	case <-ctx.Done():
 	}
 	fmt.Fprintln(os.Stderr, "cwc-serve: shutting down")
-	// Close the service first: it fails the running jobs, which ends every
-	// open stream with a terminal event, so Shutdown can drain the HTTP
-	// connections promptly instead of timing out behind blocked streams.
+	// Close the service first: it fails the running jobs (without
+	// journaling the shutdown as a job outcome — a durable store resumes
+	// them on the next start), which ends every open stream with a
+	// terminal event, so Shutdown can drain the HTTP connections promptly
+	// instead of timing out behind blocked streams. Close also performs
+	// the final journal fsync.
 	svc.Close()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
-	err := httpSrv.Shutdown(shutdownCtx)
+	err = httpSrv.Shutdown(shutdownCtx)
 	if errors.Is(err, context.DeadlineExceeded) {
 		fmt.Fprintln(os.Stderr, "cwc-serve: shutdown timeout, in-flight connections were closed forcibly")
 		return nil

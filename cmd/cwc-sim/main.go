@@ -17,6 +17,7 @@ import (
 	"os/signal"
 	"time"
 
+	"cwcflow/internal/buildinfo"
 	"cwcflow/internal/core"
 	"cwcflow/internal/gpu"
 )
@@ -44,8 +45,13 @@ func run() error {
 		periodWin   = flag.Int("period-halfwin", 0, "peak-detector half window for period analysis (0 = off)")
 		seed        = flag.Int64("seed", 1, "base RNG seed")
 		useGPU      = flag.Bool("gpu", false, "offload the simulation stage to the simulated K40 device")
+		showVersion = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
+	if *showVersion {
+		fmt.Println("cwc-sim", buildinfo.Version)
+		return nil
+	}
 
 	factory, err := core.FactoryFor(core.ModelRef{Name: *model, Omega: *omega})
 	if err != nil {

@@ -32,12 +32,13 @@ func sampleHash(s sim.Sample) uint64 {
 }
 
 // TestPipelineTrajectoriesBitIdentical pins the full shared-memory
-// pipeline's raw sample stream for a fixed BaseSeed: the same ensemble the
-// pre-optimisation pipeline produced, bit-for-bit, regardless of worker
-// count or scheduling. The constant was recorded before the allocation-free
-// hot-path rewrite (compiled kernels, pooled batches, ring-buffer aligner).
+// pipeline's raw sample stream for a fixed BaseSeed, bit-for-bit,
+// regardless of worker count or scheduling. The constant was regenerated
+// once for the PCG RNG swap (snapshotable gillespie.RNG replacing
+// math/rand, PR 5) and must stay stable from here on: durable-store
+// resume depends on re-built trajectories replaying identically.
 func TestPipelineTrajectoriesBitIdentical(t *testing.T) {
-	const want = uint64(0xc43bd063ceedb034)
+	const want = uint64(0x1c25845ca7217334)
 
 	factory, err := core.FactoryFor(core.ModelRef{Name: "neurospora", Omega: 50})
 	if err != nil {

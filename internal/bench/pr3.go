@@ -164,11 +164,14 @@ func PR3() (*PR3Report, error) {
 		PeriodHalfWin: 2,
 	}
 	measure := func(engines int) (float64, error) {
-		svc := serve.New(serve.Options{
+		svc, err := serve.New(serve.Options{
 			Workers:     4,
 			StatEngines: engines,
 			Resolver:    pr3Resolver,
 		})
+		if err != nil {
+			return 0, err
+		}
 		defer svc.Close()
 		const jobs = 4
 		windows := 0

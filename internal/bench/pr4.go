@@ -50,13 +50,16 @@ func PR4() (*PR4Report, error) {
 	}
 
 	measure := func(workerAddrs []string) (float64, serve.Status, error) {
-		svc := serve.New(serve.Options{
+		svc, err := serve.New(serve.Options{
 			Workers:        2,
 			StatEngines:    2,
 			Resolver:       pr3Resolver,
 			WorkerAddrs:    workerAddrs,
 			WorkerInFlight: 8,
 		})
+		if err != nil {
+			return 0, serve.Status{}, err
+		}
 		defer svc.Close()
 		start := time.Now()
 		job, err := svc.Submit(spec)

@@ -1,0 +1,12 @@
+// Package buildinfo carries the build/version stamp shared by every
+// cwcflow binary (cwc-serve, cwc-dist, cwc-sim, cwc-bench). One link-time
+// flag stamps them all:
+//
+//	go build -ldflags "-X cwcflow/internal/buildinfo.Version=$(git describe --tags --always)" ./...
+//
+// Each binary surfaces it through its -version flag; cwc-serve also
+// reports it in /healthz.
+package buildinfo
+
+// Version is the build version, "dev" when not stamped at link time.
+var Version = "dev"

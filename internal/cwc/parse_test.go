@@ -1,0 +1,87 @@
+package cwc
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseTermHappyPath pins the shapes the grammar accepts (previously
+// only exercised indirectly through the model fixtures).
+func TestParseTermHappyPath(t *testing.T) {
+	alpha := NewAlphabet()
+	cases := []struct {
+		src       string
+		atoms     int64 // total atom multiplicity at top level
+		comps     int   // top-level compartments
+		wantLabel string
+	}{
+		{"", 0, 0, ""},
+		{"·", 0, 0, ""},
+		{"a a b", 3, 0, ""},
+		{"2*a b", 3, 0, ""},
+		{"10*x", 10, 0, ""},
+		{"(m | F F):cell", 0, 1, "cell"},
+		{"( | a)", 0, 1, "comp"}, // empty wrap, default label
+		{"M (k | (p | N):nuc):cell", 1, 1, "cell"},
+		{"a'b _x1", 2, 0, ""},
+	}
+	for _, tc := range cases {
+		term, err := ParseTerm(tc.src, alpha)
+		if err != nil {
+			t.Errorf("ParseTerm(%q): %v", tc.src, err)
+			continue
+		}
+		atoms := term.Atoms.Size()
+		if atoms != tc.atoms || len(term.Comps) != tc.comps {
+			t.Errorf("ParseTerm(%q): %d atoms, %d comps (want %d, %d)", tc.src, atoms, len(term.Comps), tc.atoms, tc.comps)
+		}
+		if tc.comps > 0 && term.Comps[0].Label != tc.wantLabel {
+			t.Errorf("ParseTerm(%q): label %q, want %q", tc.src, term.Comps[0].Label, tc.wantLabel)
+		}
+	}
+}
+
+// TestParseTermErrors walks every grammar error path: malformed
+// compartments, bad multiplicities, stray tokens, wrap violations.
+func TestParseTermErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantErr string
+	}{
+		{"unclosed compartment", "(m | a", "expected ')'"},
+		{"missing wrap separator", "(m a)", "expected '|'"},
+		{"compartment in wrap", "((x | y) | a)", "atoms only"},
+		{"count without star", "3a", "expected '*' after count 3"},
+		{"count without species", "3*", "expected identifier"},
+		{"count overflow", "99999999999999999999*a", "bad count"},
+		{"stray close paren", "a ) b", "unexpected ')'"},
+		{"stray pipe", "a | b", "unexpected '|'"},
+		{"stray star", "* a", "unexpected '*'"},
+		{"label without ident", "(m | a):", "expected identifier"},
+		{"label bad char", "(m | a):9", "expected identifier"},
+	}
+	alpha := NewAlphabet()
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			term, err := ParseTerm(tc.src, alpha)
+			if err == nil {
+				t.Fatalf("ParseTerm(%q) succeeded: %v", tc.src, term)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("ParseTerm(%q) error %q, want it to mention %q", tc.src, err, tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), "offset") {
+				t.Fatalf("ParseTerm(%q) error %q does not locate the offset", tc.src, err)
+			}
+		})
+	}
+}
+
+// TestMustParseTermPanics: the fixture helper panics on malformed input.
+func TestMustParseTermPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParseTerm on malformed input did not panic")
+		}
+	}()
+	MustParseTerm("(broken", NewAlphabet())
+}

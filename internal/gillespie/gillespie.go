@@ -23,7 +23,6 @@ package gillespie
 import (
 	"errors"
 	"fmt"
-	"math/rand"
 	"sync"
 )
 
@@ -367,7 +366,7 @@ type Direct struct {
 	prog  *program
 	state []int64
 	now   float64
-	rng   *rand.Rand
+	rng   *RNG
 	props []float64
 	total float64
 	steps uint64
@@ -407,7 +406,7 @@ func NewDirect(sys *System, seed int64, opts ...DirectOption) (*Direct, error) {
 		sys:        sys,
 		prog:       prog,
 		state:      append([]int64(nil), sys.Init...),
-		rng:        rand.New(rand.NewSource(seed)),
+		rng:        NewRNG(seed),
 		props:      make([]float64, len(sys.Reactions)),
 		resumEvery: 1,
 	}

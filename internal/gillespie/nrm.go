@@ -3,7 +3,6 @@ package gillespie
 import (
 	"fmt"
 	"math"
-	"math/rand"
 )
 
 // NextReaction is the Gibson–Bruck next-reaction method: an exact SSA that
@@ -17,7 +16,7 @@ type NextReaction struct {
 	prog  *program
 	state []int64
 	now   float64
-	rng   *rand.Rand
+	rng   *RNG
 	steps uint64
 
 	props []float64
@@ -41,7 +40,7 @@ func NewNextReaction(sys *System, seed int64) (*NextReaction, error) {
 		sys:   sys,
 		prog:  prog,
 		state: append([]int64(nil), sys.Init...),
-		rng:   rand.New(rand.NewSource(seed)),
+		rng:   NewRNG(seed),
 		props: make([]float64, n),
 		times: make([]float64, n),
 		heap:  make([]int, n),

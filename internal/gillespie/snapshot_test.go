@@ -1,0 +1,154 @@
+package gillespie_test
+
+import (
+	"testing"
+
+	"cwcflow/internal/gillespie"
+	"cwcflow/internal/models"
+)
+
+// TestRNGMarshalResume: a generator restored from a mid-stream marshal
+// produces exactly the stream the original would have.
+func TestRNGMarshalResume(t *testing.T) {
+	a := gillespie.NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		a.Uint64()
+	}
+	state, err := a.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b gillespie.RNG
+	if err := b.UnmarshalBinary(state); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		switch i % 3 {
+		case 0:
+			if x, y := a.Uint64(), b.Uint64(); x != y {
+				t.Fatalf("draw %d: Uint64 %d != %d", i, x, y)
+			}
+		case 1:
+			if x, y := a.Float64(), b.Float64(); x != y {
+				t.Fatalf("draw %d: Float64 %g != %g", i, x, y)
+			}
+		default:
+			if x, y := a.ExpFloat64(), b.ExpFloat64(); x != y {
+				t.Fatalf("draw %d: ExpFloat64 %g != %g", i, x, y)
+			}
+		}
+	}
+	if err := b.UnmarshalBinary(state[:7]); err == nil {
+		t.Fatal("short state unmarshalled without error")
+	}
+}
+
+// TestRNGSeedsIndependent: nearby seeds (the BaseSeed+traj scheme) must
+// give distinct streams, and the uniform draws must stay in [0, 1).
+func TestRNGSeedsIndependent(t *testing.T) {
+	a, b := gillespie.NewRNG(7), gillespie.NewRNG(8)
+	same := 0
+	for i := 0; i < 256; i++ {
+		x, y := a.Float64(), b.Float64()
+		if x == y {
+			same++
+		}
+		for _, v := range [2]float64{x, y} {
+			if v < 0 || v >= 1 {
+				t.Fatalf("Float64 out of [0,1): %g", v)
+			}
+		}
+	}
+	if same > 0 {
+		t.Fatalf("seeds 7 and 8 collided on %d of 256 draws", same)
+	}
+}
+
+// snapEngine is the contract shared by both engines in these tests.
+type snapEngine interface {
+	Time() float64
+	Step() bool
+	NumSpecies() int
+	Observe([]int64)
+	Snapshot() ([]byte, error)
+	Restore([]byte) error
+}
+
+// testSnapshotResume runs an engine midway, snapshots it, runs the
+// original to the end, then restores a fresh engine from the snapshot:
+// the tail of the restored run must be bit-identical to the original's.
+func testSnapshotResume(t *testing.T, fresh func() snapEngine, mid, total int) {
+	t.Helper()
+	orig := fresh()
+	for i := 0; i < mid; i++ {
+		if !orig.Step() {
+			t.Fatalf("system died at step %d, before the snapshot point", i)
+		}
+	}
+	snap, err := orig.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTail := trajectoryHash(t, orig, total-mid)
+
+	restored := fresh()
+	if err := restored.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if got := trajectoryHash(t, restored, total-mid); got != wantTail {
+		t.Fatalf("restored tail hash %#x, want %#x (resume not bit-identical)", got, wantTail)
+	}
+}
+
+func TestDirectSnapshotResume(t *testing.T) {
+	sys := models.Neurospora(50)
+	testSnapshotResume(t, func() snapEngine {
+		d, err := gillespie.NewDirect(sys, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}, 1500, 4000)
+}
+
+func TestNextReactionSnapshotResume(t *testing.T) {
+	sys := models.Neurospora(50)
+	testSnapshotResume(t, func() snapEngine {
+		nr, err := gillespie.NewNextReaction(sys, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return nr
+	}, 1500, 4000)
+}
+
+// TestSnapshotKindMismatch: a Direct snapshot must not restore into an
+// NRM engine (and vice versa), and corrupt snapshots are rejected.
+func TestSnapshotKindMismatch(t *testing.T) {
+	sys := models.Neurospora(50)
+	d, err := gillespie.NewDirect(sys, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nr, err := gillespie.NewNextReaction(sys, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := d.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nr.Restore(snap); err == nil {
+		t.Fatal("NRM restored a Direct snapshot")
+	}
+	if err := d.Restore(snap[:len(snap)-3]); err == nil {
+		t.Fatal("truncated snapshot restored without error")
+	}
+	if err := d.Restore(nil); err == nil {
+		t.Fatal("nil snapshot restored without error")
+	}
+	// The undamaged snapshot still restores after the failed attempts.
+	if err := d.Restore(snap); err != nil {
+		t.Fatalf("valid snapshot rejected: %v", err)
+	}
+}

@@ -1,0 +1,191 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"time"
+
+	"cwcflow/internal/core"
+	"cwcflow/internal/sim"
+	"cwcflow/internal/store"
+)
+
+// recover replays the durable store into the registry at boot: terminal
+// jobs reappear with their journaled results and final status, in-flight
+// jobs are rebuilt and resumed. Recovery failures (a model that no
+// longer resolves, an invalid spec after a version change) land the job
+// in StateFailed with the reason, never abort the boot.
+func (s *Server) recover() {
+	for _, rec := range s.store.Recovered() {
+		s.bumpSeq(rec.ID)
+		if rec.Terminal != "" {
+			s.restoreTerminal(rec)
+			continue
+		}
+		if err := s.resumeJob(rec); err != nil {
+			// The failure is a real outcome: journal it so the next
+			// restart does not retry a job that cannot be rebuilt.
+			job := failedRecovery(rec, err)
+			s.registerRecovered(job)
+			var statusJSON json.RawMessage
+			st := job.status(false)
+			if b, merr := json.Marshal(&st); merr == nil {
+				statusJSON = b
+			}
+			_ = s.store.AppendTerminal(job.id, string(StateFailed), job.errMsg, statusJSON)
+		}
+	}
+}
+
+// bumpSeq advances the job-id sequence past a recovered id, so new
+// submissions never collide with recovered jobs.
+func (s *Server) bumpSeq(id string) {
+	var n int
+	if _, err := fmt.Sscanf(id, "job-%d", &n); err == nil && n > s.seq {
+		s.seq = n
+	}
+}
+
+// registerRecovered adds a rebuilt job to the registry (boot only — no
+// admission control: recovered jobs were admitted by a previous life).
+func (s *Server) registerRecovered(job *Job) {
+	s.mu.Lock()
+	if _, ok := s.jobs[job.id]; !ok {
+		s.jobs[job.id] = job
+		s.order = append(s.order, job.id)
+	}
+	s.mu.Unlock()
+}
+
+// terminalJob builds the minimal Job shell for a job that is already
+// finished: state, results and the journaled final status, with a
+// pre-cancelled context so Done() reports closed.
+func terminalJob(rec *store.JobRecord, state State, errMsg string) *Job {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	j := &Job{
+		id:        rec.ID,
+		ctx:       ctx,
+		cancel:    cancel,
+		in:        newIngress(1, 2), // inert; status() reads its depth
+		state:     state,
+		errMsg:    errMsg,
+		submitted: rec.SubmittedAt,
+		finished:  time.Now(),
+		recovered: true,
+		results:   append([]core.WindowStat(nil), rec.Windows...),
+		firstKept: rec.FirstRetained,
+		windows:   rec.WindowCount,
+	}
+	_ = json.Unmarshal(rec.Spec, &j.spec)
+	return j
+}
+
+// restoreTerminal re-registers a finished job from the journal: its
+// buffered windows serve GET /jobs/{id}/result, its journaled final
+// status serves GET /jobs/{id}.
+func (s *Server) restoreTerminal(rec *store.JobRecord) {
+	job := terminalJob(rec, State(rec.Terminal), rec.Error)
+	if len(rec.Status) > 0 {
+		var st Status
+		if err := json.Unmarshal(rec.Status, &st); err == nil {
+			job.recStatus = &st
+		}
+	}
+	s.registerRecovered(job)
+}
+
+// failedRecovery builds the terminal shell for an in-flight job that
+// could not be resumed, preserving whatever windows were journaled.
+func failedRecovery(rec *store.JobRecord, err error) *Job {
+	return terminalJob(rec, StateFailed, fmt.Sprintf("recovery failed: %v", err))
+}
+
+// resumeJob rebuilds an in-flight job from the journal and resumes it on
+// the local pool: the published-window frontier defines the resume cut,
+// every trajectory restarts from its newest checkpoint at or below that
+// cut (or from its seed, deduplicated by the resume filter in
+// Job.accept), and the window stream continues the crashed run's
+// sequence bit-identically.
+func (s *Server) resumeJob(rec *store.JobRecord) error {
+	var spec JobSpec
+	if err := json.Unmarshal(rec.Spec, &spec); err != nil {
+		return fmt.Errorf("decoding journaled spec: %w", err)
+	}
+	factory, err := s.opts.Resolver(core.ModelRef{Name: spec.Model, Omega: spec.Omega})
+	if err != nil {
+		return err
+	}
+	cfg := core.Config{
+		Factory:       factory,
+		Trajectories:  spec.Trajectories,
+		End:           spec.End,
+		Quantum:       spec.Quantum,
+		Period:        spec.Period,
+		SimWorkers:    s.pool.Workers(),
+		StatEngines:   1,
+		WindowSize:    spec.WindowSize,
+		WindowStep:    spec.WindowStep,
+		Species:       spec.Species,
+		KMeansK:       spec.KMeansK,
+		PeriodHalfWin: spec.PeriodHalfWin,
+		BaseSeed:      spec.Seed,
+	}
+	cfg, err = cfg.Normalized()
+	if err != nil {
+		return err
+	}
+	species, err := core.ResolveSpecies(cfg)
+	if err != nil {
+		return err
+	}
+	cuts := int(math.Floor(cfg.End/cfg.Period)) + 1
+	statInflight := (s.stats.Engines() + 1) / 2
+	job := newJob(rec.ID, spec, cfg, species, cuts, s.opts, s.pool.Workers(), statInflight)
+	job.resubmit = s.pool.resubmit
+	job.initPersist(s.store, s.opts.CheckpointSamples)
+	job.initResume(rec)
+	if s.opts.statDelay > 0 {
+		job.statDelay.Store(int64(s.opts.statDelay))
+	}
+	// Pick each trajectory's resume checkpoint now, before the job's
+	// goroutines start journaling fresh checkpoints into the same record
+	// (the record is only safe to read while the job is not running).
+	resumeCkpts := make(map[int]store.Checkpoint)
+	for i := 0; i < cfg.Trajectories; i++ {
+		if cp, ok := rec.BestCheckpoint(i, job.resumeCut); ok {
+			resumeCkpts[i] = cp
+		}
+	}
+	s.registerRecovered(job)
+
+	go job.runWindower(s.stats)
+	// Recovered jobs resume on the local pool only: checkpoints are local
+	// engine snapshots, and at boot no remote worker is connected yet
+	// anyway. New submissions shard across the cluster as usual.
+	build := func(i int) (*sim.Task, error) {
+		t, err := core.NewTrajectoryTask(cfg, i)
+		if err != nil {
+			return nil, err
+		}
+		if cp, ok := resumeCkpts[i]; ok {
+			if rerr := t.Restore(cp.Sim); rerr != nil {
+				// A stale or incompatible checkpoint is not fatal: fall
+				// back to replaying the trajectory from its seed.
+				t, err = core.NewTrajectoryTask(cfg, i)
+				if err != nil {
+					return nil, err
+				}
+			}
+		}
+		return t, nil
+	}
+	if err := s.pool.Submit(job, cfg.Trajectories, build); err != nil {
+		job.noPersist.Store(true)
+		job.fail(err)
+		return nil // registered; the failure is visible on the job
+	}
+	return nil
+}

@@ -130,11 +130,14 @@ const goldenFarmDigest = "5503a34d95b7a5b4b3f7acb23ebf481a29df2ba1ee091157dac71c
 func TestDeterministicAcrossStatEngineCounts(t *testing.T) {
 	digests := make(map[int]string)
 	for _, engines := range []int{1, 4} {
-		svc := serve.New(serve.Options{
+		svc, err := serve.New(serve.Options{
 			Workers:     4,
 			StatEngines: engines,
 			Resolver:    noisyResolver,
 		})
+		if err != nil {
+			t.Fatal(err)
+		}
 		ts := httptest.NewServer(svc.Handler())
 		windows := runToResult(t, ts.URL, statHeavySpec(16))
 		if len(windows) == 0 {
@@ -161,11 +164,14 @@ func TestDeterministicAcrossStatEngineCounts(t *testing.T) {
 func BenchmarkServeMultiJob(b *testing.B) {
 	for _, engines := range []int{1, 4} {
 		b.Run(benchName(engines), func(b *testing.B) {
-			svc := serve.New(serve.Options{
+			svc, err := serve.New(serve.Options{
 				Workers:     4,
 				StatEngines: engines,
 				Resolver:    noisyResolver,
 			})
+			if err != nil {
+				b.Fatal(err)
+			}
 			defer svc.Close()
 			const jobsPerRound = 4
 			spec := statHeavySpec(1024)

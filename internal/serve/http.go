@@ -94,6 +94,13 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		"remote_workers":      len(workers),
 		"remote_workers_live": liveWorkers,
 	}
+	if s.opts.Version != "" {
+		h["version"] = s.opts.Version
+	}
+	if s.store != nil {
+		// Durable store health: data dir, journal size, last compaction.
+		h["store"] = s.store.Stats()
+	}
 	code := http.StatusOK
 	if err := s.pool.Err(); err != nil {
 		h["pool_error"] = err.Error()
@@ -153,13 +160,44 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusCreated, job.Status())
 }
 
+// handleList lists jobs in submission order. ?state=running|done|
+// cancelled|failed filters by lifecycle phase, ?limit=N keeps only the N
+// most recent matches — between them the endpoint stays usable once a
+// durable server accumulates a long recovered history.
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	var stateFilter State
+	if v := q.Get("state"); v != "" {
+		switch State(v) {
+		case StateRunning, StateDone, StateCancelled, StateFailed:
+			stateFilter = State(v)
+		default:
+			writeError(w, http.StatusBadRequest, "invalid state filter %q (want running, done, cancelled or failed)", v)
+			return
+		}
+	}
+	limit := -1
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, "invalid limit=%q", v)
+			return
+		}
+		limit = n
+	}
 	jobs := s.List()
 	out := make([]Status, 0, len(jobs))
 	for _, j := range jobs {
 		// Skip the per-job ETA projection: with many jobs it would turn
 		// one list request into many DES runs.
-		out = append(out, j.status(false))
+		st := j.status(false)
+		if stateFilter != "" && st.State != stateFilter {
+			continue
+		}
+		out = append(out, st)
+	}
+	if limit >= 0 && len(out) > limit {
+		out = out[len(out)-limit:]
 	}
 	writeJSON(w, http.StatusOK, out)
 }

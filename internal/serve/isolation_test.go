@@ -90,13 +90,16 @@ func TestIngressDrainReleasesAndRejects(t *testing.T) {
 // to completion promptly. Under the pre-farm design the stalled tenant's
 // full sample buffer blocked the shared collector and froze every job.
 func TestSlowTenantDoesNotBlockCollector(t *testing.T) {
-	svc := New(Options{
+	svc, err := New(Options{
 		Workers:      2,
 		StatEngines:  2,
 		QueueDepth:   4,
 		SampleBuffer: 8, // low high-water mark: deferral kicks in quickly
 		Resolver:     countResolver,
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer svc.Close()
 
 	slow, err := svc.Submit(JobSpec{
@@ -176,12 +179,15 @@ func TestStatFarmScalesWindowThroughput(t *testing.T) {
 		traj   = 2
 	)
 	run := func(engines int) time.Duration {
-		svc := New(Options{
+		svc, err := New(Options{
 			Workers:     2,
 			StatEngines: engines,
 			Resolver:    countResolver,
 			statDelay:   perWin,
 		})
+		if err != nil {
+			t.Fatal(err)
+		}
 		defer svc.Close()
 		start := time.Now()
 		started := make([]*Job, 0, jobs)

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"math"
 	"runtime"
@@ -11,7 +12,9 @@ import (
 
 	"cwcflow/internal/core"
 	"cwcflow/internal/platform"
+	"cwcflow/internal/sim"
 	"cwcflow/internal/stats"
+	"cwcflow/internal/store"
 	"cwcflow/internal/window"
 )
 
@@ -122,6 +125,10 @@ type Status struct {
 	// Absent until enough quanta were measured (or for very large jobs);
 	// a lower bound when several jobs share the pool.
 	EtaSeconds *float64 `json:"eta_seconds,omitempty"`
+	// Recovered marks a job reloaded from the durable store after a
+	// restart — either re-served from its journaled results (terminal
+	// jobs) or resumed from its last checkpoint (in-flight jobs).
+	Recovered bool `json:"recovered,omitempty"`
 }
 
 // subscriber is one streaming client's bounded mailbox. Windows that
@@ -172,6 +179,23 @@ type Job struct {
 	remoteDone atomic.Int64 // trajectories completed on remote workers
 	requeued   atomic.Int64 // trajectories requeued off dead workers
 
+	// Durability (all nil/zero when the server runs without a store).
+	// persist journals published windows, trajectory checkpoints and the
+	// terminal transition; noPersist suppresses the terminal event during
+	// server shutdown, which is not a job outcome — the job must recover
+	// as running. resumeCut > 0 marks a recovered job: samples below it
+	// fed the durably published windows, so accept drops them before any
+	// accounting, and the windower's stream + sequence numbers start
+	// there. recovered marks both resumed and re-served jobs in Status.
+	persist    *store.Store
+	ckptEvery  int // samples between trajectory checkpoints
+	resumeCut  int
+	startSeq   int
+	recovered  bool
+	noPersist  atomic.Bool
+	recStatus  *Status // terminal recovered jobs: the journaled final status
+	persistErr error   // first window-journal failure, guarded by mu
+
 	// sched, when non-nil, is the job's remote quantum scheduler: every
 	// delivery passes through its dedup filter and terminal transitions
 	// stop it. Set once at submission, before any task can produce a
@@ -179,6 +203,7 @@ type Job struct {
 	sched atomic.Pointer[remoteJob]
 
 	mu          sync.Mutex
+	lastCkpt    map[int]int // per-trajectory sample index of the last checkpoint
 	state       State
 	errMsg      string
 	submitted   time.Time
@@ -265,6 +290,55 @@ func newJob(id string, spec JobSpec, cfg core.Config, species []int, samplesPerT
 // ID returns the job's identifier.
 func (j *Job) ID() string { return j.id }
 
+// initPersist wires the job to the durable store. Call before any job
+// goroutine starts.
+func (j *Job) initPersist(st *store.Store, ckptEvery int) {
+	j.persist = st
+	j.ckptEvery = ckptEvery
+	j.lastCkpt = make(map[int]int)
+}
+
+// initResume primes a recovered job with the journal's durable state:
+// the published-window frontier (resume cut + window sequence), the
+// retained result tail, and the original submission time. Call before
+// any job goroutine starts.
+func (j *Job) initResume(rec *store.JobRecord) {
+	windows := rec.WindowCount
+	j.resumeCut = windows * j.cfg.WindowStep
+	j.startSeq = windows
+	j.recovered = true
+	j.submitted = rec.SubmittedAt
+	j.windows = windows
+	j.nextPublish = windows
+	j.results = append(j.results, rec.Windows...)
+	j.firstKept = rec.FirstRetained
+	j.cuts = j.resumeCut
+	if j.cuts > j.totalCuts {
+		j.cuts = j.totalCuts
+	}
+}
+
+// maybeCheckpoint journals the task's engine snapshot when the
+// trajectory has advanced ckptEvery samples past its last checkpoint.
+// Engines that cannot snapshot (the CWC term-rewriting engine) are
+// silently skipped — recovery replays them from the seed instead.
+func (j *Job) maybeCheckpoint(t *sim.Task) {
+	idx := t.NextIndex()
+	j.mu.Lock()
+	last, seen := j.lastCkpt[t.Traj]
+	if seen && idx-last < j.ckptEvery {
+		j.mu.Unlock()
+		return
+	}
+	j.lastCkpt[t.Traj] = idx
+	j.mu.Unlock()
+	data, ok, err := t.Snapshot()
+	if err != nil || !ok {
+		return
+	}
+	_ = j.persist.AppendCheckpoint(j.id, t.Traj, idx, data)
+}
+
 // setSched installs the job's remote quantum scheduler.
 func (j *Job) setSched(rj *remoteJob) { j.sched.Store(rj) }
 
@@ -306,6 +380,21 @@ func (j *Job) setTerminal(st State, errMsg string) {
 	if rj := j.sched.Load(); rj != nil {
 		rj.stop()
 	}
+	// Journal the outcome (fsynced): completed results must outlive the
+	// process, and failures/cancellations must not resume on restart.
+	// Shutdown is the exception (noPersist): the job recovers as running.
+	// Best effort by construction — the job is already terminal, so a
+	// failed append (journal poisoned by an earlier write error) can only
+	// mean the job recovers as running on restart and re-runs, which
+	// determinism makes safe.
+	if j.persist != nil && !j.noPersist.Load() {
+		final := j.status(false)
+		statusJSON, err := json.Marshal(&final)
+		if err != nil {
+			statusJSON = nil
+		}
+		_ = j.persist.AppendTerminal(j.id, string(st), errMsg, statusJSON)
+	}
 	j.in.drain()
 	// Hand any parked tasks back to the pool: its workers drop a terminal
 	// job's tasks with completion accounting, which is what drains the
@@ -327,6 +416,22 @@ func (j *Job) setTerminal(st State, errMsg string) {
 // currently owns the trajectory, and its final task-done marker arrives
 // after every sample batch, so closing the ingress here is race-free.
 func (j *Job) accept(_ context.Context, d delivery) error {
+	if j.resumeCut > 0 && d.batch != nil {
+		// Resume filter: a recovered job's trajectories restart at (or
+		// before) their last checkpoint, so the replayed prefix below the
+		// durable window frontier must never reach the stream again.
+		kept := d.batch.Samples[:0]
+		for _, smp := range d.batch.Samples {
+			if smp.Index >= j.resumeCut {
+				kept = append(kept, smp)
+			}
+		}
+		d.batch.Samples = kept
+		if len(kept) == 0 {
+			d.batch.Release()
+			d.batch = nil
+		}
+	}
 	if rj := j.sched.Load(); rj != nil {
 		// Dedup for requeued trajectories: drop the replayed sample prefix
 		// and duplicate completion markers before any accounting.
@@ -425,12 +530,15 @@ func (j *Job) unparkIfDrained() {
 // one per trajectory or per window: the service's goroutine count stays at
 // O(pool workers + stat engines + active jobs).
 func (j *Job) runWindower(farm *statFarm) {
-	stream, err := window.NewStream(j.cfg.Trajectories, j.cfg.WindowSize, j.cfg.WindowStep)
+	// A recovered job's stream starts at the durable window frontier:
+	// cuts below it were consumed into journaled windows, and the window
+	// sequence numbers continue where the crashed run's left off.
+	stream, err := window.NewStreamAt(j.cfg.Trajectories, j.cfg.WindowSize, j.cfg.WindowStep, j.resumeCut)
 	if err != nil {
 		j.fail(err)
 		return
 	}
-	seq := 0
+	seq := j.startSeq
 	emit := func(w window.Window) error {
 		// Fairness cap: hold at most statSlots windows on the shared farm.
 		select {
@@ -531,7 +639,15 @@ func (j *Job) completeStat(seq int, ws core.WindowStat, lat time.Duration) {
 		j.publishLocked(p.ws, p.lat)
 	}
 	done := j.subAll && j.nextPublish == j.subTotal
+	perr := j.persistErr
 	j.mu.Unlock()
+	if perr != nil {
+		// Journaling a window failed: completing would acknowledge
+		// durable results the journal does not hold. Recovery will
+		// resume the job from the last good frontier instead.
+		j.fail(perr)
+		return
+	}
 	if done {
 		j.setTerminal(StateDone, "")
 	}
@@ -542,6 +658,18 @@ func (j *Job) completeStat(seq int, ws core.WindowStat, lat time.Duration) {
 // whose mailbox is full loses the window (and is told how many it lost
 // when the stream ends). Callers hold j.mu.
 func (j *Job) publishLocked(ws core.WindowStat, lat time.Duration) {
+	// Journal before counting: the durable frontier must never lead the
+	// in-memory one. The append is one unsynced write under the job
+	// mutex — order across publishes is what recovery depends on. A
+	// failed append would freeze the durable frontier while the
+	// in-memory one advances (a later terminal "done" would then serve
+	// silently incomplete results after a restart), so the first failure
+	// is recorded here and fails the job once the mutex is released.
+	if j.persist != nil && j.persistErr == nil {
+		if err := j.persist.AppendWindow(j.id, j.windows, &ws); err != nil {
+			j.persistErr = fmt.Errorf("serve: journaling window %d: %w", j.windows, err)
+		}
+	}
 	j.windows++
 	sec := lat.Seconds()
 	j.winLat.Add(sec)
@@ -640,7 +768,16 @@ func (j *Job) Status() Status { return j.status(true) }
 // bulk callers (the list endpoint) use to avoid paying it per job.
 func (j *Job) status(withETA bool) Status {
 	j.mu.Lock()
+	if j.recStatus != nil {
+		// A terminal job reloaded from the journal: serve the final
+		// status it crashed (or shut down) with, marked as recovered.
+		st := *j.recStatus
+		st.Recovered = true
+		j.mu.Unlock()
+		return st
+	}
 	st := Status{
+		Recovered:   j.recovered,
 		ID:          j.id,
 		State:       j.state,
 		Spec:        j.spec,

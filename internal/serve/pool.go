@@ -143,6 +143,11 @@ func poolWorker(_ context.Context, pt poolTask, emit ff.Emit[delivery]) (again b
 		b.Release()
 		b = nil
 	}
+	if job.persist != nil {
+		// Durable store enabled: checkpoint the engine state at quantum
+		// boundaries (rate-limited per trajectory inside).
+		job.maybeCheckpoint(pt.task)
+	}
 	d := delivery{job: job, traj: traj, batch: b, elapsed: time.Since(start)}
 	if pt.task.Done() {
 		d.taskDone, d.dead, d.steps = true, pt.task.Dead(), pt.task.Steps()

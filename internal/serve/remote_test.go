@@ -177,7 +177,10 @@ func newRemoteServer(t *testing.T, delay time.Duration, opts serve.Options) (*se
 	opts.Resolver = func(ref core.ModelRef) (core.SimulatorFactory, error) {
 		return walkResolver(delay)(ref)
 	}
-	svc := serve.New(opts)
+	svc, err := serve.New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
 	mux := svc.Handler()
 	ts := newHTTPServer(t, mux)
 	t.Cleanup(svc.Close)

@@ -40,6 +40,7 @@
 package serve
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"math"
@@ -50,6 +51,7 @@ import (
 
 	"cwcflow/internal/core"
 	"cwcflow/internal/sim"
+	"cwcflow/internal/store"
 )
 
 // ErrBusy is returned by Submit when the active-job limit is reached — a
@@ -130,6 +132,25 @@ type Options struct {
 	// submission (default 3s).
 	DialTimeout time.Duration
 
+	// DataDir, when non-empty, enables the durable job store: a
+	// write-ahead journal of submissions, published windows, trajectory
+	// checkpoints and terminal states under this directory. A restarted
+	// server recovers completed jobs' results and resumes in-flight jobs
+	// from their last checkpoint with a bit-identical window stream (see
+	// package store). Empty disables durability (the pre-PR5 behaviour).
+	DataDir string
+	// CheckpointSamples is how often a locally-simulated trajectory's
+	// engine state is checkpointed to the journal: every time its next
+	// sample index advances by this many samples (default 16, usually one
+	// window of cuts). Smaller values mean less re-simulation after a
+	// crash, more journal traffic. Only meaningful with DataDir; remote
+	// trajectories are never checkpointed (recovery replays them from
+	// their seeds instead, which the resume filter makes equivalent).
+	CheckpointSamples int
+	// Version is the build version surfaced in healthz (set by the cwc-serve
+	// binary from its -ldflags-injected build info).
+	Version string
+
 	// statDelay, when non-zero, adds a fixed sleep to every window's
 	// analysis. Test-only seam (unexported): it emulates an expensive
 	// statistical configuration with a cost that parallelises across
@@ -186,6 +207,9 @@ func (o Options) withDefaults() Options {
 	if o.DialTimeout <= 0 {
 		o.DialTimeout = 3 * time.Second
 	}
+	if o.CheckpointSamples < 1 {
+		o.CheckpointSamples = 16
+	}
 	return o
 }
 
@@ -197,6 +221,7 @@ type Server struct {
 	pool     *Pool
 	stats    *statFarm
 	registry *registry
+	store    *store.Store // nil when durability is disabled
 	mux      *http.ServeMux
 
 	mu     sync.Mutex
@@ -207,8 +232,13 @@ type Server struct {
 }
 
 // New starts a Server (its simulation pool, stat farm and worker
-// registry) with the given options.
-func New(opts Options) *Server {
+// registry) with the given options. With Options.DataDir set it opens
+// the durable job store first and recovers from it: completed jobs
+// reappear with their buffered results, and in-flight jobs resume on the
+// local pool from their last checkpoint (see package store). The only
+// error paths are the store's (journal unreadable, directory not
+// writable); without DataDir, New cannot fail.
+func New(opts Options) (*Server, error) {
 	opts = opts.withDefaults()
 	s := &Server{
 		opts:     opts,
@@ -219,7 +249,17 @@ func New(opts Options) *Server {
 		jobs:     make(map[string]*Job),
 	}
 	s.routes()
-	return s
+	if opts.DataDir != "" {
+		st, err := store.Open(opts.DataDir, store.Options{RetainWindows: opts.ResultBuffer})
+		if err != nil {
+			s.pool.Close()
+			s.stats.Close()
+			return nil, err
+		}
+		s.store = st
+		s.recover()
+	}
+	return s, nil
 }
 
 // Handler returns the HTTP API.
@@ -298,6 +338,9 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 	statInflight := (s.stats.Engines() + 1) / 2
 	job := newJob(id, spec, cfg, species, int(cutsF), s.opts, s.pool.Workers(), statInflight)
 	job.resubmit = s.pool.resubmit
+	if s.store != nil {
+		job.initPersist(s.store, s.opts.CheckpointSamples)
+	}
 	if s.opts.statDelay > 0 {
 		job.statDelay.Store(int64(s.opts.statDelay))
 	}
@@ -305,6 +348,23 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 	s.order = append(s.order, id)
 	s.pruneLocked()
 	s.mu.Unlock()
+
+	// Journal the submission before any goroutine can produce durable
+	// events for it (replay ignores windows of never-submitted jobs). A
+	// job the store cannot record is rejected: accepting it would promise
+	// a durability the journal does not have.
+	if s.store != nil {
+		specJSON, jerr := json.Marshal(spec)
+		if jerr == nil {
+			jerr = s.store.AppendSubmit(id, job.submitted, specJSON)
+		}
+		if jerr != nil {
+			job.noPersist.Store(true)
+			job.fail(jerr)
+			s.unregister(id)
+			return nil, fmt.Errorf("serve: journaling submission: %w", jerr)
+		}
+	}
 
 	go job.runWindower(s.stats)
 	// Remote sharding first: with live cluster workers the quantum
@@ -319,18 +379,27 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 		// the job so the error response is consistent with the registry
 		// (no ghost failed job the client was told does not exist).
 		job.fail(err)
-		s.mu.Lock()
-		delete(s.jobs, id)
-		for i, oid := range s.order {
-			if oid == id {
-				s.order = append(s.order[:i], s.order[i+1:]...)
-				break
-			}
-		}
-		s.mu.Unlock()
+		s.unregister(id)
 		return nil, err
 	}
 	return job, nil
+}
+
+// unregister removes a job that failed during submission, after it was
+// provisionally registered.
+func (s *Server) unregister(id string) {
+	s.mu.Lock()
+	delete(s.jobs, id)
+	for i, oid := range s.order {
+		if oid == id {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+	s.mu.Unlock()
+	if s.store != nil {
+		s.store.Forget(id)
+	}
 }
 
 // admitLocked enforces admission: the server must be open and under the
@@ -367,6 +436,11 @@ func (s *Server) pruneLocked() {
 	for _, id := range s.order {
 		if terminal > s.opts.MaxCompleted && s.jobs[id].State().Terminal() {
 			delete(s.jobs, id)
+			if s.store != nil {
+				// Evicted results no longer need to outlive anything:
+				// drop the job from the journal at its next compaction.
+				s.store.Forget(id)
+			}
 			terminal--
 			continue
 		}
@@ -401,13 +475,22 @@ func (s *Server) List() []*Job {
 // registers after this point is rejected by admitLocked, so no job can
 // slip past both the fail loop and the pool's closed check and be left
 // running forever.
+// In-flight jobs are failed in memory but NOT journaled as failed: with
+// a durable store, a shutdown is not a job outcome — the next start
+// recovers them as running and resumes from their last checkpoint. The
+// store is flushed and closed last, after every producer of journal
+// events has stopped.
 func (s *Server) Close() {
 	s.mu.Lock()
 	s.closed = true
 	s.mu.Unlock()
 	for _, j := range s.List() {
+		j.noPersist.Store(true)
 		j.setTerminal(StateFailed, "server shutting down")
 	}
 	s.pool.Close()
 	s.stats.Close()
+	if s.store != nil {
+		s.store.Close()
+	}
 }

@@ -78,7 +78,10 @@ func newTestServer(t *testing.T, delay time.Duration, opts serve.Options) (*serv
 		opts.Workers = 4
 	}
 	opts.Resolver = testResolver(delay)
-	svc := serve.New(opts)
+	svc, err := serve.New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(svc.Handler())
 	t.Cleanup(func() {
 		ts.Close()
@@ -501,7 +504,10 @@ func TestStreamFromBeyondPublished(t *testing.T) {
 }
 
 func TestSubmitAfterCloseRejected(t *testing.T) {
-	svc := serve.New(serve.Options{Workers: 2, Resolver: testResolver(0)})
+	svc, err := serve.New(serve.Options{Workers: 2, Resolver: testResolver(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
 	svc.Close()
 	if _, err := svc.Submit(slowSpec()); !errors.Is(err, serve.ErrClosed) {
 		t.Fatalf("Submit on closed server: err = %v, want ErrClosed", err)

@@ -23,6 +23,7 @@
 package sim
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"math"
@@ -41,6 +42,22 @@ type Simulator interface {
 	// Observe copies the current observable state into out
 	// (len(out) == NumSpecies()).
 	Observe(out []int64)
+}
+
+// SnapshotSimulator is the optional Simulator extension for engines whose
+// complete dynamic state (species counts, clock, RNG) can be exported and
+// restored — the gillespie engines implement it, the CWC term-rewriting
+// engine does not (its state is an arbitrary compartment tree). A restored
+// engine must continue its trajectory bit-identically. Tasks over plain
+// Simulators are still recoverable by deterministic replay from the seed;
+// a snapshot just skips the replayed prefix.
+type SnapshotSimulator interface {
+	Simulator
+	// Snapshot exports the engine's complete dynamic state.
+	Snapshot() ([]byte, error)
+	// Restore replaces the engine's dynamic state with a snapshot taken
+	// from an engine over the same model.
+	Restore([]byte) error
 }
 
 // Sample is one observation of one trajectory at an aligned instant
@@ -183,6 +200,66 @@ func (t *Task) Steps() uint64 {
 		return s.Steps()
 	}
 	return 0
+}
+
+// NextIndex returns the index of the next sample the task will emit —
+// samples below it have already been delivered.
+func (t *Task) NextIndex() int { return t.nextIdx }
+
+// taskSnapVersion guards the Task checkpoint layout.
+const taskSnapVersion = 1
+
+// Snapshot captures the task's resume point — the next sample index, the
+// dead flag and the simulator's full state — as an opaque checkpoint for
+// the durable job store. ok is false (with no error) when the simulator
+// does not implement SnapshotSimulator: such tasks are recovered by
+// replaying the trajectory from its seed instead.
+func (t *Task) Snapshot() (data []byte, ok bool, err error) {
+	ss, ok := t.sim.(SnapshotSimulator)
+	if !ok {
+		return nil, false, nil
+	}
+	sim, err := ss.Snapshot()
+	if err != nil {
+		return nil, false, err
+	}
+	data = make([]byte, 0, 10+len(sim))
+	data = append(data, taskSnapVersion)
+	data = binary.LittleEndian.AppendUint64(data, uint64(t.nextIdx))
+	var dead byte
+	if t.dead {
+		dead = 1
+	}
+	data = append(data, dead)
+	data = append(data, sim...)
+	return data, true, nil
+}
+
+// Restore rewinds a freshly built task (same trajectory, same spec) to a
+// checkpoint taken by Snapshot: the simulator state, the dead flag and
+// the next sample index are restored, so the next RunQuantum continues
+// the trajectory bit-identically from the checkpoint.
+func (t *Task) Restore(data []byte) error {
+	ss, ok := t.sim.(SnapshotSimulator)
+	if !ok {
+		return errors.New("sim: simulator does not support snapshots")
+	}
+	if len(data) < 10 {
+		return errors.New("sim: truncated task checkpoint")
+	}
+	if data[0] != taskSnapVersion {
+		return fmt.Errorf("sim: task checkpoint version %d, want %d", data[0], taskSnapVersion)
+	}
+	nextIdx := int(binary.LittleEndian.Uint64(data[1:9]))
+	if nextIdx < 0 || nextIdx > t.lastIdx+1 {
+		return fmt.Errorf("sim: checkpoint sample index %d out of range (task has %d samples)", nextIdx, t.lastIdx+1)
+	}
+	if err := ss.Restore(data[10:]); err != nil {
+		return err
+	}
+	t.nextIdx = nextIdx
+	t.dead = data[9] != 0
+	return nil
 }
 
 // RunQuantum advances the trajectory by one simulation quantum (or to the

@@ -1,0 +1,122 @@
+package sim
+
+import (
+	"testing"
+
+	"cwcflow/internal/gillespie"
+	"cwcflow/internal/models"
+)
+
+// newDirectTask builds a task over a real (snapshotable) SSA engine.
+func newDirectTask(t *testing.T, traj int, seed int64) *Task {
+	t.Helper()
+	d, err := gillespie.NewDirect(models.Neurospora(50), seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	task, err := NewTask(traj, d, 24, 0.5, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return task
+}
+
+// sampleEqual compares two samples field by field, state included.
+func sampleEqual(a, b Sample) bool {
+	if a.Traj != b.Traj || a.Index != b.Index || a.Time != b.Time || len(a.State) != len(b.State) {
+		return false
+	}
+	for i := range a.State {
+		if a.State[i] != b.State[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestTaskSnapshotResume: a task restored from a mid-run checkpoint emits
+// exactly the samples the original task would have emitted from there.
+func TestTaskSnapshotResume(t *testing.T) {
+	ref := newDirectTask(t, 3, 11)
+	all := collect(t, ref)
+
+	orig := newDirectTask(t, 3, 11)
+	var prefix []Sample
+	quanta := 0
+	for len(prefix) < len(all)/2 {
+		if err := orig.RunQuantum(func(s Sample) error {
+			prefix = append(prefix, s)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		quanta++
+	}
+	snap, ok, err := orig.Snapshot()
+	if err != nil || !ok {
+		t.Fatalf("Snapshot: ok=%v err=%v", ok, err)
+	}
+	if orig.NextIndex() != len(prefix) {
+		t.Fatalf("NextIndex = %d after %d samples", orig.NextIndex(), len(prefix))
+	}
+
+	resumed := newDirectTask(t, 3, 11)
+	if err := resumed.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	tail := collect(t, resumed)
+	if len(prefix)+len(tail) != len(all) {
+		t.Fatalf("prefix %d + tail %d != full run %d samples", len(prefix), len(tail), len(all))
+	}
+	for i, s := range tail {
+		if !sampleEqual(s, all[len(prefix)+i]) {
+			t.Fatalf("resumed sample %d = %+v, want %+v", i, s, all[len(prefix)+i])
+		}
+	}
+}
+
+// TestTaskSnapshotUnsupported: a task over a plain Simulator reports
+// ok=false (recover-by-replay) and refuses Restore.
+func TestTaskSnapshotUnsupported(t *testing.T) {
+	task, err := NewTask(0, &fakeSim{dt: 0.1}, 1, 0.5, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data, ok, err := task.Snapshot(); ok || err != nil || data != nil {
+		t.Fatalf("Snapshot on plain simulator: data=%v ok=%v err=%v", data, ok, err)
+	}
+	if err := task.Restore([]byte{taskSnapVersion, 0, 0, 0, 0, 0, 0, 0, 0, 0}); err == nil {
+		t.Fatal("Restore on plain simulator succeeded")
+	}
+}
+
+// TestTaskRestoreRejectsCorrupt: truncated, wrong-version and
+// out-of-range checkpoints fail cleanly.
+func TestTaskRestoreRejectsCorrupt(t *testing.T) {
+	orig := newDirectTask(t, 0, 5)
+	if err := orig.RunQuantum(func(Sample) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	snap, ok, err := orig.Snapshot()
+	if !ok || err != nil {
+		t.Fatalf("Snapshot: ok=%v err=%v", ok, err)
+	}
+	fresh := newDirectTask(t, 0, 5)
+	if err := fresh.Restore(snap[:5]); err == nil {
+		t.Fatal("truncated checkpoint restored")
+	}
+	bad := append([]byte(nil), snap...)
+	bad[0] = 99
+	if err := fresh.Restore(bad); err == nil {
+		t.Fatal("wrong-version checkpoint restored")
+	}
+	bad = append([]byte(nil), snap...)
+	bad[1] = 0xff // nextIdx far beyond the task's sample count
+	bad[2] = 0xff
+	if err := fresh.Restore(bad); err == nil {
+		t.Fatal("out-of-range checkpoint restored")
+	}
+	if err := fresh.Restore(snap); err != nil {
+		t.Fatalf("valid checkpoint rejected: %v", err)
+	}
+}

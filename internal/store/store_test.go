@@ -1,0 +1,285 @@
+package store
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"cwcflow/internal/core"
+)
+
+func testWindow(seq int) *core.WindowStat {
+	return &core.WindowStat{
+		Start:   seq * 4,
+		TimeLo:  float64(seq) * 2.0,
+		TimeHi:  float64(seq)*2.0 + 1.5,
+		NumCuts: 4,
+		Species: []int{0, 1},
+	}
+}
+
+func openStore(t *testing.T, dir string, opts Options) *Store {
+	t.Helper()
+	s, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// TestJournalRoundTrip: events written by one store are recovered by the
+// next, with windows in order and the newest usable checkpoint found.
+func TestJournalRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir, Options{})
+	at := time.Unix(0, 12345)
+	spec := json.RawMessage(`{"model":"sir","trajectories":4}`)
+	if err := s.AppendSubmit("job-000001", at, spec); err != nil {
+		t.Fatal(err)
+	}
+	for seq := 0; seq < 5; seq++ {
+		if err := s.AppendWindow("job-000001", seq, testWindow(seq)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, ck := range []struct{ traj, next int }{{0, 8}, {0, 16}, {0, 24}, {1, 12}} {
+		if err := s.AppendCheckpoint("job-000001", ck.traj, ck.next, []byte{byte(ck.next)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.AppendSubmit("job-000002", at, spec); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendTerminal("job-000002", "done", "", json.RawMessage(`{"state":"done"}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := openStore(t, dir, Options{})
+	recs := r.Recovered()
+	if len(recs) != 2 {
+		t.Fatalf("recovered %d jobs, want 2", len(recs))
+	}
+	j1 := recs[0]
+	if j1.ID != "job-000001" || j1.Terminal != "" {
+		t.Fatalf("job 1: %+v", j1)
+	}
+	if !j1.SubmittedAt.Equal(at) || string(j1.Spec) != string(spec) {
+		t.Fatalf("job 1 spec/time: %s at %v", j1.Spec, j1.SubmittedAt)
+	}
+	if j1.WindowCount != 5 || len(j1.Windows) != 5 || j1.FirstRetained != 0 {
+		t.Fatalf("job 1 windows: count=%d retained=%d first=%d", j1.WindowCount, len(j1.Windows), j1.FirstRetained)
+	}
+	for i, w := range j1.Windows {
+		if w.Start != i*4 || w.TimeLo != float64(i)*2.0 {
+			t.Fatalf("window %d corrupted: %+v", i, w)
+		}
+	}
+	if cp, ok := j1.BestCheckpoint(0, 20); !ok || cp.NextIdx != 16 || cp.Sim[0] != 16 {
+		t.Fatalf("best checkpoint ≤20: %+v ok=%v", cp, ok)
+	}
+	if cp, ok := j1.BestCheckpoint(0, 100); !ok || cp.NextIdx != 24 {
+		t.Fatalf("best checkpoint ≤100: %+v ok=%v", cp, ok)
+	}
+	if _, ok := j1.BestCheckpoint(0, 7); ok {
+		t.Fatal("found a checkpoint below every retained index")
+	}
+	if _, ok := j1.BestCheckpoint(2, 100); ok {
+		t.Fatal("found a checkpoint for an uncheckpointed trajectory")
+	}
+	j2 := recs[1]
+	if j2.Terminal != "done" || string(j2.Status) != `{"state":"done"}` {
+		t.Fatalf("job 2 terminal: %+v", j2)
+	}
+}
+
+// TestTornTailTruncated: a journal whose last frame is cut mid-write (a
+// SIGKILL image) replays its intact prefix and drops the tail.
+func TestTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir, Options{})
+	if err := s.AppendSubmit("job-000001", time.Now(), json.RawMessage(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+	for seq := 0; seq < 3; seq++ {
+		if err := s.AppendWindow("job-000001", seq, testWindow(seq)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+
+	path := filepath.Join(dir, journalName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear the final frame: drop its last 5 bytes.
+	if err := os.WriteFile(path, data[:len(data)-5], 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	r := openStore(t, dir, Options{})
+	if st := r.Stats(); st.TruncatedBytes == 0 {
+		t.Fatal("torn tail not detected")
+	}
+	recs := r.Recovered()
+	if len(recs) != 1 || recs[0].WindowCount != 2 {
+		t.Fatalf("recovered %d jobs, window count %d (want 1 job, 2 windows)", len(recs), recs[0].WindowCount)
+	}
+	// The store keeps appending after truncation: the next window lands
+	// at the recovered frontier.
+	if err := r.AppendWindow("job-000001", 2, testWindow(2)); err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+	r2 := openStore(t, dir, Options{})
+	if recs := r2.Recovered(); recs[0].WindowCount != 3 {
+		t.Fatalf("post-truncation append lost: count %d", recs[0].WindowCount)
+	}
+}
+
+// TestCorruptFrameStopsReplay: a flipped byte mid-journal fails the CRC
+// and everything after it is dropped.
+func TestCorruptFrameStopsReplay(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir, Options{})
+	if err := s.AppendSubmit("job-000001", time.Now(), json.RawMessage(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+	mark := s.Stats().JournalBytes
+	for seq := 0; seq < 3; seq++ {
+		if err := s.AppendWindow("job-000001", seq, testWindow(seq)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+	path := filepath.Join(dir, journalName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[mark+frameHeader+2] ^= 0xff // corrupt the first window's payload
+	if err := os.WriteFile(path, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	r := openStore(t, dir, Options{})
+	recs := r.Recovered()
+	if len(recs) != 1 || recs[0].WindowCount != 0 {
+		t.Fatalf("replay did not stop at the corrupt frame: %d jobs, %d windows", len(recs), recs[0].WindowCount)
+	}
+}
+
+// TestCompaction: the rewrite preserves live state (including the window
+// frontier past evicted windows), drops forgotten jobs, and shrinks the
+// journal.
+func TestCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir, Options{RetainWindows: 4})
+	spec := json.RawMessage(`{"model":"sir"}`)
+	if err := s.AppendSubmit("job-000001", time.Now(), spec); err != nil {
+		t.Fatal(err)
+	}
+	for seq := 0; seq < 10; seq++ {
+		if err := s.AppendWindow("job-000001", seq, testWindow(seq)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Many superseded checkpoints: only the ladder survives compaction.
+	for i := 0; i < 32; i++ {
+		if err := s.AppendCheckpoint("job-000001", 0, i*4, make([]byte, 64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.AppendSubmit("job-000002", time.Now(), spec); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendTerminal("job-000002", "failed", "boom", json.RawMessage(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+	s.Forget("job-000002")
+	before := s.Stats().JournalBytes
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	after := s.Stats()
+	if after.JournalBytes >= before {
+		t.Fatalf("compaction grew the journal: %d -> %d", before, after.JournalBytes)
+	}
+	if after.LastCompaction.IsZero() {
+		t.Fatal("compaction time not recorded")
+	}
+	s.Close()
+
+	r := openStore(t, dir, Options{RetainWindows: 4})
+	recs := r.Recovered()
+	if len(recs) != 1 {
+		t.Fatalf("forgotten job survived compaction: %d jobs", len(recs))
+	}
+	j := recs[0]
+	if j.WindowCount != 10 || j.FirstRetained != 6 || len(j.Windows) != 4 {
+		t.Fatalf("frontier lost: count=%d first=%d retained=%d", j.WindowCount, j.FirstRetained, len(j.Windows))
+	}
+	if j.Windows[0].Start != 6*4 {
+		t.Fatalf("retained tail starts at %d", j.Windows[0].Start)
+	}
+	if cp, ok := j.BestCheckpoint(0, 1000); !ok || cp.NextIdx != 31*4 {
+		t.Fatalf("newest checkpoint lost: %+v ok=%v", cp, ok)
+	}
+	if _, ok := j.BestCheckpoint(0, 4); ok {
+		t.Fatal("superseded checkpoint survived the ladder")
+	}
+}
+
+// TestAutoCompaction: appends past CompactBytes trigger the rewrite.
+func TestAutoCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir, Options{CompactBytes: 4096})
+	if err := s.AppendSubmit("job-000001", time.Now(), json.RawMessage(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		if err := s.AppendCheckpoint("job-000001", i%3, i, make([]byte, 128)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.LastCompaction.IsZero() {
+		t.Fatal("auto-compaction never ran")
+	}
+	if st.JournalBytes > 8192 {
+		t.Fatalf("journal kept growing: %d bytes", st.JournalBytes)
+	}
+}
+
+// TestWindowJSONRoundTrip: a WindowStat decoded from the journal and
+// re-encoded is byte-identical to the original encoding — the property
+// that keeps recovered-result digests bit-identical.
+func TestWindowJSONRoundTrip(t *testing.T) {
+	ws := &core.WindowStat{
+		Start:   12,
+		TimeLo:  1.0 / 3.0,
+		TimeHi:  0.1 + 0.2, // classic non-representable sum
+		NumCuts: 3,
+		Species: []int{0, 2},
+	}
+	orig, err := json.Marshal(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded core.WindowStat
+	if err := json.Unmarshal(orig, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	again, err := json.Marshal(&decoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(orig) != string(again) {
+		t.Fatalf("round trip diverged:\n  %s\n  %s", orig, again)
+	}
+}

@@ -1,0 +1,88 @@
+package store
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"hash/crc32"
+
+	"cwcflow/internal/core"
+)
+
+// Journal framing: every event is one frame of
+//
+//	[4B little-endian payload length][4B CRC32 (IEEE) of payload][payload]
+//
+// written in a single write(2). Replay walks frames until the first one
+// that is short, oversized or fails its CRC — the torn tail a crash
+// mid-write leaves behind — and the store truncates the file there.
+
+// maxFrame bounds a frame's payload so a corrupt length field cannot
+// make replay attempt a multi-gigabyte read. Window stats over large
+// ensembles are the biggest records; 64 MiB is far above any of them.
+const maxFrame = 64 << 20
+
+const frameHeader = 8
+
+// appendFrame appends payload's frame to buf and returns it.
+func appendFrame(buf, payload []byte) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(payload))
+	return append(buf, payload...)
+}
+
+// readFrame decodes the frame at the start of data, returning the payload
+// and the total frame size. ok is false on a short, oversized or
+// corrupt frame.
+func readFrame(data []byte) (payload []byte, n int, ok bool) {
+	if len(data) < frameHeader {
+		return nil, 0, false
+	}
+	ln := int(binary.LittleEndian.Uint32(data[0:4]))
+	crc := binary.LittleEndian.Uint32(data[4:8])
+	if ln > maxFrame || len(data) < frameHeader+ln {
+		return nil, 0, false
+	}
+	payload = data[frameHeader : frameHeader+ln]
+	if crc32.ChecksumIEEE(payload) != crc {
+		return nil, 0, false
+	}
+	return payload, frameHeader + ln, true
+}
+
+// eventType tags a journal record.
+type eventType string
+
+const (
+	// evSubmit records a job submission: id, time, spec.
+	evSubmit eventType = "submit"
+	// evWindow records one published window, in publish (= window) order.
+	evWindow eventType = "window"
+	// evCkpt records one trajectory checkpoint.
+	evCkpt eventType = "ckpt"
+	// evFrontier is a compaction marker: Seq windows preceded the
+	// re-journaled tail.
+	evFrontier eventType = "frontier"
+	// evTerminal records a job's final state and status snapshot.
+	evTerminal eventType = "terminal"
+)
+
+// event is the journal's record schema. The job spec and final status
+// travel as raw JSON so the store does not depend on the serve layer's
+// types; windows are typed because recovery hands them back decoded.
+type event struct {
+	Type eventType `json:"t"`
+	Job  string    `json:"job"`
+	At   int64     `json:"at,omitempty"` // unix nanos, submit only
+
+	Spec   json.RawMessage  `json:"spec,omitempty"`
+	Seq    int              `json:"seq,omitempty"`
+	Window *core.WindowStat `json:"win,omitempty"`
+
+	Traj int    `json:"traj,omitempty"`
+	Next int    `json:"next,omitempty"`
+	Sim  []byte `json:"sim,omitempty"`
+
+	State  string          `json:"state,omitempty"`
+	Err    string          `json:"err,omitempty"`
+	Status json.RawMessage `json:"status,omitempty"`
+}

@@ -1,0 +1,115 @@
+package window
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"cwcflow/internal/sim"
+)
+
+// windowSig captures a window's full content at emit time (the stream
+// recycles cut storage afterwards, so comparisons must snapshot here).
+func windowSig(w Window) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "start=%d:", w.Start)
+	for _, c := range w.Cuts {
+		fmt.Fprintf(&b, "[%d@%g", c.Index, c.Time)
+		for _, st := range c.States {
+			fmt.Fprintf(&b, " %v", st)
+		}
+		b.WriteString("]")
+	}
+	return b.String()
+}
+
+// feedRange pushes the deterministic synthetic samples of cut indices
+// [lo, hi) for every trajectory, in a seeded shuffle, and returns the
+// emitted windows' signatures.
+func feedRange(t *testing.T, st *Stream, nTraj, lo, hi int, rng *rand.Rand) []string {
+	t.Helper()
+	var sigs []string
+	emit := func(w Window) error {
+		sigs = append(sigs, windowSig(w))
+		return nil
+	}
+	next := make([]int, nTraj)
+	for i := range next {
+		next[i] = lo
+	}
+	remaining := nTraj * (hi - lo)
+	for remaining > 0 {
+		traj := rng.Intn(nTraj)
+		if next[traj] >= hi {
+			continue
+		}
+		s := sim.Sample{
+			Traj:  traj,
+			Index: next[traj],
+			Time:  float64(next[traj]) * 0.5,
+			State: []int64{int64(traj*1000 + next[traj])},
+		}
+		next[traj]++
+		remaining--
+		if err := st.Push(s, emit); err != nil {
+			t.Fatalf("Push: %v", err)
+		}
+	}
+	if err := st.Close(emit); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	return sigs
+}
+
+// TestStreamAtResumesWindowSequence: a stream resumed at a window
+// boundary, fed only the samples from that cut onward, emits exactly the
+// windows the uninterrupted stream emitted from that point — the property
+// recovered jobs rely on for bit-identical resume.
+func TestStreamAtResumesWindowSequence(t *testing.T) {
+	cases := []struct{ nTraj, cuts, size, step, resumeWin int }{
+		{3, 40, 8, 4, 3},   // sliding windows, resume mid-run
+		{4, 33, 16, 16, 1}, // tumbling, trailing partial window
+		{2, 20, 8, 4, 0},   // resume at zero == plain stream
+		{5, 24, 6, 2, 9},   // resume near the tail
+	}
+	for _, c := range cases {
+		t.Run(fmt.Sprintf("%dx%d_w%d_s%d_r%d", c.nTraj, c.cuts, c.size, c.step, c.resumeWin), func(t *testing.T) {
+			full, err := NewStream(c.nTraj, c.size, c.step)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fullSigs := feedRange(t, full, c.nTraj, 0, c.cuts, rand.New(rand.NewSource(1)))
+
+			startCut := c.resumeWin * c.step
+			resumed, err := NewStreamAt(c.nTraj, c.size, c.step, startCut)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotSigs := feedRange(t, resumed, c.nTraj, startCut, c.cuts, rand.New(rand.NewSource(2)))
+
+			wantSigs := fullSigs[c.resumeWin:]
+			if len(gotSigs) != len(wantSigs) {
+				t.Fatalf("resumed stream emitted %d windows, want %d", len(gotSigs), len(wantSigs))
+			}
+			for i := range gotSigs {
+				if gotSigs[i] != wantSigs[i] {
+					t.Fatalf("window %d diverged:\n  resumed %s\n  full    %s", i, gotSigs[i], wantSigs[i])
+				}
+			}
+			if got, want := resumed.Cuts(), c.cuts; got != want {
+				t.Fatalf("resumed Cuts() = %d, want absolute count %d", got, want)
+			}
+		})
+	}
+}
+
+// TestStreamAtValidation: the resume point must be a window boundary.
+func TestStreamAtValidation(t *testing.T) {
+	if _, err := NewStreamAt(2, 8, 4, 6); err == nil {
+		t.Fatal("start cut off the window grid was accepted")
+	}
+	if _, err := NewAlignerAt(2, -1); err == nil {
+		t.Fatal("negative start cut was accepted")
+	}
+}

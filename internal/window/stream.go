@@ -26,11 +26,23 @@ type Stream struct {
 // NewStream returns a stream for an ensemble of nTraj trajectories,
 // emitting windows of size cuts every step cuts.
 func NewStream(nTraj, size, step int) (*Stream, error) {
-	a, err := NewAligner(nTraj)
+	return NewStreamAt(nTraj, size, step, 0)
+}
+
+// NewStreamAt returns a stream resuming at cut index startCut (a window
+// boundary, i.e. a multiple of step): the aligner assembles cuts from
+// startCut and the slider numbers windows from startCut/step onward. A
+// recovered job uses it to continue a crashed run's window sequence —
+// producing, cut for cut and window for window, exactly what the original
+// stream would have produced from that point — after re-feeding samples
+// from startCut on (the durable store's resume filter guarantees that no
+// earlier sample reaches the stream).
+func NewStreamAt(nTraj, size, step, startCut int) (*Stream, error) {
+	a, err := NewAlignerAt(nTraj, startCut)
 	if err != nil {
 		return nil, err
 	}
-	s, err := NewSlider(size, step)
+	s, err := NewSliderAt(size, step, startCut)
 	if err != nil {
 		return nil, err
 	}

@@ -72,14 +72,26 @@ type Aligner struct {
 }
 
 // NewAligner returns an aligner for an ensemble of nTraj trajectories.
-func NewAligner(nTraj int) (*Aligner, error) {
+func NewAligner(nTraj int) (*Aligner, error) { return NewAlignerAt(nTraj, 0) }
+
+// NewAlignerAt returns an aligner whose first emitted cut is start — the
+// resume form used when a recovered job re-enters the stream mid-run: cuts
+// below start were already consumed into durably published windows, so the
+// aligner begins assembling at the resume point (samples below it must be
+// filtered out by the caller; pushing one is the usual duplicate error).
+// EmittedCuts counts absolutely, start included.
+func NewAlignerAt(nTraj, start int) (*Aligner, error) {
 	if nTraj < 1 {
 		return nil, fmt.Errorf("window: need at least 1 trajectory, got %d", nTraj)
 	}
+	if start < 0 {
+		return nil, fmt.Errorf("window: negative start cut %d", start)
+	}
 	return &Aligner{
-		nTraj: nTraj,
-		ns:    -1,
-		ring:  make([]slot, 8),
+		nTraj:    nTraj,
+		ns:       -1,
+		nextEmit: start,
+		ring:     make([]slot, 8),
 	}, nil
 }
 
@@ -216,14 +228,24 @@ type Slider struct {
 }
 
 // NewSlider returns a slider emitting windows of size cuts every step cuts.
-func NewSlider(size, step int) (*Slider, error) {
+func NewSlider(size, step int) (*Slider, error) { return NewSliderAt(size, step, 0) }
+
+// NewSliderAt returns a slider whose first window starts at cut index
+// start — the resume form for a recovered job: windows below start/step
+// were already published durably, so the slider picks up exactly where
+// the crashed slider's window sequence left off. start must be a window
+// boundary (a multiple of step), and the first cut pushed must be start.
+func NewSliderAt(size, step, start int) (*Slider, error) {
 	if size < 1 || step < 1 {
 		return nil, fmt.Errorf("window: size and step must be >= 1 (got %d, %d)", size, step)
 	}
 	if step > size {
 		return nil, fmt.Errorf("window: step %d larger than size %d would drop cuts", step, size)
 	}
-	return &Slider{size: size, step: step}, nil
+	if start < 0 || start%step != 0 {
+		return nil, fmt.Errorf("window: start cut %d is not a multiple of step %d", start, step)
+	}
+	return &Slider{size: size, step: step, start: start}, nil
 }
 
 // SetRetire registers a callback invoked for every cut that permanently

@@ -1,0 +1,108 @@
+#!/usr/bin/env bash
+# Crash-recovery smoke: SIGKILL a cwc-serve with a durable -data-dir in
+# the middle of a job, restart it on the same directory, and require the
+# resumed job's window-stats digest to be bit-identical to an
+# uninterrupted single-process run of the same spec.
+#
+# Needs: go, curl, jq, sha256sum. Run from the repo root. Set
+# RECOVERY_DATA_DIR to keep the data dir for debugging (CI uploads it on
+# failure).
+set -euo pipefail
+
+BIN=$(mktemp -d)
+DATA=${RECOVERY_DATA_DIR:-$BIN/data}
+trap 'kill $(jobs -p) 2>/dev/null || true; rm -rf "$BIN"' EXIT
+
+go build -o "$BIN/cwc-serve" ./cmd/cwc-serve
+
+REF=127.0.0.1:7120  # uninterrupted reference
+DUR=127.0.0.1:7121  # durable server that gets SIGKILLed
+
+# The spec is sized so the job is reliably mid-run when the kill lands
+# (~1s of simulation: ~0.5M SSA steps per trajectory at omega 5000):
+# 385 samples × 16 trajectories, 49 tumbling windows.
+SPEC='{"model":"neurospora","omega":5000,"trajectories":16,"end":48,"period":0.125,"window":8,"step":8,"seed":42}'
+
+wait_healthy() {
+  for _ in $(seq 1 100); do
+    if curl -fsS "http://$1/healthz" >/dev/null 2>&1; then return 0; fi
+    sleep 0.1
+  done
+  echo "server $1 never became healthy" >&2
+  return 1
+}
+
+digest_of() { # result-json-file -> digest of the full window stream
+  jq -c '.windows' "$1" | sha256sum | cut -d' ' -f1
+}
+
+# Reference: uninterrupted run, no data dir.
+"$BIN/cwc-serve" -listen "$REF" -sim-workers 2 &
+wait_healthy "$REF"
+REF_ID=$(curl -fsS "http://$REF/jobs" -d "$SPEC" | jq -re .id)
+curl -fsS "http://$REF/jobs/$REF_ID/result?wait=true" >"$BIN/ref.json"
+[ "$(jq -re .status.state "$BIN/ref.json")" = done ]
+REF_DIGEST=$(digest_of "$BIN/ref.json")
+REF_WINDOWS=$(jq -re .status.progress.windows "$BIN/ref.json")
+
+# Durable server: submit, wait until some windows are published but the
+# job is still running, then SIGKILL — no shutdown path runs at all.
+"$BIN/cwc-serve" -listen "$DUR" -sim-workers 2 -data-dir "$DATA" &
+DUR_PID=$!
+wait_healthy "$DUR"
+DUR_ID=$(curl -fsS "http://$DUR/jobs" -d "$SPEC" | jq -re .id)
+
+MIDRUN=0
+for _ in $(seq 1 300); do
+  ST=$(curl -fsS "http://$DUR/jobs/$DUR_ID")
+  WINDOWS=$(jq -re .progress.windows <<<"$ST")
+  STATE=$(jq -re .state <<<"$ST")
+  if [ "$STATE" != running ]; then break; fi
+  if [ "$WINDOWS" -ge 3 ] && [ "$WINDOWS" -lt "$REF_WINDOWS" ]; then MIDRUN=1; break; fi
+  sleep 0.02
+done
+if [ "$MIDRUN" != 1 ]; then
+  echo "FAIL: job finished before the kill landed (windows=$WINDOWS); enlarge the spec" >&2
+  exit 1
+fi
+kill -9 "$DUR_PID"
+wait "$DUR_PID" 2>/dev/null || true
+echo "killed cwc-serve mid-run at $WINDOWS/$REF_WINDOWS windows"
+
+# Restart on the same data dir: the job must be recovered, resumed and
+# finished with the reference digest.
+"$BIN/cwc-serve" -listen "$DUR" -sim-workers 2 -data-dir "$DATA" &
+wait_healthy "$DUR"
+curl -fsS "http://$DUR/jobs/$DUR_ID/result?wait=true" >"$BIN/resumed.json"
+STATE=$(jq -re .status.state "$BIN/resumed.json")
+if [ "$STATE" != done ]; then
+  echo "FAIL: resumed job ended $STATE: $(jq -r .status.error "$BIN/resumed.json")" >&2
+  exit 1
+fi
+if [ "$(jq -re .status.recovered "$BIN/resumed.json")" != true ]; then
+  echo "FAIL: resumed job not marked recovered" >&2
+  exit 1
+fi
+RES_DIGEST=$(digest_of "$BIN/resumed.json")
+RES_WINDOWS=$(jq -re .status.progress.windows "$BIN/resumed.json")
+
+# The recovered history is listable and the store is visible in healthz.
+LISTED=$(curl -fsS "http://$DUR/jobs?state=done" | jq -re 'map(select(.id == "'"$DUR_ID"'")) | length')
+JOURNAL=$(curl -fsS "http://$DUR/healthz" | jq -re .store.journal_bytes)
+
+echo "reference digest: $REF_DIGEST ($REF_WINDOWS windows)"
+echo "resumed digest:   $RES_DIGEST ($RES_WINDOWS windows, journal ${JOURNAL}B)"
+
+if [ "$LISTED" != 1 ]; then
+  echo "FAIL: recovered job missing from GET /jobs?state=done" >&2
+  exit 1
+fi
+if [ "$RES_WINDOWS" != "$REF_WINDOWS" ]; then
+  echo "FAIL: resumed run published $RES_WINDOWS windows, reference $REF_WINDOWS" >&2
+  exit 1
+fi
+if [ "$RES_DIGEST" != "$REF_DIGEST" ]; then
+  echo "FAIL: resumed window digest diverged from the uninterrupted run" >&2
+  exit 1
+fi
+echo "OK: SIGKILL + restart resume is bit-identical to the uninterrupted run"
