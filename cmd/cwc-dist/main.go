@@ -60,6 +60,7 @@ func runWorker(ctx context.Context, args []string) error {
 	register := fs.String("register", "", "cwc-serve base URL to register with (heartbeats every ttl/3)")
 	advertise := fs.String("advertise", "", "dialable address to advertise when registering (default the listen address)")
 	inflight := fs.Int("inflight", 0, "in-flight trajectory cap to advertise (0 = server default)")
+	maxJobs := fs.Int("max-jobs", 0, "maximum concurrent job connections served (0 = unlimited); excess connections are refused and rerouted by the master")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -75,7 +76,7 @@ func runWorker(ctx context.Context, args []string) error {
 		go heartbeat(ctx, *register, addr, *inflight)
 	}
 	fmt.Fprintf(os.Stderr, "sim worker listening on %s (%d engines); ^C to stop\n", l.Addr(), *simWorkers)
-	err = core.ServeSimWorker(ctx, l, *simWorkers, func(err error) {
+	err = core.ServeSimWorkerLimited(ctx, l, *simWorkers, *maxJobs, core.FactoryFor, func(err error) {
 		fmt.Fprintln(os.Stderr, "job error:", err)
 	})
 	if err == context.Canceled {

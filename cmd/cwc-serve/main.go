@@ -32,6 +32,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -45,6 +46,32 @@ func main() {
 		fmt.Fprintln(os.Stderr, "cwc-serve:", err)
 		os.Exit(1)
 	}
+}
+
+// parseTenantWeights turns "alice=3,bob=1" into per-tenant configs.
+func parseTenantWeights(s string) (map[string]serve.TenantConfig, error) {
+	if s == "" {
+		return nil, nil
+	}
+	tenants := make(map[string]serve.TenantConfig)
+	for _, pair := range strings.Split(s, ",") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(pair, "=")
+		if !ok {
+			return nil, fmt.Errorf("-tenant-weights entry %q is not name=weight", pair)
+		}
+		w, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+		if err != nil || w <= 0 {
+			return nil, fmt.Errorf("-tenant-weights %q: weight must be a positive number", pair)
+		}
+		cfg := tenants[strings.TrimSpace(name)]
+		cfg.Weight = w
+		tenants[strings.TrimSpace(name)] = cfg
+	}
+	return tenants, nil
 }
 
 func run() error {
@@ -66,6 +93,11 @@ func run() error {
 		maxCuts        = flag.Int("max-cuts", 1_000_000, "maximum samples per trajectory (end/period)")
 		dataDir        = flag.String("data-dir", "", "durable job store directory (empty = in-memory only, nothing survives a restart)")
 		ckptSamples    = flag.Int("checkpoint-samples", 16, "journal a trajectory checkpoint every N samples (with -data-dir)")
+		scheduler      = flag.String("scheduler", "fifo", "quantum dispatch discipline: fifo (arrival order) or wfq (weighted fair share across tenants)")
+		tenantConc     = flag.Int("default-tenant-concurrency", 0, "per-tenant running-job cap; submissions beyond it queue with a position (0 = unlimited)")
+		tenantQueue    = flag.Int("default-tenant-queue", 16, "per-tenant admission queue depth; submissions beyond it get 429")
+		tenantBudget   = flag.Int64("default-tenant-budget", 0, "per-tenant sample budget (trajectories×cuts over admitted jobs); submissions beyond it get 429 (0 = unlimited)")
+		tenantWeights  = flag.String("tenant-weights", "", "per-tenant wfq weights, e.g. 'alice=3,bob=1' (others get weight 1)")
 		showVersion    = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
@@ -89,24 +121,33 @@ func run() error {
 			workerAddrs = append(workerAddrs, a)
 		}
 	}
+	tenants, err := parseTenantWeights(*tenantWeights)
+	if err != nil {
+		return err
+	}
 	svc, err := serve.New(serve.Options{
-		Workers:           *simWorkers,
-		StatEngines:       *statEngines,
-		QueueDepth:        *queueDepth,
-		SampleBuffer:      *sampleBuffer,
-		ResultBuffer:      *resultBuffer,
-		SubscriberBuffer:  *subBuffer,
-		MaxJobs:           *maxJobs,
-		MaxCompleted:      *maxCompleted,
-		MaxTrajectories:   *maxTraj,
-		MaxCuts:           *maxCuts,
-		WorkerAddrs:       workerAddrs,
-		WorkerInFlight:    *workerInflight,
-		WorkerTimeout:     *workerTimeout,
-		WorkerTTL:         *workerTTL,
-		DataDir:           *dataDir,
-		CheckpointSamples: *ckptSamples,
-		Version:           buildinfo.Version,
+		Workers:                  *simWorkers,
+		StatEngines:              *statEngines,
+		QueueDepth:               *queueDepth,
+		SampleBuffer:             *sampleBuffer,
+		ResultBuffer:             *resultBuffer,
+		SubscriberBuffer:         *subBuffer,
+		MaxJobs:                  *maxJobs,
+		MaxCompleted:             *maxCompleted,
+		MaxTrajectories:          *maxTraj,
+		MaxCuts:                  *maxCuts,
+		WorkerAddrs:              workerAddrs,
+		WorkerInFlight:           *workerInflight,
+		WorkerTimeout:            *workerTimeout,
+		WorkerTTL:                *workerTTL,
+		DataDir:                  *dataDir,
+		CheckpointSamples:        *ckptSamples,
+		Scheduler:                *scheduler,
+		DefaultTenantConcurrency: *tenantConc,
+		DefaultTenantQueue:       *tenantQueue,
+		DefaultTenantBudget:      *tenantBudget,
+		Tenants:                  tenants,
+		Version:                  buildinfo.Version,
 	})
 	if err != nil {
 		return err

@@ -145,7 +145,24 @@ func ServeSimWorker(ctx context.Context, l net.Listener, simWorkers int, onError
 // ServeSimWorkerWith is ServeSimWorker with an injectable model resolver,
 // so a test cluster can run the same synthetic models as its master.
 func ServeSimWorkerWith(ctx context.Context, l net.Listener, simWorkers int, resolver ModelResolver, onError func(error)) error {
+	return ServeSimWorkerLimited(ctx, l, simWorkers, 0, resolver, onError)
+}
+
+// ServeSimWorkerLimited is ServeSimWorkerWith with worker-tier admission
+// control: at most maxJobs job connections are served concurrently (0 =
+// unlimited). An excess connection is refused immediately — the master's
+// remote scheduler treats the drop like any worker failure and reroutes
+// the job's quanta to the remaining workers or the local pool.
+func ServeSimWorkerLimited(ctx context.Context, l net.Listener, simWorkers, maxJobs int, resolver ModelResolver, onError func(error)) error {
+	var active atomic.Int64
 	return dff.Serve(ctx, l, func(ctx context.Context, conn net.Conn) error {
+		if maxJobs > 0 {
+			if n := active.Add(1); n > int64(maxJobs) {
+				active.Add(-1)
+				return fmt.Errorf("core: sim worker at its job cap (%d), refusing connection", maxJobs)
+			}
+			defer active.Add(-1)
+		}
 		return handleJob(ctx, conn, simWorkers, resolver)
 	}, onError)
 }

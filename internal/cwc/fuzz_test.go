@@ -1,0 +1,42 @@
+package cwc
+
+import "testing"
+
+// FuzzParse throws arbitrary strings at the CWC term grammar. Invalid
+// input must produce an error, never a panic, and valid input must
+// round-trip through the canonical formatter: parse → Format → reparse
+// yields the identical canonical string.
+func FuzzParse(f *testing.F) {
+	// The documented grammar shapes, plus edge cases around multiplicity,
+	// nesting and the empty-term glyph.
+	for _, seed := range []string{
+		"a a b",
+		"2*a b",
+		"(m | F F):cell",
+		"M (k | (p | N):nuc):cell",
+		"·",
+		"",
+		"(| a)",
+		"3*Gene 2*mRNA Protein",
+		"((a | b):in | c):out",
+		"0*a",
+		"(m n | 4*F (| x)):cell y",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		alpha := NewAlphabet()
+		term, err := ParseTerm(src, alpha)
+		if err != nil {
+			return
+		}
+		canon := term.Format(alpha)
+		again, err := ParseTerm(canon, alpha)
+		if err != nil {
+			t.Fatalf("canonical form %q (from %q) does not reparse: %v", canon, src, err)
+		}
+		if got := again.Format(alpha); got != canon {
+			t.Fatalf("round-trip not canonical:\n  input  %q\n  first  %q\n  second %q", src, canon, got)
+		}
+	})
+}

@@ -23,6 +23,38 @@ func (f FeedbackWorkerFunc[In, Out]) DoStep(ctx context.Context, task In, emit E
 	return f(ctx, task, emit)
 }
 
+// TaskQueue is the dispatcher's pending-task buffer. The default is a
+// plain FIFO; injecting a different implementation changes which pending
+// task the farm dispatches next (e.g. weighted fair queueing across
+// tenants) without touching the farm's dataflow. Implementations need not
+// be goroutine-safe: the dispatcher is the only goroutine that calls them.
+type TaskQueue[In any] interface {
+	Push(In)
+	Pop() (In, bool)
+	Len() int
+}
+
+// sliceQueue is the default TaskQueue: global arrival order, the exact
+// dispatch behaviour the farm had before queues were pluggable.
+type sliceQueue[In any] struct {
+	items []In
+}
+
+func (q *sliceQueue[In]) Push(v In) { q.items = append(q.items, v) }
+
+func (q *sliceQueue[In]) Pop() (In, bool) {
+	var zero In
+	if len(q.items) == 0 {
+		return zero, false
+	}
+	v := q.items[0]
+	q.items[0] = zero
+	q.items = q.items[1:]
+	return v, true
+}
+
+func (q *sliceQueue[In]) Len() int { return len(q.items) }
+
 // FarmFeedback is a task farm whose workers can reschedule tasks back to the
 // dispatcher. Scheduling is on-demand (the only policy that makes sense with
 // feedback-induced load imbalance). The farm terminates when the external
@@ -31,6 +63,7 @@ type FarmFeedback[In, Out any] struct {
 	n       int
 	factory func(workerID int) FeedbackWorker[In, Out]
 	cfg     config
+	queue   TaskQueue[In]
 }
 
 // NewFarmFeedback builds a feedback farm of n workers.
@@ -41,33 +74,57 @@ func NewFarmFeedback[In, Out any](n int, factory func(workerID int) FeedbackWork
 	return &FarmFeedback[In, Out]{n: n, factory: factory, cfg: newConfig(opts)}
 }
 
+// SetTaskQueue replaces the dispatcher's pending-task buffer. Must be
+// called before Run. A nil queue restores the default FIFO.
+func (f *FarmFeedback[In, Out]) SetTaskQueue(q TaskQueue[In]) { f.queue = q }
+
 // NWorkers returns the degree of parallelism.
 func (f *FarmFeedback[In, Out]) NWorkers() int { return f.n }
 
 // Run implements Node.
 func (f *FarmFeedback[In, Out]) Run(ctx context.Context, in <-chan In, emit Emit[Out]) error {
-	taskq := make(chan In, f.cfg.queueDepth) // shared on-demand queue
-	fbq := make(chan In, f.n)                // worker → dispatcher reschedules
-	completions := make(chan struct{}, f.n)  // worker → dispatcher task-done
+	taskqDepth := f.cfg.queueDepth
+	if f.queue != nil {
+		// A pluggable scheduler decides dispatch order at the moment a
+		// worker asks for work: buffering dispatched tasks would re-impose
+		// arrival order downstream of the queue and void its policy, so
+		// dispatch is a rendezvous (at most one committed task in flight).
+		taskqDepth = 0
+	}
+	taskq := make(chan In, taskqDepth)      // shared on-demand queue
+	fbq := make(chan In, f.n)               // worker → dispatcher reschedules
+	completions := make(chan struct{}, f.n) // worker → dispatcher task-done
 	collect := make(chan Out, f.cfg.queueDepth)
 
 	g := newGroup(ctx)
 
 	// Dispatcher: merges the external stream and the feedback stream into
-	// the shared task queue, tracking in-flight tasks for termination. The
-	// local pending buffer guarantees the dispatcher is always ready to
+	// the pending queue, tracking in-flight tasks for termination. The
+	// unbounded pending queue guarantees the dispatcher is always ready to
 	// drain feedback, which rules out the classic feedback-cycle deadlock.
+	//
+	// The held-item pattern commits to the queue's choice one task at a
+	// time: the dispatcher pops the next task only when its hands are
+	// empty, then offers exactly that task until a worker takes it.
+	// Dispatch is therefore non-preemptive — a fair queue shapes the order
+	// tasks leave the pending set, not tasks already offered.
 	g.Go(func(ctx context.Context) error {
 		defer close(taskq)
-		var pending []In
+		queue := f.queue
+		if queue == nil {
+			queue = &sliceQueue[In]{}
+		}
+		var held In
+		haveHeld := false
 		inflight := 0
 		external := in
 		for external != nil || inflight > 0 {
+			if !haveHeld {
+				held, haveHeld = queue.Pop()
+			}
 			var sendCh chan In
-			var sendVal In
-			if len(pending) > 0 {
+			if haveHeld {
 				sendCh = taskq
-				sendVal = pending[0]
 			}
 			select {
 			case <-ctx.Done():
@@ -78,13 +135,13 @@ func (f *FarmFeedback[In, Out]) Run(ctx context.Context, in <-chan In, emit Emit
 					continue
 				}
 				inflight++
-				pending = append(pending, t)
+				queue.Push(t)
 			case t := <-fbq:
-				pending = append(pending, t)
+				queue.Push(t)
 			case <-completions:
 				inflight--
-			case sendCh <- sendVal:
-				pending = pending[1:]
+			case sendCh <- held:
+				haveHeld = false
 			}
 		}
 		return nil

@@ -67,6 +67,7 @@ func terminalJob(rec *store.JobRecord, state State, errMsg string) *Job {
 	cancel()
 	j := &Job{
 		id:        rec.ID,
+		tenant:    recoveredTenant(rec),
 		ctx:       ctx,
 		cancel:    cancel,
 		in:        newIngress(1, 2), // inert; status() reads its depth
@@ -81,6 +82,15 @@ func terminalJob(rec *store.JobRecord, state State, errMsg string) *Job {
 	}
 	_ = json.Unmarshal(rec.Spec, &j.spec)
 	return j
+}
+
+// recoveredTenant maps a journaled tenant id to the live one: journals
+// written before multi-tenancy carry none, which is the default tenant.
+func recoveredTenant(rec *store.JobRecord) string {
+	if rec.Tenant != "" {
+		return rec.Tenant
+	}
+	return DefaultTenant
 }
 
 // restoreTerminal re-registers a finished job from the journal: its
@@ -145,11 +155,11 @@ func (s *Server) resumeJob(rec *store.JobRecord) error {
 	statInflight := (s.stats.Engines() + 1) / 2
 	job := newJob(rec.ID, spec, cfg, species, cuts, s.opts, s.pool.Workers(), statInflight)
 	job.resubmit = s.pool.resubmit
+	job.tenant = recoveredTenant(rec)
+	job.sampleCost = int64(cfg.Trajectories) * int64(cuts)
+	job.onTerminal = s.jobFinished
 	job.initPersist(s.store, s.opts.CheckpointSamples)
 	job.initResume(rec)
-	if s.opts.statDelay > 0 {
-		job.statDelay.Store(int64(s.opts.statDelay))
-	}
 	// Pick each trajectory's resume checkpoint now, before the job's
 	// goroutines start journaling fresh checkpoints into the same record
 	// (the record is only safe to read while the job is not running).
@@ -159,9 +169,6 @@ func (s *Server) resumeJob(rec *store.JobRecord) error {
 			resumeCkpts[i] = cp
 		}
 	}
-	s.registerRecovered(job)
-
-	go job.runWindower(s.stats)
 	// Recovered jobs resume on the local pool only: checkpoints are local
 	// engine snapshots, and at boot no remote worker is connected yet
 	// anyway. New submissions shard across the cluster as usual.
@@ -182,10 +189,42 @@ func (s *Server) resumeJob(rec *store.JobRecord) error {
 		}
 		return t, nil
 	}
-	if err := s.pool.Submit(job, cfg.Trajectories, build); err != nil {
-		job.noPersist.Store(true)
-		job.fail(err)
-		return nil // registered; the failure is visible on the job
+	job.startFn = func() {
+		go job.runWindower(s.stats)
+		if err := s.pool.Submit(job, cfg.Trajectories, build); err != nil {
+			job.noPersist.Store(true)
+			job.fail(err)
+		}
+	}
+
+	// Recovered jobs re-enter admission so the tenant's concurrency cap
+	// holds across restarts: journal order is submission order, so a job
+	// that was queued at the crash recovers the same queue position.
+	// Budget is charged but never re-checked — the job was admitted by a
+	// previous life of this server.
+	s.mu.Lock()
+	t := s.tenantLocked(job.tenant)
+	job.flow = t.flow
+	job.tenantQuanta = &t.quanta
+	limit := s.maxActive(t)
+	runNow := (limit == 0 || t.active < limit) && s.runningLocked() < s.opts.MaxJobs
+	if runNow {
+		job.admission = admActive
+		t.active++
+		t.budgetUsed += job.sampleCost
+	} else {
+		job.mu.Lock()
+		job.state = StateQueued
+		job.mu.Unlock()
+		s.enqueueLocked(t, job)
+	}
+	if _, ok := s.jobs[job.id]; !ok {
+		s.jobs[job.id] = job
+		s.order = append(s.order, job.id)
+	}
+	s.mu.Unlock()
+	if runNow {
+		job.startFn()
 	}
 	return nil
 }

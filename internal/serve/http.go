@@ -36,6 +36,7 @@ type resultResponse struct {
 
 func (s *Server) routes() {
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /tenants", s.handleTenants)
 	s.mux.HandleFunc("GET /workers", s.handleWorkers)
 	s.mux.HandleFunc("POST /workers/register", s.handleRegisterWorker)
 	s.mux.HandleFunc("POST /jobs", s.handleSubmit)
@@ -71,9 +72,12 @@ func (s *Server) jobFromPath(w http.ResponseWriter, r *http.Request) (*Job, bool
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	jobs := s.List()
-	active := 0
+	active, queued := 0, 0
 	for _, j := range jobs {
-		if !j.State().Terminal() {
+		switch st := j.State(); {
+		case st == StateQueued:
+			queued++
+		case !st.Terminal():
 			active++
 		}
 	}
@@ -89,8 +93,11 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		// -sim-workers flag); the remote cluster gets unambiguous keys.
 		"workers":             s.pool.Workers(),
 		"stat_engines":        s.stats.Engines(),
+		"scheduler":           s.opts.Scheduler,
+		"tenants":             len(s.Tenants()),
 		"jobs_total":          len(jobs),
 		"jobs_active":         active,
+		"jobs_queued":         queued,
 		"remote_workers":      len(workers),
 		"remote_workers_live": liveWorkers,
 	}
@@ -139,17 +146,22 @@ func (s *Server) handleRegisterWorker(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleSubmit admits one job on behalf of the tenant named by the
+// X-CWC-Tenant header (anonymous submissions land on the default tenant).
+// An immediately running job answers 201; a job parked in its tenant's
+// admission queue answers 202 with its queue_position; quota and
+// saturation rejections answer 429 (retryable), shutdown 503.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var spec JobSpec
 	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
 		writeError(w, http.StatusBadRequest, "decoding job spec: %v", err)
 		return
 	}
-	job, err := s.Submit(spec)
+	job, err := s.SubmitAs(spec, r.Header.Get("X-CWC-Tenant"))
 	if err != nil {
 		code := http.StatusBadRequest
 		switch {
-		case errors.Is(err, ErrBusy):
+		case errors.Is(err, ErrBusy), errors.Is(err, ErrQuotaExceeded):
 			code = http.StatusTooManyRequests
 		case errors.Is(err, ErrClosed):
 			code = http.StatusServiceUnavailable
@@ -157,7 +169,18 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, code, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusCreated, job.Status())
+	st := job.Status()
+	code := http.StatusCreated
+	if st.State == StateQueued {
+		code = http.StatusAccepted
+	}
+	writeJSON(w, code, st)
+}
+
+// handleTenants lists every tenant's control-plane snapshot: quotas,
+// running/queued counts, held sample budget and dispatched quanta.
+func (s *Server) handleTenants(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Tenants())
 }
 
 // handleList lists jobs in submission order. ?state=running|done|
@@ -169,10 +192,10 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	var stateFilter State
 	if v := q.Get("state"); v != "" {
 		switch State(v) {
-		case StateRunning, StateDone, StateCancelled, StateFailed:
+		case StateQueued, StateRunning, StateDone, StateCancelled, StateFailed:
 			stateFilter = State(v)
 		default:
-			writeError(w, http.StatusBadRequest, "invalid state filter %q (want running, done, cancelled or failed)", v)
+			writeError(w, http.StatusBadRequest, "invalid state filter %q (want queued, running, done, cancelled or failed)", v)
 			return
 		}
 	}

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"sync"
 	"testing"
 	"time"
 
@@ -84,18 +85,24 @@ func TestIngressDrainReleasesAndRejects(t *testing.T) {
 
 // TestSlowTenantDoesNotBlockCollector is the isolation acceptance test: a
 // tenant whose per-window analysis is deliberately stalled (test seam:
-// Job.statDelay) must not delay another tenant — the pool collector keeps
-// routing, the stalled job's quanta are deferred rather than queued
+// Options.statHook) must not delay another tenant — the pool collector
+// keeps routing, the stalled job's quanta are deferred rather than queued
 // without bound, nothing spills, and a fast job submitted mid-stall runs
 // to completion promptly. Under the pre-farm design the stalled tenant's
 // full sample buffer blocked the shared collector and froze every job.
 func TestSlowTenantDoesNotBlockCollector(t *testing.T) {
+	var delays sync.Map // job id -> time.Duration
 	svc, err := New(Options{
 		Workers:      2,
 		StatEngines:  2,
 		QueueDepth:   4,
 		SampleBuffer: 8, // low high-water mark: deferral kicks in quickly
 		Resolver:     countResolver,
+		statHook: func(jobID string) {
+			if d, ok := delays.Load(jobID); ok {
+				time.Sleep(d.(time.Duration))
+			}
+		},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -109,7 +116,7 @@ func TestSlowTenantDoesNotBlockCollector(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	slow.statDelay.Store(int64(40 * time.Millisecond))
+	delays.Store(slow.id, 40*time.Millisecond)
 
 	// Wait until the stalled tenant is actually backpressured: its ingress
 	// reached the high-water mark and the pool deferred at least one
@@ -166,7 +173,7 @@ func TestSlowTenantDoesNotBlockCollector(t *testing.T) {
 }
 
 // TestStatFarmScalesWindowThroughput proves the farm parallelises the
-// analysis stage: with a fixed per-window analysis cost (the statDelay
+// analysis stage: with a fixed per-window analysis cost (the statHook
 // seam — a sleep, so the measurement is independent of the host's core
 // count), four engines finish a multi-job workload at least twice as fast
 // as one engine. This is the structural form of the ≥2× windows/sec
@@ -183,7 +190,7 @@ func TestStatFarmScalesWindowThroughput(t *testing.T) {
 			Workers:     2,
 			StatEngines: engines,
 			Resolver:    countResolver,
-			statDelay:   perWin,
+			statHook:    func(string) { time.Sleep(perWin) },
 		})
 		if err != nil {
 			t.Fatal(err)

@@ -12,6 +12,7 @@ import (
 
 	"cwcflow/internal/core"
 	"cwcflow/internal/platform"
+	"cwcflow/internal/serve/sched"
 	"cwcflow/internal/sim"
 	"cwcflow/internal/stats"
 	"cwcflow/internal/store"
@@ -22,6 +23,10 @@ import (
 type State string
 
 const (
+	// StateQueued means the job was admitted but its tenant's concurrency
+	// quota is exhausted: it waits in the tenant's admission queue (ordered
+	// by priority class, then submission order) until a slot frees.
+	StateQueued State = "queued"
 	// StateRunning means simulation tasks are scheduled on the pool and
 	// windows are streaming out.
 	StateRunning State = "running"
@@ -68,6 +73,11 @@ type JobSpec struct {
 	PeriodHalfWin int `json:"period_halfwin,omitempty"`
 	// Seed is the base RNG seed (per-trajectory seeds derive from it).
 	Seed int64 `json:"seed,omitempty"`
+	// Priority is the job's priority class within its tenant's admission
+	// queue: higher classes dispatch first when a concurrency slot frees
+	// (0 = normal). Priority orders admission only — once running, every
+	// job's quanta are scheduled by the pool's dispatch discipline.
+	Priority int `json:"priority,omitempty"`
 }
 
 // Progress counts a job's work, both completed and total, plus the
@@ -112,9 +122,15 @@ type LatencySummary struct {
 
 // Status is the wire format of a job's state snapshot.
 type Status struct {
-	ID            string          `json:"id"`
-	State         State           `json:"state"`
-	Spec          JobSpec         `json:"spec"`
+	ID    string  `json:"id"`
+	State State   `json:"state"`
+	Spec  JobSpec `json:"spec"`
+	// Tenant is the submitting tenant's id (the X-CWC-Tenant header, or
+	// the default tenant for anonymous submissions).
+	Tenant string `json:"tenant,omitempty"`
+	// QueuePosition is the job's 1-based position in its tenant's
+	// admission queue while StateQueued (0 otherwise).
+	QueuePosition int             `json:"queue_position,omitempty"`
 	SubmittedAt   time.Time       `json:"submitted_at"`
 	FinishedAt    *time.Time      `json:"finished_at,omitempty"`
 	Error         string          `json:"error,omitempty"`
@@ -159,6 +175,26 @@ type Job struct {
 	resultCap   int
 	subCap      int
 
+	// Tenancy. tenant is the owning tenant's id; sampleCost is the job's
+	// sample-budget charge (trajectories × cuts), held from admission to
+	// the terminal transition; flow is the tenant's WFQ flow (nil under
+	// the fifo scheduler); tenantQuanta points at the tenant's dispatched
+	// quantum counter. All are set before any job goroutine starts.
+	// admission is the job's slot accounting phase, guarded by the
+	// *server* mutex (see Server.jobFinished); queuePos mirrors the job's
+	// 1-based admission-queue position for Status (0 = not queued).
+	// startFn, set for queued jobs, launches the job when a slot frees;
+	// onTerminal is the server's accounting/dispatch callback, invoked
+	// exactly once at the end of the terminal transition.
+	tenant       string
+	sampleCost   int64
+	flow         *sched.Flow[poolTask]
+	tenantQuanta *atomic.Int64
+	admission    int
+	queuePos     atomic.Int32
+	startFn      func()
+	onTerminal   func(*Job)
+
 	ctx    context.Context
 	cancel context.CancelFunc
 	in     *ingress // pool collector → windower, never blocking the collector
@@ -175,7 +211,6 @@ type Job struct {
 	statSlots chan struct{}
 
 	deferred   atomic.Int64 // quanta the pool deferred due to congestion
-	statDelay  atomic.Int64 // test seam: extra ns of analysis per window
 	remoteDone atomic.Int64 // trajectories completed on remote workers
 	requeued   atomic.Int64 // trajectories requeued off dead workers
 
@@ -404,6 +439,11 @@ func (j *Job) setTerminal(st State, errMsg string) {
 	}
 	for sub := range subs {
 		close(sub.ch)
+	}
+	// Last, with no locks held: release the job's tenant slot and budget
+	// and let the server dispatch queued jobs into the freed capacity.
+	if j.onTerminal != nil {
+		j.onTerminal(j)
 	}
 }
 
@@ -773,16 +813,23 @@ func (j *Job) status(withETA bool) Status {
 		// status it crashed (or shut down) with, marked as recovered.
 		st := *j.recStatus
 		st.Recovered = true
+		if st.Tenant == "" {
+			// Journaled by a pre-tenancy build: fall back to the tenant
+			// recovered from the submit event.
+			st.Tenant = j.tenant
+		}
 		j.mu.Unlock()
 		return st
 	}
 	st := Status{
-		Recovered:   j.recovered,
-		ID:          j.id,
-		State:       j.state,
-		Spec:        j.spec,
-		SubmittedAt: j.submitted,
-		Error:       j.errMsg,
+		Recovered:     j.recovered,
+		ID:            j.id,
+		State:         j.state,
+		Spec:          j.spec,
+		Tenant:        j.tenant,
+		QueuePosition: int(j.queuePos.Load()),
+		SubmittedAt:   j.submitted,
+		Error:         j.errMsg,
 		Progress: Progress{
 			TasksDone:       j.tasksDone,
 			Trajectories:    j.totalTasks,

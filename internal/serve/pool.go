@@ -67,8 +67,12 @@ type delivery struct {
 }
 
 // NewPool starts a pool of the given width. queueDepth sets the farm's
-// internal channel capacities.
-func NewPool(workers, queueDepth int) *Pool {
+// internal channel capacities. queue, when non-nil, replaces the farm
+// dispatcher's pending-task FIFO with a pluggable scheduler (sched.FIFO or
+// sched.WFQ); every quantum — first dispatch and feedback reschedules
+// alike — passes through it, so a fair queue enforces tenant shares at
+// quantum granularity.
+func NewPool(workers, queueDepth int, queue ff.TaskQueue[poolTask]) *Pool {
 	if workers < 1 {
 		workers = 1
 	}
@@ -94,6 +98,7 @@ func NewPool(workers, queueDepth int) *Pool {
 			return &fb, nil
 		})
 	}, ff.WithQueueDepth(queueDepth))
+	farm.SetTaskQueue(queue)
 	go func() {
 		defer close(p.done)
 		err := farm.Run(ctx, p.submit, p.route)
@@ -147,6 +152,9 @@ func poolWorker(_ context.Context, pt poolTask, emit ff.Emit[delivery]) (again b
 		// Durable store enabled: checkpoint the engine state at quantum
 		// boundaries (rate-limited per trajectory inside).
 		job.maybeCheckpoint(pt.task)
+	}
+	if job.tenantQuanta != nil {
+		job.tenantQuanta.Add(1)
 	}
 	d := delivery{job: job, traj: traj, batch: b, elapsed: time.Since(start)}
 	if pt.task.Done() {

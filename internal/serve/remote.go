@@ -236,6 +236,13 @@ func (rj *remoteJob) deliver(wc *workerConn, msg core.ResultMsg) {
 		wc.touch() // alive, just backpressured: keep the watchdog quiet
 		time.Sleep(2 * time.Millisecond)
 	}
+	// Remote quanta count toward the owning tenant's dispatched-quanta
+	// observable just like local ones (GET /tenants); only the local
+	// pool's share is shaped by the sched.Scheduler, since remote workers
+	// pull at their own pace over their own streams.
+	if rj.job.tenantQuanta != nil {
+		rj.job.tenantQuanta.Add(1)
+	}
 	_ = rj.job.accept(rj.job.ctx, d)
 	if msg.TaskDone {
 		rj.taskDelivered(wc, msg.Traj)

@@ -1,0 +1,268 @@
+package sched
+
+import (
+	"testing"
+)
+
+func TestFIFOOrder(t *testing.T) {
+	q := NewFIFO[int]()
+	if _, ok := q.Pop(); ok {
+		t.Fatal("empty FIFO popped a value")
+	}
+	for i := 0; i < 100; i++ {
+		q.Push(i)
+	}
+	if q.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", q.Len())
+	}
+	for i := 0; i < 100; i++ {
+		v, ok := q.Pop()
+		if !ok || v != i {
+			t.Fatalf("pop %d: got %d ok=%v", i, v, ok)
+		}
+	}
+	if q.Len() != 0 {
+		t.Fatalf("drained FIFO Len = %d", q.Len())
+	}
+}
+
+func TestFIFOInterleavedPushPop(t *testing.T) {
+	q := NewFIFO[int]()
+	next, want := 0, 0
+	// Exercise ring wraparound with mixed push/pop batches.
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 3+round%5; i++ {
+			q.Push(next)
+			next++
+		}
+		for i := 0; i < 2+round%4 && q.Len() > 0; i++ {
+			v, ok := q.Pop()
+			if !ok || v != want {
+				t.Fatalf("round %d: got %d ok=%v, want %d", round, v, ok, want)
+			}
+			want++
+		}
+	}
+	for q.Len() > 0 {
+		v, _ := q.Pop()
+		if v != want {
+			t.Fatalf("drain: got %d, want %d", v, want)
+		}
+		want++
+	}
+	if want != next {
+		t.Fatalf("popped %d items, pushed %d", want, next)
+	}
+}
+
+// TestWFQShares: two flows saturated at weights 3:1 must dequeue in a 3:1
+// ratio over any long window.
+func TestWFQShares(t *testing.T) {
+	w := NewWFQ[string](nil)
+	a := w.NewFlow("a", 3)
+	b := w.NewFlow("b", 1)
+	w.classify = func(v string) *Flow[string] {
+		if v == "a" {
+			return a
+		}
+		return b
+	}
+	for i := 0; i < 400; i++ {
+		w.Push("a")
+		w.Push("b")
+	}
+	counts := map[string]int{}
+	for i := 0; i < 400; i++ {
+		v, ok := w.Pop()
+		if !ok {
+			t.Fatal("pop failed with items queued")
+		}
+		counts[v]++
+	}
+	// 400 dispatch slots at 3:1 → 300/100 exactly (both flows backlogged
+	// throughout, tags never collide after the first slot).
+	if counts["a"] < 290 || counts["a"] > 310 {
+		t.Fatalf("weight-3 flow got %d of 400 slots, want ~300", counts["a"])
+	}
+	if counts["a"]+counts["b"] != 400 {
+		t.Fatalf("slot accounting: %v", counts)
+	}
+}
+
+// TestWFQFlowFIFO: items within one flow never reorder.
+func TestWFQFlowFIFO(t *testing.T) {
+	w := NewWFQ[int](nil)
+	a := w.NewFlow("a", 1)
+	b := w.NewFlow("b", 5)
+	flows := []*Flow[int]{a, b}
+	w.classify = func(v int) *Flow[int] { return flows[v&1] }
+	for i := 0; i < 200; i++ {
+		w.Push(i)
+	}
+	last := map[int]int{0: -1, 1: -1}
+	for {
+		v, ok := w.Pop()
+		if !ok {
+			break
+		}
+		k := v & 1
+		if v <= last[k] {
+			t.Fatalf("flow %d reordered: %d after %d", k, v, last[k])
+		}
+		last[k] = v
+	}
+}
+
+// TestWFQIdleFlowAccruesNoCredit: a flow that sat idle while another ran
+// must not burst ahead when it wakes — it joins at the current virtual
+// time and shares from there.
+func TestWFQIdleFlowAccruesNoCredit(t *testing.T) {
+	w := NewWFQ[string](nil)
+	a := w.NewFlow("a", 1)
+	b := w.NewFlow("b", 1)
+	w.classify = func(v string) *Flow[string] {
+		if v == "a" {
+			return a
+		}
+		return b
+	}
+	// Flow a runs alone for a long stretch.
+	for i := 0; i < 100; i++ {
+		w.Push("a")
+		w.Pop()
+	}
+	// Flow b wakes. With equal weights the flows must now alternate;
+	// b must not receive 100 back-to-back slots of "credit".
+	for i := 0; i < 20; i++ {
+		w.Push("a")
+		w.Push("b")
+	}
+	streak, maxStreak := 0, 0
+	prev := ""
+	for i := 0; i < 40; i++ {
+		v, _ := w.Pop()
+		if v == prev {
+			streak++
+		} else {
+			streak = 1
+			prev = v
+		}
+		if streak > maxStreak {
+			maxStreak = streak
+		}
+	}
+	if maxStreak > 2 {
+		t.Fatalf("waking flow allowed a %d-slot monopoly; equal weights must interleave", maxStreak)
+	}
+}
+
+// TestWFQDeterministicTieBreak: equal-weight flows with colliding tags
+// dispatch in registration order, so two runs with identical push
+// sequences produce identical pop sequences.
+func TestWFQDeterministicTieBreak(t *testing.T) {
+	run := func() []int {
+		w := NewWFQ[int](nil)
+		var flows []*Flow[int]
+		for i := 0; i < 4; i++ {
+			flows = append(flows, w.NewFlow("f", 1))
+		}
+		w.classify = func(v int) *Flow[int] { return flows[v%4] }
+		for i := 0; i < 64; i++ {
+			w.Push(i)
+		}
+		var got []int
+		for {
+			v, ok := w.Pop()
+			if !ok {
+				return got
+			}
+			got = append(got, v)
+		}
+	}
+	first := run()
+	for trial := 0; trial < 5; trial++ {
+		again := run()
+		for i := range first {
+			if again[i] != first[i] {
+				t.Fatalf("trial %d diverged at slot %d: %d vs %d", trial, i, again[i], first[i])
+			}
+		}
+	}
+}
+
+// TestSchedulersAllocationFree pins the bench-gate requirement: steady
+// state push/pop on both disciplines allocates nothing once rings have
+// grown to the working set.
+func TestSchedulersAllocationFree(t *testing.T) {
+	fifo := NewFIFO[uint64]()
+	w := NewWFQ[uint64](nil)
+	a := w.NewFlow("a", 3)
+	b := w.NewFlow("b", 1)
+	w.classify = func(v uint64) *Flow[uint64] {
+		if v&1 == 0 {
+			return a
+		}
+		return b
+	}
+	// Warm the rings past the working-set size.
+	for i := uint64(0); i < 64; i++ {
+		fifo.Push(i)
+		w.Push(i)
+	}
+	for fifo.Len() > 0 {
+		fifo.Pop()
+	}
+	for w.Len() > 0 {
+		w.Pop()
+	}
+	var x uint64
+	if allocs := testing.AllocsPerRun(200, func() {
+		for i := uint64(0); i < 32; i++ {
+			fifo.Push(i)
+		}
+		for fifo.Len() > 0 {
+			v, _ := fifo.Pop()
+			x += v
+		}
+	}); allocs != 0 {
+		t.Fatalf("FIFO steady state allocates %.1f/op, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(200, func() {
+		for i := uint64(0); i < 32; i++ {
+			w.Push(i)
+		}
+		for w.Len() > 0 {
+			v, _ := w.Pop()
+			x += v
+		}
+	}); allocs != 0 {
+		t.Fatalf("WFQ steady state allocates %.1f/op, want 0", allocs)
+	}
+	_ = x
+}
+
+func BenchmarkFIFOPushPop(b *testing.B) {
+	q := NewFIFO[uint64]()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Push(uint64(i))
+		q.Pop()
+	}
+}
+
+func BenchmarkWFQPushPop(b *testing.B) {
+	w := NewWFQ[uint64](nil)
+	flows := []*Flow[uint64]{w.NewFlow("a", 3), w.NewFlow("b", 1), w.NewFlow("c", 1)}
+	w.classify = func(v uint64) *Flow[uint64] { return flows[v%3] }
+	// Keep a standing backlog so Pop scans multiple active flows.
+	for i := uint64(0); i < 96; i++ {
+		w.Push(i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Push(uint64(i))
+		w.Pop()
+	}
+}

@@ -1,0 +1,162 @@
+package sched
+
+import "sync"
+
+// tagScale is the fixed-point unit of virtual time: one quantum at weight
+// 1.0 advances a flow's tag by exactly tagScale. uint64 virtual time wraps
+// after 2^44 quanta at weight 1 — far beyond any process lifetime here.
+const tagScale = 1 << 20
+
+// Weight bounds keep the per-quantum tag increment representable: below
+// minWeight the increment would overflow dispatch horizons, above maxWeight
+// it would round to zero and starve every other flow.
+const (
+	minWeight = 1.0 / 1024
+	maxWeight = 1 << 20
+)
+
+// Flow is one scheduling entity (a tenant) inside a WFQ scheduler. Flows
+// are created with WFQ.NewFlow and owned by that scheduler; the caller
+// keeps the pointer and tags every pushed item with it via the classifier.
+type Flow[T any] struct {
+	name   string
+	weight float64
+	inc    uint64 // virtual-time cost of one quantum: tagScale/weight
+	order  int    // registration order, the deterministic tie-break
+
+	q       ring[T]
+	headTag uint64 // start tag of the head item, valid while q.n > 0
+	nextTag uint64 // start tag the next enqueued item inherits
+	active  bool
+}
+
+// Name returns the flow's name.
+func (f *Flow[T]) Name() string { return f.name }
+
+// Weight returns the flow's configured weight.
+func (f *Flow[T]) Weight() float64 { return f.weight }
+
+// WFQ is a start-time fair queueing scheduler: each flow's queued quanta
+// carry virtual start tags spaced tagScale/weight apart, and Pop always
+// dispatches the backlogged flow with the smallest head tag (ties broken
+// by flow registration order). Backlogged flows therefore receive dispatch
+// slots proportional to their weights, while idle flows accumulate no
+// credit: a flow waking after a quiet period starts at the current virtual
+// time, not in the past.
+//
+// This generalises PR 3's congestion parking from "protect the collector"
+// to "enforce tenant shares": parking removes quanta from the farm when a
+// job's ingress is congested, WFQ decides which of the remaining runnable
+// quanta goes next.
+//
+// Unlike FIFO, WFQ carries its own mutex: Push/Pop stay on the single
+// dispatcher goroutine, but NewFlow is called from submission goroutines
+// whenever a new tenant appears, and must not race the dispatcher.
+type WFQ[T any] struct {
+	mu       sync.Mutex
+	classify func(T) *Flow[T]
+	flows    []*Flow[T]
+	active   []*Flow[T] // backlogged flows; cap grown at NewFlow time
+	vtime    uint64
+	n        int
+}
+
+// NewWFQ returns a WFQ scheduler that assigns each pushed item to the flow
+// returned by classify. classify must return a flow created by this
+// scheduler's NewFlow; items are never reordered within a flow.
+func NewWFQ[T any](classify func(T) *Flow[T]) *WFQ[T] {
+	return &WFQ[T]{classify: classify}
+}
+
+// NewFlow registers a flow with the given weight (clamped to a sane
+// range). Registration order is the tie-break when head tags collide, so
+// creating flows in a deterministic order keeps dispatch deterministic.
+func (w *WFQ[T]) NewFlow(name string, weight float64) *Flow[T] {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if weight < minWeight {
+		weight = minWeight
+	}
+	if weight > maxWeight {
+		weight = maxWeight
+	}
+	f := &Flow[T]{
+		name:   name,
+		weight: weight,
+		inc:    uint64(tagScale / weight),
+		order:  len(w.flows),
+	}
+	if f.inc == 0 {
+		f.inc = 1
+	}
+	w.flows = append(w.flows, f)
+	// Grow the active list's capacity now so Push/Pop never allocate.
+	if cap(w.active) < len(w.flows) {
+		grown := make([]*Flow[T], len(w.active), 2*len(w.flows))
+		copy(grown, w.active)
+		w.active = grown
+	}
+	return f
+}
+
+// Push implements Scheduler.
+func (w *WFQ[T]) Push(v T) {
+	f := w.classify(v)
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	tag := f.nextTag
+	if f.q.n == 0 {
+		// A waking flow joins at the current virtual time unless its own
+		// past tag is already ahead (it used more than its share recently).
+		if w.vtime > tag {
+			tag = w.vtime
+		}
+		f.headTag = tag
+	}
+	f.nextTag = tag + f.inc
+	f.q.push(v)
+	if !f.active {
+		f.active = true
+		w.active = append(w.active, f)
+	}
+	w.n++
+}
+
+// Pop implements Scheduler.
+func (w *WFQ[T]) Pop() (T, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var zero T
+	if w.n == 0 {
+		return zero, false
+	}
+	best := 0
+	for i := 1; i < len(w.active); i++ {
+		f, b := w.active[i], w.active[best]
+		if f.headTag < b.headTag || (f.headTag == b.headTag && f.order < b.order) {
+			best = i
+		}
+	}
+	f := w.active[best]
+	if f.headTag > w.vtime {
+		w.vtime = f.headTag
+	}
+	v, _ := f.q.pop()
+	f.headTag += f.inc
+	if f.q.n == 0 {
+		f.active = false
+		last := len(w.active) - 1
+		w.active[best] = w.active[last]
+		w.active[last] = nil
+		w.active = w.active[:last]
+	}
+	w.n--
+	return v, true
+}
+
+// Len implements Scheduler.
+func (w *WFQ[T]) Len() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.n
+}

@@ -50,6 +50,8 @@ import (
 	"time"
 
 	"cwcflow/internal/core"
+	"cwcflow/internal/ff"
+	"cwcflow/internal/serve/sched"
 	"cwcflow/internal/sim"
 	"cwcflow/internal/store"
 )
@@ -151,11 +153,38 @@ type Options struct {
 	// binary from its -ldflags-injected build info).
 	Version string
 
-	// statDelay, when non-zero, adds a fixed sleep to every window's
-	// analysis. Test-only seam (unexported): it emulates an expensive
-	// statistical configuration with a cost that parallelises across
-	// engines independently of the host's core count.
-	statDelay time.Duration
+	// Scheduler selects the pool's quantum-dispatch discipline: "fifo"
+	// (default — global arrival order, the historical behaviour) or "wfq"
+	// (weighted fair queueing across tenant flows, see package sched).
+	// The discipline only reorders dispatch; window digests are
+	// bit-identical under either (samples are keyed by trajectory and
+	// index, not arrival time).
+	Scheduler string
+	// DefaultTenantConcurrency caps concurrently running jobs per tenant
+	// for tenants without an explicit TenantConfig (0 = unlimited, the
+	// pre-tenancy behaviour). A tenant at its cap has further submissions
+	// queued with a position instead of rejected.
+	DefaultTenantConcurrency int
+	// DefaultTenantQueue caps each tenant's admission queue (default 16);
+	// beyond it submissions are rejected with ErrBusy (429).
+	DefaultTenantQueue int
+	// DefaultTenantBudget caps the samples (trajectories × cuts, summed
+	// over running and queued jobs) a tenant may hold admitted at once
+	// (0 = unlimited). Over-budget submissions get ErrQuotaExceeded (429).
+	DefaultTenantBudget int64
+	// DefaultTenantWeight is the wfq share weight of tenants without an
+	// explicit TenantConfig (default 1).
+	DefaultTenantWeight float64
+	// Tenants holds per-tenant quota/weight overrides, keyed by tenant id.
+	// Tenants not listed here use the Default* fields above.
+	Tenants map[string]TenantConfig
+
+	// statHook, when non-nil, runs at the start of every window's
+	// analysis with the owning job's id. Test-only seam (unexported): it
+	// emulates an expensive statistical configuration (or a stalled
+	// tenant) with a cost that parallelises across engines independently
+	// of the host's core count.
+	statHook func(jobID string)
 }
 
 func (o Options) withDefaults() Options {
@@ -210,6 +239,15 @@ func (o Options) withDefaults() Options {
 	if o.CheckpointSamples < 1 {
 		o.CheckpointSamples = 16
 	}
+	if o.Scheduler == "" {
+		o.Scheduler = "fifo"
+	}
+	if o.DefaultTenantQueue < 1 {
+		o.DefaultTenantQueue = 16
+	}
+	if o.DefaultTenantWeight <= 0 {
+		o.DefaultTenantWeight = 1
+	}
 	return o
 }
 
@@ -223,12 +261,15 @@ type Server struct {
 	registry *registry
 	store    *store.Store // nil when durability is disabled
 	mux      *http.ServeMux
+	wfq      *sched.WFQ[poolTask] // non-nil iff Options.Scheduler == "wfq"
 
-	mu     sync.Mutex
-	closed bool
-	jobs   map[string]*Job
-	order  []string
-	seq    int
+	mu          sync.Mutex
+	closed      bool
+	jobs        map[string]*Job
+	order       []string
+	seq         int
+	tenants     map[string]*tenantState
+	tenantOrder []string // tenant creation order (= wfq tie-break order)
 }
 
 // New starts a Server (its simulation pool, stat farm and worker
@@ -242,12 +283,31 @@ func New(opts Options) (*Server, error) {
 	opts = opts.withDefaults()
 	s := &Server{
 		opts:     opts,
-		pool:     NewPool(opts.Workers, opts.QueueDepth),
-		stats:    newStatFarm(opts.StatEngines, opts.QueueDepth),
+		stats:    newStatFarm(opts.StatEngines, opts.QueueDepth, opts.statHook),
 		registry: newRegistry(opts.WorkerAddrs, opts.WorkerInFlight, opts.WorkerTTL, opts.WorkerCooldown),
 		mux:      http.NewServeMux(),
 		jobs:     make(map[string]*Job),
+		tenants:  make(map[string]*tenantState),
 	}
+	var queue ff.TaskQueue[poolTask]
+	switch opts.Scheduler {
+	case "fifo":
+		queue = sched.NewFIFO[poolTask]()
+	case "wfq":
+		var fallback *sched.Flow[poolTask]
+		s.wfq = sched.NewWFQ(func(pt poolTask) *sched.Flow[poolTask] {
+			if f := pt.job.flow; f != nil {
+				return f
+			}
+			return fallback // flow-less task (defensive; should not happen)
+		})
+		fallback = s.wfq.NewFlow("(unclassified)", 1)
+		queue = s.wfq
+	default:
+		s.stats.Close()
+		return nil, fmt.Errorf("serve: unknown scheduler %q (want fifo or wfq)", opts.Scheduler)
+	}
+	s.pool = NewPool(opts.Workers, opts.QueueDepth, queue)
 	s.routes()
 	if opts.DataDir != "" {
 		st, err := store.Open(opts.DataDir, store.Options{RetainWindows: opts.ResultBuffer})
@@ -272,22 +332,28 @@ func (s *Server) Workers() int { return s.pool.Workers() }
 func (s *Server) StatEngines() int { return s.stats.Engines() }
 
 // Submit validates a spec, builds the job's simulators and schedules its
-// trajectory tasks on the shared pool. It returns once the job is
-// registered and streaming; the simulation itself proceeds in the
-// background.
+// trajectory tasks on the shared pool, accounted to the default tenant.
+// It returns once the job is registered and streaming; the simulation
+// itself proceeds in the background.
 func (s *Server) Submit(spec JobSpec) (*Job, error) {
+	return s.SubmitAs(spec, DefaultTenant)
+}
+
+// SubmitAs is Submit on behalf of a tenant (the X-CWC-Tenant header).
+// Admission is tenant-aware: a submission the tenant's sample budget
+// cannot cover fails with ErrQuotaExceeded, a tenant at its concurrency
+// cap has the job admitted into its priority-ordered queue (StateQueued,
+// with a position) instead of run, and a full queue — or a saturated
+// server — fails with ErrBusy.
+func (s *Server) SubmitAs(spec JobSpec, tenant string) (*Job, error) {
+	if tenant == "" {
+		tenant = DefaultTenant
+	}
+	if !validTenant(tenant) {
+		return nil, fmt.Errorf("serve: invalid tenant id %q (want 1-64 chars of [A-Za-z0-9._-])", tenant)
+	}
 	if spec.Trajectories > s.opts.MaxTrajectories {
 		return nil, fmt.Errorf("serve: %d trajectories exceeds the per-job limit of %d", spec.Trajectories, s.opts.MaxTrajectories)
-	}
-	// Admission control up front: when the server is saturated (or
-	// closing), reject before paying for simulator construction. The
-	// check repeats under the lock at registration, which is the
-	// authoritative one.
-	s.mu.Lock()
-	err := s.admitLocked()
-	s.mu.Unlock()
-	if err != nil {
-		return nil, err
 	}
 	factory, err := s.opts.Resolver(core.ModelRef{Name: spec.Model, Omega: spec.Omega})
 	if err != nil {
@@ -318,6 +384,7 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 	if cutsF > float64(s.opts.MaxCuts) {
 		return nil, fmt.Errorf("serve: end/period yields %g samples per trajectory, limit is %d", cutsF, s.opts.MaxCuts)
 	}
+	sampleCost := int64(cfg.Trajectories) * int64(cutsF)
 	// ResolveSpecies probes factory(0), so model construction errors still
 	// surface synchronously as a 400 even though the full ensemble is
 	// built lazily by the pool feeder.
@@ -325,9 +392,12 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 	if err != nil {
 		return nil, err
 	}
+	model := core.ModelRef{Name: spec.Model, Omega: spec.Omega}
 
 	s.mu.Lock()
-	if err := s.admitLocked(); err != nil {
+	t := s.tenantLocked(tenant)
+	queued, err := s.admitLocked(t, sampleCost)
+	if err != nil {
 		s.mu.Unlock()
 		return nil, err
 	}
@@ -338,11 +408,22 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 	statInflight := (s.stats.Engines() + 1) / 2
 	job := newJob(id, spec, cfg, species, int(cutsF), s.opts, s.pool.Workers(), statInflight)
 	job.resubmit = s.pool.resubmit
+	job.tenant = tenant
+	job.sampleCost = sampleCost
+	job.flow = t.flow
+	job.tenantQuanta = &t.quanta
+	job.onTerminal = s.jobFinished
+	job.startFn = func() { s.startJob(job, cfg, model) }
 	if s.store != nil {
 		job.initPersist(s.store, s.opts.CheckpointSamples)
 	}
-	if s.opts.statDelay > 0 {
-		job.statDelay.Store(int64(s.opts.statDelay))
+	if queued {
+		job.state = StateQueued // pre-registration: no other goroutine sees the job yet
+		s.enqueueLocked(t, job)
+	} else {
+		job.admission = admActive
+		t.active++
+		t.budgetUsed += sampleCost
 	}
 	s.jobs[id] = job
 	s.order = append(s.order, id)
@@ -356,33 +437,57 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 	if s.store != nil {
 		specJSON, jerr := json.Marshal(spec)
 		if jerr == nil {
-			jerr = s.store.AppendSubmit(id, job.submitted, specJSON)
+			jerr = s.store.AppendSubmit(id, job.submitted, specJSON, tenant)
 		}
 		if jerr != nil {
 			job.noPersist.Store(true)
-			job.fail(jerr)
+			job.fail(jerr) // releases the tenant slot/budget via jobFinished
 			s.unregister(id)
 			return nil, fmt.Errorf("serve: journaling submission: %w", jerr)
 		}
 	}
 
-	go job.runWindower(s.stats)
-	// Remote sharding first: with live cluster workers the quantum
-	// scheduler owns the submission (mixing remote streams and the local
-	// pool); otherwise everything goes to the local pool as before.
-	if s.startRemote(job, cfg, core.ModelRef{Name: spec.Model, Omega: spec.Omega}) {
+	if queued {
+		// The job waits in its tenant's admission queue; dispatchLocked
+		// launches it (via startFn) when a slot frees.
 		return job, nil
 	}
-	build := func(i int) (*sim.Task, error) { return core.NewTrajectoryTask(cfg, i) }
-	if err := s.pool.Submit(job, cfg.Trajectories, build); err != nil {
+	if err := s.startJobChecked(job, cfg, model); err != nil {
 		// The pool closed between admission and scheduling: unregister
 		// the job so the error response is consistent with the registry
 		// (no ghost failed job the client was told does not exist).
-		job.fail(err)
 		s.unregister(id)
 		return nil, err
 	}
 	return job, nil
+}
+
+// startJob launches an admitted job: its windower goroutine, then either
+// the remote quantum scheduler (live cluster workers) or the local pool.
+// Failures land on the job itself — used by the queue-dispatch path,
+// where there is no submitter left to return an error to.
+func (s *Server) startJob(job *Job, cfg core.Config, model core.ModelRef) {
+	if err := s.startJobChecked(job, cfg, model); err != nil {
+		_ = err // startJobChecked already failed the job
+	}
+}
+
+// startJobChecked is startJob returning the scheduling error (the direct
+// submission path propagates it to the client after unregistering).
+func (s *Server) startJobChecked(job *Job, cfg core.Config, model core.ModelRef) error {
+	go job.runWindower(s.stats)
+	// Remote sharding first: with live cluster workers the quantum
+	// scheduler owns the submission (mixing remote streams and the local
+	// pool); otherwise everything goes to the local pool as before.
+	if s.startRemote(job, cfg, model) {
+		return nil
+	}
+	build := func(i int) (*sim.Task, error) { return core.NewTrajectoryTask(cfg, i) }
+	if err := s.pool.Submit(job, cfg.Trajectories, build); err != nil {
+		job.fail(err)
+		return err
+	}
+	return nil
 }
 
 // unregister removes a job that failed during submission, after it was
@@ -400,24 +505,6 @@ func (s *Server) unregister(id string) {
 	if s.store != nil {
 		s.store.Forget(id)
 	}
-}
-
-// admitLocked enforces admission: the server must be open and under the
-// active-job cap. Callers hold s.mu.
-func (s *Server) admitLocked() error {
-	if s.closed {
-		return ErrClosed
-	}
-	active := 0
-	for _, j := range s.jobs {
-		if !j.State().Terminal() {
-			active++
-		}
-	}
-	if active >= s.opts.MaxJobs {
-		return fmt.Errorf("serve: %d active jobs, limit is %d: %w", active, s.opts.MaxJobs, ErrBusy)
-	}
-	return nil
 }
 
 // pruneLocked evicts the oldest terminal jobs beyond MaxCompleted. Active

@@ -51,6 +51,7 @@ func (t *winTask) release() {
 type statFarm struct {
 	engines int
 	tasks   chan *winTask
+	hook    func(jobID string) // Options.statHook test seam, may be nil
 	ctx     context.Context
 	cancel  context.CancelFunc
 	wg      sync.WaitGroup
@@ -65,7 +66,7 @@ type statFarm struct {
 	submitting int
 }
 
-func newStatFarm(engines, queueDepth int) *statFarm {
+func newStatFarm(engines, queueDepth int, hook func(jobID string)) *statFarm {
 	if engines < 1 {
 		engines = 1
 	}
@@ -76,6 +77,7 @@ func newStatFarm(engines, queueDepth int) *statFarm {
 	f := &statFarm{
 		engines: engines,
 		tasks:   make(chan *winTask, queueDepth),
+		hook:    hook,
 		ctx:     ctx,
 		cancel:  cancel,
 	}
@@ -147,9 +149,10 @@ func (f *statFarm) analyse(eng *stats.Engine, t *winTask) {
 		job.statSlotFree()
 		return
 	}
-	if d := job.statDelay.Load(); d > 0 {
-		// Test seam: emulate an expensive statistical configuration.
-		time.Sleep(time.Duration(d))
+	if f.hook != nil {
+		// Test seam (Options.statHook): emulate an expensive statistical
+		// configuration, or a stalled tenant, per job.
+		f.hook(job.id)
 	}
 	start := time.Now()
 	var ws core.WindowStat

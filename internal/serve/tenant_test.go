@@ -1,0 +1,322 @@
+package serve_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"cwcflow/internal/core"
+	"cwcflow/internal/serve"
+)
+
+// submitTenant POSTs a job under a tenant id and returns the decoded
+// status plus the HTTP code (201 running, 202 queued). Any other code
+// fails the test.
+func submitTenant(t *testing.T, base string, spec serve.JobSpec, tenant string) (serve.Status, int) {
+	t.Helper()
+	body, _ := json.Marshal(spec)
+	req, err := http.NewRequest(http.MethodPost, base+"/jobs", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if tenant != "" {
+		req.Header.Set("X-CWC-Tenant", tenant)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("POST /jobs: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusAccepted {
+		b := new(bytes.Buffer)
+		b.ReadFrom(resp.Body)
+		t.Fatalf("POST /jobs (tenant %q): status %d: %s", tenant, resp.StatusCode, b)
+	}
+	var st serve.Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("decoding submit response: %v", err)
+	}
+	return st, resp.StatusCode
+}
+
+// fetchResult waits for a job's completion and returns its full in-order
+// window sequence.
+func fetchResult(t *testing.T, base, id string) []core.WindowStat {
+	t.Helper()
+	resp, err := http.Get(base + "/jobs/" + id + "/result?wait=true")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var res struct {
+		Status      serve.Status      `json:"status"`
+		FirstWindow int               `json:"first_window"`
+		Windows     []core.WindowStat `json:"windows"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Status.State != serve.StateDone {
+		t.Fatalf("job %s ended %s (%s)", id, res.Status.State, res.Status.Error)
+	}
+	if res.FirstWindow != 0 {
+		t.Fatalf("result ring evicted windows before %d", res.FirstWindow)
+	}
+	return res.Windows
+}
+
+func getTenants(t *testing.T, base string) map[string]serve.TenantStatus {
+	t.Helper()
+	resp, err := http.Get(base + "/tenants")
+	if err != nil {
+		t.Fatalf("GET /tenants: %v", err)
+	}
+	defer resp.Body.Close()
+	var list []serve.TenantStatus
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatalf("decoding tenants: %v", err)
+	}
+	out := make(map[string]serve.TenantStatus, len(list))
+	for _, ts := range list {
+		out[ts.Name] = ts
+	}
+	return out
+}
+
+// TestDigestInvariantAcrossSchedulers is the standing invariant of the
+// control plane: scheduling policy must never change results. Two tenants
+// run the identical stat-heavy job concurrently under every combination
+// of {fifo, wfq} × {1, 4 pool workers} × {equal, 10:1 weights}, and every
+// single run must reproduce the golden window-sequence digest — the same
+// digest the pre-tenancy farm test pins. Fair-share dispatch reorders
+// quanta, never samples: results are keyed by (trajectory, index).
+func TestDigestInvariantAcrossSchedulers(t *testing.T) {
+	weightMixes := []struct {
+		name       string
+		alice, bob float64
+	}{
+		{"equal", 1, 1},
+		{"10to1", 10, 1},
+	}
+	for _, scheduler := range []string{"fifo", "wfq"} {
+		for _, workers := range []int{1, 4} {
+			for _, mix := range weightMixes {
+				name := fmt.Sprintf("%s/workers=%d/weights=%s", scheduler, workers, mix.name)
+				t.Run(name, func(t *testing.T) {
+					svc, err := serve.New(serve.Options{
+						Workers:     workers,
+						StatEngines: 2,
+						Scheduler:   scheduler,
+						Resolver:    noisyResolver,
+						Tenants: map[string]serve.TenantConfig{
+							"alice": {Weight: mix.alice},
+							"bob":   {Weight: mix.bob},
+						},
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					defer svc.Close()
+					ts := httptest.NewServer(svc.Handler())
+					defer ts.Close()
+
+					stA, codeA := submitTenant(t, ts.URL, statHeavySpec(16), "alice")
+					stB, codeB := submitTenant(t, ts.URL, statHeavySpec(16), "bob")
+					if codeA != http.StatusCreated || codeB != http.StatusCreated {
+						t.Fatalf("uncapped tenants should run immediately: codes %d/%d", codeA, codeB)
+					}
+					if stA.Tenant != "alice" || stB.Tenant != "bob" {
+						t.Fatalf("tenant ids not surfaced: %q/%q", stA.Tenant, stB.Tenant)
+					}
+					for _, st := range []serve.Status{stA, stB} {
+						windows := fetchResult(t, ts.URL, st.ID)
+						if d := digestWindows(t, windows); d != goldenFarmDigest {
+							t.Fatalf("digest drifted under %s for %s:\n  got  %s\n  want %s",
+								name, st.Tenant, d, goldenFarmDigest)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestWFQSharesConverge pins the fairness property: two tenants with a
+// standing backlog on a one-worker pool at weights 3:1 receive quantum
+// throughput in that ratio, within 15%.
+func TestWFQSharesConverge(t *testing.T) {
+	svc, _ := newTestServer(t, time.Millisecond, serve.Options{
+		Workers:     1,
+		StatEngines: 2,
+		Scheduler:   "wfq",
+		Tenants: map[string]serve.TenantConfig{
+			"heavy": {Weight: 3},
+			"light": {Weight: 1},
+		},
+	})
+	longSpec := serve.JobSpec{
+		Model: "slow", Trajectories: 8, End: 10000, Quantum: 0.5,
+		Period: 0.5, WindowSize: 64, WindowStep: 64,
+	}
+	jobLight, err := svc.SubmitAs(longSpec, "light")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jobLight.Cancel()
+	jobHeavy, err := svc.SubmitAs(longSpec, "heavy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jobHeavy.Cancel()
+
+	// Baseline after both are admitted: quanta dispatched while one job
+	// had the pool to itself must not skew the measured ratio.
+	snapshot := func() (heavy, light int64) {
+		for _, ts := range svc.Tenants() {
+			switch ts.Name {
+			case "heavy":
+				heavy = ts.Quanta
+			case "light":
+				light = ts.Quanta
+			}
+		}
+		return heavy, light
+	}
+	baseH, baseL := snapshot()
+	const window = 400
+	deadline := time.Now().Add(60 * time.Second)
+	var dh, dl int64
+	for {
+		h, l := snapshot()
+		dh, dl = h-baseH, l-baseL
+		if dh+dl >= window {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("pool dispatched only %d quanta in 60s", dh+dl)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if dl == 0 {
+		t.Fatalf("light tenant starved: heavy=%d light=0", dh)
+	}
+	ratio := float64(dh) / float64(dl)
+	if ratio < 3*0.85 || ratio > 3*1.15 {
+		t.Fatalf("share ratio %.2f (heavy=%d light=%d), want 3.0 ±15%%", ratio, dh, dl)
+	}
+}
+
+// TestAdmissionQueuePosition walks the 202-with-position flow: a tenant
+// capped at one running job sees its second and third submissions queue
+// at positions 1 and 2, positions shift as queued jobs cancel, and the
+// queue head is promoted when the running job finishes.
+func TestAdmissionQueuePosition(t *testing.T) {
+	_, ts := newTestServer(t, 10*time.Millisecond, serve.Options{
+		Tenants: map[string]serve.TenantConfig{
+			"acme": {MaxActive: 1},
+		},
+	})
+	longSpec := serve.JobSpec{
+		Model: "slow", Trajectories: 2, End: 100, Period: 0.5,
+		WindowSize: 4, WindowStep: 4,
+	}
+
+	st1, code1 := submitTenant(t, ts.URL, longSpec, "acme")
+	if code1 != http.StatusCreated || st1.State != serve.StateRunning {
+		t.Fatalf("first job: code %d state %s, want 201 running", code1, st1.State)
+	}
+	st2, code2 := submitTenant(t, ts.URL, longSpec, "acme")
+	if code2 != http.StatusAccepted || st2.State != serve.StateQueued || st2.QueuePosition != 1 {
+		t.Fatalf("second job: code %d state %s pos %d, want 202 queued 1", code2, st2.State, st2.QueuePosition)
+	}
+	st3, code3 := submitTenant(t, ts.URL, longSpec, "acme")
+	if code3 != http.StatusAccepted || st3.QueuePosition != 2 {
+		t.Fatalf("third job: code %d pos %d, want 202 at position 2", code3, st3.QueuePosition)
+	}
+
+	tenants := getTenants(t, ts.URL)
+	if acme := tenants["acme"]; acme.Active != 1 || acme.Queued != 2 {
+		t.Fatalf("GET /tenants: acme active=%d queued=%d, want 1/2", acme.Active, acme.Queued)
+	}
+
+	// Cancelling the job at position 1 promotes position 2 to 1.
+	cancelJob(t, ts.URL, st2.ID)
+	if st := getStatus(t, ts.URL, st3.ID); st.State != serve.StateQueued || st.QueuePosition != 1 {
+		t.Fatalf("after cancel: job3 state %s pos %d, want queued at 1", st.State, st.QueuePosition)
+	}
+
+	// Cancelling the running job dispatches the queue head.
+	cancelJob(t, ts.URL, st1.ID)
+	if st := getStatus(t, ts.URL, st3.ID); st.State == serve.StateQueued {
+		t.Fatalf("job3 still queued (pos %d) after the running job finished", st.QueuePosition)
+	}
+	cancelJob(t, ts.URL, st3.ID)
+}
+
+func cancelJob(t *testing.T, base, id string) {
+	t.Helper()
+	req, _ := http.NewRequest(http.MethodDelete, base+"/jobs/"+id, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("DELETE /jobs/%s: %v", id, err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE /jobs/%s: status %d", id, resp.StatusCode)
+	}
+}
+
+// TestQuotaExceeded429 pins the budget gate: a submission the tenant's
+// sample budget cannot cover is rejected with 429 and a budget message,
+// the budget frees when an admitted job finishes, and other tenants are
+// unaffected throughout.
+func TestQuotaExceeded429(t *testing.T) {
+	svc, ts := newTestServer(t, 10*time.Millisecond, serve.Options{
+		Tenants: map[string]serve.TenantConfig{
+			// slowSpec costs 4 trajectories × 17 cuts = 68 samples: one
+			// admitted job fits, a second overflows the budget.
+			"small": {SampleBudget: 100},
+		},
+	})
+
+	st1, _ := submitTenant(t, ts.URL, slowSpec(), "small")
+
+	body, _ := json.Marshal(slowSpec())
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/jobs", bytes.NewReader(body))
+	req.Header.Set("X-CWC-Tenant", "small")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := new(bytes.Buffer)
+	msg.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-budget submit: status %d (%s), want 429", resp.StatusCode, msg)
+	}
+	if !bytes.Contains(msg.Bytes(), []byte("budget")) {
+		t.Fatalf("429 body does not mention the budget: %s", msg)
+	}
+
+	// The typed error is visible on the native API too.
+	if _, err := svc.SubmitAs(slowSpec(), "small"); !errors.Is(err, serve.ErrQuotaExceeded) {
+		t.Fatalf("SubmitAs over budget: %v, want ErrQuotaExceeded", err)
+	}
+
+	// Other tenants are unaffected by one tenant's exhausted budget.
+	if _, code := submitTenant(t, ts.URL, slowSpec(), "other"); code != http.StatusCreated {
+		t.Fatalf("unrelated tenant rejected with %d", code)
+	}
+
+	// Cancelling the admitted job releases its budget synchronously.
+	cancelJob(t, ts.URL, st1.ID)
+	if _, code := submitTenant(t, ts.URL, slowSpec(), "small"); code != http.StatusCreated {
+		t.Fatalf("budget not released after cancel: submit got %d", code)
+	}
+}

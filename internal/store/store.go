@@ -85,6 +85,9 @@ type JobRecord struct {
 	ID          string
 	Spec        json.RawMessage
 	SubmittedAt time.Time
+	// Tenant is the submitting tenant's id ("" in journals written before
+	// multi-tenancy; recovery treats that as the default tenant).
+	Tenant string
 
 	// WindowCount is the number of windows durably published (the resume
 	// frontier is WindowCount·step); Windows retains the most recent of
@@ -243,6 +246,7 @@ func (s *Store) apply(ev *event) {
 			ID:          ev.Job,
 			Spec:        ev.Spec,
 			SubmittedAt: time.Unix(0, ev.At),
+			Tenant:      ev.Tenant,
 			ckpts:       make(map[int][]Checkpoint),
 		}
 		s.jobs[ev.Job] = rec
@@ -303,10 +307,10 @@ func (s *Store) Recovered() []*JobRecord {
 	return out
 }
 
-// AppendSubmit journals a new job's spec (fsynced: losing a submission
-// the client was told about is not acceptable).
-func (s *Store) AppendSubmit(id string, at time.Time, spec json.RawMessage) error {
-	return s.append(&event{Type: evSubmit, Job: id, At: at.UnixNano(), Spec: spec}, true)
+// AppendSubmit journals a new job's spec and owning tenant (fsynced:
+// losing a submission the client was told about is not acceptable).
+func (s *Store) AppendSubmit(id string, at time.Time, spec json.RawMessage, tenant string) error {
+	return s.append(&event{Type: evSubmit, Job: id, At: at.UnixNano(), Spec: spec, Tenant: tenant}, true)
 }
 
 // AppendWindow journals one published window. seq must be the job's next
@@ -418,7 +422,7 @@ func (s *Store) compactLocked() error {
 				continue
 			}
 			kept = append(kept, id)
-			if err := emit(&event{Type: evSubmit, Job: id, At: rec.SubmittedAt.UnixNano(), Spec: rec.Spec}); err != nil {
+			if err := emit(&event{Type: evSubmit, Job: id, At: rec.SubmittedAt.UnixNano(), Spec: rec.Spec, Tenant: rec.Tenant}); err != nil {
 				return err
 			}
 			// Only the retained window tail survives compaction; a frontier

@@ -37,7 +37,7 @@ func TestJournalRoundTrip(t *testing.T) {
 	s := openStore(t, dir, Options{})
 	at := time.Unix(0, 12345)
 	spec := json.RawMessage(`{"model":"sir","trajectories":4}`)
-	if err := s.AppendSubmit("job-000001", at, spec); err != nil {
+	if err := s.AppendSubmit("job-000001", at, spec, "alice"); err != nil {
 		t.Fatal(err)
 	}
 	for seq := 0; seq < 5; seq++ {
@@ -50,7 +50,7 @@ func TestJournalRoundTrip(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if err := s.AppendSubmit("job-000002", at, spec); err != nil {
+	if err := s.AppendSubmit("job-000002", at, spec, ""); err != nil {
 		t.Fatal(err)
 	}
 	if err := s.AppendTerminal("job-000002", "done", "", json.RawMessage(`{"state":"done"}`)); err != nil {
@@ -71,6 +71,9 @@ func TestJournalRoundTrip(t *testing.T) {
 	}
 	if !j1.SubmittedAt.Equal(at) || string(j1.Spec) != string(spec) {
 		t.Fatalf("job 1 spec/time: %s at %v", j1.Spec, j1.SubmittedAt)
+	}
+	if j1.Tenant != "alice" || recs[1].Tenant != "" {
+		t.Fatalf("tenant ids lost in replay: %q / %q", j1.Tenant, recs[1].Tenant)
 	}
 	if j1.WindowCount != 5 || len(j1.Windows) != 5 || j1.FirstRetained != 0 {
 		t.Fatalf("job 1 windows: count=%d retained=%d first=%d", j1.WindowCount, len(j1.Windows), j1.FirstRetained)
@@ -103,7 +106,7 @@ func TestJournalRoundTrip(t *testing.T) {
 func TestTornTailTruncated(t *testing.T) {
 	dir := t.TempDir()
 	s := openStore(t, dir, Options{})
-	if err := s.AppendSubmit("job-000001", time.Now(), json.RawMessage(`{}`)); err != nil {
+	if err := s.AppendSubmit("job-000001", time.Now(), json.RawMessage(`{}`), ""); err != nil {
 		t.Fatal(err)
 	}
 	for seq := 0; seq < 3; seq++ {
@@ -148,7 +151,7 @@ func TestTornTailTruncated(t *testing.T) {
 func TestCorruptFrameStopsReplay(t *testing.T) {
 	dir := t.TempDir()
 	s := openStore(t, dir, Options{})
-	if err := s.AppendSubmit("job-000001", time.Now(), json.RawMessage(`{}`)); err != nil {
+	if err := s.AppendSubmit("job-000001", time.Now(), json.RawMessage(`{}`), ""); err != nil {
 		t.Fatal(err)
 	}
 	mark := s.Stats().JournalBytes
@@ -181,7 +184,7 @@ func TestCompaction(t *testing.T) {
 	dir := t.TempDir()
 	s := openStore(t, dir, Options{RetainWindows: 4})
 	spec := json.RawMessage(`{"model":"sir"}`)
-	if err := s.AppendSubmit("job-000001", time.Now(), spec); err != nil {
+	if err := s.AppendSubmit("job-000001", time.Now(), spec, "t1"); err != nil {
 		t.Fatal(err)
 	}
 	for seq := 0; seq < 10; seq++ {
@@ -195,7 +198,7 @@ func TestCompaction(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if err := s.AppendSubmit("job-000002", time.Now(), spec); err != nil {
+	if err := s.AppendSubmit("job-000002", time.Now(), spec, "t2"); err != nil {
 		t.Fatal(err)
 	}
 	if err := s.AppendTerminal("job-000002", "failed", "boom", json.RawMessage(`{}`)); err != nil {
@@ -227,6 +230,9 @@ func TestCompaction(t *testing.T) {
 	if j.Windows[0].Start != 6*4 {
 		t.Fatalf("retained tail starts at %d", j.Windows[0].Start)
 	}
+	if j.Tenant != "t1" {
+		t.Fatalf("tenant id lost in compaction: %q", j.Tenant)
+	}
 	if cp, ok := j.BestCheckpoint(0, 1000); !ok || cp.NextIdx != 31*4 {
 		t.Fatalf("newest checkpoint lost: %+v ok=%v", cp, ok)
 	}
@@ -239,7 +245,7 @@ func TestCompaction(t *testing.T) {
 func TestAutoCompaction(t *testing.T) {
 	dir := t.TempDir()
 	s := openStore(t, dir, Options{CompactBytes: 4096})
-	if err := s.AppendSubmit("job-000001", time.Now(), json.RawMessage(`{}`)); err != nil {
+	if err := s.AppendSubmit("job-000001", time.Now(), json.RawMessage(`{}`), ""); err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 200; i++ {

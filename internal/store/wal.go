@@ -73,6 +73,10 @@ type event struct {
 	Type eventType `json:"t"`
 	Job  string    `json:"job"`
 	At   int64     `json:"at,omitempty"` // unix nanos, submit only
+	// Tenant is the submitting tenant's id (submit only). Absent in
+	// journals written before multi-tenancy; recovery maps that to the
+	// default tenant.
+	Tenant string `json:"tenant,omitempty"`
 
 	Spec   json.RawMessage  `json:"spec,omitempty"`
 	Seq    int              `json:"seq,omitempty"`

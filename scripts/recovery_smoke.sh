@@ -4,6 +4,11 @@
 # resumed job's window-stats digest to be bit-identical to an
 # uninterrupted single-process run of the same spec.
 #
+# The durable server runs the tenant-aware control plane (-scheduler wfq,
+# -default-tenant-concurrency 1): the digest job belongs to tenant alice,
+# tenant bob holds one running job and one queued behind it, and after the
+# kill+restart the tenant ids AND bob's queue position must have survived.
+#
 # Needs: go, curl, jq, sha256sum. Run from the repo root. Set
 # RECOVERY_DATA_DIR to keep the data dir for debugging (CI uploads it on
 # failure).
@@ -47,10 +52,22 @@ REF_WINDOWS=$(jq -re .status.progress.windows "$BIN/ref.json")
 
 # Durable server: submit, wait until some windows are published but the
 # job is still running, then SIGKILL — no shutdown path runs at all.
-"$BIN/cwc-serve" -listen "$DUR" -sim-workers 2 -data-dir "$DATA" &
+TENANT_FLAGS="-scheduler wfq -default-tenant-concurrency 1"
+"$BIN/cwc-serve" -listen "$DUR" -sim-workers 2 -data-dir "$DATA" $TENANT_FLAGS &
 DUR_PID=$!
 wait_healthy "$DUR"
-DUR_ID=$(curl -fsS "http://$DUR/jobs" -d "$SPEC" | jq -re .id)
+DUR_ID=$(curl -fsS "http://$DUR/jobs" -H 'X-CWC-Tenant: alice' -d "$SPEC" | jq -re .id)
+
+# Tenant bob: one long-running job (holds bob's single concurrency slot
+# across the crash) and one queued behind it at position 1.
+BOB_SPEC='{"model":"neurospora","omega":5000,"trajectories":16,"end":600,"period":0.125,"window":8,"step":8,"seed":7}'
+BOB1_ID=$(curl -fsS "http://$DUR/jobs" -H 'X-CWC-Tenant: bob' -d "$BOB_SPEC" | jq -re .id)
+BOB2=$(curl -fsS "http://$DUR/jobs" -H 'X-CWC-Tenant: bob' -d "$SPEC")
+BOB2_ID=$(jq -re .id <<<"$BOB2")
+if [ "$(jq -re .state <<<"$BOB2")" != queued ] || [ "$(jq -re .queue_position <<<"$BOB2")" != 1 ]; then
+  echo "FAIL: bob's second job should queue at position 1, got: $BOB2" >&2
+  exit 1
+fi
 
 MIDRUN=0
 for _ in $(seq 1 300); do
@@ -71,9 +88,33 @@ echo "killed cwc-serve mid-run at $WINDOWS/$REF_WINDOWS windows"
 
 # Restart on the same data dir: the job must be recovered, resumed and
 # finished with the reference digest.
-"$BIN/cwc-serve" -listen "$DUR" -sim-workers 2 -data-dir "$DATA" &
+"$BIN/cwc-serve" -listen "$DUR" -sim-workers 2 -data-dir "$DATA" $TENANT_FLAGS &
 wait_healthy "$DUR"
+
+# Tenant state survived the SIGKILL: ids are intact, bob's running job
+# holds his slot again and his queued job is still waiting at position 1.
+BOB2_ST=$(curl -fsS "http://$DUR/jobs/$BOB2_ID")
+if [ "$(jq -re .tenant <<<"$BOB2_ST")" != bob ] || \
+   [ "$(jq -re .state <<<"$BOB2_ST")" != queued ] || \
+   [ "$(jq -re .queue_position <<<"$BOB2_ST")" != 1 ]; then
+  echo "FAIL: bob's queued job did not survive the restart intact: $BOB2_ST" >&2
+  exit 1
+fi
+if [ "$(curl -fsS "http://$DUR/jobs/$DUR_ID" | jq -re .tenant)" != alice ]; then
+  echo "FAIL: alice's tenant id lost across the restart" >&2
+  exit 1
+fi
+BOB_ROW=$(curl -fsS "http://$DUR/tenants" | jq -c '.[] | select(.name == "bob")')
+if [ "$(jq -re .active <<<"$BOB_ROW")" != 1 ] || [ "$(jq -re .queued <<<"$BOB_ROW")" != 1 ]; then
+  echo "FAIL: GET /tenants after restart: $BOB_ROW (want bob active=1 queued=1)" >&2
+  exit 1
+fi
+echo "tenant state recovered: bob active=1, queued job $BOB2_ID still at position 1"
+
 curl -fsS "http://$DUR/jobs/$DUR_ID/result?wait=true" >"$BIN/resumed.json"
+# Bob's jobs have proven their point; free the pool for the digest check.
+curl -fsS -X DELETE "http://$DUR/jobs/$BOB1_ID" >/dev/null
+curl -fsS -X DELETE "http://$DUR/jobs/$BOB2_ID" >/dev/null
 STATE=$(jq -re .status.state "$BIN/resumed.json")
 if [ "$STATE" != done ]; then
   echo "FAIL: resumed job ended $STATE: $(jq -r .status.error "$BIN/resumed.json")" >&2
