@@ -93,6 +93,9 @@ func run() error {
 		maxCuts        = flag.Int("max-cuts", 1_000_000, "maximum samples per trajectory (end/period)")
 		dataDir        = flag.String("data-dir", "", "durable job store directory (empty = in-memory only, nothing survives a restart)")
 		ckptSamples    = flag.Int("checkpoint-samples", 16, "journal a trajectory checkpoint every N samples (with -data-dir)")
+		replicaID      = flag.String("replica-id", "", "this server's identity in a replicated tier sharing -data-dir; enables job leases and failover (empty = standalone)")
+		leaseTTL       = flag.Duration("lease-ttl", 10*time.Second, "job-ownership lease duration (with -replica-id); a crashed replica's jobs fail over after at most this long")
+		advertiseURL   = flag.String("advertise-url", "", "base URL other replicas redirect/proxy to for jobs this replica owns, e.g. http://host:8080 (with -replica-id)")
 		scheduler      = flag.String("scheduler", "fifo", "quantum dispatch discipline: fifo (arrival order) or wfq (weighted fair share across tenants)")
 		tenantConc     = flag.Int("default-tenant-concurrency", 0, "per-tenant running-job cap; submissions beyond it queue with a position (0 = unlimited)")
 		tenantQueue    = flag.Int("default-tenant-queue", 16, "per-tenant admission queue depth; submissions beyond it get 429")
@@ -142,6 +145,9 @@ func run() error {
 		WorkerTTL:                *workerTTL,
 		DataDir:                  *dataDir,
 		CheckpointSamples:        *ckptSamples,
+		ReplicaID:                *replicaID,
+		LeaseTTL:                 *leaseTTL,
+		AdvertiseURL:             *advertiseURL,
 		Scheduler:                *scheduler,
 		DefaultTenantConcurrency: *tenantConc,
 		DefaultTenantQueue:       *tenantQueue,
@@ -165,6 +171,9 @@ func run() error {
 		buildinfo.Version, *listen, svc.Workers(), svc.StatEngines(), len(workerAddrs))
 	if *dataDir != "" {
 		fmt.Fprintf(os.Stderr, "cwc-serve: durable job store at %s (checkpoint every %d samples)\n", *dataDir, *ckptSamples)
+	}
+	if *replicaID != "" {
+		fmt.Fprintf(os.Stderr, "cwc-serve: replica %q in tier at %s (lease ttl %s)\n", *replicaID, *dataDir, *leaseTTL)
 	}
 
 	select {

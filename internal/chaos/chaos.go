@@ -1,0 +1,163 @@
+// Package chaos is a deterministic, seedable fault-injection layer for
+// the serve/store/lease stack. Production code consults named fault
+// points through a *Injector that is nil by default — every method is
+// nil-safe and an unarmed point never fires, so the hooks cost one nil
+// check on the hot path and nothing else.
+//
+// Tests build an Injector from a fixed seed and arm individual points
+// with a probability, an optional delay, and optional after/limit
+// bounds. Each point draws from its own splitmix64 stream (derived from
+// the injector seed and the point name), so arming one point never
+// perturbs the decision sequence of another and a given seed always
+// yields the same fault schedule.
+package chaos
+
+import (
+	"sync"
+	"time"
+)
+
+// Point names a fault-injection site. The constants below are the
+// points wired into the codebase; an Injector accepts arbitrary names
+// so tests can add private points without touching this package.
+type Point string
+
+const (
+	// RecvDrop: serve-side dff reader drops the connection instead of
+	// delivering the next ResultMsg (simulates a worker link failure).
+	RecvDrop Point = "recv-drop"
+	// RecvDup: serve-side dff reader delivers the next ResultMsg twice
+	// (the dedup filter must squash the duplicate).
+	RecvDup Point = "recv-dup"
+	// RecvDelay: serve-side dff reader sleeps Rule.Delay before
+	// delivering the next ResultMsg (reorders progress across workers).
+	RecvDelay Point = "recv-delay"
+	// FsyncStall: the store sleeps Rule.Delay before each journal
+	// fsync (simulates a disk that has gone slow).
+	FsyncStall Point = "fsync-stall"
+	// LeaseExpireEarly: a lease manager judging ANOTHER owner's lease
+	// treats it as already expired (premature steal — exercises the
+	// fencing path with the previous owner still alive).
+	LeaseExpireEarly Point = "lease-expire-early"
+)
+
+// Rule arms a fault point.
+type Rule struct {
+	// Prob is the per-evaluation fire probability in [0,1]; >=1 always
+	// fires, <=0 never does.
+	Prob float64
+	// Delay is returned by Stall when the point fires (for sleep-style
+	// points); Fire-style points ignore it.
+	Delay time.Duration
+	// After skips the first N evaluations before the point may fire.
+	After int
+	// Limit caps the total number of fires; 0 means unlimited.
+	Limit int
+}
+
+type point struct {
+	rng   uint64
+	rule  Rule
+	calls int
+	fired int
+}
+
+// Injector holds armed fault points. The zero value is not used;
+// construct with New. A nil *Injector is the "chaos off" value.
+type Injector struct {
+	mu     sync.Mutex
+	seed   uint64
+	points map[Point]*point
+}
+
+// New returns an Injector whose fault schedule is fully determined by
+// seed (per point, given an identical evaluation sequence).
+func New(seed uint64) *Injector {
+	return &Injector{seed: seed, points: make(map[Point]*point)}
+}
+
+// Arm installs (or replaces) the rule for a point and resets its
+// counters and rng stream. Arming a nil Injector panics — arm only the
+// injectors you constructed.
+func (in *Injector) Arm(p Point, r Rule) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.points[p] = &point{rng: in.seed ^ fnv64(string(p)), rule: r}
+}
+
+// Fire reports whether the point fires at this evaluation. Nil-safe;
+// unarmed points never fire.
+func (in *Injector) Fire(p Point) bool {
+	if in == nil {
+		return false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	pt, ok := in.points[p]
+	if !ok {
+		return false
+	}
+	pt.calls++
+	if pt.calls <= pt.rule.After {
+		return false
+	}
+	if pt.rule.Limit > 0 && pt.fired >= pt.rule.Limit {
+		return false
+	}
+	// Draw even when Prob>=1 so the stream position only depends on
+	// the evaluation count, not on the armed probability.
+	u := splitmix64(&pt.rng)
+	if pt.rule.Prob < 1 && float64(u>>11)/(1<<53) >= pt.rule.Prob {
+		return false
+	}
+	pt.fired++
+	return true
+}
+
+// Stall is Fire for sleep-style points: it returns the armed delay when
+// the point fires and 0 otherwise. The caller sleeps; the injector
+// never blocks.
+func (in *Injector) Stall(p Point) time.Duration {
+	if in == nil {
+		return 0
+	}
+	if !in.Fire(p) {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.points[p].rule.Delay
+}
+
+// Fired returns how many times the point has fired. Nil-safe.
+func (in *Injector) Fired(p Point) int {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	pt, ok := in.points[p]
+	if !ok {
+		return 0
+	}
+	return pt.fired
+}
+
+// splitmix64 advances *s and returns the next value of the stream.
+func splitmix64(s *uint64) uint64 {
+	*s += 0x9e3779b97f4a7c15
+	z := *s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// fnv64 hashes a point name into a per-point stream offset.
+func fnv64(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

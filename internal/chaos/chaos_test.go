@@ -1,0 +1,102 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+)
+
+// A nil injector and unarmed points are inert: this is the production
+// default, so it must never fire and never panic.
+func TestNilAndUnarmedAreInert(t *testing.T) {
+	var in *Injector
+	if in.Fire(RecvDrop) {
+		t.Fatal("nil injector fired")
+	}
+	if d := in.Stall(FsyncStall); d != 0 {
+		t.Fatalf("nil injector stalled %v", d)
+	}
+	if n := in.Fired(RecvDup); n != 0 {
+		t.Fatalf("nil injector Fired = %d", n)
+	}
+	live := New(1)
+	if live.Fire(RecvDrop) {
+		t.Fatal("unarmed point fired")
+	}
+}
+
+// The same seed must yield the same fire sequence — the chaos suite's
+// determinism claim rests on this.
+func TestSameSeedSameSchedule(t *testing.T) {
+	run := func() []bool {
+		in := New(0xc0ffee)
+		in.Arm(RecvDrop, Rule{Prob: 0.3})
+		in.Arm(RecvDelay, Rule{Prob: 0.5, Delay: time.Millisecond})
+		out := make([]bool, 0, 200)
+		for i := 0; i < 100; i++ {
+			out = append(out, in.Fire(RecvDrop))
+			out = append(out, in.Stall(RecvDelay) != 0)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedules diverge at evaluation %d", i)
+		}
+	}
+}
+
+// Per-point streams are independent: arming (and drawing from) one
+// point must not change another point's decisions.
+func TestPointStreamsIndependent(t *testing.T) {
+	solo := New(42)
+	solo.Arm(RecvDrop, Rule{Prob: 0.4})
+	var want []bool
+	for i := 0; i < 50; i++ {
+		want = append(want, solo.Fire(RecvDrop))
+	}
+
+	both := New(42)
+	both.Arm(RecvDrop, Rule{Prob: 0.4})
+	both.Arm(RecvDup, Rule{Prob: 0.9})
+	for i := 0; i < 50; i++ {
+		both.Fire(RecvDup) // interleaved draws on another point
+		if got := both.Fire(RecvDrop); got != want[i] {
+			t.Fatalf("RecvDrop decision %d perturbed by RecvDup draws", i)
+		}
+	}
+}
+
+func TestAfterAndLimitBounds(t *testing.T) {
+	in := New(7)
+	in.Arm(FsyncStall, Rule{Prob: 1, Delay: 5 * time.Millisecond, After: 3, Limit: 2})
+	var fired int
+	for i := 0; i < 10; i++ {
+		if in.Stall(FsyncStall) != 0 {
+			if i < 3 {
+				t.Fatalf("fired during After window at evaluation %d", i)
+			}
+			fired++
+		}
+	}
+	if fired != 2 {
+		t.Fatalf("fired %d times, Limit 2", fired)
+	}
+	if got := in.Fired(FsyncStall); got != 2 {
+		t.Fatalf("Fired() = %d, want 2", got)
+	}
+}
+
+func TestProbBounds(t *testing.T) {
+	in := New(9)
+	in.Arm(RecvDup, Rule{Prob: 0})
+	in.Arm(RecvDrop, Rule{Prob: 1})
+	for i := 0; i < 100; i++ {
+		if in.Fire(RecvDup) {
+			t.Fatal("Prob 0 fired")
+		}
+		if !in.Fire(RecvDrop) {
+			t.Fatal("Prob 1 did not fire")
+		}
+	}
+}

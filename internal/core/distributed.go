@@ -91,6 +91,12 @@ type JobHeader struct {
 	Quantum  float64
 	Period   float64
 	BaseSeed int64
+	// CheckpointSamples > 0 asks the worker to piggyback an engine
+	// snapshot on the quantum that crosses each N-sample boundary
+	// (ResultMsg.Ckpt), so a durable master can advance its checkpoint
+	// ladder with remote progress. Zero disables shipping (masters
+	// without a store, and pre-checkpoint peers, send zero).
+	CheckpointSamples int
 }
 
 // WorkerMsg is the master→worker stream: a header first, then one message
@@ -127,7 +133,13 @@ type ResultMsg struct {
 	// ElapsedNs is the worker-measured service time of this quantum, which
 	// feeds the master's ETA model exactly like a local quantum would.
 	ElapsedNs int64
-	Trailer   *WorkerTrailer
+	// Ckpt, when non-empty, is a sim.Task.Snapshot blob taken right
+	// after this quantum, with CkptNext the next sample index the
+	// restored task would emit (JobHeader.CheckpointSamples cadence).
+	// Requeue replays may duplicate checkpoints; they are idempotent.
+	Ckpt     []byte
+	CkptNext int
+	Trailer  *WorkerTrailer
 }
 
 // ModelResolver maps a model reference to a simulator factory. Workers
@@ -171,12 +183,14 @@ func ServeSimWorkerLimited(ctx context.Context, l net.Listener, simWorkers, maxJ
 // way from the local simulation farm to the connection's collector (which
 // serialises it as a ResultMsg and recycles the batch).
 type workerDelivery struct {
-	traj    int
-	batch   *sim.Batch
-	done    bool
-	dead    bool
-	steps   uint64
-	elapsed time.Duration
+	traj     int
+	batch    *sim.Batch
+	done     bool
+	dead     bool
+	steps    uint64
+	elapsed  time.Duration
+	ckpt     []byte
+	ckptNext int
 }
 
 func handleJob(ctx context.Context, conn net.Conn, simWorkers int, resolver ModelResolver) error {
@@ -233,6 +247,7 @@ func handleJob(ctx context.Context, conn net.Conn, simWorkers int, resolver Mode
 		var fb *sim.Task // per-worker feedback cell, read before the next DoStep
 		return ff.FeedbackWorkerFunc[*sim.Task, workerDelivery](func(_ context.Context, task *sim.Task, emit ff.Emit[workerDelivery]) (**sim.Task, error) {
 			start := time.Now()
+			idxBefore := task.NextIndex()
 			b := sim.GetBatch()
 			if err := task.RunQuantumBatch(b); err != nil {
 				b.Release()
@@ -242,6 +257,15 @@ func handleJob(ctx context.Context, conn net.Conn, simWorkers int, resolver Mode
 			if len(b.Samples) == 0 {
 				b.Release()
 				d.batch = nil
+			}
+			// Checkpoint shipping: snapshot on the quantum that crossed
+			// an N-sample boundary. The cadence is stateless — derived
+			// from sample indices alone — so a trajectory requeued to
+			// another worker keeps the same checkpoint schedule.
+			if n := hdr.CheckpointSamples; n > 0 && !task.Done() && idxBefore/n != task.NextIndex()/n {
+				if data, ok, err := task.Snapshot(); err == nil && ok {
+					d.ckpt, d.ckptNext = data, task.NextIndex()
+				}
 			}
 			if task.Done() {
 				d.done, d.dead, d.steps = true, task.Dead(), task.Steps()
@@ -265,6 +289,8 @@ func handleJob(ctx context.Context, conn net.Conn, simWorkers int, resolver Mode
 			Dead:      d.dead,
 			Steps:     d.steps,
 			ElapsedNs: int64(d.elapsed),
+			Ckpt:      d.ckpt,
+			CkptNext:  d.ckptNext,
 		}
 		if d.batch != nil {
 			// The samples alias the batch arena; gob copies them during

@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net"
 	"sync"
 	"time"
@@ -178,8 +179,10 @@ func Dial(addr string, timeout time.Duration) (net.Conn, error) {
 
 // DialRetry dials addr up to attempts times with backoff between tries,
 // honouring ctx between attempts — the reconnect path of a master or
-// scheduler whose worker is restarting. The last dial error is returned if
-// every attempt fails.
+// scheduler whose worker is restarting. Each wait is jittered uniformly
+// over [backoff/2, backoff*3/2], so a fleet of clients dropped by one
+// restarting peer does not re-dial it in lockstep. The last dial error
+// is returned if every attempt fails.
 func DialRetry(ctx context.Context, addr string, timeout time.Duration, attempts int, backoff time.Duration) (net.Conn, error) {
 	if attempts < 1 {
 		attempts = 1
@@ -190,7 +193,7 @@ func DialRetry(ctx context.Context, addr string, timeout time.Duration, attempts
 			select {
 			case <-ctx.Done():
 				return nil, ctx.Err()
-			case <-time.After(backoff):
+			case <-time.After(retryJitter(backoff)):
 			}
 		}
 		conn, err := Dial(addr, timeout)
@@ -200,6 +203,16 @@ func DialRetry(ctx context.Context, addr string, timeout time.Duration, attempts
 		lastErr = err
 	}
 	return nil, lastErr
+}
+
+// retryJitter spreads a nominal backoff uniformly over [d/2, d*3/2].
+// The mean is preserved, so attempts*backoff still bounds the expected
+// total wait.
+func retryJitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	return d/2 + time.Duration(rand.Int64N(int64(d)+1))
 }
 
 // Listen opens a TCP listener. addr "127.0.0.1:0" picks a free port

@@ -541,3 +541,31 @@ func TestDialRetryHonoursContext(t *testing.T) {
 		t.Fatalf("DialRetry = %v, want context.Canceled", err)
 	}
 }
+
+func TestRetryJitterStaysWithinHalfToThreeHalves(t *testing.T) {
+	const base = 100 * time.Millisecond
+	lo, hi := base, base
+	for i := 0; i < 10000; i++ {
+		d := retryJitter(base)
+		if d < base/2 || d > base+base/2 {
+			t.Fatalf("retryJitter(%v) = %v, want within [%v, %v]", base, d, base/2, base+base/2)
+		}
+		if d < lo {
+			lo = d
+		}
+		if d > hi {
+			hi = d
+		}
+	}
+	// The draw should actually spread: 10k samples over a 100ms range
+	// landing in a 10ms band would mean the jitter is vestigial.
+	if hi-lo < base/10 {
+		t.Fatalf("retryJitter spread only [%v, %v] over 10k draws", lo, hi)
+	}
+	if got := retryJitter(0); got != 0 {
+		t.Fatalf("retryJitter(0) = %v, want 0", got)
+	}
+	if got := retryJitter(-time.Second); got != 0 {
+		t.Fatalf("retryJitter(-1s) = %v, want 0", got)
+	}
+}

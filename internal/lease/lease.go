@@ -1,0 +1,412 @@
+// Package lease implements file-based job-ownership leases for a
+// replicated cwc-serve tier. N replicas share one store directory;
+// exactly one replica may drive a given job at a time, and that claim
+// is a lease: a small JSON file per job carrying the owner's replica
+// id, a monotonically increasing fencing epoch, an expiry deadline, and
+// the owner's advertised URL (so non-owners can redirect or proxy).
+//
+// Protocol:
+//
+//   - Acquire creates the lease at epoch 1, or STEALS it at epoch+1
+//     when the current lease is released, expired, or already ours
+//     (self re-acquire after a restart). A live lease held by another
+//     owner returns *HeldError.
+//   - Renew extends the expiry of a lease we hold. If the on-disk
+//     epoch has advanced — another replica stole it — Renew returns
+//     ErrLost and drops the lease from the held set; the caller must
+//     stop writing for that job immediately.
+//   - Release marks the lease released but keeps the file (owner
+//     intact), so other replicas can still find the last owner's
+//     journal for terminal jobs.
+//   - Check is the store-side fence: it succeeds only while the lease
+//     is in the held set AND unexpired by the local clock. A stalled
+//     owner whose lease has lapsed is fenced by its own clock before
+//     any thief is even observed — the classic lease discipline.
+//
+// Cross-process atomicity uses an O_EXCL .lock file per job around a
+// read-check-write-rename cycle; locks abandoned by a crashed process
+// are broken after they go stale. Mutations are temp-file + rename, so
+// readers never observe a torn lease.
+package lease
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"cwcflow/internal/chaos"
+)
+
+// ErrLost reports that the lease epoch advanced under us: another
+// replica stole the job, and every further write for it must stop.
+var ErrLost = errors.New("lease lost: epoch advanced by another owner")
+
+// HeldError is returned by Acquire when the lease is live under
+// another owner; it carries that lease so callers can redirect.
+type HeldError struct{ Lease Lease }
+
+func (e *HeldError) Error() string {
+	return fmt.Sprintf("lease for %s held by %s at epoch %d", e.Lease.Job, e.Lease.Owner, e.Lease.Epoch)
+}
+
+// Lease is the on-disk record, one file per job under <dir>/<job>.lease.
+type Lease struct {
+	Job      string `json:"job"`
+	Owner    string `json:"owner"`
+	Epoch    uint64 `json:"epoch"`
+	Expires  int64  `json:"expires_unix_nano"`
+	URL      string `json:"url,omitempty"`
+	Released bool   `json:"released,omitempty"`
+}
+
+// ExpiresAt returns the expiry deadline as a time.
+func (l Lease) ExpiresAt() time.Time { return time.Unix(0, l.Expires) }
+
+// Options configures a Manager.
+type Options struct {
+	// Dir is the shared lease directory (created if missing).
+	Dir string
+	// Owner is this replica's id; it must be non-empty and path-safe.
+	Owner string
+	// URL is this replica's advertised base URL, stored in every lease
+	// it takes so non-owners can redirect/proxy (may be empty).
+	URL string
+	// TTL is the lease duration granted by Acquire and Renew.
+	TTL time.Duration
+	// Now overrides the clock (tests); defaults to time.Now.
+	Now func() time.Time
+	// Chaos, when armed with LeaseExpireEarly, makes this manager
+	// treat other owners' live leases as expired (premature steal).
+	Chaos *chaos.Injector
+}
+
+// Manager grants, renews, and releases leases on behalf of one
+// replica, and tracks the set it currently holds for fencing.
+type Manager struct {
+	dir   string
+	owner string
+	url   string
+	ttl   time.Duration
+	now   func() time.Time
+	chaos *chaos.Injector
+
+	mu   sync.Mutex
+	held map[string]Lease
+}
+
+// NewManager validates opts, creates the lease directory, and returns
+// a manager holding no leases.
+func NewManager(opts Options) (*Manager, error) {
+	if err := validName(opts.Owner); err != nil {
+		return nil, fmt.Errorf("lease owner: %w", err)
+	}
+	if opts.TTL <= 0 {
+		return nil, fmt.Errorf("lease TTL must be positive, got %v", opts.TTL)
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	now := opts.Now
+	if now == nil {
+		now = time.Now
+	}
+	return &Manager{
+		dir:   opts.Dir,
+		owner: opts.Owner,
+		url:   opts.URL,
+		ttl:   opts.TTL,
+		now:   now,
+		chaos: opts.Chaos,
+		held:  make(map[string]Lease),
+	}, nil
+}
+
+// Owner returns this manager's replica id.
+func (m *Manager) Owner() string { return m.owner }
+
+// TTL returns the lease duration this manager grants.
+func (m *Manager) TTL() time.Duration { return m.ttl }
+
+// Acquire takes the lease for job: fresh at epoch 1, or stolen at
+// epoch+1 when the current lease is released, expired (possibly by an
+// armed LeaseExpireEarly chaos point), or our own. A live foreign
+// lease returns *HeldError.
+func (m *Manager) Acquire(job string) (Lease, error) {
+	if err := validName(job); err != nil {
+		return Lease{}, fmt.Errorf("lease job: %w", err)
+	}
+	var out Lease
+	err := m.withLock(job, func() error {
+		cur, ok, err := readLease(m.path(job))
+		if err != nil {
+			return err
+		}
+		now := m.now()
+		epoch := uint64(1)
+		if ok {
+			if !m.stealable(cur, now) {
+				return &HeldError{Lease: cur}
+			}
+			epoch = cur.Epoch + 1
+		}
+		out = Lease{
+			Job:     job,
+			Owner:   m.owner,
+			Epoch:   epoch,
+			Expires: now.Add(m.ttl).UnixNano(),
+			URL:     m.url,
+		}
+		return m.write(out)
+	})
+	if err != nil {
+		return Lease{}, err
+	}
+	m.mu.Lock()
+	m.held[job] = out
+	m.mu.Unlock()
+	return out, nil
+}
+
+// stealable reports whether cur may be taken over right now.
+func (m *Manager) stealable(cur Lease, now time.Time) bool {
+	if cur.Owner == m.owner || cur.Released || now.UnixNano() >= cur.Expires {
+		return true
+	}
+	return m.chaos.Fire(chaos.LeaseExpireEarly)
+}
+
+// Renew extends the expiry of a held lease. ErrLost means the epoch
+// advanced (or the lease vanished): the job belongs to someone else
+// now and has been dropped from the held set. Other errors are
+// transient I/O failures; the lease stays held and will fence itself
+// through Check when the old expiry lapses.
+func (m *Manager) Renew(job string) (Lease, error) {
+	m.mu.Lock()
+	cur, ok := m.held[job]
+	m.mu.Unlock()
+	if !ok {
+		return Lease{}, ErrLost
+	}
+	var out Lease
+	err := m.withLock(job, func() error {
+		disk, ok, err := readLease(m.path(job))
+		if err != nil {
+			return err
+		}
+		if !ok || disk.Owner != m.owner || disk.Epoch != cur.Epoch || disk.Released {
+			return ErrLost
+		}
+		out = disk
+		out.Expires = m.now().Add(m.ttl).UnixNano()
+		return m.write(out)
+	})
+	if errors.Is(err, ErrLost) {
+		m.mu.Lock()
+		delete(m.held, job)
+		m.mu.Unlock()
+		return Lease{}, ErrLost
+	}
+	if err != nil {
+		return Lease{}, err
+	}
+	m.mu.Lock()
+	m.held[job] = out
+	m.mu.Unlock()
+	return out, nil
+}
+
+// Release drops a held lease: the file is marked released but kept, so
+// the owner id keeps pointing at the journal that holds the job's
+// authoritative history. Releasing a lease we no longer hold is a
+// no-op.
+func (m *Manager) Release(job string) {
+	m.mu.Lock()
+	cur, ok := m.held[job]
+	delete(m.held, job)
+	m.mu.Unlock()
+	if !ok {
+		return
+	}
+	_ = m.withLock(job, func() error {
+		disk, ok, err := readLease(m.path(job))
+		if err != nil || !ok || disk.Owner != m.owner || disk.Epoch != cur.Epoch {
+			return err
+		}
+		disk.Released = true
+		return m.write(disk)
+	})
+}
+
+// Check is the store fence: nil only while the lease for job is held
+// and unexpired by the local clock.
+func (m *Manager) Check(job string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	cur, ok := m.held[job]
+	if !ok {
+		return fmt.Errorf("lease for %s not held by %s", job, m.owner)
+	}
+	if m.now().UnixNano() >= cur.Expires {
+		return fmt.Errorf("lease for %s expired at epoch %d (fenced pending renewal)", job, cur.Epoch)
+	}
+	return nil
+}
+
+// Held returns the lease for job from the held set, if present.
+func (m *Manager) Held(job string) (Lease, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	l, ok := m.held[job]
+	return l, ok
+}
+
+// HeldJobs returns the job ids of every held lease.
+func (m *Manager) HeldJobs() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	jobs := make([]string, 0, len(m.held))
+	for j := range m.held {
+		jobs = append(jobs, j)
+	}
+	return jobs
+}
+
+// Get reads the current on-disk lease for job.
+func (m *Manager) Get(job string) (Lease, bool, error) {
+	if err := validName(job); err != nil {
+		return Lease{}, false, err
+	}
+	return readLease(m.path(job))
+}
+
+// List reads every lease in the directory.
+func (m *Manager) List() ([]Lease, error) {
+	ents, err := os.ReadDir(m.dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []Lease
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".lease") {
+			continue
+		}
+		l, ok, err := readLease(filepath.Join(m.dir, e.Name()))
+		if err != nil || !ok {
+			continue // torn/vanished mid-scan; next tick sees it
+		}
+		out = append(out, l)
+	}
+	return out, nil
+}
+
+// Stealable reports whether a lease listed by List may be taken over
+// by this manager right now (never for our own leases; Acquire is the
+// self re-acquire path).
+func (m *Manager) Stealable(l Lease) bool {
+	if l.Owner == m.owner {
+		return false
+	}
+	return m.stealable(l, m.now())
+}
+
+func (m *Manager) path(job string) string { return filepath.Join(m.dir, job+".lease") }
+
+// withLock runs f under the per-job O_EXCL lock file. A lock left
+// behind by a crashed process is broken once it is clearly stale.
+func (m *Manager) withLock(job string, f func() error) error {
+	lock := filepath.Join(m.dir, job+".lock")
+	for i := 0; ; i++ {
+		fh, err := os.OpenFile(lock, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+		if err == nil {
+			fh.Close()
+			break
+		}
+		if !errors.Is(err, fs.ErrExist) {
+			return err
+		}
+		// Staleness uses the real clock: lock lifetimes are bounded by
+		// the critical section below, not by the (fakeable) lease clock.
+		if fi, serr := os.Stat(lock); serr == nil && time.Since(fi.ModTime()) > m.ttl+time.Second {
+			os.Remove(lock)
+			continue
+		}
+		if i > 500 {
+			return fmt.Errorf("lease lock for %s contended too long", job)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	defer os.Remove(lock)
+	return f()
+}
+
+// write persists l atomically (temp file + fsync + rename).
+func (m *Manager) write(l Lease) error {
+	data, err := json.Marshal(l)
+	if err != nil {
+		return err
+	}
+	tmp := m.path(l.Job) + ".tmp"
+	fh, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := fh.Write(data); err != nil {
+		fh.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := fh.Sync(); err != nil {
+		fh.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := fh.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, m.path(l.Job))
+}
+
+// readLease returns (lease, true) when the file exists and parses;
+// (zero, false) when it does not exist.
+func readLease(path string) (Lease, bool, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return Lease{}, false, nil
+	}
+	if err != nil {
+		return Lease{}, false, err
+	}
+	var l Lease
+	if err := json.Unmarshal(data, &l); err != nil {
+		return Lease{}, false, fmt.Errorf("lease file %s corrupt: %w", path, err)
+	}
+	return l, true, nil
+}
+
+// validName accepts the job-id / replica-id character set; anything
+// else could escape the lease directory.
+func validName(s string) error {
+	if s == "" || len(s) > 128 {
+		return fmt.Errorf("name %q must be 1..128 chars", s)
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '-', c == '_', c == '.':
+		default:
+			return fmt.Errorf("name %q contains %q; allowed: [A-Za-z0-9._-]", s, c)
+		}
+	}
+	if s == "." || s == ".." {
+		return fmt.Errorf("name %q is reserved", s)
+	}
+	return nil
+}

@@ -1,0 +1,261 @@
+package lease
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"cwcflow/internal/chaos"
+)
+
+// fakeClock is a settable clock shared by the managers in a test.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newClock() *fakeClock { return &fakeClock{t: time.Unix(1000, 0)} }
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func manager(t *testing.T, dir, owner string, clk *fakeClock, in *chaos.Injector) *Manager {
+	t.Helper()
+	m, err := NewManager(Options{
+		Dir: dir, Owner: owner, URL: "http://" + owner + ".test",
+		TTL: 10 * time.Second, Now: clk.now, Chaos: in,
+	})
+	if err != nil {
+		t.Fatalf("NewManager(%s): %v", owner, err)
+	}
+	return m
+}
+
+func TestAcquireRenewReleaseLifecycle(t *testing.T) {
+	dir, clk := t.TempDir(), newClock()
+	a := manager(t, dir, "a", clk, nil)
+
+	l, err := a.Acquire("job-a-000001")
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	if l.Epoch != 1 || l.Owner != "a" || l.URL != "http://a.test" {
+		t.Fatalf("fresh lease = %+v", l)
+	}
+	if err := a.Check("job-a-000001"); err != nil {
+		t.Fatalf("Check while held: %v", err)
+	}
+
+	clk.advance(5 * time.Second)
+	r, err := a.Renew("job-a-000001")
+	if err != nil {
+		t.Fatalf("Renew: %v", err)
+	}
+	if r.Epoch != 1 || r.Expires <= l.Expires {
+		t.Fatalf("renewed lease = %+v (was %+v)", r, l)
+	}
+
+	a.Release("job-a-000001")
+	if err := a.Check("job-a-000001"); err == nil {
+		t.Fatal("Check passed after Release")
+	}
+	disk, ok, err := a.Get("job-a-000001")
+	if err != nil || !ok {
+		t.Fatalf("Get after Release: %v %v", ok, err)
+	}
+	if !disk.Released || disk.Owner != "a" {
+		t.Fatalf("released lease should keep owner: %+v", disk)
+	}
+}
+
+func TestLiveForeignLeaseIsHeld(t *testing.T) {
+	dir, clk := t.TempDir(), newClock()
+	a, b := manager(t, dir, "a", clk, nil), manager(t, dir, "b", clk, nil)
+
+	if _, err := a.Acquire("job-x"); err != nil {
+		t.Fatalf("a.Acquire: %v", err)
+	}
+	_, err := b.Acquire("job-x")
+	var held *HeldError
+	if !errors.As(err, &held) {
+		t.Fatalf("b.Acquire = %v, want *HeldError", err)
+	}
+	if held.Lease.Owner != "a" || held.Lease.URL != "http://a.test" {
+		t.Fatalf("HeldError lease = %+v", held.Lease)
+	}
+}
+
+func TestStealAfterExpiryBumpsEpochAndFencesZombie(t *testing.T) {
+	dir, clk := t.TempDir(), newClock()
+	a, b := manager(t, dir, "a", clk, nil), manager(t, dir, "b", clk, nil)
+
+	if _, err := a.Acquire("job-x"); err != nil {
+		t.Fatalf("a.Acquire: %v", err)
+	}
+	clk.advance(11 * time.Second) // past a's TTL
+
+	// a fences itself by its own clock before b even steals.
+	if err := a.Check("job-x"); err == nil {
+		t.Fatal("a.Check passed after expiry")
+	}
+
+	stolen, err := b.Acquire("job-x")
+	if err != nil {
+		t.Fatalf("b.Acquire after expiry: %v", err)
+	}
+	if stolen.Epoch != 2 || stolen.Owner != "b" {
+		t.Fatalf("stolen lease = %+v, want epoch 2 owner b", stolen)
+	}
+
+	// The zombie's renew observes the advanced epoch and loses.
+	if _, err := a.Renew("job-x"); !errors.Is(err, ErrLost) {
+		t.Fatalf("a.Renew = %v, want ErrLost", err)
+	}
+	if _, ok := a.Held("job-x"); ok {
+		t.Fatal("lost lease still in a's held set")
+	}
+}
+
+func TestSelfReacquireAfterRestartBumpsEpoch(t *testing.T) {
+	dir, clk := t.TempDir(), newClock()
+	a := manager(t, dir, "a", clk, nil)
+	if _, err := a.Acquire("job-x"); err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	// "Restart": a fresh manager with the same owner id and an empty
+	// held set must re-acquire its own live lease at a higher epoch.
+	a2 := manager(t, dir, "a", clk, nil)
+	l, err := a2.Acquire("job-x")
+	if err != nil {
+		t.Fatalf("self re-acquire: %v", err)
+	}
+	if l.Epoch != 2 {
+		t.Fatalf("self re-acquire epoch = %d, want 2", l.Epoch)
+	}
+}
+
+func TestReleasedLeaseIsImmediatelyStealable(t *testing.T) {
+	dir, clk := t.TempDir(), newClock()
+	a, b := manager(t, dir, "a", clk, nil), manager(t, dir, "b", clk, nil)
+	if _, err := a.Acquire("job-x"); err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	a.Release("job-x")
+	l, err := b.Acquire("job-x")
+	if err != nil {
+		t.Fatalf("steal of released lease: %v", err)
+	}
+	if l.Epoch != 2 || l.Owner != "b" {
+		t.Fatalf("lease = %+v", l)
+	}
+}
+
+func TestChaosEarlyExpirySteal(t *testing.T) {
+	dir, clk := t.TempDir(), newClock()
+	in := chaos.New(1)
+	in.Arm(chaos.LeaseExpireEarly, chaos.Rule{Prob: 1})
+	a, b := manager(t, dir, "a", clk, nil), manager(t, dir, "b", clk, in)
+
+	if _, err := a.Acquire("job-x"); err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	ls, err := b.List()
+	if err != nil || len(ls) != 1 {
+		t.Fatalf("List = %v, %v", ls, err)
+	}
+	if !b.Stealable(ls[0]) {
+		t.Fatal("chaos-armed manager should see the live lease as stealable")
+	}
+	stolen, err := b.Acquire("job-x")
+	if err != nil {
+		t.Fatalf("chaos steal: %v", err)
+	}
+	if stolen.Epoch != 2 {
+		t.Fatalf("chaos steal epoch = %d, want 2", stolen.Epoch)
+	}
+	// a is still alive and unexpired by its own clock, but its next
+	// renew loses to the advanced epoch.
+	if _, err := a.Renew("job-x"); !errors.Is(err, ErrLost) {
+		t.Fatalf("zombie Renew = %v, want ErrLost", err)
+	}
+}
+
+// Concurrent acquires of an expired lease must elect exactly one new
+// owner per epoch (the O_EXCL lock file is the arbiter).
+func TestConcurrentStealElectsOneOwner(t *testing.T) {
+	dir, clk := t.TempDir(), newClock()
+	a := manager(t, dir, "a", clk, nil)
+	if _, err := a.Acquire("job-x"); err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	clk.advance(time.Minute)
+
+	const n = 8
+	wins := make([]bool, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		m := manager(t, dir, "thief-"+string(rune('a'+i)), clk, nil)
+		wg.Add(1)
+		go func(i int, m *Manager) {
+			defer wg.Done()
+			if l, err := m.Acquire("job-x"); err == nil && l.Epoch == 2 {
+				wins[i] = true
+			}
+		}(i, m)
+	}
+	wg.Wait()
+	var won int
+	for _, w := range wins {
+		if w {
+			won++
+		}
+	}
+	if won != 1 {
+		t.Fatalf("%d thieves acquired epoch 2, want exactly 1", won)
+	}
+}
+
+func TestStaleLockIsBroken(t *testing.T) {
+	dir, clk := t.TempDir(), newClock()
+	m, err := NewManager(Options{Dir: dir, Owner: "a", TTL: 50 * time.Millisecond, Now: clk.now})
+	if err != nil {
+		t.Fatalf("NewManager: %v", err)
+	}
+	// A crashed process left a lock behind; backdate it past TTL+1s.
+	lock := filepath.Join(dir, "job-x.lock")
+	if err := os.WriteFile(lock, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	old := time.Now().Add(-2 * time.Second)
+	if err := os.Chtimes(lock, old, old); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Acquire("job-x"); err != nil {
+		t.Fatalf("Acquire should break the stale lock: %v", err)
+	}
+}
+
+func TestValidNameRejectsPathEscapes(t *testing.T) {
+	dir, clk := t.TempDir(), newClock()
+	a := manager(t, dir, "a", clk, nil)
+	for _, bad := range []string{"", "..", "a/b", "a\\b", "job id", "x\x00y"} {
+		if _, err := a.Acquire(bad); err == nil {
+			t.Fatalf("Acquire(%q) should fail", bad)
+		}
+	}
+	if _, err := NewManager(Options{Dir: dir, Owner: "a/b", TTL: time.Second}); err == nil {
+		t.Fatal("NewManager with path-separator owner should fail")
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"math"
+	"strconv"
+	"strings"
 	"time"
 
 	"cwcflow/internal/core"
@@ -24,6 +26,16 @@ func (s *Server) recover() {
 			s.restoreTerminal(rec)
 			continue
 		}
+		if s.leases != nil {
+			// Replicated tier: resume only jobs whose lease we can claim.
+			// A live foreign lease means another replica already took the
+			// job over while we were down — drop our stale copy (the
+			// failover loop will steal it back if that owner dies too).
+			if _, err := s.leases.Acquire(rec.ID); err != nil {
+				s.store.Forget(rec.ID)
+				continue
+			}
+		}
 		if err := s.resumeJob(rec); err != nil {
 			// The failure is a real outcome: journal it so the next
 			// restart does not retry a job that cannot be rebuilt.
@@ -35,15 +47,26 @@ func (s *Server) recover() {
 				statusJSON = b
 			}
 			_ = s.store.AppendTerminal(job.id, string(StateFailed), job.errMsg, statusJSON)
+			if s.leases != nil {
+				s.leases.Release(job.id)
+			}
 		}
 	}
 }
 
 // bumpSeq advances the job-id sequence past a recovered id, so new
-// submissions never collide with recovered jobs.
+// submissions never collide with recovered jobs. Sequence numbers are
+// per replica: ids adopted from other replicas carry a different
+// replica infix and leave our counter alone.
 func (s *Server) bumpSeq(id string) {
-	var n int
-	if _, err := fmt.Sscanf(id, "job-%d", &n); err == nil && n > s.seq {
+	rest := strings.TrimPrefix(id, "job-")
+	if rid := s.opts.ReplicaID; rid != "" {
+		if !strings.HasPrefix(rest, rid+"-") {
+			return
+		}
+		rest = strings.TrimPrefix(rest, rid+"-")
+	}
+	if n, err := strconv.Atoi(rest); err == nil && n > s.seq {
 		s.seq = n
 	}
 }

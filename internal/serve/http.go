@@ -59,15 +59,21 @@ func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
-// jobFromPath resolves the {id} path value, replying 404 itself on a miss.
-func (s *Server) jobFromPath(w http.ResponseWriter, r *http.Request) (*Job, bool) {
+// jobFromPath resolves the {id} path value to a locally driven job. In
+// a replicated tier, a job owned by another replica is answered here
+// instead (journal peek, stream redirect or cancel proxy — see
+// handleForeign); only an id with neither a local job nor a lease is a
+// 404. The action names which of those answers applies.
+func (s *Server) jobFromPath(w http.ResponseWriter, r *http.Request, action string) (*Job, bool) {
 	id := r.PathValue("id")
-	job, ok := s.Get(id)
-	if !ok {
-		writeError(w, http.StatusNotFound, "unknown job %q", id)
+	if job, ok := s.Get(id); ok {
+		return job, true
+	}
+	if s.handleForeign(w, r, id, action) {
 		return nil, false
 	}
-	return job, true
+	writeError(w, http.StatusNotFound, "unknown job %q", id)
+	return nil, false
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -161,8 +167,16 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		code := http.StatusBadRequest
 		switch {
-		case errors.Is(err, ErrBusy), errors.Is(err, ErrQuotaExceeded):
+		case errors.Is(err, ErrBusy):
+			// The admission queue is full: capacity frees as soon as any
+			// running job finishes a quantum round, so retry quickly.
 			code = http.StatusTooManyRequests
+			w.Header().Set("Retry-After", "1")
+		case errors.Is(err, ErrQuotaExceeded):
+			// A hard per-tenant quota: held until one of the tenant's own
+			// jobs completes, so back off longer than for a full queue.
+			code = http.StatusTooManyRequests
+			w.Header().Set("Retry-After", "5")
 		case errors.Is(err, ErrClosed):
 			code = http.StatusServiceUnavailable
 		}
@@ -226,7 +240,7 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
-	job, ok := s.jobFromPath(w, r)
+	job, ok := s.jobFromPath(w, r, "status")
 	if !ok {
 		return
 	}
@@ -234,7 +248,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
-	job, ok := s.jobFromPath(w, r)
+	job, ok := s.jobFromPath(w, r, "cancel")
 	if !ok {
 		return
 	}
@@ -243,7 +257,7 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
-	job, ok := s.jobFromPath(w, r)
+	job, ok := s.jobFromPath(w, r, "result")
 	if !ok {
 		return
 	}
@@ -269,7 +283,7 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 // carrying the terminal status. The format is NDJSON by default and
 // Server-Sent Events when the client asks for text/event-stream.
 func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
-	job, ok := s.jobFromPath(w, r)
+	job, ok := s.jobFromPath(w, r, "stream")
 	if !ok {
 		return
 	}

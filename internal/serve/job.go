@@ -128,6 +128,9 @@ type Status struct {
 	// Tenant is the submitting tenant's id (the X-CWC-Tenant header, or
 	// the default tenant for anonymous submissions).
 	Tenant string `json:"tenant,omitempty"`
+	// Owner is the replica driving the job, set only when answering for a
+	// job another replica owns (single-server deployments omit it).
+	Owner string `json:"owner,omitempty"`
 	// QueuePosition is the job's 1-based position in its tenant's
 	// admission queue while StateQueued (0 otherwise).
 	QueuePosition int             `json:"queue_position,omitempty"`
@@ -372,6 +375,26 @@ func (j *Job) maybeCheckpoint(t *sim.Task) {
 		return
 	}
 	_ = j.persist.AppendCheckpoint(j.id, t.Traj, idx, data)
+}
+
+// remoteCheckpoint journals an engine snapshot shipped by a remote
+// worker (ResultMsg.Ckpt), advancing the durable frontier with remote
+// progress exactly like a local checkpoint would. Requeue replays can
+// redeliver a checkpoint; the per-trajectory high-water mark skips
+// duplicates and stale snapshots.
+func (j *Job) remoteCheckpoint(traj, next int, data []byte) {
+	if j.persist == nil || j.noPersist.Load() {
+		return
+	}
+	j.mu.Lock()
+	last, seen := j.lastCkpt[traj]
+	if seen && next <= last {
+		j.mu.Unlock()
+		return
+	}
+	j.lastCkpt[traj] = next
+	j.mu.Unlock()
+	_ = j.persist.AppendCheckpoint(j.id, traj, next, data)
 }
 
 // setSched installs the job's remote quantum scheduler.

@@ -1,6 +1,8 @@
 package serve
 
 import (
+	"fmt"
+	"sync"
 	"testing"
 	"time"
 )
@@ -72,4 +74,144 @@ func TestRegistryCapsInFlight(t *testing.T) {
 	if r.tryAcquire("unknown:1") {
 		t.Fatal("acquired a slot on an unknown worker")
 	}
+}
+
+// isLive reports whether addr appears in the registry's live set.
+func isLive(r *registry, addr string) bool {
+	for _, a := range r.live() {
+		if a == addr {
+			return true
+		}
+	}
+	return false
+}
+
+func TestRegistryBackoffDoublesAndCapsAtSixtyFour(t *testing.T) {
+	const cooldown = time.Second
+	now := time.Unix(1000, 0)
+	r := newRegistry([]string{"static:1"}, 4, time.Second, cooldown)
+	r.now = func() time.Time { return now }
+
+	// First failure: one plain cooldown (shift of zero).
+	r.markFailed("static:1")
+	failedAt := now
+	now = failedAt.Add(cooldown - time.Nanosecond)
+	if isLive(r, "static:1") {
+		t.Fatal("worker live before its first cooldown elapsed")
+	}
+	now = failedAt.Add(cooldown)
+	if !isLive(r, "static:1") {
+		t.Fatal("worker not live after its first cooldown elapsed")
+	}
+
+	// Third consecutive failure after a healthy dial: cooldown << 2.
+	r.markHealthy("static:1")
+	r.markFailed("static:1")
+	r.markFailed("static:1")
+	r.markFailed("static:1")
+	failedAt = now
+	now = failedAt.Add(4*cooldown - time.Nanosecond)
+	if isLive(r, "static:1") {
+		t.Fatal("worker live before its 4x cooldown elapsed")
+	}
+	now = failedAt.Add(4 * cooldown)
+	if !isLive(r, "static:1") {
+		t.Fatal("worker not live after its 4x cooldown elapsed")
+	}
+
+	// Pile up far more failures than the shift cap: the backoff must
+	// plateau at 64x, not keep doubling (or overflow the shift).
+	for i := 0; i < 200; i++ {
+		r.markFailed("static:1")
+	}
+	failedAt = now
+	now = failedAt.Add(63 * cooldown)
+	if isLive(r, "static:1") {
+		t.Fatal("worker live at 63x cooldown despite 200 consecutive failures")
+	}
+	now = failedAt.Add(64 * cooldown)
+	if !isLive(r, "static:1") {
+		t.Fatal("backoff exceeded its 64x cap after 200 consecutive failures")
+	}
+
+	// A healthy dial clears the ladder entirely.
+	r.markFailed("static:1")
+	r.markHealthy("static:1")
+	if !isLive(r, "static:1") {
+		t.Fatal("worker not live immediately after markHealthy")
+	}
+}
+
+func TestRegistryHeartbeatDoesNotShortenCooldown(t *testing.T) {
+	const cooldown = 10 * time.Second
+	now := time.Unix(1000, 0)
+	r := newRegistry(nil, 4, time.Hour, cooldown)
+	r.now = func() time.Time { return now }
+
+	if err := r.register("dyn:1", 0, 4); err != nil {
+		t.Fatal(err)
+	}
+	if !isLive(r, "dyn:1") {
+		t.Fatal("freshly registered worker not live")
+	}
+	r.markFailed("dyn:1")
+	failedAt := now
+
+	// Heartbeats keep arriving through the cooldown window: the worker
+	// process is up, but nothing proved it dialable, so the cooldown
+	// must hold.
+	for i := 0; i < 5; i++ {
+		now = now.Add(time.Second)
+		if err := r.register("dyn:1", 0, 4); err != nil {
+			t.Fatal(err)
+		}
+		if isLive(r, "dyn:1") {
+			t.Fatalf("heartbeat %d cleared an active cooldown", i+1)
+		}
+		if r.tryAcquire("dyn:1") {
+			t.Fatalf("tryAcquire succeeded during cooldown after heartbeat %d", i+1)
+		}
+	}
+
+	// Once the cooldown elapses the (heartbeating) worker is live again.
+	now = failedAt.Add(cooldown)
+	if !isLive(r, "dyn:1") {
+		t.Fatal("worker not live after cooldown elapsed with fresh heartbeats")
+	}
+}
+
+// TestRegistryPruneVsRegisterRace hammers registration, liveness scans,
+// failure marking and slot churn from concurrent goroutines; the -race
+// CI step turns any unlocked registry access into a failure.
+func TestRegistryPruneVsRegisterRace(t *testing.T) {
+	r := newRegistry([]string{"static:1"}, 4, time.Millisecond, time.Millisecond)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			addr := fmt.Sprintf("dyn:%d", g)
+			for i := 0; i < 200; i++ {
+				_ = r.register(addr, 0, 4)
+				_ = r.live()
+				if r.tryAcquire(addr) {
+					r.release(addr)
+				}
+				r.markFailed(addr)
+				r.markHealthy(addr)
+				_ = r.snapshot()
+			}
+		}(g)
+	}
+	// A dedicated pruner: registering new addresses runs pruneLocked
+	// against the other goroutines' entries as their heartbeats lapse.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			_ = r.register(fmt.Sprintf("churn:%d", i%8), 0, 4)
+			time.Sleep(50 * time.Microsecond)
+		}
+	}()
+	wg.Wait()
 }

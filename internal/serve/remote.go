@@ -1,12 +1,14 @@
 package serve
 
 import (
+	"errors"
 	"net"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"cwcflow/internal/chaos"
 	"cwcflow/internal/core"
 	"cwcflow/internal/dff"
 	"cwcflow/internal/sim"
@@ -96,16 +98,25 @@ func (s *Server) startRemote(job *Job, cfg core.Config, model core.ModelRef) boo
 	if len(addrs) > maxJobWorkerStreams {
 		addrs = addrs[:maxJobWorkerStreams]
 	}
+	// With a durable store behind the job, ask workers to piggyback an
+	// engine snapshot every checkpoint interval (ResultMsg.Ckpt): the
+	// durable frontier then advances with remote progress too, instead
+	// of only with local-pool checkpoints.
+	ckptSamples := 0
+	if job.persist != nil {
+		ckptSamples = s.opts.CheckpointSamples
+	}
 	rj := &remoteJob{
 		srv: s,
 		job: job,
 		cfg: cfg,
 		hdr: core.JobHeader{
-			Model:    model,
-			End:      cfg.End,
-			Quantum:  cfg.Quantum,
-			Period:   cfg.Period,
-			BaseSeed: cfg.BaseSeed,
+			Model:             model,
+			End:               cfg.End,
+			Quantum:           cfg.Quantum,
+			Period:            cfg.Period,
+			BaseSeed:          cfg.BaseSeed,
+			CheckpointSamples: ckptSamples,
 		},
 		timeout:  s.opts.WorkerTimeout,
 		conns:    make(map[*workerConn]struct{}),
@@ -191,6 +202,7 @@ func (wc *workerConn) sender(hdr core.JobHeader) {
 // ends (cleanly after a trailer, or with an error on worker death).
 func (wc *workerConn) reader() {
 	in := dff.NewReader[core.ResultMsg](wc.conn)
+	faults := wc.rj.srv.opts.Chaos // nil in production: each hook is one nil check
 	for {
 		msg, ok, err := in.Recv()
 		if err != nil {
@@ -207,7 +219,21 @@ func (wc *workerConn) reader() {
 			// only signals that the worker is done with this stream.
 			continue
 		}
+		// Fault injection: drop the link, delay the delivery, or deliver
+		// the message twice — the requeue/dedup machinery must absorb all
+		// three without perturbing the window digest.
+		if faults.Fire(chaos.RecvDrop) {
+			wc.conn.Close()
+			wc.rj.connDown(wc, errors.New("serve: chaos dropped worker connection"))
+			return
+		}
+		if d := faults.Stall(chaos.RecvDelay); d > 0 {
+			time.Sleep(d)
+		}
 		wc.rj.deliver(wc, msg)
+		if faults.Fire(chaos.RecvDup) {
+			wc.rj.deliver(wc, msg)
+		}
 	}
 }
 
@@ -231,6 +257,12 @@ func (rj *remoteJob) deliver(wc *workerConn, msg core.ResultMsg) {
 			b.Append(s)
 		}
 		d.batch = b
+	}
+	// A piggybacked worker checkpoint lands in the journal before the
+	// congestion gate: the durable frontier keeps advancing with remote
+	// progress even while this job's analysis is backpressured.
+	if len(msg.Ckpt) > 0 {
+		rj.job.remoteCheckpoint(msg.Traj, msg.CkptNext, msg.Ckpt)
 	}
 	for rj.job.congested() && !rj.job.terminal() {
 		wc.touch() // alive, just backpressured: keep the watchdog quiet

@@ -1,0 +1,400 @@
+package serve_test
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"cwcflow/internal/chaos"
+	"cwcflow/internal/core"
+	"cwcflow/internal/lease"
+	"cwcflow/internal/serve"
+	"cwcflow/internal/sim"
+	"cwcflow/internal/store"
+)
+
+// snapWalkSim is walkSim plus SnapshotSimulator: its full dynamic state
+// is (t, rng, species), so checkpoints restore bit-identically. It keeps
+// walkSim's trajectory exactly, so digests from plain-walk reference
+// runs stay comparable.
+type snapWalkSim struct{ walkSim }
+
+func (s *snapWalkSim) Snapshot() ([]byte, error) {
+	buf := make([]byte, 0, 40)
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(s.t))
+	buf = binary.LittleEndian.AppendUint64(buf, s.rng)
+	for _, v := range s.state {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(v))
+	}
+	return buf, nil
+}
+
+func (s *snapWalkSim) Restore(data []byte) error {
+	if len(data) != 40 {
+		return fmt.Errorf("snapWalkSim: snapshot is %d bytes, want 40", len(data))
+	}
+	s.t = math.Float64frombits(binary.LittleEndian.Uint64(data[0:8]))
+	s.rng = binary.LittleEndian.Uint64(data[8:16])
+	for i := range s.state {
+		s.state[i] = int64(binary.LittleEndian.Uint64(data[16+8*i:]))
+	}
+	return nil
+}
+
+// snapWalkResolver serves the "walk" model with snapshot support, with a
+// per-step delay to keep jobs observable mid-run.
+func snapWalkResolver(delay time.Duration) core.ModelResolver {
+	return func(ref core.ModelRef) (core.SimulatorFactory, error) {
+		if ref.Name != "walk" {
+			return core.FactoryFor(ref)
+		}
+		return func(traj int, seed int64) (sim.Simulator, error) {
+			return &snapWalkSim{walkSim{dt: 0.25, delay: delay, rng: uint64(seed)*0x9e3779b97f4a7c15 + 1}}, nil
+		}, nil
+	}
+}
+
+// longWalkSpec stretches walkSpec to end so slow (throttled) runs are
+// reliably caught mid-flight.
+func longWalkSpec(end float64) serve.JobSpec {
+	sp := walkSpec()
+	sp.End = end
+	return sp
+}
+
+// newReplicaServer starts one replica of a tier sharing dataDir. The
+// HTTP listener is opened first so the advertised URL in the replica's
+// lease files is dialable by its peers.
+func newReplicaServer(t *testing.T, dataDir, id string, opts serve.Options) (*serve.Server, string) {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + l.Addr().String()
+	if opts.Workers == 0 {
+		opts.Workers = 2
+	}
+	opts.DataDir = dataDir
+	opts.ReplicaID = id
+	opts.AdvertiseURL = base
+	svc, err := serve.New(opts)
+	if err != nil {
+		l.Close()
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: svc.Handler()}
+	go srv.Serve(l)
+	t.Cleanup(func() { srv.Close(); svc.Close() })
+	return svc, base
+}
+
+// TestWorkerShippedCheckpointsAdvanceFrontier pins the checkpoint-
+// shipping half of the tentpole: with every trajectory forced onto a
+// remote sim worker (WorkerInFlight >= trajectories, so the local pool
+// contributes nothing), the only way checkpoints can reach the journal
+// is inside ResultMsg — and a crash image taken mid-run must both hold
+// them and resume to the uninterrupted digest.
+func TestWorkerShippedCheckpointsAdvanceFrontier(t *testing.T) {
+	_, refURL := newRemoteServer(t, 0, serve.Options{})
+	refSt, refDigest := runToDigest(t, refURL, longWalkSpec(16))
+	if refSt.State != serve.StateDone {
+		t.Fatalf("reference job state %s", refSt.State)
+	}
+
+	dir := t.TempDir()
+	worker := startWorker(t, 2, snapWalkResolver(2*time.Millisecond))
+	svc, err := serve.New(serve.Options{
+		Workers:           2,
+		Resolver:          snapWalkResolver(0),
+		DataDir:           dir,
+		CheckpointSamples: 4,
+		WorkerAddrs:       []string{worker.addr},
+		WorkerInFlight:    8, // >= trajectories: the farm schedules every trajectory remotely
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := newHTTPServer(t, svc.Handler())
+	t.Cleanup(svc.Close)
+
+	st := submitJob(t, base, longWalkSpec(16))
+	waitWindows(t, base, st.ID, 2)
+	img := crashImage(t, dir)
+	verifyMidRunImage(t, img, st.ID, 2)
+
+	// The crash image must hold worker-shipped checkpoints: every
+	// trajectory is past sample 16 (two windows published), so each has
+	// crossed the 4-sample cadence repeatedly on the worker.
+	probe, err := store.Open(img, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shipped := 0
+	for _, rec := range probe.Recovered() {
+		if rec.ID != st.ID {
+			continue
+		}
+		for traj := 0; traj < 8; traj++ {
+			if ck, ok := rec.BestCheckpoint(traj, 1<<30); ok && ck.NextIdx >= 4 {
+				shipped++
+			}
+		}
+	}
+	probe.Close()
+	if shipped < 8 {
+		t.Fatalf("crash image has shipped checkpoints for %d/8 trajectories; remote results are not carrying snapshots", shipped)
+	}
+
+	// Resume the crash image on a fresh, purely local server: the
+	// shipped checkpoints seed the restart past each trajectory's origin,
+	// and the digest must still match the uninterrupted run.
+	_, base2 := newDurableServer(t, img, serve.Options{Resolver: snapWalkResolver(0)})
+	waitForState(t, base2, st.ID, serve.StateDone)
+	st2, digest := runStatusAndDigest(t, base2, st.ID)
+	if !st2.Recovered {
+		t.Fatal("resumed job not flagged recovered")
+	}
+	if digest != refDigest {
+		t.Fatalf("resume digest %s != uninterrupted %s", digest, refDigest)
+	}
+}
+
+// waitForState polls base until job id reaches want (failing fast if it
+// lands on a different terminal state).
+func waitForState(t *testing.T, base, id string, want serve.State) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		st := getStatus(t, base, id)
+		if st.State == want {
+			return
+		}
+		if st.State.Terminal() {
+			t.Fatalf("job %s reached %s (error %q), want %s", id, st.State, st.Error, want)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s, want %s", id, st.State, want)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestReplicaFailoverDigestMatchesUninterrupted is the failover
+// acceptance pin. Replica A runs a throttled job; replica B, sharing the
+// data dir with chaos-accelerated lease expiry, steals the lease at a
+// higher epoch mid-run, adopts A's journal and finishes the job — with
+// a window digest bit-identical to an uninterrupted run. A stays alive
+// throughout as the zombie: its next renewal observes the higher epoch
+// and fails its copy of the job, proving the fencing path.
+func TestReplicaFailoverDigestMatchesUninterrupted(t *testing.T) {
+	_, refURL := newRemoteServer(t, 0, serve.Options{})
+	_, refDigest := runToDigest(t, refURL, longWalkSpec(24))
+
+	dir := t.TempDir()
+	_, aURL := newReplicaServer(t, dir, "a", serve.Options{
+		Resolver:     snapWalkResolver(2 * time.Millisecond),
+		LeaseTTL:     500 * time.Millisecond,
+		FailoverScan: time.Hour, // A never steals in this test
+	})
+
+	st := submitJob(t, aURL, longWalkSpec(24))
+	if want := "job-a-000001"; st.ID != want {
+		t.Fatalf("job id %q, want %q (replica-infixed sequence)", st.ID, want)
+	}
+	waitWindows(t, aURL, st.ID, 1)
+
+	// B joins the tier with chaos forcing foreign leases to look expired:
+	// its first failover scan steals A's live job at epoch 2.
+	inj := chaos.New(42)
+	inj.Arm(chaos.LeaseExpireEarly, chaos.Rule{Prob: 1})
+	_, bURL := newReplicaServer(t, dir, "b", serve.Options{
+		Resolver:     snapWalkResolver(0),
+		LeaseTTL:     500 * time.Millisecond,
+		FailoverScan: 25 * time.Millisecond,
+		Chaos:        inj,
+	})
+
+	waitForState(t, bURL, st.ID, serve.StateDone)
+	stB, digest := runStatusAndDigest(t, bURL, st.ID)
+	if digest != refDigest {
+		t.Fatalf("failover digest %s != uninterrupted %s", digest, refDigest)
+	}
+	if !stB.Recovered {
+		t.Fatal("failed-over job not flagged recovered on the thief")
+	}
+
+	// The zombie: A's renew loop noticed the higher epoch and failed its
+	// copy without journaling (its store appends are fenced).
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		stA := getStatus(t, aURL, st.ID)
+		if stA.State == serve.StateFailed {
+			if !strings.Contains(stA.Error, "lease lost") {
+				t.Fatalf("zombie job error %q, want a lease-lost failure", stA.Error)
+			}
+			break
+		}
+		if stA.State == serve.StateDone {
+			t.Fatal("zombie replica finished the job after losing its lease; fencing failed")
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("zombie job still %s, want failed", stA.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// The lease file records the steal: owner b at a bumped epoch.
+	probe, err := lease.NewManager(lease.Options{
+		Dir:   filepath.Join(dir, "leases"),
+		Owner: "probe",
+		TTL:   time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, ok, err := probe.Get(st.ID)
+	if err != nil || !ok {
+		t.Fatalf("lease for %s: ok=%v err=%v", st.ID, ok, err)
+	}
+	if l.Owner != "b" || l.Epoch < 2 {
+		t.Fatalf("lease owner=%s epoch=%d, want owner=b epoch>=2", l.Owner, l.Epoch)
+	}
+}
+
+// TestForeignJobServedAcrossReplicas covers the read/redirect/proxy
+// surface: any replica answers for any job. Status and result come from
+// peeking the owner's journal, streams redirect to the owner, cancels
+// proxy to it.
+func TestForeignJobServedAcrossReplicas(t *testing.T) {
+	dir := t.TempDir()
+	_, aURL := newReplicaServer(t, dir, "a", serve.Options{
+		Resolver:     snapWalkResolver(2 * time.Millisecond),
+		LeaseTTL:     10 * time.Second, // healthy owner: B must never steal
+		FailoverScan: time.Hour,
+	})
+	_, bURL := newReplicaServer(t, dir, "b", serve.Options{
+		Resolver:     snapWalkResolver(0),
+		LeaseTTL:     10 * time.Second,
+		FailoverScan: time.Hour,
+	})
+
+	st := submitJob(t, aURL, longWalkSpec(24))
+	waitWindows(t, aURL, st.ID, 1)
+
+	// Status through B: peeked from A's journal, owner attributed.
+	stB := getStatus(t, bURL, st.ID)
+	if stB.Owner != "a" {
+		t.Fatalf("foreign status owner %q, want %q", stB.Owner, "a")
+	}
+	if stB.State != serve.StateRunning {
+		t.Fatalf("foreign status state %s, want running", stB.State)
+	}
+	if stB.Progress.Windows < 1 {
+		t.Fatal("foreign status shows no durable windows")
+	}
+
+	// Result through B: the durable window prefix.
+	resp, err := http.Get(bURL + "/jobs/" + st.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("foreign result status %d", resp.StatusCode)
+	}
+
+	// Stream through B: a 307 to the owner's advertised URL.
+	noRedirect := &http.Client{CheckRedirect: func(*http.Request, []*http.Request) error {
+		return http.ErrUseLastResponse
+	}}
+	resp, err = noRedirect.Get(bURL + "/jobs/" + st.ID + "/stream?from=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTemporaryRedirect {
+		t.Fatalf("foreign stream status %d, want 307", resp.StatusCode)
+	}
+	if loc, want := resp.Header.Get("Location"), aURL+"/jobs/"+st.ID+"/stream?from=0"; loc != want {
+		t.Fatalf("redirect Location %q, want %q", loc, want)
+	}
+
+	// Unknown ids are still a 404, not a proxy attempt.
+	resp, err = http.Get(bURL + "/jobs/job-nope-000001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job via B: status %d, want 404", resp.StatusCode)
+	}
+
+	// Cancel through B: transparently proxied to A, which cancels for real.
+	resp, err = http.Post(bURL+"/jobs/"+st.ID+"/cancel", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("proxied cancel status %d", resp.StatusCode)
+	}
+	waitForTerminal(t, aURL, st.ID, serve.StateCancelled)
+}
+
+func waitForTerminal(t *testing.T, base, id string, want serve.State) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st := getStatus(t, base, id)
+		if st.State.Terminal() {
+			if st.State != want {
+				t.Fatalf("job %s finished %s, want %s", id, st.State, want)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s never reached a terminal state (at %s)", id, st.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestChaosRemoteDeliveryDigestUnchanged runs a remote-sharded job under
+// deterministic fault injection — duplicated deliveries, delivery
+// delays, one severed worker connection — and requires the bit-identical
+// reference digest anyway: delivery-layer faults must be absorbed by
+// dedup and requeue, never leak into results.
+func TestChaosRemoteDeliveryDigestUnchanged(t *testing.T) {
+	_, refURL := newRemoteServer(t, 0, serve.Options{})
+	_, refDigest := runToDigest(t, refURL, walkSpec())
+
+	inj := chaos.New(7)
+	inj.Arm(chaos.RecvDup, chaos.Rule{Prob: 0.5})
+	inj.Arm(chaos.RecvDelay, chaos.Rule{Prob: 0.3, Delay: time.Millisecond})
+	inj.Arm(chaos.RecvDrop, chaos.Rule{Prob: 1, After: 10, Limit: 1})
+
+	w1 := startWorker(t, 2, walkResolver(0))
+	w2 := startWorker(t, 2, walkResolver(0))
+	_, distURL := newRemoteServer(t, 0, serve.Options{
+		WorkerAddrs:    []string{w1.addr, w2.addr},
+		WorkerInFlight: 4,
+		Chaos:          inj,
+	})
+	st, digest := runToDigest(t, distURL, walkSpec())
+	if st.State != serve.StateDone {
+		t.Fatalf("chaos job state %s", st.State)
+	}
+	if digest != refDigest {
+		t.Fatalf("digest under chaos %s != reference %s", digest, refDigest)
+	}
+	if inj.Fired(chaos.RecvDup) == 0 && inj.Fired(chaos.RecvDelay) == 0 && inj.Fired(chaos.RecvDrop) == 0 {
+		t.Fatal("chaos injector never fired; the test exercised nothing")
+	}
+}

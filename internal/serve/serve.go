@@ -45,12 +45,16 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"time"
 
+	"cwcflow/internal/chaos"
 	"cwcflow/internal/core"
 	"cwcflow/internal/ff"
+	"cwcflow/internal/lease"
 	"cwcflow/internal/serve/sched"
 	"cwcflow/internal/sim"
 	"cwcflow/internal/store"
@@ -141,14 +145,43 @@ type Options struct {
 	// from their last checkpoint with a bit-identical window stream (see
 	// package store). Empty disables durability (the pre-PR5 behaviour).
 	DataDir string
-	// CheckpointSamples is how often a locally-simulated trajectory's
-	// engine state is checkpointed to the journal: every time its next
-	// sample index advances by this many samples (default 16, usually one
-	// window of cuts). Smaller values mean less re-simulation after a
-	// crash, more journal traffic. Only meaningful with DataDir; remote
-	// trajectories are never checkpointed (recovery replays them from
-	// their seeds instead, which the resume filter makes equivalent).
+	// CheckpointSamples is how often a trajectory's engine state is
+	// checkpointed to the journal: every time its next sample index
+	// advances by this many samples (default 16, usually one window of
+	// cuts). Smaller values mean less re-simulation after a crash, more
+	// journal traffic. Only meaningful with DataDir. The cadence applies
+	// to local-pool trajectories and, via JobHeader.CheckpointSamples,
+	// to remote ones: workers piggyback engine snapshots on their result
+	// stream so the durable frontier advances with remote progress too.
 	CheckpointSamples int
+	// ReplicaID, when non-empty, runs this server as one replica of a
+	// replicated serve tier over the shared DataDir: its journal moves to
+	// DataDir/replicas/<id>/ and every job is driven under a job-ownership
+	// lease from DataDir/leases/ (owner id, fencing epoch, TTL). Exactly
+	// one replica owns a job at a time; the others serve reads by peeking
+	// the owner's journal and redirect/proxy writes to it, and a replica
+	// that finds an expired or released lease steals it at a higher epoch
+	// and resumes the job from the owner's journal. Empty (the default)
+	// keeps the single-server layout and behaviour. Requires DataDir; the
+	// id must be 1..128 chars of [A-Za-z0-9._-].
+	ReplicaID string
+	// AdvertiseURL is this replica's client-reachable base URL (e.g.
+	// "http://10.0.0.7:8080"), recorded in every lease it takes so peer
+	// replicas can redirect streams and proxy cancels to the owner. Empty
+	// disables redirects (peers answer 503 for owner-only endpoints).
+	AdvertiseURL string
+	// LeaseTTL is how long a job lease lives between renewals (default
+	// 10s). The owner renews at TTL/3; a lease not renewed within TTL is
+	// stealable by any replica. Shorter TTLs mean faster failover and
+	// more lease-file traffic.
+	LeaseTTL time.Duration
+	// FailoverScan is how often a replica scans the lease directory for
+	// expired or released leases to take over (default LeaseTTL/2).
+	FailoverScan time.Duration
+	// Chaos, when non-nil, enables deterministic fault injection at the
+	// wired points (dff receive drop/delay/duplicate, WAL fsync stall,
+	// early lease expiry). Tests only; nil disables every hook.
+	Chaos *chaos.Injector
 	// Version is the build version surfaced in healthz (set by the cwc-serve
 	// binary from its -ldflags-injected build info).
 	Version string
@@ -239,6 +272,12 @@ func (o Options) withDefaults() Options {
 	if o.CheckpointSamples < 1 {
 		o.CheckpointSamples = 16
 	}
+	if o.LeaseTTL <= 0 {
+		o.LeaseTTL = 10 * time.Second
+	}
+	if o.FailoverScan <= 0 {
+		o.FailoverScan = o.LeaseTTL / 2
+	}
 	if o.Scheduler == "" {
 		o.Scheduler = "fifo"
 	}
@@ -259,9 +298,15 @@ type Server struct {
 	pool     *Pool
 	stats    *statFarm
 	registry *registry
-	store    *store.Store // nil when durability is disabled
+	store    *store.Store   // nil when durability is disabled
+	leases   *lease.Manager // nil unless ReplicaID is set (replicated tier)
 	mux      *http.ServeMux
 	wfq      *sched.WFQ[poolTask] // non-nil iff Options.Scheduler == "wfq"
+
+	// replicaStop/replicaWG bound the lease renew and failover-scan
+	// loops; Close signals and waits before closing the store they use.
+	replicaStop chan struct{}
+	replicaWG   sync.WaitGroup
 
 	mu          sync.Mutex
 	closed      bool
@@ -309,17 +354,85 @@ func New(opts Options) (*Server, error) {
 	}
 	s.pool = NewPool(opts.Workers, opts.QueueDepth, queue)
 	s.routes()
+	if opts.ReplicaID != "" && opts.DataDir == "" {
+		s.pool.Close()
+		s.stats.Close()
+		return nil, fmt.Errorf("serve: ReplicaID requires DataDir (a replica is defined by the shared store directory)")
+	}
 	if opts.DataDir != "" {
-		st, err := store.Open(opts.DataDir, store.Options{RetainWindows: opts.ResultBuffer})
+		storeDir := opts.DataDir
+		if opts.ReplicaID != "" {
+			// Replicated tier: each replica appends to its own journal
+			// under the shared directory (a WAL has exactly one writer);
+			// ownership is arbitrated by the lease files, and takeovers
+			// copy a job's state across journals via store.Adopt.
+			storeDir = filepath.Join(opts.DataDir, "replicas", opts.ReplicaID)
+			if err := migrateLegacyJournal(opts.DataDir, storeDir); err != nil {
+				s.pool.Close()
+				s.stats.Close()
+				return nil, err
+			}
+		}
+		st, err := store.Open(storeDir, store.Options{RetainWindows: opts.ResultBuffer, Chaos: opts.Chaos})
 		if err != nil {
 			s.pool.Close()
 			s.stats.Close()
 			return nil, err
 		}
 		s.store = st
+		if opts.ReplicaID != "" {
+			lm, err := lease.NewManager(lease.Options{
+				Dir:   filepath.Join(opts.DataDir, "leases"),
+				Owner: opts.ReplicaID,
+				URL:   opts.AdvertiseURL,
+				TTL:   opts.LeaseTTL,
+				Chaos: opts.Chaos,
+			})
+			if err != nil {
+				s.store.Close()
+				s.pool.Close()
+				s.stats.Close()
+				return nil, fmt.Errorf("serve: %w", err)
+			}
+			s.leases = lm
+			// The fence: every journal append for a job must hold that
+			// job's lease, unexpired by the local clock. A zombie owner
+			// (stolen lease, stalled renew loop) is refused at the store
+			// before its stale progress can land.
+			s.store.SetFence(lm.Check)
+		}
 		s.recover()
+		if s.leases != nil {
+			s.replicaStop = make(chan struct{})
+			s.replicaWG.Add(2)
+			go s.renewLoop()
+			go s.failoverLoop()
+		}
 	}
 	return s, nil
+}
+
+// migrateLegacyJournal moves a pre-replication journal at the shared
+// directory's root into this replica's own journal directory, so an
+// existing single-server data dir can be upgraded in place by starting
+// the first replica on it. Only runs when the replica has no journal of
+// its own yet.
+func migrateLegacyJournal(dataDir, storeDir string) error {
+	legacy := filepath.Join(dataDir, "journal.wal")
+	if _, err := os.Stat(legacy); err != nil {
+		return nil
+	}
+	mine := filepath.Join(storeDir, "journal.wal")
+	if _, err := os.Stat(mine); err == nil {
+		return nil
+	}
+	if err := os.MkdirAll(storeDir, 0o777); err != nil {
+		return fmt.Errorf("serve: migrating legacy journal: %w", err)
+	}
+	if err := os.Rename(legacy, mine); err != nil {
+		return fmt.Errorf("serve: migrating legacy journal: %w", err)
+	}
+	return nil
 }
 
 // Handler returns the HTTP API.
@@ -402,7 +515,7 @@ func (s *Server) SubmitAs(spec JobSpec, tenant string) (*Job, error) {
 		return nil, err
 	}
 	s.seq++
-	id := fmt.Sprintf("job-%06d", s.seq)
+	id := s.jobID()
 	// Per-job cap on concurrently analysed windows: half the farm (rounded
 	// up), so a single stats-heavy tenant leaves engines for everyone else.
 	statInflight := (s.stats.Engines() + 1) / 2
@@ -430,6 +543,17 @@ func (s *Server) SubmitAs(spec JobSpec, tenant string) (*Job, error) {
 	s.pruneLocked()
 	s.mu.Unlock()
 
+	// In a replicated tier, take the job's ownership lease before the
+	// first journal append (the store fence refuses appends for jobs
+	// whose lease this replica does not hold).
+	if s.leases != nil {
+		if _, lerr := s.leases.Acquire(id); lerr != nil {
+			job.noPersist.Store(true)
+			job.fail(lerr)
+			s.unregister(id)
+			return nil, fmt.Errorf("serve: acquiring job lease: %w", lerr)
+		}
+	}
 	// Journal the submission before any goroutine can produce durable
 	// events for it (replay ignores windows of never-submitted jobs). A
 	// job the store cannot record is rejected: accepting it would promise
@@ -571,13 +695,39 @@ func (s *Server) Close() {
 	s.mu.Lock()
 	s.closed = true
 	s.mu.Unlock()
+	// Stop the replica loops first: the failover scan adopts into the
+	// store and must not race its Close, and a renew fired after the
+	// jobs are failed would re-extend leases this shutdown releases.
+	if s.replicaStop != nil {
+		close(s.replicaStop)
+		s.replicaWG.Wait()
+	}
 	for _, j := range s.List() {
 		j.noPersist.Store(true)
 		j.setTerminal(StateFailed, "server shutting down")
+	}
+	// A graceful shutdown releases any lease still held (failing a job
+	// releases its lease via jobFinished, but queued/shell jobs may not
+	// pass through it), so a peer replica can take the journaled jobs
+	// over immediately instead of waiting out the TTL.
+	if s.leases != nil {
+		for _, id := range s.leases.HeldJobs() {
+			s.leases.Release(id)
+		}
 	}
 	s.pool.Close()
 	s.stats.Close()
 	if s.store != nil {
 		s.store.Close()
 	}
+}
+
+// jobID formats the next submission id. Replicas namespace their ids so
+// two replicas admitting jobs concurrently never collide. Callers hold
+// s.mu (the id consumes s.seq).
+func (s *Server) jobID() string {
+	if s.opts.ReplicaID != "" {
+		return fmt.Sprintf("job-%s-%06d", s.opts.ReplicaID, s.seq)
+	}
+	return fmt.Sprintf("job-%06d", s.seq)
 }

@@ -526,6 +526,9 @@ func TestSubmitOverActiveLimitReturns429(t *testing.T) {
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("submit over limit: status %d, want 429", resp.StatusCode)
 	}
+	if ra := resp.Header.Get("Retry-After"); ra != "1" {
+		t.Fatalf("saturation 429 Retry-After = %q, want \"1\"", ra)
+	}
 	// Capacity frees once the first job finishes.
 	r2, err := http.Get(ts.URL + "/jobs/" + first.ID + "/result?wait=true")
 	if err != nil {

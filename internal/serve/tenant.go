@@ -229,6 +229,12 @@ func (s *Server) jobFinished(job *Job) {
 	job.admission = admReleased
 	starts := s.dispatchLocked()
 	s.mu.Unlock()
+	if s.leases != nil && !job.noPersist.Load() {
+		// The released (not deleted) lease file keeps pointing readers at
+		// the journal holding the job's terminal record. A job failed for
+		// a lost lease skips this: the thief owns the lease now.
+		s.leases.Release(job.id)
+	}
 	for _, start := range starts {
 		start()
 	}

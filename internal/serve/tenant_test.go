@@ -303,6 +303,9 @@ func TestQuotaExceeded429(t *testing.T) {
 	if !bytes.Contains(msg.Bytes(), []byte("budget")) {
 		t.Fatalf("429 body does not mention the budget: %s", msg)
 	}
+	if ra := resp.Header.Get("Retry-After"); ra != "5" {
+		t.Fatalf("quota 429 Retry-After = %q, want \"5\"", ra)
+	}
 
 	// The typed error is visible on the native API too.
 	if _, err := svc.SubmitAs(slowSpec(), "small"); !errors.Is(err, serve.ErrQuotaExceeded) {

@@ -33,12 +33,14 @@ package store
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sync"
 	"time"
 
+	"cwcflow/internal/chaos"
 	"cwcflow/internal/core"
 )
 
@@ -58,6 +60,9 @@ type Options struct {
 	// CompactBytes is the journal size that triggers a snapshot+compaction
 	// rewrite on append (default 8 MiB).
 	CompactBytes int64
+	// Chaos, when armed with FsyncStall, delays journal fsyncs (fault
+	// injection for the failover tests; nil in production).
+	Chaos *chaos.Injector
 }
 
 func (o Options) withDefaults() Options {
@@ -145,6 +150,11 @@ type Store struct {
 	lastCompact time.Time
 	truncated   int64
 	closed      bool
+	// fence, when set, is consulted before every append: a non-nil error
+	// refuses the write. The replicated serve tier points it at the lease
+	// manager so a replica whose job lease expired or was stolen cannot
+	// journal stale progress (fencing-epoch discipline).
+	fence func(job string) error
 	// failed is set when a journal write error could not be rolled back:
 	// the file may hold a partial frame that replay would treat as the
 	// end of the journal, silently discarding everything appended after
@@ -154,6 +164,18 @@ type Store struct {
 }
 
 const journalName = "journal.wal"
+
+// ErrFenced wraps fence refusals so callers can distinguish "this
+// replica may no longer write for the job" from I/O failures.
+var ErrFenced = errors.New("store: append fenced")
+
+// SetFence installs the per-job write fence (nil disables it). Set it
+// before the first guarded append; reads are never fenced.
+func (s *Store) SetFence(f func(job string) error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.fence = f
+}
 
 // Open loads (or creates) the journal under dir, replays it into memory,
 // and truncates any torn tail.
@@ -307,6 +329,117 @@ func (s *Store) Recovered() []*JobRecord {
 	return out
 }
 
+// ReadJournal replays the journal under dir read-only and returns its
+// job records in submission order, without opening the file for writing
+// or truncating torn tails. Replicas use it to serve reads for jobs
+// another replica owns, and to adopt a dead owner's jobs after a lease
+// steal: the WAL's replay fold is convergent (windows only apply in
+// sequence, duplicates are ignored), so reading a live owner's journal
+// mid-append is safe — at worst the tail frame is torn and replay stops
+// one event early. A missing journal yields no records.
+func ReadJournal(dir string, opts Options) ([]*JobRecord, error) {
+	opts = opts.withDefaults()
+	s := &Store{opts: opts, jobs: make(map[string]*JobRecord)}
+	data, err := os.ReadFile(filepath.Join(dir, journalName))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: reading journal %s: %w", dir, err)
+	}
+	s.replay(data)
+	out := make([]*JobRecord, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id])
+	}
+	return out, nil
+}
+
+// Adopt journals a snapshot of rec — typically read from a dead
+// replica's journal via ReadJournal — into THIS store's journal and
+// takes ownership of the record, replacing any stale local copy. The
+// emitted events mirror compaction (submit, frontier marker, retained
+// windows, checkpoint ladders, terminal), so replay of our own journal
+// reconstructs the adopted state exactly; the write is fsynced because
+// a takeover the thief acknowledged must not evaporate. The caller must
+// already hold the job's lease when a fence is installed.
+func (s *Store) Adopt(rec *JobRecord) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("store: closed")
+	}
+	if s.failed {
+		return fmt.Errorf("store: journal failed by an earlier write error")
+	}
+	if s.fence != nil {
+		if err := s.fence(rec.ID); err != nil {
+			return fmt.Errorf("%w: %v", ErrFenced, err)
+		}
+	}
+	if s.size >= s.opts.CompactBytes {
+		if err := s.compactLocked(); err != nil {
+			return err
+		}
+	}
+	if rec.ckpts == nil {
+		rec.ckpts = make(map[int][]Checkpoint)
+	}
+	var frames, scratch []byte
+	emit := func(ev *event) error {
+		payload, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		scratch = appendFrame(scratch[:0], payload)
+		frames = append(frames, scratch...)
+		return nil
+	}
+	if err := emit(&event{Type: evSubmit, Job: rec.ID, At: rec.SubmittedAt.UnixNano(), Spec: rec.Spec, Tenant: rec.Tenant}); err != nil {
+		return err
+	}
+	if rec.FirstRetained > 0 {
+		if err := emit(&event{Type: evFrontier, Job: rec.ID, Seq: rec.FirstRetained}); err != nil {
+			return err
+		}
+	}
+	for i := range rec.Windows {
+		if err := emit(&event{Type: evWindow, Job: rec.ID, Seq: rec.FirstRetained + i, Window: &rec.Windows[i]}); err != nil {
+			return err
+		}
+	}
+	for traj, ladder := range rec.ckpts {
+		for _, c := range ladder {
+			if err := emit(&event{Type: evCkpt, Job: rec.ID, Traj: traj, Next: c.NextIdx, Sim: c.Sim}); err != nil {
+				return err
+			}
+		}
+	}
+	if rec.Terminal != "" {
+		if err := emit(&event{Type: evTerminal, Job: rec.ID, State: rec.Terminal, Err: rec.Error, Status: rec.Status}); err != nil {
+			return err
+		}
+	}
+	if _, err := s.f.Write(frames); err != nil {
+		if terr := s.f.Truncate(s.size); terr != nil {
+			s.failed = true
+		} else if _, serr := s.f.Seek(s.size, 0); serr != nil {
+			s.failed = true
+		}
+		return fmt.Errorf("store: adoption write: %w", err)
+	}
+	s.size += int64(len(frames))
+	if _, ok := s.jobs[rec.ID]; !ok {
+		s.order = append(s.order, rec.ID)
+	}
+	rec.forgotten = false
+	s.jobs[rec.ID] = rec
+	if d := s.opts.Chaos.Stall(chaos.FsyncStall); d > 0 {
+		time.Sleep(d)
+	}
+	return s.f.Sync()
+}
+
 // AppendSubmit journals a new job's spec and owning tenant (fsynced:
 // losing a submission the client was told about is not acceptable).
 func (s *Store) AppendSubmit(id string, at time.Time, spec json.RawMessage, tenant string) error {
@@ -347,6 +480,11 @@ func (s *Store) append(ev *event, sync bool) error {
 	if s.failed {
 		return fmt.Errorf("store: journal failed by an earlier write error")
 	}
+	if s.fence != nil {
+		if err := s.fence(ev.Job); err != nil {
+			return fmt.Errorf("%w: %v", ErrFenced, err)
+		}
+	}
 	if s.size >= s.opts.CompactBytes && ev.Type != evWindow {
 		if err := s.compactLocked(); err != nil {
 			return err
@@ -372,6 +510,9 @@ func (s *Store) append(ev *event, sync bool) error {
 	s.size += int64(len(frame))
 	s.apply(ev)
 	if sync {
+		if d := s.opts.Chaos.Stall(chaos.FsyncStall); d > 0 {
+			time.Sleep(d)
+		}
 		return s.f.Sync()
 	}
 	return nil

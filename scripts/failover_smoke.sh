@@ -1,0 +1,144 @@
+#!/usr/bin/env bash
+# Two-replica failover smoke: replicas A and B share one -data-dir with
+# job-ownership leases. A job is submitted through A; reads about it are
+# answered by B (journal peek) and a cancel sent to B is transparently
+# proxied to A. Then A is SIGKILLed mid-run: B must steal the lease at a
+# higher epoch, adopt A's journal, resume the job from its durable
+# frontier, and finish with a window-stats digest bit-identical to an
+# uninterrupted single-process run.
+#
+# Needs: go, curl, jq, sha256sum. Run from the repo root. Set
+# FAILOVER_DATA_DIR to keep the data dir for debugging (CI uploads it on
+# failure).
+set -euo pipefail
+
+BIN=$(mktemp -d)
+DATA=${FAILOVER_DATA_DIR:-$BIN/data}
+trap 'kill $(jobs -p) 2>/dev/null || true; rm -rf "$BIN"' EXIT
+
+go build -o "$BIN/cwc-serve" ./cmd/cwc-serve
+
+REF=127.0.0.1:7130  # uninterrupted reference
+A=127.0.0.1:7131    # replica that gets SIGKILLed
+B=127.0.0.1:7132    # surviving replica
+
+# Sized like the recovery smoke: reliably mid-run when the kill lands.
+SPEC='{"model":"neurospora","omega":5000,"trajectories":16,"end":48,"period":0.125,"window":8,"step":8,"seed":42}'
+
+wait_healthy() {
+  for _ in $(seq 1 100); do
+    if curl -fsS "http://$1/healthz" >/dev/null 2>&1; then return 0; fi
+    sleep 0.1
+  done
+  echo "server $1 never became healthy" >&2
+  return 1
+}
+
+digest_of() { # result-json-file -> digest of the full window stream
+  jq -c '.windows' "$1" | sha256sum | cut -d' ' -f1
+}
+
+# Reference: uninterrupted run, no data dir.
+"$BIN/cwc-serve" -listen "$REF" -sim-workers 2 &
+wait_healthy "$REF"
+REF_ID=$(curl -fsS "http://$REF/jobs" -d "$SPEC" | jq -re .id)
+curl -fsS "http://$REF/jobs/$REF_ID/result?wait=true" >"$BIN/ref.json"
+[ "$(jq -re .status.state "$BIN/ref.json")" = done ]
+REF_DIGEST=$(digest_of "$BIN/ref.json")
+REF_WINDOWS=$(jq -re .status.progress.windows "$BIN/ref.json")
+
+# The replicated tier: A and B share $DATA; short lease TTL so failover
+# lands within a couple of seconds of the kill.
+REPL_FLAGS="-sim-workers 2 -data-dir $DATA -lease-ttl 2s"
+"$BIN/cwc-serve" -listen "$A" $REPL_FLAGS -replica-id a -advertise-url "http://$A" &
+A_PID=$!
+"$BIN/cwc-serve" -listen "$B" $REPL_FLAGS -replica-id b -advertise-url "http://$B" &
+wait_healthy "$A"
+wait_healthy "$B"
+
+JOB_ID=$(curl -fsS "http://$A/jobs" -d "$SPEC" | jq -re .id)
+case "$JOB_ID" in
+  job-a-*) ;;
+  *) echo "FAIL: job id $JOB_ID does not carry replica a's infix" >&2; exit 1 ;;
+esac
+
+# Cross-replica serving while A is healthy: B answers for A's job from
+# the shared journal, attributing the owner...
+FOREIGN=$(curl -fsS "http://$B/jobs/$JOB_ID")
+if [ "$(jq -re .owner <<<"$FOREIGN")" != a ]; then
+  echo "FAIL: B's view of A's job lacks owner=a: $FOREIGN" >&2
+  exit 1
+fi
+# ...redirects its live stream to A...
+STREAM_LOC=$(curl -fsS -o /dev/null -w '%{redirect_url}' "http://$B/jobs/$JOB_ID/stream")
+if [ "$STREAM_LOC" != "http://$A/jobs/$JOB_ID/stream" ]; then
+  echo "FAIL: B redirected the stream to '$STREAM_LOC', want A" >&2
+  exit 1
+fi
+# ...and proxies a cancel of a sacrificial job through to A.
+VICTIM_ID=$(curl -fsS "http://$A/jobs" -d "$SPEC" | jq -re .id)
+curl -fsS -X POST "http://$B/jobs/$VICTIM_ID/cancel" >/dev/null
+for _ in $(seq 1 100); do
+  VICTIM_STATE=$(curl -fsS "http://$A/jobs/$VICTIM_ID" | jq -re .state)
+  [ "$VICTIM_STATE" = cancelled ] && break
+  sleep 0.05
+done
+if [ "$VICTIM_STATE" != cancelled ]; then
+  echo "FAIL: cancel proxied via B left the job $VICTIM_STATE on A" >&2
+  exit 1
+fi
+echo "cross-replica serving OK: owner attribution, stream redirect, proxied cancel"
+
+# SIGKILL A mid-run: no shutdown path, the lease just stops renewing.
+MIDRUN=0
+for _ in $(seq 1 300); do
+  ST=$(curl -fsS "http://$A/jobs/$JOB_ID")
+  WINDOWS=$(jq -re .progress.windows <<<"$ST")
+  STATE=$(jq -re .state <<<"$ST")
+  if [ "$STATE" != running ]; then break; fi
+  if [ "$WINDOWS" -ge 3 ] && [ "$WINDOWS" -lt "$REF_WINDOWS" ]; then MIDRUN=1; break; fi
+  sleep 0.02
+done
+if [ "$MIDRUN" != 1 ]; then
+  echo "FAIL: job finished before the kill landed (windows=$WINDOWS); enlarge the spec" >&2
+  exit 1
+fi
+kill -9 "$A_PID"
+wait "$A_PID" 2>/dev/null || true
+echo "killed replica a mid-run at $WINDOWS/$REF_WINDOWS windows"
+
+# B: once the lease expires it steals at a higher epoch, adopts A's
+# journal and drives the job to completion.
+DONE=0
+for _ in $(seq 1 600); do
+  STATE=$(curl -fsS "http://$B/jobs/$JOB_ID" | jq -re .state)
+  if [ "$STATE" = done ]; then DONE=1; break; fi
+  if [ "$STATE" = failed ] || [ "$STATE" = cancelled ]; then break; fi
+  sleep 0.05
+done
+if [ "$DONE" != 1 ]; then
+  echo "FAIL: job ended $STATE on replica b instead of done" >&2
+  curl -fsS "http://$B/jobs/$JOB_ID" >&2 || true
+  exit 1
+fi
+
+curl -fsS "http://$B/jobs/$JOB_ID/result?wait=true" >"$BIN/failover.json"
+if [ "$(jq -re .status.recovered "$BIN/failover.json")" != true ]; then
+  echo "FAIL: failed-over job not marked recovered on replica b" >&2
+  exit 1
+fi
+FAIL_DIGEST=$(digest_of "$BIN/failover.json")
+FAIL_WINDOWS=$(jq -re .status.progress.windows "$BIN/failover.json")
+
+echo "reference digest: $REF_DIGEST ($REF_WINDOWS windows)"
+echo "failover digest:  $FAIL_DIGEST ($FAIL_WINDOWS windows)"
+
+if [ "$FAIL_WINDOWS" != "$REF_WINDOWS" ]; then
+  echo "FAIL: failed-over run published $FAIL_WINDOWS windows, reference $REF_WINDOWS" >&2
+  exit 1
+fi
+if [ "$FAIL_DIGEST" != "$REF_DIGEST" ]; then
+  echo "FAIL: failed-over window digest diverged from the uninterrupted run" >&2
+  exit 1
+fi
+echo "OK: SIGKILL + lease steal failover is bit-identical to the uninterrupted run"
