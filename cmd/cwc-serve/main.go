@@ -96,6 +96,10 @@ func run() error {
 		replicaID      = flag.String("replica-id", "", "this server's identity in a replicated tier sharing -data-dir; enables job leases and failover (empty = standalone)")
 		leaseTTL       = flag.Duration("lease-ttl", 10*time.Second, "job-ownership lease duration (with -replica-id); a crashed replica's jobs fail over after at most this long")
 		advertiseURL   = flag.String("advertise-url", "", "base URL other replicas redirect/proxy to for jobs this replica owns, e.g. http://host:8080 (with -replica-id)")
+		failoverScan   = flag.Duration("failover-scan", 0, "lease-directory scan interval for adopting orphaned jobs (0 = lease-ttl/2; with -replica-id)")
+		drainGrace     = flag.Duration("drain-grace", 150*time.Millisecond, "time a drain or handoff waits for in-flight quanta to checkpoint at a boundary before releasing leases")
+		rebalanceScan  = flag.Duration("rebalance-scan", 0, "load-rebalancing scan interval (0 = 4×lease-ttl, negative disables; with -replica-id)")
+		rebalanceGap   = flag.Int("rebalance-margin", 2, "minimum owned-job surplus a peer must have before this replica requests a handoff from it")
 		scheduler      = flag.String("scheduler", "fifo", "quantum dispatch discipline: fifo (arrival order) or wfq (weighted fair share across tenants)")
 		tenantConc     = flag.Int("default-tenant-concurrency", 0, "per-tenant running-job cap; submissions beyond it queue with a position (0 = unlimited)")
 		tenantQueue    = flag.Int("default-tenant-queue", 16, "per-tenant admission queue depth; submissions beyond it get 429")
@@ -148,6 +152,10 @@ func run() error {
 		ReplicaID:                *replicaID,
 		LeaseTTL:                 *leaseTTL,
 		AdvertiseURL:             *advertiseURL,
+		FailoverScan:             *failoverScan,
+		DrainGrace:               *drainGrace,
+		RebalanceScan:            *rebalanceScan,
+		RebalanceMargin:          *rebalanceGap,
 		Scheduler:                *scheduler,
 		DefaultTenantConcurrency: *tenantConc,
 		DefaultTenantQueue:       *tenantQueue,
@@ -183,12 +191,15 @@ func run() error {
 	case <-ctx.Done():
 	}
 	fmt.Fprintln(os.Stderr, "cwc-serve: shutting down")
-	// Close the service first: it fails the running jobs (without
-	// journaling the shutdown as a job outcome — a durable store resumes
-	// them on the next start), which ends every open stream with a
-	// terminal event, so Shutdown can drain the HTTP connections promptly
-	// instead of timing out behind blocked streams. Close also performs
-	// the final journal fsync.
+	// Close the service first. A replica drains: it checkpoints every
+	// owned job, releases each lease with a handoff pointer and nudges the
+	// peers to adopt immediately, so a rolling restart moves streams in
+	// one adoption instead of a lease-TTL wait. A standalone durable
+	// server fails the running jobs without journaling the shutdown as a
+	// job outcome, and resumes them on the next start. Either way every
+	// open stream ends with a terminal event, so Shutdown drains the HTTP
+	// connections promptly instead of timing out behind blocked streams,
+	// and Close performs the final journal fsync.
 	svc.Close()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()

@@ -39,6 +39,14 @@ const (
 	// treats it as already expired (premature steal — exercises the
 	// fencing path with the previous owner still alive).
 	LeaseExpireEarly Point = "lease-expire-early"
+	// HandoffDrop: the owner's POST /leases/{job}/handoff handler drops
+	// the request on the floor — nothing is checkpointed or released,
+	// the requester must retry on a later rebalance tick.
+	HandoffDrop Point = "handoff-drop"
+	// HandoffCrash: the rebalance requester "dies" between the owner's
+	// release-with-pointer and its own adoption; the job must degrade to
+	// ordinary failover once the targeted reservation lapses.
+	HandoffCrash Point = "handoff-crash"
 )
 
 // Rule arms a fault point.

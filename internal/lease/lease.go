@@ -17,7 +17,12 @@
 //     stop writing for that job immediately.
 //   - Release marks the lease released but keeps the file (owner
 //     intact), so other replicas can still find the last owner's
-//     journal for terminal jobs.
+//     journal for terminal jobs. ReleaseHandoff is the voluntary
+//     variant: the released lease carries a handoff pointer (durable
+//     window frontier, optional target replica) so a peer adopts the
+//     job immediately instead of waiting out the TTL; a targeted
+//     pointer reserves the lease for its requester for one TTL, after
+//     which ordinary failover applies.
 //   - Check is the store-side fence: it succeeds only while the lease
 //     is in the held set AND unexpired by the local clock. A stalled
 //     owner whose lease has lapsed is fenced by its own clock before
@@ -63,6 +68,31 @@ type Lease struct {
 	Expires  int64  `json:"expires_unix_nano"`
 	URL      string `json:"url,omitempty"`
 	Released bool   `json:"released,omitempty"`
+	// Handoff, when non-nil on a released lease, is a voluntary-transfer
+	// pointer: the owner drained or honoured a rebalance request rather
+	// than crashing, and peers may adopt immediately. Acquire writes a
+	// fresh lease, so adoption clears it.
+	Handoff *Handoff `json:"handoff,omitempty"`
+}
+
+// Handoff is the pointer a voluntarily releasing owner leaves on its
+// lease. The lease's Owner field already names the journal holding the
+// job's freshest state; the pointer adds how far that journal durably
+// got and, for rebalance transfers, who the handoff is reserved for.
+type Handoff struct {
+	// To, when non-empty, names the replica this handoff is reserved
+	// for: other replicas leave the lease alone for one TTL after At, so
+	// the requester adopts at epoch+1 without racing the whole tier. A
+	// requester that dies before adopting never strands the job — once
+	// the reservation lapses, ordinary failover applies.
+	To string `json:"to,omitempty"`
+	// Windows is the owner's durable window frontier at release, fsynced
+	// before the lease was written: an adopter peeking fewer windows is
+	// reading a stale journal and should re-read.
+	Windows int `json:"windows"`
+	// At is the release time on the owner's clock (unix nanoseconds);
+	// the reservation for To lapses one TTL after it.
+	At int64 `json:"at_unix_nano"`
 }
 
 // ExpiresAt returns the expiry deadline as a time.
@@ -175,7 +205,21 @@ func (m *Manager) Acquire(job string) (Lease, error) {
 
 // stealable reports whether cur may be taken over right now.
 func (m *Manager) stealable(cur Lease, now time.Time) bool {
-	if cur.Owner == m.owner || cur.Released || now.UnixNano() >= cur.Expires {
+	if cur.Owner == m.owner {
+		return true
+	}
+	if cur.Released {
+		// A targeted handoff reserves the released lease for its
+		// requester for one TTL; once that lapses (the requester died
+		// before adopting) it degrades to ordinary failover and anyone
+		// may take it.
+		if h := cur.Handoff; h != nil && h.To != "" && h.To != m.owner &&
+			now.UnixNano() < h.At+int64(m.ttl) {
+			return false
+		}
+		return true
+	}
+	if now.UnixNano() >= cur.Expires {
 		return true
 	}
 	return m.chaos.Fire(chaos.LeaseExpireEarly)
@@ -239,6 +283,32 @@ func (m *Manager) Release(job string) {
 			return err
 		}
 		disk.Released = true
+		return m.write(disk)
+	})
+}
+
+// ReleaseHandoff is Release with a voluntary-transfer pointer: the
+// released lease carries h (stamped with the release time), so peers
+// adopt the job immediately instead of waiting out the TTL, and a
+// non-empty h.To gets first claim for one TTL. Releasing a lease we no
+// longer hold is a no-op, exactly like Release — when a steal races the
+// handoff, whichever epoch landed on disk wins.
+func (m *Manager) ReleaseHandoff(job string, h Handoff) {
+	m.mu.Lock()
+	cur, ok := m.held[job]
+	delete(m.held, job)
+	m.mu.Unlock()
+	if !ok {
+		return
+	}
+	h.At = m.now().UnixNano()
+	_ = m.withLock(job, func() error {
+		disk, ok, err := readLease(m.path(job))
+		if err != nil || !ok || disk.Owner != m.owner || disk.Epoch != cur.Epoch {
+			return err
+		}
+		disk.Released = true
+		disk.Handoff = &h
 		return m.write(disk)
 	})
 }

@@ -259,3 +259,128 @@ func TestValidNameRejectsPathEscapes(t *testing.T) {
 		t.Fatal("NewManager with path-separator owner should fail")
 	}
 }
+
+func TestReleaseHandoffStampsPointer(t *testing.T) {
+	dir, clk := t.TempDir(), newClock()
+	a := manager(t, dir, "a", clk, nil)
+	if _, err := a.Acquire("job-a-000001"); err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	a.ReleaseHandoff("job-a-000001", Handoff{To: "b", Windows: 7})
+	disk, ok, err := a.Get("job-a-000001")
+	if err != nil || !ok {
+		t.Fatalf("Get after ReleaseHandoff: %v %v", ok, err)
+	}
+	if !disk.Released || disk.Owner != "a" {
+		t.Fatalf("lease after handoff = %+v, want released with owner kept", disk)
+	}
+	h := disk.Handoff
+	if h == nil || h.To != "b" || h.Windows != 7 {
+		t.Fatalf("handoff pointer = %+v, want to=b windows=7", h)
+	}
+	if h.At != clk.now().UnixNano() {
+		t.Fatalf("handoff stamped at %d, want release time %d", h.At, clk.now().UnixNano())
+	}
+	if err := a.Check("job-a-000001"); err == nil {
+		t.Fatal("Check passed after ReleaseHandoff")
+	}
+}
+
+func TestTargetedHandoffReservesLeaseForOneTTL(t *testing.T) {
+	dir, clk := t.TempDir(), newClock()
+	a := manager(t, dir, "a", clk, nil)
+	b := manager(t, dir, "b", clk, nil)
+	c := manager(t, dir, "c", clk, nil)
+	if _, err := a.Acquire("job-a-000001"); err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	a.ReleaseHandoff("job-a-000001", Handoff{To: "b", Windows: 3})
+	l, _, _ := a.Get("job-a-000001")
+
+	// Within the reservation window only the target may take the lease.
+	if c.Stealable(l) {
+		t.Fatal("third party could steal a lease reserved for b")
+	}
+	if _, err := c.Acquire("job-a-000001"); err == nil {
+		t.Fatal("third-party Acquire succeeded inside the reservation window")
+	}
+	if !b.Stealable(l) {
+		t.Fatal("target b cannot take its own reserved handoff")
+	}
+	got, err := b.Acquire("job-a-000001")
+	if err != nil {
+		t.Fatalf("target Acquire: %v", err)
+	}
+	if got.Epoch != 2 {
+		t.Fatalf("adoption epoch %d, want 2", got.Epoch)
+	}
+	if got.Handoff != nil {
+		t.Fatalf("adopted lease still carries a handoff pointer: %+v", got.Handoff)
+	}
+}
+
+func TestTargetedHandoffDegradesToFailoverAfterTTL(t *testing.T) {
+	dir, clk := t.TempDir(), newClock()
+	a := manager(t, dir, "a", clk, nil)
+	c := manager(t, dir, "c", clk, nil)
+	if _, err := a.Acquire("job-a-000001"); err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	a.ReleaseHandoff("job-a-000001", Handoff{To: "b", Windows: 3})
+
+	// The requester "died" before adopting: once the reservation lapses
+	// (one TTL past release), anyone may take the job — ordinary failover.
+	clk.advance(10*time.Second + time.Nanosecond)
+	l, _, _ := c.Get("job-a-000001")
+	if !c.Stealable(l) {
+		t.Fatal("lapsed reservation still blocks third parties")
+	}
+	got, err := c.Acquire("job-a-000001")
+	if err != nil {
+		t.Fatalf("Acquire after reservation lapse: %v", err)
+	}
+	if got.Epoch != 2 || got.Owner != "c" {
+		t.Fatalf("failover acquire = %+v, want owner c at epoch 2", got)
+	}
+}
+
+func TestUntargetedHandoffIsImmediatelyStealable(t *testing.T) {
+	dir, clk := t.TempDir(), newClock()
+	a := manager(t, dir, "a", clk, nil)
+	c := manager(t, dir, "c", clk, nil)
+	if _, err := a.Acquire("job-a-000001"); err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	a.ReleaseHandoff("job-a-000001", Handoff{Windows: 5})
+	l, _, _ := c.Get("job-a-000001")
+	if !c.Stealable(l) {
+		t.Fatal("untargeted handoff should be adoptable by anyone at once")
+	}
+}
+
+func TestReleaseHandoffOnUnheldLeaseIsNoOp(t *testing.T) {
+	dir, clk := t.TempDir(), newClock()
+	a := manager(t, dir, "a", clk, nil)
+	b := manager(t, dir, "b", clk, nil)
+	if _, err := a.Acquire("job-a-000001"); err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	// B never held the lease: its ReleaseHandoff must not touch A's claim.
+	b.ReleaseHandoff("job-a-000001", Handoff{To: "b", Windows: 9})
+	disk, _, _ := a.Get("job-a-000001")
+	if disk.Released || disk.Handoff != nil || disk.Owner != "a" {
+		t.Fatalf("foreign ReleaseHandoff mutated the lease: %+v", disk)
+	}
+
+	// And a steal that already bumped the epoch fences the old owner's
+	// late handoff release the same way it fences Release.
+	clk.advance(11 * time.Second)
+	if _, err := b.Acquire("job-a-000001"); err != nil {
+		t.Fatalf("steal: %v", err)
+	}
+	a.ReleaseHandoff("job-a-000001", Handoff{Windows: 1})
+	disk, _, _ = a.Get("job-a-000001")
+	if disk.Released || disk.Owner != "b" || disk.Epoch != 2 {
+		t.Fatalf("stale ReleaseHandoff clobbered the thief's lease: %+v", disk)
+	}
+}

@@ -1,0 +1,102 @@
+package lease
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+)
+
+// PeerInfo is one replica's heartbeat in the shared peer directory: its
+// identity, client-reachable URL, and the load signals the tier's
+// rebalancer and submit forwarder act on.
+type PeerInfo struct {
+	ID  string `json:"id"`
+	URL string `json:"url,omitempty"`
+	// Jobs is how many job leases the replica held at the beat.
+	Jobs int `json:"jobs"`
+	// Draining marks a replica that has stopped admission and is handing
+	// its jobs off; peers neither redirect submissions to it nor request
+	// rebalances from it.
+	Draining bool  `json:"draining,omitempty"`
+	At       int64 `json:"at_unix_nano"`
+}
+
+// PeerDirectory is the tier's membership and load view: one JSON
+// heartbeat file per replica under <dir>, rewritten atomically at the
+// lease-renew cadence. It is advisory only — no fsync, no locks; a
+// stale or torn entry is skipped by List, and correctness never depends
+// on it (job ownership is always arbitrated by the lease files).
+type PeerDirectory struct {
+	dir string
+	id  string
+}
+
+// NewPeerDirectory creates the directory and returns a handle
+// publishing heartbeats as replica id.
+func NewPeerDirectory(dir, id string) (*PeerDirectory, error) {
+	if err := validName(id); err != nil {
+		return nil, fmt.Errorf("peer id: %w", err)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &PeerDirectory{dir: dir, id: id}, nil
+}
+
+func (d *PeerDirectory) path(id string) string { return filepath.Join(d.dir, id+".peer") }
+
+// Announce publishes this replica's heartbeat (temp file + rename, so a
+// concurrent List never reads a torn entry). The ID and timestamp are
+// stamped here; callers fill in the load fields.
+func (d *PeerDirectory) Announce(info PeerInfo) error {
+	info.ID = d.id
+	info.At = time.Now().UnixNano()
+	data, err := json.Marshal(info)
+	if err != nil {
+		return err
+	}
+	tmp := d.path(d.id) + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, d.path(d.id))
+}
+
+// List returns every heartbeat no older than maxAge (this replica's
+// own included), sorted by id. Unreadable or corrupt entries are
+// skipped — a dying peer must not break the survivors' view.
+func (d *PeerDirectory) List(maxAge time.Duration) ([]PeerInfo, error) {
+	ents, err := os.ReadDir(d.dir)
+	if err != nil {
+		return nil, err
+	}
+	cutoff := time.Now().Add(-maxAge).UnixNano()
+	var out []PeerInfo
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".peer") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(d.dir, e.Name()))
+		if err != nil {
+			continue
+		}
+		var p PeerInfo
+		if json.Unmarshal(data, &p) != nil || p.ID == "" || p.At < cutoff {
+			continue
+		}
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, nil
+}
+
+// Remove deletes this replica's heartbeat — the graceful-exit path, so
+// peers stop considering a cleanly stopped replica immediately instead
+// of waiting for its entry to age out.
+func (d *PeerDirectory) Remove() {
+	_ = os.Remove(d.path(d.id))
+}

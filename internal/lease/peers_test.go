@@ -1,0 +1,95 @@
+package lease
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestPeerDirectoryAnnounceListRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	a, err := NewPeerDirectory(dir, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewPeerDirectory(dir, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Announce(PeerInfo{URL: "http://a.test", Jobs: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Announce(PeerInfo{URL: "http://b.test", Jobs: 1, Draining: true}); err != nil {
+		t.Fatal(err)
+	}
+	infos, err := a.List(time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 2 || infos[0].ID != "a" || infos[1].ID != "b" {
+		t.Fatalf("List = %+v, want a then b", infos)
+	}
+	if infos[0].Jobs != 3 || infos[0].URL != "http://a.test" || infos[0].At == 0 {
+		t.Fatalf("a's heartbeat = %+v", infos[0])
+	}
+	if !infos[1].Draining {
+		t.Fatal("b's draining flag lost in the round trip")
+	}
+}
+
+func TestPeerDirectoryListSkipsStaleAndCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	a, err := NewPeerDirectory(dir, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Announce(PeerInfo{Jobs: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// A peer that stopped heartbeating ages out of the view.
+	stale := `{"id":"old","jobs":9,"at_unix_nano":1}`
+	if err := os.WriteFile(filepath.Join(dir, "old.peer"), []byte(stale), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A torn or garbage entry must not break the survivors' view.
+	if err := os.WriteFile(filepath.Join(dir, "torn.peer"), []byte("{nope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Unrelated files (lease tmp files, editors' droppings) are ignored.
+	if err := os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	infos, err := a.List(time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 1 || infos[0].ID != "a" {
+		t.Fatalf("List = %+v, want only the fresh heartbeat", infos)
+	}
+}
+
+func TestPeerDirectoryRemoveDropsOwnHeartbeat(t *testing.T) {
+	dir := t.TempDir()
+	a, err := NewPeerDirectory(dir, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Announce(PeerInfo{}); err != nil {
+		t.Fatal(err)
+	}
+	a.Remove()
+	infos, err := a.List(time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 0 {
+		t.Fatalf("List after Remove = %+v, want empty", infos)
+	}
+}
+
+func TestNewPeerDirectoryRejectsBadID(t *testing.T) {
+	if _, err := NewPeerDirectory(t.TempDir(), "a/b"); err == nil {
+		t.Fatal("NewPeerDirectory with path-separator id should fail")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"strconv"
 	"strings"
@@ -46,6 +47,13 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /jobs/{id}/stream", s.handleStream)
 	s.mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
+	// Replicated-tier admin: drain this replica, request/trigger a lease
+	// handoff, and inspect the peer directory. All answer 404 on a
+	// non-replica server.
+	s.mux.HandleFunc("POST /drain", s.handleDrain)
+	s.mux.HandleFunc("POST /leases/{id}/handoff", s.handleLeaseHandoff)
+	s.mux.HandleFunc("POST /leases/{id}/adopt", s.handleLeaseAdopt)
+	s.mux.HandleFunc("GET /peers", s.handlePeers)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -114,6 +122,14 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		// Durable store health: data dir, journal size, last compaction.
 		h["store"] = s.store.Stats()
 	}
+	if s.opts.ReplicaID != "" {
+		// Replica identity and load, mirrored into the peer directory:
+		// what the tier's submit forwarding and rebalancer act on.
+		h["replica_id"] = s.opts.ReplicaID
+		h["draining"] = s.draining.Load()
+		h["jobs_owned"] = len(s.leases.HeldJobs())
+		h["peers_live"] = len(s.livePeers())
+	}
 	code := http.StatusOK
 	if err := s.pool.Err(); err != nil {
 		h["pool_error"] = err.Error()
@@ -167,6 +183,34 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		code := http.StatusBadRequest
 		switch {
+		case errors.Is(err, ErrDraining):
+			// A draining replica takes nothing new, but the tier might:
+			// bounce the client to the least-loaded live peer. Without one,
+			// 503 — the drain finishes (or the replica exits) within a TTL.
+			if loc := s.forwardTarget(math.MaxInt); loc != "" {
+				w.Header().Set("Location", loc+"/jobs")
+				w.WriteHeader(http.StatusTemporaryRedirect)
+				return
+			}
+			code = http.StatusServiceUnavailable
+			w.Header().Set("Retry-After", "2")
+		case errors.Is(err, errSaturated):
+			// The server-wide MaxJobs cap is load, not policy: a strictly
+			// less-loaded live peer can take the job, and "strictly" is what
+			// keeps two mutually saturated replicas from bouncing a client
+			// in a redirect cycle. Tenant quotas never forward — they must
+			// hold on every replica alike.
+			mine := 0
+			if s.leases != nil {
+				mine = len(s.leases.HeldJobs())
+			}
+			if loc := s.forwardTarget(mine); loc != "" {
+				w.Header().Set("Location", loc+"/jobs")
+				w.WriteHeader(http.StatusTemporaryRedirect)
+				return
+			}
+			code = http.StatusTooManyRequests
+			w.Header().Set("Retry-After", "1")
 		case errors.Is(err, ErrBusy):
 			// The admission queue is full: capacity frees as soon as any
 			// running job finishes a quantum round, so retry quickly.

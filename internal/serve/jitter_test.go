@@ -1,0 +1,41 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+// TestScanJitterBounds pins the jitter discipline shared with
+// dff.DialRetry: uniform over [d/2, 3d/2], so replicas started in
+// lockstep spread their lease-directory scans and rebalance requests,
+// while the mean cadence stays the nominal interval.
+func TestScanJitterBounds(t *testing.T) {
+	const d = 40 * time.Millisecond
+	lo, hi := d/2, 3*d/2
+	min, max := hi, lo
+	for i := 0; i < 10000; i++ {
+		j := scanJitter(d)
+		if j < lo || j > hi {
+			t.Fatalf("scanJitter(%v) = %v outside [%v, %v]", d, j, lo, hi)
+		}
+		if j < min {
+			min = j
+		}
+		if j > max {
+			max = j
+		}
+	}
+	// The draws must actually spread across the range, not cluster.
+	if min > lo+d/8 || max < hi-d/8 {
+		t.Fatalf("scanJitter draws span [%v, %v]; expected nearly [%v, %v]", min, max, lo, hi)
+	}
+}
+
+func TestScanJitterZeroAndNegativePassThrough(t *testing.T) {
+	if got := scanJitter(0); got != 0 {
+		t.Fatalf("scanJitter(0) = %v, want 0", got)
+	}
+	if got := scanJitter(-time.Second); got != -time.Second {
+		t.Fatalf("scanJitter(-1s) = %v, want -1s", got)
+	}
+}

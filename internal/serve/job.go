@@ -233,6 +233,11 @@ type Job struct {
 	noPersist  atomic.Bool
 	recStatus  *Status // terminal recovered jobs: the journaled final status
 	persistErr error   // first window-journal failure, guarded by mu
+	// drainCkpt, when set, makes every in-flight task checkpoint at its
+	// next quantum boundary regardless of the ckptEvery cadence: a drain
+	// or handoff wants the frontier as fresh as the journal can carry
+	// before the lease is released with a pointer to it.
+	drainCkpt atomic.Bool
 
 	// sched, when non-nil, is the job's remote quantum scheduler: every
 	// delivery passes through its dedup filter and terminal transitions
@@ -362,9 +367,13 @@ func (j *Job) initResume(rec *store.JobRecord) {
 // silently skipped — recovery replays them from the seed instead.
 func (j *Job) maybeCheckpoint(t *sim.Task) {
 	idx := t.NextIndex()
+	force := j.drainCkpt.Load()
 	j.mu.Lock()
 	last, seen := j.lastCkpt[t.Traj]
-	if seen && idx-last < j.ckptEvery {
+	// A drain overrides the cadence (any progress past the last
+	// checkpoint is worth journaling before the handoff) but still
+	// dedupes: a trajectory that has not advanced has nothing to add.
+	if seen && idx-last < j.ckptEvery && !(force && idx > last) {
 		j.mu.Unlock()
 		return
 	}
@@ -375,6 +384,21 @@ func (j *Job) maybeCheckpoint(t *sim.Task) {
 		return
 	}
 	_ = j.persist.AppendCheckpoint(j.id, t.Traj, idx, data)
+}
+
+// durableWindows is the job's journaled window frontier — what a
+// handoff pointer may safely advertise. publishLocked appends each
+// window before counting it, so while the journal is healthy the
+// in-memory count IS the durable frontier; after a journal failure the
+// true frontier is unknown, and 0 (a trivially safe lower bound — the
+// adopter peeks the real journal anyway) is returned instead.
+func (j *Job) durableWindows() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.persistErr != nil {
+		return 0
+	}
+	return j.windows
 }
 
 // remoteCheckpoint journals an engine snapshot shipped by a remote

@@ -24,14 +24,28 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
+	"math/rand/v2"
 	"net/http"
 	"os"
 	"path/filepath"
+	"strconv"
 	"time"
 
 	"cwcflow/internal/lease"
 	"cwcflow/internal/store"
 )
+
+// scanJitter spreads a nominal scan interval uniformly over [d/2, 3d/2]
+// — the same discipline as dff.DialRetry's backoff jitter: N replicas
+// started by the same supervisor must not scan the lease directory (or
+// fire rebalance requests) in lockstep forever.
+func scanJitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return d
+	}
+	return d/2 + time.Duration(rand.Int64N(int64(d)+1))
+}
 
 // renewLoop extends every held lease at TTL/3 cadence. A renewal that
 // returns ErrLost means another replica stole the job: the local job is
@@ -47,6 +61,9 @@ func (s *Server) renewLoop() {
 			return
 		case <-t.C:
 		}
+		// The renew tick doubles as the peer-directory heartbeat: load
+		// changes propagate to the tier within TTL/3 of happening.
+		s.announcePeer()
 		for _, id := range s.leases.HeldJobs() {
 			_, err := s.leases.Renew(id)
 			if !errors.Is(err, lease.ErrLost) {
@@ -65,17 +82,22 @@ func (s *Server) renewLoop() {
 }
 
 // failoverLoop periodically looks for jobs whose lease has expired (the
-// owner crashed or partitioned away) or was released mid-run (graceful
-// shutdown) and takes them over.
+// owner crashed or partitioned away) or was released mid-run (drain,
+// handoff, graceful shutdown) and takes them over. The scan interval is
+// jittered so a tier of replicas spreads its directory reads.
 func (s *Server) failoverLoop() {
 	defer s.replicaWG.Done()
-	t := time.NewTicker(s.opts.FailoverScan)
+	t := time.NewTimer(scanJitter(s.opts.FailoverScan))
 	defer t.Stop()
 	for {
 		select {
 		case <-s.replicaStop:
 			return
 		case <-t.C:
+		}
+		t.Reset(scanJitter(s.opts.FailoverScan))
+		if s.draining.Load() {
+			continue // a draining replica sheds jobs, it never adopts
 		}
 		ls, err := s.leases.List()
 		if err != nil {
@@ -100,7 +122,7 @@ func (s *Server) takeover(l lease.Lease) {
 	s.mu.Lock()
 	closed := s.closed
 	s.mu.Unlock()
-	if closed {
+	if closed || s.draining.Load() {
 		return
 	}
 	rec, ok := s.peekRecord(l.Job)
@@ -116,6 +138,18 @@ func (s *Server) takeover(l lease.Lease) {
 	}
 	if fresh, ok := s.peekRecord(l.Job); ok {
 		rec = fresh
+	}
+	// A handoff pointer's frontier is authoritative: the old owner
+	// fsynced its journal before releasing, so peeking fewer windows
+	// means our directory read raced the release — re-read briefly
+	// rather than resume behind the durable frontier.
+	if h := l.Handoff; h != nil {
+		for i := 0; i < 40 && rec.WindowCount < h.Windows; i++ {
+			time.Sleep(5 * time.Millisecond)
+			if fresh, ok := s.peekRecord(l.Job); ok {
+				rec = fresh
+			}
+		}
 	}
 	if err := s.store.Adopt(rec); err != nil {
 		s.leases.Release(l.Job)
@@ -135,6 +169,9 @@ func (s *Server) takeover(l lease.Lease) {
 		_ = s.store.AppendTerminal(job.id, string(StateFailed), job.errMsg, nil)
 		s.leases.Release(l.Job)
 	}
+	// Load changed: tell the tier now instead of waiting for the next
+	// renew-tick heartbeat (the rebalancer and submit forwarder read it).
+	s.announcePeer()
 }
 
 // peekRecord finds the freshest journaled record of a job across every
@@ -242,20 +279,99 @@ func (s *Server) handleForeign(w http.ResponseWriter, r *http.Request, id, actio
 	case "stream":
 		// Live streams need the owner's subscriber machinery; peeking a
 		// journal cannot push new windows. 307 preserves the method and
-		// lets any client re-issue the request against the owner.
+		// lets any client re-issue the request against the owner — but
+		// only a live owner: bouncing a client at a dead socket strands
+		// it until its own timeout, when a short 503+Retry-After has the
+		// failover loop adopt the job before the retry lands.
 		if l.URL == "" {
 			writeError(w, http.StatusServiceUnavailable, "job %q is owned by replica %s, which advertises no URL", id, l.Owner)
+			return true
+		}
+		if !s.ownerAlive(l) {
+			w.Header().Set("Retry-After", s.retryAfter())
+			writeError(w, http.StatusServiceUnavailable, "job %q has no live owner (last owner %s); a peer adopts it shortly, retry", id, l.Owner)
 			return true
 		}
 		w.Header().Set("Location", l.URL+r.URL.RequestURI())
 		w.WriteHeader(http.StatusTemporaryRedirect)
 		return true
 	case "cancel":
+		if l.URL != "" && !s.ownerAlive(l) {
+			w.Header().Set("Retry-After", s.retryAfter())
+			writeError(w, http.StatusServiceUnavailable, "job %q has no live owner to cancel through (last owner %s); a peer adopts it shortly, retry", id, l.Owner)
+			return true
+		}
 		s.proxyCancel(w, r, id, l)
 		return true
 	}
 	return false
 }
+
+// retryAfter is the Retry-After value for reads that hit an ownerless
+// job: one lease TTL bounds how long failover can take to adopt it.
+func (s *Server) retryAfter() string {
+	secs := int(math.Ceil(s.opts.LeaseTTL.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}
+
+// ownerAlive reports whether the replica owning lease l is worth
+// bouncing a client to: a released lease has no driver at all (adoption
+// is imminent), a fresh heartbeat in the peer directory proves liveness
+// cheaply, and otherwise an HTTP probe of the owner's healthz decides —
+// any answer, even an unhealthy one, means the socket can serve.
+func (s *Server) ownerAlive(l lease.Lease) bool {
+	if l.Released {
+		return false
+	}
+	if s.peers != nil {
+		if infos, err := s.peers.List(s.opts.LeaseTTL); err == nil {
+			for _, p := range infos {
+				if p.ID == l.Owner {
+					return true
+				}
+			}
+		}
+	}
+	if l.URL == "" {
+		return false
+	}
+	return s.probeOwner(l.URL)
+}
+
+// ownerProbe caches one probeOwner verdict briefly.
+type ownerProbe struct {
+	at    time.Time
+	alive bool
+}
+
+func (s *Server) probeOwner(url string) bool {
+	s.probeMu.Lock()
+	if p, ok := s.probes[url]; ok && time.Since(p.at) < time.Second {
+		s.probeMu.Unlock()
+		return p.alive
+	}
+	s.probeMu.Unlock()
+	alive := false
+	if resp, err := probeClient.Get(url + "/healthz"); err == nil {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		alive = true
+	}
+	s.probeMu.Lock()
+	if s.probes == nil {
+		s.probes = make(map[string]ownerProbe)
+	}
+	s.probes[url] = ownerProbe{at: time.Now(), alive: alive}
+	s.probeMu.Unlock()
+	return alive
+}
+
+// probeClient performs owner-liveness probes: a dead socket must be
+// diagnosed quickly, so the timeout is far shorter than proxyClient's.
+var probeClient = &http.Client{Timeout: time.Second}
 
 // proxyCancel forwards POST /jobs/{id}/cancel (and DELETE /jobs/{id})
 // to the owning replica and relays its response, so a client may cancel

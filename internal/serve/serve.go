@@ -49,6 +49,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"cwcflow/internal/chaos"
@@ -67,6 +68,19 @@ var ErrBusy = errors.New("serve: active job limit reached")
 // ErrClosed is returned by Submit once the server is shutting down
 // (HTTP 503).
 var ErrClosed = errors.New("serve: server is closed")
+
+// ErrDraining is returned by Submit while the replica is draining:
+// admission has stopped ahead of a shutdown or an operator-requested
+// handoff, but reads keep working. The HTTP layer redirects such
+// submissions to a live peer (307) when one exists.
+var ErrDraining = errors.New("serve: replica is draining")
+
+// errSaturated marks the server-wide MaxJobs rejection so the HTTP
+// layer can distinguish it from tenant-queue overflow: a saturated
+// replica forwards the submission to a less-loaded peer, while a
+// tenant-quota rejection must hold wherever the tenant lands. It wraps
+// ErrBusy, so callers matching ErrBusy see no change.
+var errSaturated = fmt.Errorf("%w (server saturated)", ErrBusy)
 
 // Options configures a Server. The zero value is usable: every field
 // defaults sensibly in New.
@@ -176,8 +190,27 @@ type Options struct {
 	// more lease-file traffic.
 	LeaseTTL time.Duration
 	// FailoverScan is how often a replica scans the lease directory for
-	// expired or released leases to take over (default LeaseTTL/2).
+	// expired or released leases to take over (default LeaseTTL/2). Each
+	// interval is jittered over [d/2, 3d/2] so N replicas started
+	// together never scan in lockstep.
 	FailoverScan time.Duration
+	// DrainGrace is how long a drain or handoff waits after flagging a
+	// job for forced checkpointing before stopping it, giving in-flight
+	// quanta one boundary to checkpoint at (default 150ms; negative
+	// skips the wait). Only meaningful with ReplicaID.
+	DrainGrace time.Duration
+	// RebalanceScan is the cadence (jittered like FailoverScan) of the
+	// lease-rebalancing anti-entropy loop, where an underloaded replica
+	// requests handoffs from the most loaded live peer (default
+	// 4×LeaseTTL; negative disables rebalancing).
+	RebalanceScan time.Duration
+	// RebalanceMargin is the rebalancer's hysteresis: a replica requests
+	// a handoff only from a peer owning at least this many more jobs
+	// than itself, and moves one job per tick (default and minimum 2 —
+	// moving one job shrinks the pairwise imbalance by two, so a move is
+	// never immediately reversed and the tier converges without
+	// thrashing).
+	RebalanceMargin int
 	// Chaos, when non-nil, enables deterministic fault injection at the
 	// wired points (dff receive drop/delay/duplicate, WAL fsync stall,
 	// early lease expiry). Tests only; nil disables every hook.
@@ -278,6 +311,15 @@ func (o Options) withDefaults() Options {
 	if o.FailoverScan <= 0 {
 		o.FailoverScan = o.LeaseTTL / 2
 	}
+	if o.DrainGrace == 0 {
+		o.DrainGrace = 150 * time.Millisecond
+	}
+	if o.RebalanceScan == 0 {
+		o.RebalanceScan = 4 * o.LeaseTTL
+	}
+	if o.RebalanceMargin < 2 {
+		o.RebalanceMargin = 2
+	}
 	if o.Scheduler == "" {
 		o.Scheduler = "fifo"
 	}
@@ -298,15 +340,30 @@ type Server struct {
 	pool     *Pool
 	stats    *statFarm
 	registry *registry
-	store    *store.Store   // nil when durability is disabled
-	leases   *lease.Manager // nil unless ReplicaID is set (replicated tier)
+	store    *store.Store         // nil when durability is disabled
+	leases   *lease.Manager       // nil unless ReplicaID is set (replicated tier)
+	peers    *lease.PeerDirectory // nil unless ReplicaID is set
 	mux      *http.ServeMux
 	wfq      *sched.WFQ[poolTask] // non-nil iff Options.Scheduler == "wfq"
 
-	// replicaStop/replicaWG bound the lease renew and failover-scan
-	// loops; Close signals and waits before closing the store they use.
+	// draining flips once (Drain) and never back: admission is refused
+	// with ErrDraining, the failover and rebalance loops stand down, and
+	// every owned job is handed off to a peer.
+	draining atomic.Bool
+	// drainMu serialises Drain passes (SIGTERM racing POST /drain) so
+	// each held lease is handed off exactly once.
+	drainMu sync.Mutex
+
+	// replicaStop/replicaWG bound the lease renew, failover-scan and
+	// rebalance loops; Close signals and waits before closing the store
+	// they use.
 	replicaStop chan struct{}
 	replicaWG   sync.WaitGroup
+
+	// probeMu/probes cache owner-liveness HTTP probes (ownerAlive) so a
+	// burst of reads for a dead owner's job cannot stampede its socket.
+	probeMu sync.Mutex
+	probes  map[string]ownerProbe
 
 	mu          sync.Mutex
 	closed      bool
@@ -400,13 +457,29 @@ func New(opts Options) (*Server, error) {
 			// (stolen lease, stalled renew loop) is refused at the store
 			// before its stale progress can land.
 			s.store.SetFence(lm.Check)
+			pd, err := lease.NewPeerDirectory(filepath.Join(opts.DataDir, "peers"), opts.ReplicaID)
+			if err != nil {
+				s.store.Close()
+				s.pool.Close()
+				s.stats.Close()
+				return nil, fmt.Errorf("serve: %w", err)
+			}
+			s.peers = pd
 		}
 		s.recover()
 		if s.leases != nil {
+			// First heartbeat before the loops start, so peers can route
+			// submissions and nudge adoptions here from the very first
+			// request; renewLoop refreshes it at TTL/3.
+			s.announcePeer()
 			s.replicaStop = make(chan struct{})
 			s.replicaWG.Add(2)
 			go s.renewLoop()
 			go s.failoverLoop()
+			if opts.RebalanceScan > 0 {
+				s.replicaWG.Add(1)
+				go s.rebalanceLoop()
+			}
 		}
 	}
 	return s, nil
@@ -553,6 +626,10 @@ func (s *Server) SubmitAs(spec JobSpec, tenant string) (*Job, error) {
 			s.unregister(id)
 			return nil, fmt.Errorf("serve: acquiring job lease: %w", lerr)
 		}
+		// Load changed: refresh the heartbeat now rather than at the next
+		// renew tick, so peer rebalancers and submit forwarders see this
+		// replica's owned-job count while the job is still young.
+		s.announcePeer()
 	}
 	// Journal the submission before any goroutine can produce durable
 	// events for it (replay ignores windows of never-submitted jobs). A
@@ -692,10 +769,17 @@ func (s *Server) List() []*Job {
 // store is flushed and closed last, after every producer of journal
 // events has stopped.
 func (s *Server) Close() {
+	// Voluntary handoff first, while the replica loops, the HTTP surface
+	// and the peers are all still up: every owned job is checkpointed at
+	// its frontier and its lease released with a handoff pointer, and
+	// the least-loaded live peers are nudged to adopt right now — a
+	// rolling restart stalls a stream by one adoption, not one TTL.
+	// Standalone servers have no leases; Drain only stops admission.
+	s.Drain()
 	s.mu.Lock()
 	s.closed = true
 	s.mu.Unlock()
-	// Stop the replica loops first: the failover scan adopts into the
+	// Stop the replica loops next: the failover scan adopts into the
 	// store and must not race its Close, and a renew fired after the
 	// jobs are failed would re-extend leases this shutdown releases.
 	if s.replicaStop != nil {
@@ -706,10 +790,10 @@ func (s *Server) Close() {
 		j.noPersist.Store(true)
 		j.setTerminal(StateFailed, "server shutting down")
 	}
-	// A graceful shutdown releases any lease still held (failing a job
-	// releases its lease via jobFinished, but queued/shell jobs may not
-	// pass through it), so a peer replica can take the journaled jobs
-	// over immediately instead of waiting out the TTL.
+	// Backstop: release any lease Drain could not hand off (a job that
+	// raced admission during the drain, a failed handoff write), so a
+	// peer can still take the journaled jobs over immediately instead of
+	// waiting out the TTL.
 	if s.leases != nil {
 		for _, id := range s.leases.HeldJobs() {
 			s.leases.Release(id)
@@ -719,6 +803,9 @@ func (s *Server) Close() {
 	s.stats.Close()
 	if s.store != nil {
 		s.store.Close()
+	}
+	if s.peers != nil {
+		s.peers.Remove()
 	}
 }
 

@@ -156,6 +156,9 @@ func (s *Server) admitLocked(t *tenantState, sampleCost int64) (queue bool, err 
 	if s.closed {
 		return false, ErrClosed
 	}
+	if s.draining.Load() {
+		return false, ErrDraining
+	}
 	if budget := s.sampleBudget(t); budget > 0 && t.budgetUsed+sampleCost > budget {
 		return false, fmt.Errorf("serve: tenant %q holds %d of %d budgeted samples, job needs %d: %w",
 			t.name, t.budgetUsed, budget, sampleCost, ErrQuotaExceeded)
@@ -168,7 +171,7 @@ func (s *Server) admitLocked(t *tenantState, sampleCost int64) (queue bool, err 
 		return true, nil
 	}
 	if running := s.runningLocked(); running >= s.opts.MaxJobs {
-		return false, fmt.Errorf("serve: %d active jobs, limit is %d: %w", running, s.opts.MaxJobs, ErrBusy)
+		return false, fmt.Errorf("serve: %d active jobs, limit is %d: %w", running, s.opts.MaxJobs, errSaturated)
 	}
 	return false, nil
 }
@@ -234,6 +237,7 @@ func (s *Server) jobFinished(job *Job) {
 		// the journal holding the job's terminal record. A job failed for
 		// a lost lease skips this: the thief owns the lease now.
 		s.leases.Release(job.id)
+		s.announcePeer() // owned-job count dropped; refresh the load view
 	}
 	for _, start := range starts {
 		start()
@@ -246,7 +250,10 @@ func (s *Server) jobFinished(job *Job) {
 // promoted jobs' launch closures for the caller to run outside the lock.
 // Callers hold s.mu.
 func (s *Server) dispatchLocked() []func() {
-	if s.closed {
+	// A draining replica must not promote queued jobs into freed slots:
+	// everything it still holds is being handed off, queued jobs
+	// included.
+	if s.closed || s.draining.Load() {
 		return nil
 	}
 	var starts []func()

@@ -1,0 +1,135 @@
+#!/usr/bin/env bash
+# Rolling-restart smoke: three replicas share one -data-dir, each runs a
+# job, and each replica in turn is SIGTERMed and restarted — the graceful
+# path, where a terminating replica drains: it checkpoints its running
+# jobs at the frontier, releases their leases with handoff pointers, and
+# nudges the least-loaded live peers to adopt them immediately (no lease
+# TTL wait). The whole rolling restart must end with zero failed jobs and
+# every job's window-stats digest bit-identical to an uninterrupted run.
+#
+# Needs: go, curl, jq, sha256sum. Run from the repo root. Set
+# ROLLING_DATA_DIR to keep the data dir for debugging (CI uploads it on
+# failure).
+set -euo pipefail
+
+BIN=$(mktemp -d)
+DATA=${ROLLING_DATA_DIR:-$BIN/data}
+trap 'kill $(jobs -p) 2>/dev/null || true; rm -rf "$BIN"' EXIT
+
+go build -o "$BIN/cwc-serve" ./cmd/cwc-serve
+
+REF=127.0.0.1:7140                  # uninterrupted reference
+declare -A ADDR=([a]=127.0.0.1:7141 [b]=127.0.0.1:7142 [c]=127.0.0.1:7143)
+declare -A PID
+
+# Long enough that jobs are reliably in flight across all three restarts.
+SPEC='{"model":"neurospora","omega":5000,"trajectories":16,"end":48,"period":0.125,"window":8,"step":8,"seed":42}'
+
+wait_healthy() {
+  for _ in $(seq 1 100); do
+    if curl -fsS "http://$1/healthz" >/dev/null 2>&1; then return 0; fi
+    sleep 0.1
+  done
+  echo "server $1 never became healthy" >&2
+  return 1
+}
+
+digest_of() { # result-json-file -> digest of the full window stream
+  jq -c '.windows' "$1" | sha256sum | cut -d' ' -f1
+}
+
+start_replica() { # id
+  "$BIN/cwc-serve" -listen "${ADDR[$1]}" -sim-workers 2 -data-dir "$DATA" \
+    -lease-ttl 5s -drain-grace 100ms \
+    -replica-id "$1" -advertise-url "http://${ADDR[$1]}" &
+  PID[$1]=$!
+}
+
+# Reference: uninterrupted run, no data dir. All three tier jobs use the
+# same spec and seed, so one reference digest covers them all.
+"$BIN/cwc-serve" -listen "$REF" -sim-workers 2 &
+wait_healthy "$REF"
+REF_ID=$(curl -fsS "http://$REF/jobs" -d "$SPEC" | jq -re .id)
+curl -fsS "http://$REF/jobs/$REF_ID/result?wait=true" >"$BIN/ref.json"
+[ "$(jq -re .status.state "$BIN/ref.json")" = done ]
+REF_DIGEST=$(digest_of "$BIN/ref.json")
+REF_WINDOWS=$(jq -re .status.progress.windows "$BIN/ref.json")
+
+for r in a b c; do start_replica "$r"; done
+for r in a b c; do wait_healthy "${ADDR[$r]}"; done
+
+# One job in flight per replica.
+declare -A JOB
+for r in a b c; do
+  JOB[$r]=$(curl -fsS "http://${ADDR[$r]}/jobs" -d "$SPEC" | jq -re .id)
+done
+echo "jobs: ${JOB[a]} ${JOB[b]} ${JOB[c]}"
+
+# The first victim must be genuinely mid-run, so the drain has live work
+# to hand off.
+MIDRUN=0
+for _ in $(seq 1 300); do
+  WINDOWS=$(curl -fsS "http://${ADDR[a]}/jobs/${JOB[a]}" | jq -re .progress.windows)
+  if [ "$WINDOWS" -ge 1 ] && [ "$WINDOWS" -lt "$REF_WINDOWS" ]; then MIDRUN=1; break; fi
+  sleep 0.02
+done
+if [ "$MIDRUN" != 1 ]; then
+  echo "FAIL: job a finished before the first restart (windows=$WINDOWS); enlarge the spec" >&2
+  exit 1
+fi
+
+# survivor_of prints a live replica other than $1 to query through.
+survivor_of() {
+  case "$1" in
+    a) echo b ;;
+    b) echo c ;;
+    c) echo a ;;
+  esac
+}
+
+for r in a b c; do
+  s=$(survivor_of "$r")
+  echo "SIGTERM replica $r (querying via $s)"
+  kill -TERM "${PID[$r]}"
+  if ! wait "${PID[$r]}"; then
+    echo "FAIL: replica $r exited non-zero on SIGTERM" >&2
+    exit 1
+  fi
+  # No job may have been failed by the restart: every job is running
+  # somewhere (or already done), never failed.
+  for j in "${JOB[@]}"; do
+    STATE=$(curl -fsS "http://${ADDR[$s]}/jobs/$j" | jq -re .state)
+    if [ "$STATE" = failed ] || [ "$STATE" = cancelled ]; then
+      echo "FAIL: job $j is $STATE after draining replica $r" >&2
+      exit 1
+    fi
+  done
+  start_replica "$r"
+  wait_healthy "${ADDR[$r]}"
+done
+echo "rolling restart complete: all replicas cycled, zero failed jobs"
+
+# Every job finishes done, wherever it was adopted; any replica answers.
+for j in "${JOB[@]}"; do
+  DONE=0
+  for _ in $(seq 1 900); do
+    STATE=$(curl -fsS "http://${ADDR[a]}/jobs/$j" | jq -re .state)
+    if [ "$STATE" = done ]; then DONE=1; break; fi
+    if [ "$STATE" = failed ] || [ "$STATE" = cancelled ]; then break; fi
+    sleep 0.05
+  done
+  if [ "$DONE" != 1 ]; then
+    echo "FAIL: job $j ended $STATE instead of done" >&2
+    curl -fsS "http://${ADDR[a]}/jobs/$j" >&2 || true
+    exit 1
+  fi
+  curl -fsS "http://${ADDR[a]}/jobs/$j/result" >"$BIN/$j.json"
+  D=$(digest_of "$BIN/$j.json")
+  W=$(jq -re '.windows | length' "$BIN/$j.json")
+  echo "job $j: digest $D ($W windows)"
+  if [ "$W" != "$REF_WINDOWS" ] || [ "$D" != "$REF_DIGEST" ]; then
+    echo "FAIL: job $j diverged from the uninterrupted reference ($REF_DIGEST, $REF_WINDOWS windows)" >&2
+    exit 1
+  fi
+done
+echo "OK: rolling restart with drain/handoff is bit-identical to the uninterrupted run"
