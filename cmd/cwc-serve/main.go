@@ -105,6 +105,8 @@ func run() error {
 		tenantQueue    = flag.Int("default-tenant-queue", 16, "per-tenant admission queue depth; submissions beyond it get 429")
 		tenantBudget   = flag.Int64("default-tenant-budget", 0, "per-tenant sample budget (trajectories×cuts over admitted jobs); submissions beyond it get 429 (0 = unlimited)")
 		tenantWeights  = flag.String("tenant-weights", "", "per-tenant wfq weights, e.g. 'alice=3,bob=1' (others get weight 1)")
+		cacheMax       = flag.Int("cache-max-entries", 1024, "content-addressed result cache index size (LRU; digests of completed specs)")
+		noCache        = flag.Bool("no-cache", false, "disable the result cache and in-flight attach: every submission simulates")
 		showVersion    = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
@@ -161,6 +163,8 @@ func run() error {
 		DefaultTenantQueue:       *tenantQueue,
 		DefaultTenantBudget:      *tenantBudget,
 		Tenants:                  tenants,
+		CacheMaxEntries:          *cacheMax,
+		NoCache:                  *noCache,
 		Version:                  buildinfo.Version,
 	})
 	if err != nil {

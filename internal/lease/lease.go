@@ -68,6 +68,12 @@ type Lease struct {
 	Expires  int64  `json:"expires_unix_nano"`
 	URL      string `json:"url,omitempty"`
 	Released bool   `json:"released,omitempty"`
+	// Digest is the tenant-scoped content address of the job's canonical
+	// spec (the serve layer's cache key), recorded at acquire so peers can
+	// route a matching submission to the owner (in-flight attach) instead
+	// of duplicating the simulation. Renew and Release preserve it; empty
+	// when the owner runs without a cache.
+	Digest string `json:"digest,omitempty"`
 	// Handoff, when non-nil on a released lease, is a voluntary-transfer
 	// pointer: the owner drained or honoured a rebalance request rather
 	// than crashing, and peers may adopt immediately. Acquire writes a
@@ -168,6 +174,13 @@ func (m *Manager) TTL() time.Duration { return m.ttl }
 // armed LeaseExpireEarly chaos point), or our own. A live foreign
 // lease returns *HeldError.
 func (m *Manager) Acquire(job string) (Lease, error) {
+	return m.AcquireDigest(job, "")
+}
+
+// AcquireDigest is Acquire recording the job's spec digest on the lease,
+// so non-owning replicas can redirect a submission with the same digest
+// to the owner for an in-flight attach.
+func (m *Manager) AcquireDigest(job, digest string) (Lease, error) {
 	if err := validName(job); err != nil {
 		return Lease{}, fmt.Errorf("lease job: %w", err)
 	}
@@ -191,6 +204,7 @@ func (m *Manager) Acquire(job string) (Lease, error) {
 			Epoch:   epoch,
 			Expires: now.Add(m.ttl).UnixNano(),
 			URL:     m.url,
+			Digest:  digest,
 		}
 		return m.write(out)
 	})

@@ -384,3 +384,46 @@ func TestReleaseHandoffOnUnheldLeaseIsNoOp(t *testing.T) {
 		t.Fatalf("stale ReleaseHandoff clobbered the thief's lease: %+v", disk)
 	}
 }
+
+func TestAcquireDigestSurvivesRenewAndRelease(t *testing.T) {
+	dir := t.TempDir()
+	clk := newClock()
+	a := manager(t, dir, "a", clk, nil)
+
+	l, err := a.AcquireDigest("job-a-000001", "cafe0123")
+	if err != nil {
+		t.Fatalf("AcquireDigest: %v", err)
+	}
+	if l.Digest != "cafe0123" {
+		t.Fatalf("acquired lease digest %q, want cafe0123", l.Digest)
+	}
+	// Renew copies the disk lease: the digest must ride along.
+	clk.advance(3 * time.Second)
+	if l, err = a.Renew("job-a-000001"); err != nil {
+		t.Fatalf("Renew: %v", err)
+	}
+	if l.Digest != "cafe0123" {
+		t.Fatalf("renewed lease digest %q, want cafe0123", l.Digest)
+	}
+	// Release keeps the file and mutates it in place: digest preserved,
+	// so a released lease still names the journal AND the content.
+	a.Release("job-a-000001")
+	disk, ok, err := a.Get("job-a-000001")
+	if err != nil || !ok {
+		t.Fatalf("Get after release: ok=%v err=%v", ok, err)
+	}
+	if !disk.Released || disk.Digest != "cafe0123" {
+		t.Fatalf("released lease = %+v, want released with digest intact", disk)
+	}
+	// A steal (fresh Acquire without a digest) clears it: the new owner
+	// re-records the digest itself when it resumes the job.
+	clk.advance(11 * time.Second)
+	b := manager(t, dir, "b", clk, nil)
+	stolen, err := b.AcquireDigest("job-a-000001", "cafe0123")
+	if err != nil {
+		t.Fatalf("steal: %v", err)
+	}
+	if stolen.Epoch != 2 || stolen.Digest != "cafe0123" {
+		t.Fatalf("stolen lease = %+v, want epoch 2 with digest", stolen)
+	}
+}

@@ -1,0 +1,159 @@
+package serve
+
+// The serve side of the content-addressed result cache and in-flight
+// attach. Submission flow:
+//
+//  1. The spec is canonicalised and hashed (SpecDigest). A submission
+//     whose digest matches a non-terminal local job ATTACHES: it gets the
+//     running job back (same id, same stream — one simulation, N
+//     watchers) and is charged nothing. A digest matching the cache index
+//     is a HIT: the completed job shell answers immediately, its windows
+//     replayed from the registry/journal, zero simulation.
+//  2. On a local miss in a replicated tier, the lease directory is
+//     consulted: a live, unexpired, unreleased lease advertising the same
+//     digest means another replica is running this exact spec — the
+//     submission is redirected there (307, the existing cross-replica
+//     path) and attaches on the owner.
+//  3. The decisive re-check runs under the server mutex inside admission,
+//     in the same critical section that registers the job and its
+//     in-flight digest: two racing submissions of one spec can never both
+//     create a job.
+//
+// The cache index itself (store.Cache) is memory-only and rebuilt from
+// journal replay at boot: recovery re-derives every terminal record's
+// digest, so the index survives restarts without a WAL format change.
+
+import (
+	"fmt"
+	"time"
+)
+
+// SubmitResult is the outcome of one submission: the job answering it,
+// plus whether it was answered from the result cache (CacheHit — a
+// completed job, zero simulation) or by attaching to an in-flight job
+// with the same spec digest (Attached — the caller shares its stream). A
+// plain miss created Job fresh and set neither flag.
+type SubmitResult struct {
+	Job      *Job
+	CacheHit bool
+	Attached bool
+}
+
+// AttachRedirectError reports that another replica is running a job with
+// this submission's spec digest: the HTTP layer redirects the client to
+// the owner (307), where it attaches instead of duplicating the
+// simulation.
+type AttachRedirectError struct {
+	URL   string
+	Owner string
+}
+
+func (e *AttachRedirectError) Error() string {
+	return fmt.Sprintf("serve: spec is in flight on replica %s (%s)", e.Owner, e.URL)
+}
+
+// CacheStats is the wire format of GET /cache.
+type CacheStats struct {
+	Enabled    bool  `json:"enabled"`
+	Entries    int   `json:"entries"`
+	MaxEntries int   `json:"max_entries,omitempty"`
+	Hits       int64 `json:"hits"`
+	Misses     int64 `json:"misses"`
+	Attaches   int64 `json:"attaches"`
+	Redirects  int64 `json:"redirects,omitempty"`
+	Evictions  int64 `json:"evictions,omitempty"`
+	// InFlight counts distinct spec digests currently backed by a running
+	// local job — the attach targets.
+	InFlight int `json:"in_flight"`
+}
+
+// CacheStats snapshots the cache and attach counters.
+func (s *Server) CacheStats() CacheStats {
+	cs := CacheStats{
+		Enabled:   s.cache != nil,
+		Hits:      s.cacheHits.Load(),
+		Misses:    s.cacheMisses.Load(),
+		Attaches:  s.cacheAttaches.Load(),
+		Redirects: s.cacheRedirects.Load(),
+	}
+	if s.cache != nil {
+		cs.Entries = s.cache.Len()
+		cs.MaxEntries = s.cache.Max()
+		cs.Evictions = s.cache.Evictions()
+		s.mu.Lock()
+		cs.InFlight = len(s.inflightDigest)
+		s.mu.Unlock()
+	}
+	return cs
+}
+
+// cacheKey scopes a spec digest to its submitting tenant: tenants never
+// see (or attach to) each other's jobs, even for identical specs — the
+// isolation the control plane promises outranks the deduplication. The
+// pure digest still travels in Status.SpecDigest.
+func cacheKey(tenant, digest string) string {
+	if digest == "" {
+		return ""
+	}
+	if tenant == "" {
+		tenant = DefaultTenant
+	}
+	return tenant + ":" + digest
+}
+
+// cacheLookupLocked answers a submission from the local registry if its
+// tenant-scoped key matches an in-flight job (attach) or a cached
+// terminal one (hit). countMiss is set on the first, pre-admission
+// lookup only, so each submission counts at most one miss however many
+// times it re-checks. Callers hold s.mu.
+func (s *Server) cacheLookupLocked(key string, countMiss bool) (SubmitResult, bool) {
+	if s.cache == nil || key == "" || s.closed {
+		return SubmitResult{}, false
+	}
+	if j, ok := s.inflightDigest[key]; ok && !j.State().Terminal() {
+		j.attached.Add(1)
+		s.cacheAttaches.Add(1)
+		return SubmitResult{Job: j, Attached: true}, true
+	}
+	if id, ok := s.cache.Get(key); ok {
+		if j, ok := s.jobs[id]; ok && j.State() == StateDone {
+			s.cacheHits.Add(1)
+			return SubmitResult{Job: j, CacheHit: true}, true
+		}
+		// Stale index entry: the job was evicted from the registry or
+		// never finished done. Drop it so the next Put can remap.
+		s.cache.Remove(key)
+	}
+	if countMiss {
+		s.cacheMisses.Add(1)
+	}
+	return SubmitResult{}, false
+}
+
+// attachTarget scans the lease directory for a live peer already running
+// this tenant-scoped key: unreleased, unexpired, not us, advertising a
+// URL, and answering its healthz. Best effort — a false negative just
+// runs the (deterministic) simulation twice, it never corrupts anything.
+func (s *Server) attachTarget(key string) (url, owner string, ok bool) {
+	if s.leases == nil || key == "" {
+		return "", "", false
+	}
+	ls, err := s.leases.List()
+	if err != nil {
+		return "", "", false
+	}
+	now := time.Now().UnixNano()
+	for _, l := range ls {
+		if l.Digest != key || l.Owner == s.opts.ReplicaID || l.Released || l.URL == "" {
+			continue
+		}
+		if now >= l.Expires {
+			continue
+		}
+		if !s.ownerAlive(l) {
+			continue
+		}
+		return l.URL, l.Owner, true
+	}
+	return "", "", false
+}

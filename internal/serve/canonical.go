@@ -1,0 +1,73 @@
+package serve
+
+// Spec canonicalisation for the content-addressed result cache. Runs are
+// deterministic by construction (bit-identical window digests across pool
+// width, farm width, node count and crash-resume are standing invariants),
+// so a job's result is a pure function of its canonicalised spec: two
+// submissions with the same canonical spec may share one simulation. The
+// canonical form folds every field the sample stream depends on to the
+// value core.Config.Normalized would resolve it to, and zeroes the fields
+// that cannot influence the stream (admission priority). Hashing the
+// canonical form gives a stable digest that is independent of JSON field
+// order, whitespace, and spelled-out-versus-omitted defaults.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"strings"
+)
+
+// CanonicalSpec folds a job spec to its canonical form: the model name is
+// trimmed and lowercased, the windowing and quantum defaults are resolved
+// exactly as core.Config.Normalized resolves them (quantum ≤ 0 → one
+// period; window size < 1 → 16; window step < 1 or > size → tumbling), an
+// empty species selection becomes nil, and Priority — which orders
+// admission, never the result stream — is zeroed. Idempotent by
+// construction: CanonicalSpec(CanonicalSpec(s)) == CanonicalSpec(s).
+//
+// Species order is preserved, not sorted: the selection indexes the
+// observable arrays, so [0,1] and [1,0] are genuinely different results.
+func CanonicalSpec(spec JobSpec) JobSpec {
+	spec.Model = strings.ToLower(strings.TrimSpace(spec.Model))
+	spec.Priority = 0
+	if spec.Quantum <= 0 {
+		spec.Quantum = spec.Period
+	}
+	if spec.WindowSize < 1 {
+		spec.WindowSize = 16
+	}
+	if spec.WindowStep < 1 || spec.WindowStep > spec.WindowSize {
+		spec.WindowStep = spec.WindowSize
+	}
+	if len(spec.Species) == 0 {
+		spec.Species = nil
+	}
+	return spec
+}
+
+// SpecDigest returns the content address of a spec: the hex-encoded
+// truncated SHA-256 of the canonical form's JSON encoding. Go marshals
+// struct fields in declaration order, so the encoding — and therefore the
+// digest — is deterministic and independent of how the submission spelled
+// the spec. Total: every JobSpec value digests, valid or not (invalid
+// specs are rejected by admission before the digest could matter).
+func SpecDigest(spec JobSpec) string {
+	b, err := json.Marshal(CanonicalSpec(spec))
+	if err != nil {
+		return "" // unreachable: JobSpec has no unmarshalable fields
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:16])
+}
+
+// specDigestRaw digests a journaled spec (store.JobRecord.Spec). An
+// unparseable or model-less record returns "" — never cached, never
+// advertised on a lease.
+func specDigestRaw(raw []byte) string {
+	var spec JobSpec
+	if json.Unmarshal(raw, &spec) != nil || spec.Model == "" {
+		return ""
+	}
+	return SpecDigest(spec)
+}

@@ -1,0 +1,144 @@
+package serve_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"cwcflow/internal/serve"
+)
+
+// TestCanonicalSpecDefaults pins the canonical form against the same
+// defaulting core.Config.Normalized applies: two submissions the engine
+// would run identically must canonicalise identically.
+func TestCanonicalSpecDefaults(t *testing.T) {
+	spec := serve.JobSpec{
+		Model:        "  SIR ",
+		Trajectories: 8,
+		End:          48,
+		Period:       0.125,
+		Priority:     7,
+		Species:      []int{},
+	}
+	canon := serve.CanonicalSpec(spec)
+	if canon.Model != "sir" {
+		t.Fatalf("Model = %q, want trimmed lowercase \"sir\"", canon.Model)
+	}
+	if canon.Priority != 0 {
+		t.Fatalf("Priority = %d, want 0 (admission-only, not part of the result)", canon.Priority)
+	}
+	if canon.Quantum != spec.Period {
+		t.Fatalf("Quantum = %g, want the period %g", canon.Quantum, spec.Period)
+	}
+	if canon.WindowSize != 16 || canon.WindowStep != 16 {
+		t.Fatalf("window = %d/%d, want the 16/16 default", canon.WindowSize, canon.WindowStep)
+	}
+	if canon.Species != nil {
+		t.Fatalf("empty species list not normalised to nil: %v", canon.Species)
+	}
+
+	// An oversize step clamps to tumbling, exactly as Normalized does.
+	spec.WindowSize, spec.WindowStep = 8, 9
+	if c := serve.CanonicalSpec(spec); c.WindowStep != 8 {
+		t.Fatalf("step 9 over size 8 canonicalised to %d, want 8", c.WindowStep)
+	}
+}
+
+// TestSpecDigestEquivalence: specs the engine treats identically share a
+// digest, and every field that changes results changes it.
+func TestSpecDigestEquivalence(t *testing.T) {
+	base := serve.JobSpec{
+		Model: "sir", Omega: 100, Trajectories: 8, End: 48,
+		Period: 0.125, WindowSize: 8, WindowStep: 8, Seed: 42,
+	}
+	d := serve.SpecDigest(base)
+	if len(d) != 32 {
+		t.Fatalf("digest %q, want 32 hex chars", d)
+	}
+
+	same := base
+	same.Model = " SIR "
+	same.Priority = 9
+	same.Quantum = base.Period // the default, now explicit
+	if got := serve.SpecDigest(same); got != d {
+		t.Fatalf("equivalent spec digests differ: %s vs %s", got, d)
+	}
+
+	for name, mutate := range map[string]func(*serve.JobSpec){
+		"seed":         func(s *serve.JobSpec) { s.Seed = 43 },
+		"omega":        func(s *serve.JobSpec) { s.Omega = 200 },
+		"trajectories": func(s *serve.JobSpec) { s.Trajectories = 9 },
+		"end":          func(s *serve.JobSpec) { s.End = 49 },
+		"window":       func(s *serve.JobSpec) { s.WindowSize = 4; s.WindowStep = 4 },
+	} {
+		changed := base
+		mutate(&changed)
+		if got := serve.SpecDigest(changed); got == d {
+			t.Errorf("changing %s did not change the digest", name)
+		}
+	}
+}
+
+// FuzzSpecCanonical holds the canonicalisation total and stable over
+// arbitrary submission JSON: no panic, CanonicalSpec idempotent, and the
+// digest independent of JSON field order — the properties the cache's
+// correctness (never serving the wrong result) rests on.
+func FuzzSpecCanonical(f *testing.F) {
+	f.Add(`{"model":"sir","omega":100,"trajectories":8,"end":48,"period":0.125,"window":8,"step":8,"seed":42}`)
+	f.Add(`{"seed":42,"step":8,"window":8,"period":0.125,"end":48,"trajectories":8,"omega":100,"model":"sir"}`)
+	f.Add(`{"model":" SLOW ","priority":3,"species":[]}`)
+	f.Add(`{}`)
+	f.Add(`{"model":"x","end":1e308,"period":5e-324}`)
+	f.Fuzz(func(t *testing.T, raw string) {
+		var spec serve.JobSpec
+		if err := json.Unmarshal([]byte(raw), &spec); err != nil {
+			t.Skip()
+		}
+		canon := serve.CanonicalSpec(spec)
+		if again := serve.CanonicalSpec(canon); !reflect.DeepEqual(again, canon) {
+			t.Fatalf("CanonicalSpec not idempotent:\n once %+v\ntwice %+v", canon, again)
+		}
+		d := serve.SpecDigest(spec)
+		if len(d) != 32 {
+			t.Fatalf("digest %q for %+v, want 32 hex chars", d, spec)
+		}
+		if dc := serve.SpecDigest(canon); dc != d {
+			t.Fatalf("canonical form digests differently: %s vs %s", dc, d)
+		}
+
+		// Field-order independence, end to end: re-encode the parsed spec
+		// with its keys in reverse order and digest the reparse.
+		enc, err := json.Marshal(spec)
+		if err != nil {
+			t.Skip() // NaN/Inf smuggled through fuzzed float bits
+		}
+		var fields map[string]json.RawMessage
+		if err := json.Unmarshal(enc, &fields); err != nil {
+			t.Fatalf("re-decoding own encoding: %v", err)
+		}
+		keys := make([]string, 0, len(fields))
+		for k := range fields {
+			keys = append(keys, k)
+		}
+		var buf bytes.Buffer
+		buf.WriteByte('{')
+		for i := len(keys) - 1; i >= 0; i-- {
+			if buf.Len() > 1 {
+				buf.WriteByte(',')
+			}
+			kb, _ := json.Marshal(keys[i])
+			buf.Write(kb)
+			buf.WriteByte(':')
+			buf.Write(fields[keys[i]])
+		}
+		buf.WriteByte('}')
+		var reordered serve.JobSpec
+		if err := json.Unmarshal(buf.Bytes(), &reordered); err != nil {
+			t.Fatalf("re-decoding reordered encoding %s: %v", buf.Bytes(), err)
+		}
+		if dr := serve.SpecDigest(reordered); dr != d {
+			t.Fatalf("digest depends on JSON field order: %s vs %s for %s", dr, d, buf.Bytes())
+		}
+	})
+}

@@ -158,6 +158,11 @@ func TestRebalanceMovesJobOffOverloadedPeer(t *testing.T) {
 		FailoverScan:  time.Hour,
 		RebalanceScan: -1, // A never requests; it only honours requests
 		DrainGrace:    10 * time.Millisecond,
+		// Three byte-identical submissions must become three jobs here:
+		// with the cache on they would attach to the first, and this test
+		// needs A genuinely overloaded (digests are pinned to the golden
+		// seed, so the specs cannot vary instead).
+		NoCache: true,
 	})
 	var ids []string
 	for i := 0; i < 3; i++ {
@@ -318,6 +323,9 @@ func TestChaosHandoffRequesterDiesFallsBackToFailover(t *testing.T) {
 		FailoverScan:  time.Hour,
 		RebalanceScan: -1,
 		DrainGrace:    10 * time.Millisecond,
+		// Two identical golden-seed submissions must be two jobs (see
+		// TestRebalanceMovesJobOffOverloadedPeer).
+		NoCache: true,
 	})
 	job1 := submitJob(t, aURL, longWalkSpec(24))
 	job2 := submitJob(t, aURL, longWalkSpec(24))
@@ -392,6 +400,9 @@ func TestChaosHandoffRequestDropped(t *testing.T) {
 		RebalanceScan: -1,
 		DrainGrace:    10 * time.Millisecond,
 		Chaos:         inj, // the drop fires in A's handoff handler
+		// Two identical golden-seed submissions must be two jobs (see
+		// TestRebalanceMovesJobOffOverloadedPeer).
+		NoCache: true,
 	})
 	job1 := submitJob(t, aURL, longWalkSpec(24))
 	job2 := submitJob(t, aURL, longWalkSpec(24))

@@ -31,7 +31,7 @@ func (s *Server) recover() {
 			// A live foreign lease means another replica already took the
 			// job over while we were down — drop our stale copy (the
 			// failover loop will steal it back if that owner dies too).
-			if _, err := s.leases.Acquire(rec.ID); err != nil {
+			if _, err := s.leases.AcquireDigest(rec.ID, cacheKey(recoveredTenant(rec), specDigestRaw(rec.Spec))); err != nil {
 				s.store.Forget(rec.ID)
 				continue
 			}
@@ -104,6 +104,11 @@ func terminalJob(rec *store.JobRecord, state State, errMsg string) *Job {
 		windows:   rec.WindowCount,
 	}
 	_ = json.Unmarshal(rec.Spec, &j.spec)
+	if j.spec.Model != "" {
+		// Re-derive the content address so the cache index (memory-only)
+		// can be rebuilt from replay — including from pre-cache journals.
+		j.digest = SpecDigest(j.spec)
+	}
 	return j
 }
 
@@ -128,6 +133,11 @@ func (s *Server) restoreTerminal(rec *store.JobRecord) {
 		}
 	}
 	s.registerRecovered(job)
+	if s.cache != nil && job.digest != "" && State(rec.Terminal) == StateDone {
+		// Rebuild the cache index from replay: a repeat submission of this
+		// spec answers from the recovered shell without simulating.
+		s.cache.Put(cacheKey(job.tenant, job.digest), job.id)
+	}
 }
 
 // failedRecovery builds the terminal shell for an in-flight job that
@@ -177,6 +187,7 @@ func (s *Server) resumeJob(rec *store.JobRecord) error {
 	cuts := int(math.Floor(cfg.End/cfg.Period)) + 1
 	statInflight := (s.stats.Engines() + 1) / 2
 	job := newJob(rec.ID, spec, cfg, species, cuts, s.opts, s.pool.Workers(), statInflight)
+	job.digest = SpecDigest(spec)
 	job.resubmit = s.pool.resubmit
 	job.tenant = recoveredTenant(rec)
 	job.sampleCost = int64(cfg.Trajectories) * int64(cuts)
@@ -244,6 +255,11 @@ func (s *Server) resumeJob(rec *store.JobRecord) error {
 	if _, ok := s.jobs[job.id]; !ok {
 		s.jobs[job.id] = job
 		s.order = append(s.order, job.id)
+	}
+	if s.inflightDigest != nil && job.digest != "" {
+		if key := cacheKey(job.tenant, job.digest); s.inflightDigest[key] == nil {
+			s.inflightDigest[key] = job
+		}
 	}
 	s.mu.Unlock()
 	if runNow {

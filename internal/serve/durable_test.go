@@ -236,8 +236,11 @@ func TestCompletedResultsOutliveRestart(t *testing.T) {
 	if digest != refDigest {
 		t.Fatalf("recovered results diverged:\n  before %s\n  after  %s", refDigest, digest)
 	}
-	// A new submission gets a fresh id past the recovered sequence.
-	st2 := submitJob(t, base2, sirSpec())
+	// A new (distinct — an identical spec would hit the rebuilt cache)
+	// submission gets a fresh id past the recovered sequence.
+	spec2 := sirSpec()
+	spec2.Seed = 43
+	st2 := submitJob(t, base2, spec2)
 	if st2.ID == st.ID {
 		t.Fatalf("new job reused recovered id %s", st.ID)
 	}

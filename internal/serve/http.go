@@ -47,6 +47,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /jobs/{id}/stream", s.handleStream)
 	s.mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
+	s.mux.HandleFunc("GET /cache", s.handleCache)
 	// Replicated-tier admin: drain this replica, request/trigger a lease
 	// handoff, and inspect the peer directory. All answer 404 on a
 	// non-replica server.
@@ -122,6 +123,10 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		// Durable store health: data dir, journal size, last compaction.
 		h["store"] = s.store.Stats()
 	}
+	if s.cache != nil {
+		h["cache_entries"] = s.cache.Len()
+		h["cache_hits"] = s.cacheHits.Load()
+	}
 	if s.opts.ReplicaID != "" {
 		// Replica identity and load, mirrored into the peer directory:
 		// what the tier's submit forwarding and rebalancer act on.
@@ -179,8 +184,16 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "decoding job spec: %v", err)
 		return
 	}
-	job, err := s.SubmitAs(spec, r.Header.Get("X-CWC-Tenant"))
+	res, err := s.SubmitOutcome(spec, r.Header.Get("X-CWC-Tenant"))
 	if err != nil {
+		var redir *AttachRedirectError
+		if errors.As(err, &redir) {
+			// The spec is in flight on another replica: send the client
+			// there, where its resubmission attaches to the running job.
+			w.Header().Set("Location", redir.URL+"/jobs")
+			w.WriteHeader(http.StatusTemporaryRedirect)
+			return
+		}
 		code := http.StatusBadRequest
 		switch {
 		case errors.Is(err, ErrDraining):
@@ -227,12 +240,24 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, code, "%v", err)
 		return
 	}
-	st := job.Status()
+	st := res.Job.Status()
+	if res.CacheHit || res.Attached {
+		// Answered without creating a job: a completed job's shell (cache
+		// hit) or the running job the caller now shares (attach). Either
+		// way the spec's results are (or will be) at this id — 201.
+		st.CacheHit = true
+	}
 	code := http.StatusCreated
-	if st.State == StateQueued {
+	if st.State == StateQueued && !st.CacheHit {
 		code = http.StatusAccepted
 	}
 	writeJSON(w, code, st)
+}
+
+// handleCache reports the result cache's index size and hit/attach
+// counters.
+func (s *Server) handleCache(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.CacheStats())
 }
 
 // handleTenants lists every tenant's control-plane snapshot: quotas,

@@ -202,6 +202,9 @@ func TestStatFarmScalesWindowThroughput(t *testing.T) {
 			job, err := svc.Submit(JobSpec{
 				Model: "count", Trajectories: traj, End: 6, Quantum: 6,
 				Period: 0.25, WindowSize: 4, WindowStep: 4,
+				// Distinct seeds: identical specs would attach to the
+				// first job instead of loading the farm four ways.
+				Seed: int64(i + 1),
 			})
 			if err != nil {
 				t.Fatal(err)

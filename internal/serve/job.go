@@ -148,6 +148,19 @@ type Status struct {
 	// restart — either re-served from its journaled results (terminal
 	// jobs) or resumed from its last checkpoint (in-flight jobs).
 	Recovered bool `json:"recovered,omitempty"`
+	// SpecDigest is the content address of the job's canonical spec (see
+	// SpecDigest): identical digests mean identical results, which is
+	// what lets repeat submissions answer from the cache.
+	SpecDigest string `json:"spec_digest,omitempty"`
+	// CacheHit is set on submission responses answered without creating a
+	// job: from the result cache (a completed job) or by attaching to an
+	// in-flight one. Never set on status polls.
+	CacheHit bool `json:"cache_hit,omitempty"`
+	// Subscribers is the number of clients currently streaming this job.
+	Subscribers int `json:"subscribers,omitempty"`
+	// Attached counts submissions answered by attaching to this job while
+	// it ran.
+	Attached int64 `json:"attached,omitempty"`
 }
 
 // subscriber is one streaming client's bounded mailbox. Windows that
@@ -189,6 +202,13 @@ type Job struct {
 	// startFn, set for queued jobs, launches the job when a slot frees;
 	// onTerminal is the server's accounting/dispatch callback, invoked
 	// exactly once at the end of the terminal transition.
+	// digest is the content address of the job's canonical spec, set
+	// before the job is visible to any other goroutine (submission or
+	// recovery) and immutable after — readable without locks. attached
+	// counts submissions that shared this job instead of starting one.
+	digest   string
+	attached atomic.Int64
+
 	tenant       string
 	sampleCost   int64
 	flow         *sched.Flow[poolTask]
@@ -865,6 +885,12 @@ func (j *Job) status(withETA bool) Status {
 			// recovered from the submit event.
 			st.Tenant = j.tenant
 		}
+		if st.SpecDigest == "" {
+			// Journaled by a pre-cache build: re-derived at recovery.
+			st.SpecDigest = j.digest
+		}
+		st.CacheHit = false
+		st.Attached = j.attached.Load()
 		j.mu.Unlock()
 		return st
 	}
@@ -874,6 +900,9 @@ func (j *Job) status(withETA bool) Status {
 		State:         j.state,
 		Spec:          j.spec,
 		Tenant:        j.tenant,
+		SpecDigest:    j.digest,
+		Subscribers:   len(j.subs),
+		Attached:      j.attached.Load(),
 		QueuePosition: int(j.queuePos.Load()),
 		SubmittedAt:   j.submitted,
 		Error:         j.errMsg,

@@ -460,9 +460,12 @@ func TestWorkerRegisterEndpoint(t *testing.T) {
 		t.Fatalf("post-expiry job: %s, remote=%d", st.State, st.Progress.RemoteTasksDone)
 	}
 
-	// A fresh heartbeat revives it and jobs shard again.
+	// A fresh heartbeat revives it and jobs shard again. A new seed keeps
+	// the spec distinct from the pre-expiry run, which is cached.
+	revived := walkSpec()
+	revived.Seed = 7
 	register()
-	st2, _ := runToDigest(t, base, walkSpec())
+	st2, _ := runToDigest(t, base, revived)
 	if st2.State != serve.StateDone {
 		t.Fatalf("post-revival job: %s (%s)", st2.State, st2.Error)
 	}

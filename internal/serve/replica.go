@@ -133,7 +133,7 @@ func (s *Server) takeover(l lease.Lease) {
 		// so this is a thief that died between acquire and adopt).
 		return
 	}
-	if _, err := s.leases.Acquire(l.Job); err != nil {
+	if _, err := s.leases.AcquireDigest(l.Job, cacheKey(recoveredTenant(rec), specDigestRaw(rec.Spec))); err != nil {
 		return // raced another thief, or the owner came back
 	}
 	if fresh, ok := s.peekRecord(l.Job); ok {

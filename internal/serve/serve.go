@@ -211,6 +211,16 @@ type Options struct {
 	// never immediately reversed and the tier converges without
 	// thrashing).
 	RebalanceMargin int
+	// CacheMaxEntries bounds the content-addressed result cache: spec
+	// digest → terminal job, LRU-evicted past this many entries (default
+	// 1024). Runs are deterministic, so a repeat submission of a cached
+	// spec answers with the completed job (201, cache_hit) instead of
+	// simulating again, and a submission matching a running job's digest
+	// attaches to its stream.
+	CacheMaxEntries int
+	// NoCache disables the result cache and in-flight attach entirely:
+	// every submission simulates, the pre-cache behaviour.
+	NoCache bool
 	// Chaos, when non-nil, enables deterministic fault injection at the
 	// wired points (dff receive drop/delay/duplicate, WAL fsync stall,
 	// early lease expiry). Tests only; nil disables every hook.
@@ -320,6 +330,9 @@ func (o Options) withDefaults() Options {
 	if o.RebalanceMargin < 2 {
 		o.RebalanceMargin = 2
 	}
+	if o.CacheMaxEntries < 1 {
+		o.CacheMaxEntries = 1024
+	}
 	if o.Scheduler == "" {
 		o.Scheduler = "fifo"
 	}
@@ -365,6 +378,14 @@ type Server struct {
 	probeMu sync.Mutex
 	probes  map[string]ownerProbe
 
+	// cache is the content-addressed result index (spec digest → terminal
+	// job id); nil iff Options.NoCache. The counters feed GET /cache.
+	cache          *store.Cache
+	cacheHits      atomic.Int64
+	cacheMisses    atomic.Int64
+	cacheAttaches  atomic.Int64
+	cacheRedirects atomic.Int64
+
 	mu          sync.Mutex
 	closed      bool
 	jobs        map[string]*Job
@@ -372,6 +393,9 @@ type Server struct {
 	seq         int
 	tenants     map[string]*tenantState
 	tenantOrder []string // tenant creation order (= wfq tie-break order)
+	// inflightDigest maps a spec digest to the non-terminal local job
+	// running it — the attach targets. nil iff Options.NoCache.
+	inflightDigest map[string]*Job
 }
 
 // New starts a Server (its simulation pool, stat farm and worker
@@ -390,6 +414,10 @@ func New(opts Options) (*Server, error) {
 		mux:      http.NewServeMux(),
 		jobs:     make(map[string]*Job),
 		tenants:  make(map[string]*tenantState),
+	}
+	if !opts.NoCache {
+		s.cache = store.NewCache(opts.CacheMaxEntries)
+		s.inflightDigest = make(map[string]*Job)
 	}
 	var queue ff.TaskQueue[poolTask]
 	switch opts.Scheduler {
@@ -532,18 +560,54 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 // with a position) instead of run, and a full queue — or a saturated
 // server — fails with ErrBusy.
 func (s *Server) SubmitAs(spec JobSpec, tenant string) (*Job, error) {
+	res, err := s.SubmitOutcome(spec, tenant)
+	if err != nil {
+		return nil, err
+	}
+	return res.Job, nil
+}
+
+// SubmitOutcome is SubmitAs reporting how the submission was answered:
+// from the content-addressed result cache (CacheHit — runs are
+// deterministic, so an identical canonical spec reuses the completed
+// job), by attaching to an in-flight job with the same digest (Attached —
+// one simulation, N watchers), or by creating a job (neither flag). Cache
+// hits and attaches charge the tenant nothing: no slot, no sample budget.
+// In a replicated tier, a digest in flight on a live peer returns
+// *AttachRedirectError so the HTTP layer can bounce the client there.
+func (s *Server) SubmitOutcome(spec JobSpec, tenant string) (SubmitResult, error) {
 	if tenant == "" {
 		tenant = DefaultTenant
 	}
 	if !validTenant(tenant) {
-		return nil, fmt.Errorf("serve: invalid tenant id %q (want 1-64 chars of [A-Za-z0-9._-])", tenant)
+		return SubmitResult{}, fmt.Errorf("serve: invalid tenant id %q (want 1-64 chars of [A-Za-z0-9._-])", tenant)
+	}
+	// The cache fast path answers before any validation or model
+	// resolution: whatever is cached under this key was admitted once
+	// already (by this tenant — keys are tenant-scoped). The
+	// authoritative re-check happens inside the admission critical
+	// section below; this one just spares hits the resolver work and is
+	// the single place a miss is counted.
+	digest := SpecDigest(spec)
+	key := cacheKey(tenant, digest)
+	if s.cache != nil {
+		s.mu.Lock()
+		res, hit := s.cacheLookupLocked(key, true)
+		s.mu.Unlock()
+		if hit {
+			return res, nil
+		}
+		if url, owner, ok := s.attachTarget(key); ok {
+			s.cacheRedirects.Add(1)
+			return SubmitResult{}, &AttachRedirectError{URL: url, Owner: owner}
+		}
 	}
 	if spec.Trajectories > s.opts.MaxTrajectories {
-		return nil, fmt.Errorf("serve: %d trajectories exceeds the per-job limit of %d", spec.Trajectories, s.opts.MaxTrajectories)
+		return SubmitResult{}, fmt.Errorf("serve: %d trajectories exceeds the per-job limit of %d", spec.Trajectories, s.opts.MaxTrajectories)
 	}
 	factory, err := s.opts.Resolver(core.ModelRef{Name: spec.Model, Omega: spec.Omega})
 	if err != nil {
-		return nil, err
+		return SubmitResult{}, err
 	}
 	cfg := core.Config{
 		Factory:       factory,
@@ -562,13 +626,13 @@ func (s *Server) SubmitAs(spec JobSpec, tenant string) (*Job, error) {
 	}
 	cfg, err = cfg.Normalized()
 	if err != nil {
-		return nil, err
+		return SubmitResult{}, err
 	}
 	// Bound the per-trajectory sample count in float64, before
 	// sim.NewTask's int conversion could overflow on extreme ratios.
 	cutsF := math.Floor(cfg.End/cfg.Period) + 1
 	if cutsF > float64(s.opts.MaxCuts) {
-		return nil, fmt.Errorf("serve: end/period yields %g samples per trajectory, limit is %d", cutsF, s.opts.MaxCuts)
+		return SubmitResult{}, fmt.Errorf("serve: end/period yields %g samples per trajectory, limit is %d", cutsF, s.opts.MaxCuts)
 	}
 	sampleCost := int64(cfg.Trajectories) * int64(cutsF)
 	// ResolveSpecies probes factory(0), so model construction errors still
@@ -576,16 +640,24 @@ func (s *Server) SubmitAs(spec JobSpec, tenant string) (*Job, error) {
 	// built lazily by the pool feeder.
 	species, err := core.ResolveSpecies(cfg)
 	if err != nil {
-		return nil, err
+		return SubmitResult{}, err
 	}
 	model := core.ModelRef{Name: spec.Model, Omega: spec.Omega}
 
 	s.mu.Lock()
+	// Decisive cache re-check, in the same critical section that will
+	// register the job and its in-flight digest: of two racing submissions
+	// of one spec, the loser lands here after the winner registered and
+	// attaches instead of simulating twice.
+	if res, hit := s.cacheLookupLocked(key, false); hit {
+		s.mu.Unlock()
+		return res, nil
+	}
 	t := s.tenantLocked(tenant)
 	queued, err := s.admitLocked(t, sampleCost)
 	if err != nil {
 		s.mu.Unlock()
-		return nil, err
+		return SubmitResult{}, err
 	}
 	s.seq++
 	id := s.jobID()
@@ -593,6 +665,7 @@ func (s *Server) SubmitAs(spec JobSpec, tenant string) (*Job, error) {
 	// up), so a single stats-heavy tenant leaves engines for everyone else.
 	statInflight := (s.stats.Engines() + 1) / 2
 	job := newJob(id, spec, cfg, species, int(cutsF), s.opts, s.pool.Workers(), statInflight)
+	job.digest = digest
 	job.resubmit = s.pool.resubmit
 	job.tenant = tenant
 	job.sampleCost = sampleCost
@@ -613,18 +686,25 @@ func (s *Server) SubmitAs(spec JobSpec, tenant string) (*Job, error) {
 	}
 	s.jobs[id] = job
 	s.order = append(s.order, id)
+	if s.inflightDigest != nil && key != "" {
+		if _, exists := s.inflightDigest[key]; !exists {
+			s.inflightDigest[key] = job
+		}
+	}
 	s.pruneLocked()
 	s.mu.Unlock()
 
 	// In a replicated tier, take the job's ownership lease before the
 	// first journal append (the store fence refuses appends for jobs
-	// whose lease this replica does not hold).
+	// whose lease this replica does not hold). The cache key rides the
+	// lease so peers can redirect a matching submission here while it
+	// runs.
 	if s.leases != nil {
-		if _, lerr := s.leases.Acquire(id); lerr != nil {
+		if _, lerr := s.leases.AcquireDigest(id, key); lerr != nil {
 			job.noPersist.Store(true)
 			job.fail(lerr)
 			s.unregister(id)
-			return nil, fmt.Errorf("serve: acquiring job lease: %w", lerr)
+			return SubmitResult{}, fmt.Errorf("serve: acquiring job lease: %w", lerr)
 		}
 		// Load changed: refresh the heartbeat now rather than at the next
 		// renew tick, so peer rebalancers and submit forwarders see this
@@ -644,23 +724,23 @@ func (s *Server) SubmitAs(spec JobSpec, tenant string) (*Job, error) {
 			job.noPersist.Store(true)
 			job.fail(jerr) // releases the tenant slot/budget via jobFinished
 			s.unregister(id)
-			return nil, fmt.Errorf("serve: journaling submission: %w", jerr)
+			return SubmitResult{}, fmt.Errorf("serve: journaling submission: %w", jerr)
 		}
 	}
 
 	if queued {
 		// The job waits in its tenant's admission queue; dispatchLocked
 		// launches it (via startFn) when a slot frees.
-		return job, nil
+		return SubmitResult{Job: job}, nil
 	}
 	if err := s.startJobChecked(job, cfg, model); err != nil {
 		// The pool closed between admission and scheduling: unregister
 		// the job so the error response is consistent with the registry
 		// (no ghost failed job the client was told does not exist).
 		s.unregister(id)
-		return nil, err
+		return SubmitResult{}, err
 	}
-	return job, nil
+	return SubmitResult{Job: job}, nil
 }
 
 // startJob launches an admitted job: its windower goroutine, then either
@@ -695,6 +775,11 @@ func (s *Server) startJobChecked(job *Job, cfg core.Config, model core.ModelRef)
 // provisionally registered.
 func (s *Server) unregister(id string) {
 	s.mu.Lock()
+	if j, ok := s.jobs[id]; ok && j.digest != "" {
+		if key := cacheKey(j.tenant, j.digest); s.inflightDigest[key] == j {
+			delete(s.inflightDigest, key)
+		}
+	}
 	delete(s.jobs, id)
 	for i, oid := range s.order {
 		if oid == id {
@@ -724,6 +809,11 @@ func (s *Server) pruneLocked() {
 	for _, id := range s.order {
 		if terminal > s.opts.MaxCompleted && s.jobs[id].State().Terminal() {
 			delete(s.jobs, id)
+			if s.cache != nil {
+				// The results leave the registry with the job; a cache hit
+				// on its digest would dangle.
+				s.cache.RemoveJob(id)
+			}
 			if s.store != nil {
 				// Evicted results no longer need to outlive anything:
 				// drop the job from the journal at its next compaction.

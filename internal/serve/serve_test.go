@@ -70,6 +70,16 @@ func slowSpec() serve.JobSpec {
 	}
 }
 
+// slowSpecSeed is slowSpec with a distinguishing seed: tests that need N
+// independent jobs must vary the spec, or submissions past the first
+// would be answered by the content-addressed cache (attach or hit)
+// instead of exercising admission, eviction or scheduling.
+func slowSpecSeed(seed int64) serve.JobSpec {
+	spec := slowSpec()
+	spec.Seed = seed
+	return spec
+}
+
 const slowSpecWindows = 5
 
 func newTestServer(t *testing.T, delay time.Duration, opts serve.Options) (*serve.Server, *httptest.Server) {
@@ -516,8 +526,8 @@ func TestSubmitAfterCloseRejected(t *testing.T) {
 
 func TestSubmitOverActiveLimitReturns429(t *testing.T) {
 	_, ts := newTestServer(t, 2*time.Millisecond, serve.Options{MaxJobs: 1})
-	first := submitJob(t, ts.URL, slowSpec())
-	body, _ := json.Marshal(slowSpec())
+	first := submitJob(t, ts.URL, slowSpecSeed(1))
+	body, _ := json.Marshal(slowSpecSeed(2))
 	resp, err := http.Post(ts.URL+"/jobs", "application/json", bytes.NewReader(body))
 	if err != nil {
 		t.Fatal(err)
@@ -535,7 +545,7 @@ func TestSubmitOverActiveLimitReturns429(t *testing.T) {
 		t.Fatal(err)
 	}
 	r2.Body.Close()
-	submitJob(t, ts.URL, slowSpec())
+	submitJob(t, ts.URL, slowSpecSeed(3))
 }
 
 func TestStreamReportsEvictionGap(t *testing.T) {
@@ -572,7 +582,7 @@ func TestTerminalJobsEvictedBeyondMaxCompleted(t *testing.T) {
 	svc, ts := newTestServer(t, 0, serve.Options{MaxCompleted: 2})
 	var last serve.Status
 	for i := 0; i < 5; i++ {
-		last = submitJob(t, ts.URL, slowSpec())
+		last = submitJob(t, ts.URL, slowSpecSeed(int64(i+1)))
 		resp, err := http.Get(ts.URL + "/jobs/" + last.ID + "/result?wait=true")
 		if err != nil {
 			t.Fatal(err)
@@ -581,7 +591,7 @@ func TestTerminalJobsEvictedBeyondMaxCompleted(t *testing.T) {
 	}
 	// The next submission prunes: at most MaxCompleted terminal jobs plus
 	// the new active one remain.
-	submitJob(t, ts.URL, slowSpec())
+	submitJob(t, ts.URL, slowSpecSeed(6))
 	if got := len(svc.List()); got > 3 {
 		t.Fatalf("registry holds %d jobs after pruning, want <= 3", got)
 	}

@@ -230,6 +230,19 @@ func (s *Server) jobFinished(job *Job) {
 		}
 	}
 	job.admission = admReleased
+	if key := cacheKey(job.tenant, job.digest); key != "" {
+		if s.inflightDigest[key] == job {
+			// The job is no longer an attach target; future matching
+			// submissions hit the cache (done) or run fresh
+			// (failed/cancelled).
+			delete(s.inflightDigest, key)
+		}
+		if s.cache != nil && job.State() == StateDone {
+			// Only successful runs are cacheable: a failed or cancelled
+			// job has no complete result to answer with.
+			s.cache.Put(key, job.id)
+		}
+	}
 	starts := s.dispatchLocked()
 	s.mu.Unlock()
 	if s.leases != nil && !job.noPersist.Load() {

@@ -222,20 +222,25 @@ func TestAdmissionQueuePosition(t *testing.T) {
 			"acme": {MaxActive: 1},
 		},
 	})
-	longSpec := serve.JobSpec{
-		Model: "slow", Trajectories: 2, End: 100, Period: 0.5,
-		WindowSize: 4, WindowStep: 4,
+	// Distinct seeds keep the specs distinct: identical specs from one
+	// tenant would attach to the first job instead of exercising the
+	// queue (the content-addressed cache path, pinned in cache_test.go).
+	longSpec := func(seed int64) serve.JobSpec {
+		return serve.JobSpec{
+			Model: "slow", Trajectories: 2, End: 100, Period: 0.5,
+			WindowSize: 4, WindowStep: 4, Seed: seed,
+		}
 	}
 
-	st1, code1 := submitTenant(t, ts.URL, longSpec, "acme")
+	st1, code1 := submitTenant(t, ts.URL, longSpec(1), "acme")
 	if code1 != http.StatusCreated || st1.State != serve.StateRunning {
 		t.Fatalf("first job: code %d state %s, want 201 running", code1, st1.State)
 	}
-	st2, code2 := submitTenant(t, ts.URL, longSpec, "acme")
+	st2, code2 := submitTenant(t, ts.URL, longSpec(2), "acme")
 	if code2 != http.StatusAccepted || st2.State != serve.StateQueued || st2.QueuePosition != 1 {
 		t.Fatalf("second job: code %d state %s pos %d, want 202 queued 1", code2, st2.State, st2.QueuePosition)
 	}
-	st3, code3 := submitTenant(t, ts.URL, longSpec, "acme")
+	st3, code3 := submitTenant(t, ts.URL, longSpec(3), "acme")
 	if code3 != http.StatusAccepted || st3.QueuePosition != 2 {
 		t.Fatalf("third job: code %d pos %d, want 202 at position 2", code3, st3.QueuePosition)
 	}
@@ -285,9 +290,16 @@ func TestQuotaExceeded429(t *testing.T) {
 		},
 	})
 
-	st1, _ := submitTenant(t, ts.URL, slowSpec(), "small")
+	// Distinct seeds: a byte-identical resubmission would attach to the
+	// running job (charged nothing) instead of tripping the budget gate.
+	seeded := func(seed int64) serve.JobSpec {
+		spec := slowSpec()
+		spec.Seed = seed
+		return spec
+	}
+	st1, _ := submitTenant(t, ts.URL, seeded(1), "small")
 
-	body, _ := json.Marshal(slowSpec())
+	body, _ := json.Marshal(seeded(2))
 	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/jobs", bytes.NewReader(body))
 	req.Header.Set("X-CWC-Tenant", "small")
 	resp, err := http.DefaultClient.Do(req)
@@ -308,18 +320,20 @@ func TestQuotaExceeded429(t *testing.T) {
 	}
 
 	// The typed error is visible on the native API too.
-	if _, err := svc.SubmitAs(slowSpec(), "small"); !errors.Is(err, serve.ErrQuotaExceeded) {
+	if _, err := svc.SubmitAs(seeded(3), "small"); !errors.Is(err, serve.ErrQuotaExceeded) {
 		t.Fatalf("SubmitAs over budget: %v, want ErrQuotaExceeded", err)
 	}
 
-	// Other tenants are unaffected by one tenant's exhausted budget.
-	if _, code := submitTenant(t, ts.URL, slowSpec(), "other"); code != http.StatusCreated {
-		t.Fatalf("unrelated tenant rejected with %d", code)
+	// Other tenants are unaffected by one tenant's exhausted budget —
+	// even submitting the spec "small" is running: cache keys are
+	// tenant-scoped, so "other" gets its own job, not an attach.
+	if st, code := submitTenant(t, ts.URL, seeded(1), "other"); code != http.StatusCreated || st.CacheHit {
+		t.Fatalf("unrelated tenant rejected or served cross-tenant: code %d cache_hit %v", code, st.CacheHit)
 	}
 
 	// Cancelling the admitted job releases its budget synchronously.
 	cancelJob(t, ts.URL, st1.ID)
-	if _, code := submitTenant(t, ts.URL, slowSpec(), "small"); code != http.StatusCreated {
+	if _, code := submitTenant(t, ts.URL, seeded(4), "small"); code != http.StatusCreated {
 		t.Fatalf("budget not released after cancel: submit got %d", code)
 	}
 }

@@ -1,0 +1,140 @@
+package store
+
+// Cache is the content-addressed result-cache index: spec digest → the id
+// of a terminal job whose journaled results answer a repeat submission
+// without simulating. It is a bookkeeping structure only — the results
+// themselves live in the job registry and the journal — so it is rebuilt
+// from journal replay at boot (the serve layer re-derives each recovered
+// record's digest) rather than persisted in the WAL, which also makes
+// pre-cache journals upgrade in place.
+//
+// Eviction is LRU over a fixed entry budget: a Get bumps recency, a Put
+// past capacity drops the coldest digest. Entries are also invalidated by
+// job id when the registry evicts a terminal job (its results are gone, a
+// hit would dangle) — the byJob reverse index makes that O(1).
+
+import (
+	"container/list"
+	"sync"
+)
+
+type cacheEntry struct {
+	digest string
+	jobID  string
+}
+
+// Cache maps spec digests to terminal job ids with LRU eviction. Safe for
+// concurrent use.
+type Cache struct {
+	mu        sync.Mutex
+	max       int
+	ll        *list.List               // front = most recently used
+	byDigest  map[string]*list.Element // digest → entry
+	byJob     map[string]string        // job id → digest (invalidation index)
+	evictions int64
+}
+
+// NewCache returns an empty cache bounded to max entries (minimum 1).
+func NewCache(max int) *Cache {
+	if max < 1 {
+		max = 1
+	}
+	return &Cache{
+		max:      max,
+		ll:       list.New(),
+		byDigest: make(map[string]*list.Element),
+		byJob:    make(map[string]string),
+	}
+}
+
+// Put maps digest to jobID, bumping it to most-recently-used and evicting
+// the coldest entry past capacity. A digest remaps cleanly (the old job's
+// reverse entry is dropped); a job that already served another digest
+// keeps both forward entries but only the newest reverse one — Remove by
+// job then invalidates the newest, and the stale forward entry is caught
+// by the registry check at hit time.
+func (c *Cache) Put(digest, jobID string) {
+	if digest == "" || jobID == "" {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byDigest[digest]; ok {
+		ent := el.Value.(*cacheEntry)
+		if ent.jobID != jobID {
+			delete(c.byJob, ent.jobID)
+			ent.jobID = jobID
+		}
+		c.byJob[jobID] = digest
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.byDigest[digest] = c.ll.PushFront(&cacheEntry{digest: digest, jobID: jobID})
+	c.byJob[jobID] = digest
+	for c.ll.Len() > c.max {
+		c.removeElement(c.ll.Back())
+		c.evictions++
+	}
+}
+
+// Get returns the job id cached for digest, bumping its recency.
+func (c *Cache) Get(digest string) (string, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byDigest[digest]
+	if !ok {
+		return "", false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).jobID, true
+}
+
+// Remove drops a digest's entry, if present.
+func (c *Cache) Remove(digest string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byDigest[digest]; ok {
+		c.removeElement(el)
+	}
+}
+
+// RemoveJob drops the entry pointing at jobID, if any — the invalidation
+// path when the registry evicts a terminal job.
+func (c *Cache) RemoveJob(jobID string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if digest, ok := c.byJob[jobID]; ok {
+		if el, ok := c.byDigest[digest]; ok {
+			c.removeElement(el)
+		} else {
+			delete(c.byJob, jobID)
+		}
+	}
+}
+
+// removeElement unlinks one entry from the list and both indexes.
+// Callers hold c.mu.
+func (c *Cache) removeElement(el *list.Element) {
+	ent := c.ll.Remove(el).(*cacheEntry)
+	delete(c.byDigest, ent.digest)
+	if c.byJob[ent.jobID] == ent.digest {
+		delete(c.byJob, ent.jobID)
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Max returns the entry budget.
+func (c *Cache) Max() int { return c.max }
+
+// Evictions returns how many entries capacity has pushed out.
+func (c *Cache) Evictions() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evictions
+}

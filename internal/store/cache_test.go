@@ -1,0 +1,83 @@
+package store
+
+import "testing"
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(2)
+	c.Put("d1", "job-1")
+	c.Put("d2", "job-2")
+	// Touch d1 so d2 is the LRU victim when d3 arrives.
+	if id, ok := c.Get("d1"); !ok || id != "job-1" {
+		t.Fatalf("Get(d1) = %q, %v", id, ok)
+	}
+	c.Put("d3", "job-3")
+	if _, ok := c.Get("d2"); ok {
+		t.Fatal("d2 should have been evicted as LRU")
+	}
+	if _, ok := c.Get("d1"); !ok {
+		t.Fatal("d1 (recently used) should have survived")
+	}
+	if _, ok := c.Get("d3"); !ok {
+		t.Fatal("d3 (just inserted) should be present")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+	if c.Evictions() != 1 {
+		t.Fatalf("Evictions = %d, want 1", c.Evictions())
+	}
+}
+
+func TestCacheRemoveJob(t *testing.T) {
+	c := NewCache(8)
+	c.Put("d1", "job-1")
+	c.Put("d2", "job-2")
+	c.RemoveJob("job-1")
+	if _, ok := c.Get("d1"); ok {
+		t.Fatal("d1 should be gone after RemoveJob(job-1)")
+	}
+	if id, ok := c.Get("d2"); !ok || id != "job-2" {
+		t.Fatalf("Get(d2) = %q, %v after unrelated RemoveJob", id, ok)
+	}
+	// Removing an unknown job is a no-op.
+	c.RemoveJob("job-unknown")
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+}
+
+func TestCachePutRemapsDigest(t *testing.T) {
+	c := NewCache(8)
+	c.Put("d1", "job-1")
+	c.Put("d1", "job-2") // same spec finished again under a new id
+	if id, ok := c.Get("d1"); !ok || id != "job-2" {
+		t.Fatalf("Get(d1) = %q, %v, want job-2", id, ok)
+	}
+	// The old job's reverse entry must be gone: invalidating it cannot
+	// take the remapped digest down with it.
+	c.RemoveJob("job-1")
+	if id, ok := c.Get("d1"); !ok || id != "job-2" {
+		t.Fatalf("Get(d1) after RemoveJob(job-1) = %q, %v, want job-2", id, ok)
+	}
+	c.RemoveJob("job-2")
+	if _, ok := c.Get("d1"); ok {
+		t.Fatal("d1 should be gone after RemoveJob(job-2)")
+	}
+}
+
+func TestCacheZeroAndEmptyKeys(t *testing.T) {
+	c := NewCache(0) // clamps to 1
+	if c.Max() != 1 {
+		t.Fatalf("Max = %d, want 1", c.Max())
+	}
+	c.Put("", "job-1")
+	c.Put("d1", "")
+	if c.Len() != 0 {
+		t.Fatalf("empty keys were cached: Len = %d", c.Len())
+	}
+	c.Put("d1", "job-1")
+	c.Put("d2", "job-2")
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 (capacity)", c.Len())
+	}
+}

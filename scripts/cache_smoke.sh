@@ -1,0 +1,138 @@
+#!/usr/bin/env bash
+# Cache/attach smoke: the content-addressed result cache end to end
+# against a real cwc-serve binary.
+#
+#  1. Run a spec to completion, then resubmit it byte-reordered: the
+#     answer must be cache_hit=true, the same job id, a bit-identical
+#     window digest, and zero new simulation (reactions unchanged).
+#  2. Submit a second spec twice concurrently: exactly one simulation,
+#     and two concurrent streams of that job see identical window
+#     sequences.
+#  3. SIGTERM the server and restart it on the same -data-dir: the cache
+#     index is rebuilt from journal replay, so the resubmission still
+#     hits with the same id and digest.
+#
+# Needs: go, curl, jq, sha256sum. Run from the repo root. Set
+# CACHE_DATA_DIR to keep the data dir for debugging (CI uploads it on
+# failure).
+set -euo pipefail
+
+BIN=$(mktemp -d)
+DATA=${CACHE_DATA_DIR:-$BIN/data}
+trap 'kill $(jobs -p) 2>/dev/null || true; rm -rf "$BIN"' EXIT
+
+. "$(dirname "$0")/lib.sh"
+
+go build -o "$BIN/cwc-serve" ./cmd/cwc-serve
+
+SRV=127.0.0.1:7150
+
+# Same model as the recovery smoke, smaller: ~97 samples x 8 trajectories.
+SPEC='{"model":"neurospora","omega":5000,"trajectories":8,"end":24,"period":0.25,"window":8,"step":8,"seed":42}'
+# The identical submission with its JSON keys in a different order: the
+# digest is content-addressed, not byte-addressed.
+SPEC_REORDERED='{"seed":42,"step":8,"window":8,"period":0.25,"end":24,"trajectories":8,"omega":5000,"model":"neurospora"}'
+# A distinct spec for the concurrent-attach phase, long enough that the
+# second submission reliably lands while the first is still running.
+SPEC2='{"model":"neurospora","omega":5000,"trajectories":8,"end":48,"period":0.125,"window":8,"step":8,"seed":7}'
+
+"$BIN/cwc-serve" -listen "$SRV" -sim-workers 2 -data-dir "$DATA" &
+SERVE_PID=$!
+wait_healthy "$SRV"
+
+# --- Phase 1: run once, resubmit, require a hit with identical bits ----
+
+ID1=$(curl -fsS "http://$SRV/jobs" -d "$SPEC" | jq -re .id)
+curl -fsS "http://$SRV/jobs/$ID1/result?wait=true" >"$BIN/first.json"
+STATE=$(jq -re .status.state "$BIN/first.json")
+if [ "$STATE" != "done" ]; then
+  echo "FAIL: first run ended $STATE: $(jq -r .status.error "$BIN/first.json")" >&2
+  exit 1
+fi
+DIGEST1=$(digest_of "$BIN/first.json")
+REACTIONS1=$(jq -re .status.progress.reactions "$BIN/first.json")
+
+curl -fsS "http://$SRV/jobs" -d "$SPEC_REORDERED" >"$BIN/resubmit.json"
+HIT=$(jq -r '.cache_hit // false' "$BIN/resubmit.json")
+ID2=$(jq -re .id "$BIN/resubmit.json")
+if [ "$HIT" != "true" ] || [ "$ID2" != "$ID1" ]; then
+  echo "FAIL: resubmit not served from cache (cache_hit=$HIT id=$ID2 want $ID1)" >&2
+  exit 1
+fi
+curl -fsS "http://$SRV/jobs/$ID2/result?wait=true" >"$BIN/second.json"
+DIGEST2=$(digest_of "$BIN/second.json")
+REACTIONS2=$(jq -re .status.progress.reactions "$BIN/second.json")
+if [ "$DIGEST2" != "$DIGEST1" ]; then
+  echo "FAIL: cached result digest $DIGEST2 != $DIGEST1" >&2
+  exit 1
+fi
+if [ "$REACTIONS2" != "$REACTIONS1" ]; then
+  echo "FAIL: reaction count moved ($REACTIONS1 -> $REACTIONS2): the hit simulated" >&2
+  exit 1
+fi
+HITS=$(curl -fsS "http://$SRV/cache" | jq -re .hits)
+HEALTH_HITS=$(curl -fsS "http://$SRV/healthz" | jq -re .cache_hits)
+if [ "$HITS" -lt 1 ] || [ "$HEALTH_HITS" -lt 1 ]; then
+  echo "FAIL: hit not counted (/cache hits=$HITS healthz cache_hits=$HEALTH_HITS)" >&2
+  exit 1
+fi
+echo "cache hit ok: id=$ID1 digest=$DIGEST1 reactions=$REACTIONS1"
+
+# --- Phase 2: two concurrent submits -> one simulation, shared stream --
+
+curl -fsS "http://$SRV/jobs" -d "$SPEC2" >"$BIN/sub_a.json" &
+PID_A=$!
+curl -fsS "http://$SRV/jobs" -d "$SPEC2" >"$BIN/sub_b.json" &
+PID_B=$!
+wait "$PID_A" "$PID_B"
+ID_A=$(jq -re .id "$BIN/sub_a.json")
+ID_B=$(jq -re .id "$BIN/sub_b.json")
+if [ "$ID_A" != "$ID_B" ]; then
+  echo "FAIL: concurrent submits created two jobs ($ID_A, $ID_B)" >&2
+  exit 1
+fi
+ATTACHES=$(curl -fsS "http://$SRV/cache" | jq -re .attaches)
+if [ "$ATTACHES" -lt 1 ]; then
+  echo "FAIL: no attach counted for the concurrent duplicate" >&2
+  exit 1
+fi
+
+# Two concurrent readers of the shared job must see identical windows.
+curl -fsSN "http://$SRV/jobs/$ID_A/stream" >"$BIN/stream_a.ndjson" &
+PID_A=$!
+curl -fsSN "http://$SRV/jobs/$ID_A/stream" >"$BIN/stream_b.ndjson" &
+PID_B=$!
+wait "$PID_A" "$PID_B"
+STREAM_A=$(jq -c 'select(.type=="window") | .window' "$BIN/stream_a.ndjson" | sha256sum | cut -d' ' -f1)
+STREAM_B=$(jq -c 'select(.type=="window") | .window' "$BIN/stream_b.ndjson" | sha256sum | cut -d' ' -f1)
+WINDOWS_A=$(jq -c 'select(.type=="window")' "$BIN/stream_a.ndjson" | wc -l)
+if [ "$WINDOWS_A" -lt 1 ] || [ "$STREAM_A" != "$STREAM_B" ]; then
+  echo "FAIL: shared streams diverged ($WINDOWS_A windows, $STREAM_A vs $STREAM_B)" >&2
+  exit 1
+fi
+echo "attach ok: id=$ID_A one simulation, two identical streams ($WINDOWS_A windows)"
+
+# --- Phase 3: restart -> the index survives journal replay -------------
+
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+
+"$BIN/cwc-serve" -listen "$SRV" -sim-workers 2 -data-dir "$DATA" &
+wait_healthy "$SRV"
+
+curl -fsS "http://$SRV/jobs" -d "$SPEC" >"$BIN/restart.json"
+HIT=$(jq -r '.cache_hit // false' "$BIN/restart.json")
+ID3=$(jq -re .id "$BIN/restart.json")
+if [ "$HIT" != "true" ] || [ "$ID3" != "$ID1" ]; then
+  echo "FAIL: post-restart resubmit missed (cache_hit=$HIT id=$ID3 want $ID1)" >&2
+  exit 1
+fi
+curl -fsS "http://$SRV/jobs/$ID3/result?wait=true" >"$BIN/third.json"
+DIGEST3=$(digest_of "$BIN/third.json")
+if [ "$DIGEST3" != "$DIGEST1" ]; then
+  echo "FAIL: post-restart digest $DIGEST3 != $DIGEST1" >&2
+  exit 1
+fi
+echo "restart ok: index rebuilt from replay, digest $DIGEST3"
+
+echo "PASS: cache hit, concurrent attach and replayed index all bit-identical"

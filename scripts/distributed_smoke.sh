@@ -22,14 +22,7 @@ DIST=127.0.0.1:7110
 "$BIN/cwc-serve" -listen "$REF" -sim-workers 2 &
 "$BIN/cwc-serve" -listen "$DIST" -sim-workers 2 -workers "$W1,$W2" -worker-inflight 4 &
 
-wait_healthy() {
-  for _ in $(seq 1 100); do
-    if curl -fsS "http://$1/healthz" >/dev/null 2>&1; then return 0; fi
-    sleep 0.1
-  done
-  echo "server $1 never became healthy" >&2
-  return 1
-}
+. "$(dirname "$0")/lib.sh"
 wait_healthy "$REF"
 wait_healthy "$DIST"
 
@@ -45,7 +38,7 @@ run_job() { # base-url -> digest of the full window stream
     echo "job on $base ended $state: $(jq -r .status.error "$BIN/$base.json")" >&2
     return 1
   fi
-  jq -c '.windows' "$BIN/$base.json" | sha256sum | cut -d' ' -f1
+  digest_of "$BIN/$base.json"
 }
 
 REF_DIGEST=$(run_job "$REF")

@@ -25,18 +25,7 @@ B=127.0.0.1:7132    # surviving replica
 # Sized like the recovery smoke: reliably mid-run when the kill lands.
 SPEC='{"model":"neurospora","omega":5000,"trajectories":16,"end":48,"period":0.125,"window":8,"step":8,"seed":42}'
 
-wait_healthy() {
-  for _ in $(seq 1 100); do
-    if curl -fsS "http://$1/healthz" >/dev/null 2>&1; then return 0; fi
-    sleep 0.1
-  done
-  echo "server $1 never became healthy" >&2
-  return 1
-}
-
-digest_of() { # result-json-file -> digest of the full window stream
-  jq -c '.windows' "$1" | sha256sum | cut -d' ' -f1
-}
+. "$(dirname "$0")/lib.sh"
 
 # Reference: uninterrupted run, no data dir.
 "$BIN/cwc-serve" -listen "$REF" -sim-workers 2 &
@@ -75,8 +64,11 @@ if [ "$STREAM_LOC" != "http://$A/jobs/$JOB_ID/stream" ]; then
   echo "FAIL: B redirected the stream to '$STREAM_LOC', want A" >&2
   exit 1
 fi
-# ...and proxies a cancel of a sacrificial job through to A.
-VICTIM_ID=$(curl -fsS "http://$A/jobs" -d "$SPEC" | jq -re .id)
+# ...and proxies a cancel of a sacrificial job through to A. The victim
+# needs its own seed: resubmitting $SPEC would attach to the main job
+# (content-addressed dedup) and the cancel would kill it.
+VICTIM_SPEC='{"model":"neurospora","omega":5000,"trajectories":16,"end":48,"period":0.125,"window":8,"step":8,"seed":99}'
+VICTIM_ID=$(curl -fsS "http://$A/jobs" -d "$VICTIM_SPEC" | jq -re .id)
 curl -fsS -X POST "http://$B/jobs/$VICTIM_ID/cancel" >/dev/null
 for _ in $(seq 1 100); do
   VICTIM_STATE=$(curl -fsS "http://$A/jobs/$VICTIM_ID" | jq -re .state)

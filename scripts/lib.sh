@@ -1,0 +1,19 @@
+# Shared helpers for the smoke scripts. Source after `set -euo pipefail`
+# with:
+#
+#   . "$(dirname "$0")/lib.sh"
+#
+# Every script runs from the repo root and needs: go, curl, jq, sha256sum.
+
+wait_healthy() { # host:port -> 0 once /healthz answers, 1 after ~10s
+  for _ in $(seq 1 100); do
+    if curl -fsS "http://$1/healthz" >/dev/null 2>&1; then return 0; fi
+    sleep 0.1
+  done
+  echo "server $1 never became healthy" >&2
+  return 1
+}
+
+digest_of() { # result-json-file -> digest of the full window stream
+  jq -c '.windows' "$1" | sha256sum | cut -d' ' -f1
+}

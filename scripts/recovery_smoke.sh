@@ -28,18 +28,7 @@ DUR=127.0.0.1:7121  # durable server that gets SIGKILLed
 # 385 samples × 16 trajectories, 49 tumbling windows.
 SPEC='{"model":"neurospora","omega":5000,"trajectories":16,"end":48,"period":0.125,"window":8,"step":8,"seed":42}'
 
-wait_healthy() {
-  for _ in $(seq 1 100); do
-    if curl -fsS "http://$1/healthz" >/dev/null 2>&1; then return 0; fi
-    sleep 0.1
-  done
-  echo "server $1 never became healthy" >&2
-  return 1
-}
-
-digest_of() { # result-json-file -> digest of the full window stream
-  jq -c '.windows' "$1" | sha256sum | cut -d' ' -f1
-}
+. "$(dirname "$0")/lib.sh"
 
 # Reference: uninterrupted run, no data dir.
 "$BIN/cwc-serve" -listen "$REF" -sim-workers 2 &

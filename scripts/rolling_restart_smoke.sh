@@ -25,22 +25,14 @@ declare -A PID
 # Long enough that jobs are reliably in flight across all three restarts.
 SPEC='{"model":"neurospora","omega":5000,"trajectories":16,"end":48,"period":0.125,"window":8,"step":8,"seed":42}'
 
-wait_healthy() {
-  for _ in $(seq 1 100); do
-    if curl -fsS "http://$1/healthz" >/dev/null 2>&1; then return 0; fi
-    sleep 0.1
-  done
-  echo "server $1 never became healthy" >&2
-  return 1
-}
+. "$(dirname "$0")/lib.sh"
 
-digest_of() { # result-json-file -> digest of the full window stream
-  jq -c '.windows' "$1" | sha256sum | cut -d' ' -f1
-}
-
+# -no-cache: the three tier jobs deliberately share one spec and seed so
+# a single reference digest covers them all; the content-addressed cache
+# would collapse them into one job via cross-replica attach.
 start_replica() { # id
   "$BIN/cwc-serve" -listen "${ADDR[$1]}" -sim-workers 2 -data-dir "$DATA" \
-    -lease-ttl 5s -drain-grace 100ms \
+    -lease-ttl 5s -drain-grace 100ms -no-cache \
     -replica-id "$1" -advertise-url "http://${ADDR[$1]}" &
   PID[$1]=$!
 }
