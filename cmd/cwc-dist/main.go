@@ -25,6 +25,7 @@ import (
 	"cwcflow/internal/buildinfo"
 	"cwcflow/internal/core"
 	"cwcflow/internal/dff"
+	"cwcflow/internal/obs"
 )
 
 func main() {
@@ -61,6 +62,7 @@ func runWorker(ctx context.Context, args []string) error {
 	advertise := fs.String("advertise", "", "dialable address to advertise when registering (default the listen address)")
 	inflight := fs.Int("inflight", 0, "in-flight trajectory cap to advertise (0 = server default)")
 	maxJobs := fs.Int("max-jobs", 0, "maximum concurrent job connections served (0 = unlimited); excess connections are refused and rerouted by the master")
+	debugAddr := fs.String("debug-addr", "", "HTTP listen address for GET /metrics and /debug/pprof (empty = disabled)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -68,21 +70,44 @@ func runWorker(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
+	addr := *advertise
+	if addr == "" {
+		addr = l.Addr().String()
+	}
 	if *register != "" {
-		addr := *advertise
-		if addr == "" {
-			addr = l.Addr().String()
-		}
 		go heartbeat(ctx, *register, addr, *inflight)
 	}
+	reg := obs.NewRegistry()
+	metrics := core.WorkerMetrics{
+		Quantum: reg.Histogram("cwc_worker_quantum_seconds", "Service time of one simulation quantum on this worker."),
+		Tasks:   reg.Counter("cwc_worker_tasks_total", "Trajectories completed by this worker."),
+		Jobs:    reg.Gauge("cwc_worker_jobs", "Job streams currently served."),
+	}
+	if *debugAddr != "" {
+		go serveDebug("worker", *debugAddr, reg)
+	}
 	fmt.Fprintf(os.Stderr, "sim worker listening on %s (%d engines); ^C to stop\n", l.Addr(), *simWorkers)
-	err = core.ServeSimWorkerLimited(ctx, l, *simWorkers, *maxJobs, core.FactoryFor, func(err error) {
-		fmt.Fprintln(os.Stderr, "job error:", err)
+	err = core.ServeSimWorkerOpts(ctx, l, core.SimWorkerOptions{
+		SimWorkers: *simWorkers,
+		MaxJobs:    *maxJobs,
+		Resolver:   core.FactoryFor,
+		OnError:    func(err error) { fmt.Fprintln(os.Stderr, "job error:", err) },
+		Origin:     addr,
+		Metrics:    metrics,
 	})
 	if err == context.Canceled {
 		return nil
 	}
 	return err
+}
+
+// serveDebug runs the metrics+pprof listener for one process role; a bind
+// failure is reported, never fatal — observability must not take the
+// worker down.
+func serveDebug(role, addr string, reg *obs.Registry) {
+	if err := http.ListenAndServe(addr, obs.NewDebugMux(reg)); err != nil {
+		fmt.Fprintf(os.Stderr, "cwc-dist %s: debug listener: %v\n", role, err)
+	}
 }
 
 // heartbeat registers the worker with a cwc-serve instance and keeps the
@@ -144,6 +169,7 @@ func runMaster(ctx context.Context, args []string) error {
 		winSize     = fs.Int("window", 16, "sliding window size (cuts)")
 		seed        = fs.Int64("seed", 1, "base RNG seed")
 		idleTimeout = fs.Duration("worker-timeout", 0, "fail the run if a worker sends nothing for this long (0 = wait forever)")
+		debugAddr   = fs.String("debug-addr", "", "HTTP listen address for GET /metrics and /debug/pprof (empty = disabled)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -162,9 +188,19 @@ func runMaster(ctx context.Context, args []string) error {
 		BaseSeed:          *seed,
 		WorkerIdleTimeout: *idleTimeout,
 	}
+	display := core.CSVDisplay(os.Stdout, nil)
+	if *debugAddr != "" {
+		reg := obs.NewRegistry()
+		windows := reg.Counter("cwc_master_windows_total", "Windows published by this run.")
+		csv := display
+		display = func(ws core.WindowStat) error {
+			windows.Inc()
+			return csv(ws)
+		}
+		go serveDebug("master", *debugAddr, reg)
+	}
 	start := time.Now()
-	info, err := core.RunDistributed(ctx, cfg, core.ModelRef{Name: *model, Omega: *omega}, addrs,
-		core.CSVDisplay(os.Stdout, nil))
+	info, err := core.RunDistributed(ctx, cfg, core.ModelRef{Name: *model, Omega: *omega}, addrs, display)
 	if err != nil {
 		return err
 	}

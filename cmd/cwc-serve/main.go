@@ -28,6 +28,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log"
 	"net/http"
 	"os"
 	"os/signal"
@@ -38,6 +39,7 @@ import (
 	"time"
 
 	"cwcflow/internal/buildinfo"
+	"cwcflow/internal/obs"
 	"cwcflow/internal/serve"
 )
 
@@ -107,6 +109,7 @@ func run() error {
 		tenantWeights  = flag.String("tenant-weights", "", "per-tenant wfq weights, e.g. 'alice=3,bob=1' (others get weight 1)")
 		cacheMax       = flag.Int("cache-max-entries", 1024, "content-addressed result cache index size (LRU; digests of completed specs)")
 		noCache        = flag.Bool("no-cache", false, "disable the result cache and in-flight attach: every submission simulates")
+		debugAddr      = flag.String("debug-addr", "", "separate listen address for GET /metrics and /debug/pprof (empty = disabled; /metrics also serves on the main listener)")
 		showVersion    = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
@@ -166,11 +169,25 @@ func run() error {
 		CacheMaxEntries:          *cacheMax,
 		NoCache:                  *noCache,
 		Version:                  buildinfo.Version,
+		Logf:                     log.Printf,
 	})
 	if err != nil {
 		return err
 	}
 	httpSrv := &http.Server{Addr: *listen, Handler: svc.Handler()}
+	if *debugAddr != "" {
+		// Metrics and pprof on their own listener: the debug surface can
+		// stay off the load balancer (and off the public interface) while
+		// the job API is exposed.
+		dbgSrv := &http.Server{Addr: *debugAddr, Handler: obs.NewDebugMux(svc.Metrics())}
+		go func() {
+			if err := dbgSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintln(os.Stderr, "cwc-serve: debug listener:", err)
+			}
+		}()
+		defer dbgSrv.Close()
+		fmt.Fprintf(os.Stderr, "cwc-serve: metrics and pprof on %s\n", *debugAddr)
+	}
 
 	// SIGINT and SIGTERM both take the graceful path: fail the in-memory
 	// jobs (without journaling shutdown as a job outcome), drain HTTP, and

@@ -13,6 +13,7 @@ import (
 	"cwcflow/internal/ff"
 	"cwcflow/internal/gillespie"
 	"cwcflow/internal/models"
+	"cwcflow/internal/obs"
 	"cwcflow/internal/sim"
 )
 
@@ -97,6 +98,12 @@ type JobHeader struct {
 	// ladder with remote progress. Zero disables shipping (masters
 	// without a store, and pre-checkpoint peers, send zero).
 	CheckpointSamples int
+	// TraceID, when non-empty, is the master job's trace id: the worker
+	// records its per-job spans under it and ships them home in the
+	// trailer (WorkerTrailer.Spans). Empty disables worker-side tracing
+	// (pre-tracing masters send zero, and gob leaves it zero on old
+	// peers).
+	TraceID string
 }
 
 // WorkerMsg is the master→worker stream: a header first, then one message
@@ -113,6 +120,10 @@ type WorkerTrailer struct {
 	Reactions uint64
 	DeadTasks int
 	Tasks     int
+	// Spans are the worker's spans for this job (recorded only when the
+	// header carried a TraceID); the master merges them into the owning
+	// job's trace so a cross-process job reads as one timeline.
+	Spans []obs.Span
 }
 
 // ResultMsg is the worker→master stream: one message per simulation
@@ -166,17 +177,60 @@ func ServeSimWorkerWith(ctx context.Context, l net.Listener, simWorkers int, res
 // remote scheduler treats the drop like any worker failure and reroutes
 // the job's quanta to the remaining workers or the local pool.
 func ServeSimWorkerLimited(ctx context.Context, l net.Listener, simWorkers, maxJobs int, resolver ModelResolver, onError func(error)) error {
+	return ServeSimWorkerOpts(ctx, l, SimWorkerOptions{
+		SimWorkers: simWorkers,
+		MaxJobs:    maxJobs,
+		Resolver:   resolver,
+		OnError:    onError,
+	})
+}
+
+// WorkerMetrics are the worker-process observability hooks: every field
+// is optional (nil = no-op), so an unconfigured worker pays a single nil
+// check per use.
+type WorkerMetrics struct {
+	// Quantum observes the service time of each simulation quantum.
+	Quantum *obs.Histogram
+	// Tasks counts trajectories completed by this worker.
+	Tasks *obs.Counter
+	// Jobs gauges the job streams currently being served.
+	Jobs *obs.Gauge
+}
+
+// SimWorkerOptions configures a sim-worker server (ServeSimWorkerOpts).
+type SimWorkerOptions struct {
+	// SimWorkers is the local simulation farm width (the host's cores).
+	SimWorkers int
+	// MaxJobs caps concurrently served job connections (0 = unlimited).
+	MaxJobs int
+	// Resolver maps model references to factories (nil = FactoryFor).
+	Resolver ModelResolver
+	// OnError receives per-connection failures (nil = dropped).
+	OnError func(error)
+	// Origin identifies this worker in the spans it records (its
+	// advertised address, typically); empty spans carry no origin.
+	Origin string
+	// Metrics are the worker's observability hooks (zero value = no-op).
+	Metrics WorkerMetrics
+}
+
+// ServeSimWorkerOpts runs a sim-worker server on l with the full option
+// set. The call blocks until ctx is cancelled.
+func ServeSimWorkerOpts(ctx context.Context, l net.Listener, opts SimWorkerOptions) error {
+	if opts.Resolver == nil {
+		opts.Resolver = FactoryFor
+	}
 	var active atomic.Int64
 	return dff.Serve(ctx, l, func(ctx context.Context, conn net.Conn) error {
-		if maxJobs > 0 {
-			if n := active.Add(1); n > int64(maxJobs) {
+		if opts.MaxJobs > 0 {
+			if n := active.Add(1); n > int64(opts.MaxJobs) {
 				active.Add(-1)
-				return fmt.Errorf("core: sim worker at its job cap (%d), refusing connection", maxJobs)
+				return fmt.Errorf("core: sim worker at its job cap (%d), refusing connection", opts.MaxJobs)
 			}
 			defer active.Add(-1)
 		}
-		return handleJob(ctx, conn, simWorkers, resolver)
-	}, onError)
+		return handleJob(ctx, conn, opts)
+	}, opts.OnError)
 }
 
 // workerDelivery is one quantum's result inside the worker process, on its
@@ -193,7 +247,7 @@ type workerDelivery struct {
 	ckptNext int
 }
 
-func handleJob(ctx context.Context, conn net.Conn, simWorkers int, resolver ModelResolver) error {
+func handleJob(ctx context.Context, conn net.Conn, opts SimWorkerOptions) error {
 	in := dff.NewReader[WorkerMsg](conn)
 	out := dff.NewWriter[ResultMsg](conn)
 
@@ -205,10 +259,13 @@ func handleJob(ctx context.Context, conn net.Conn, simWorkers int, resolver Mode
 		return errors.New("core: job stream did not start with a header")
 	}
 	hdr := *first.Header
-	factory, err := resolver(hdr.Model)
+	factory, err := opts.Resolver(hdr.Model)
 	if err != nil {
 		return err
 	}
+	opts.Metrics.Jobs.Inc()
+	defer opts.Metrics.Jobs.Dec()
+	streamStart := time.Now()
 
 	var reactions atomic.Uint64
 	var deadTasks atomic.Int64
@@ -243,7 +300,7 @@ func handleJob(ctx context.Context, conn net.Conn, simWorkers int, resolver Mode
 			}
 		}
 	})
-	farm := ff.NewFarmFeedback(simWorkers, func(int) ff.FeedbackWorker[*sim.Task, workerDelivery] {
+	farm := ff.NewFarmFeedback(opts.SimWorkers, func(int) ff.FeedbackWorker[*sim.Task, workerDelivery] {
 		var fb *sim.Task // per-worker feedback cell, read before the next DoStep
 		return ff.FeedbackWorkerFunc[*sim.Task, workerDelivery](func(_ context.Context, task *sim.Task, emit ff.Emit[workerDelivery]) (**sim.Task, error) {
 			start := time.Now()
@@ -254,6 +311,7 @@ func handleJob(ctx context.Context, conn net.Conn, simWorkers int, resolver Mode
 				return nil, err
 			}
 			d := workerDelivery{traj: task.Traj, batch: b, elapsed: time.Since(start)}
+			opts.Metrics.Quantum.Observe(d.elapsed)
 			if len(b.Samples) == 0 {
 				b.Release()
 				d.batch = nil
@@ -270,6 +328,7 @@ func handleJob(ctx context.Context, conn net.Conn, simWorkers int, resolver Mode
 			if task.Done() {
 				d.done, d.dead, d.steps = true, task.Dead(), task.Steps()
 				reactions.Add(task.Steps())
+				opts.Metrics.Tasks.Inc()
 				if task.Dead() {
 					deadTasks.Add(1)
 				}
@@ -310,6 +369,18 @@ func handleJob(ctx context.Context, conn net.Conn, simWorkers int, resolver Mode
 		Reactions: reactions.Load(),
 		DeadTasks: int(deadTasks.Load()),
 		Tasks:     int(tasks.Load()),
+	}
+	if hdr.TraceID != "" {
+		// One lifecycle span per worker stream, not per quantum: it rides
+		// the trailer home and merges into the owning job's trace.
+		trailer.Spans = []obs.Span{{
+			Trace:  hdr.TraceID,
+			Name:   "worker-stream",
+			Origin: opts.Origin,
+			Start:  streamStart.UnixNano(),
+			End:    time.Now().UnixNano(),
+			Detail: fmt.Sprintf("tasks=%d reactions=%d", tasks.Load(), reactions.Load()),
+		}}
 	}
 	if err := out.Send(ResultMsg{Trailer: &trailer}); err != nil {
 		return err

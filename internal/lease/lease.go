@@ -46,7 +46,20 @@ import (
 	"time"
 
 	"cwcflow/internal/chaos"
+	"cwcflow/internal/obs"
 )
+
+// Metrics is the optional counter set a Manager reports into. Every
+// field is nil-safe (obs semantics), so a zero Metrics disables
+// instrumentation without any call-site conditionals.
+type Metrics struct {
+	Acquire        *obs.Counter // fresh leases taken at epoch 1
+	Steal          *obs.Counter // leases taken over at epoch > 1
+	Renew          *obs.Counter // successful renewals
+	RenewLost      *obs.Counter // renewals that found the epoch advanced
+	Release        *obs.Counter // plain releases
+	HandoffRelease *obs.Counter // voluntary releases carrying a handoff pointer
+}
 
 // ErrLost reports that the lease epoch advanced under us: another
 // replica stole the job, and every further write for it must stop.
@@ -120,17 +133,20 @@ type Options struct {
 	// Chaos, when armed with LeaseExpireEarly, makes this manager
 	// treat other owners' live leases as expired (premature steal).
 	Chaos *chaos.Injector
+	// Metrics receives lease-operation counts (zero value = no-op).
+	Metrics Metrics
 }
 
 // Manager grants, renews, and releases leases on behalf of one
 // replica, and tracks the set it currently holds for fencing.
 type Manager struct {
-	dir   string
-	owner string
-	url   string
-	ttl   time.Duration
-	now   func() time.Time
-	chaos *chaos.Injector
+	dir     string
+	owner   string
+	url     string
+	ttl     time.Duration
+	now     func() time.Time
+	chaos   *chaos.Injector
+	metrics Metrics
 
 	mu   sync.Mutex
 	held map[string]Lease
@@ -153,13 +169,14 @@ func NewManager(opts Options) (*Manager, error) {
 		now = time.Now
 	}
 	return &Manager{
-		dir:   opts.Dir,
-		owner: opts.Owner,
-		url:   opts.URL,
-		ttl:   opts.TTL,
-		now:   now,
-		chaos: opts.Chaos,
-		held:  make(map[string]Lease),
+		dir:     opts.Dir,
+		owner:   opts.Owner,
+		url:     opts.URL,
+		ttl:     opts.TTL,
+		now:     now,
+		chaos:   opts.Chaos,
+		metrics: opts.Metrics,
+		held:    make(map[string]Lease),
 	}, nil
 }
 
@@ -210,6 +227,11 @@ func (m *Manager) AcquireDigest(job, digest string) (Lease, error) {
 	})
 	if err != nil {
 		return Lease{}, err
+	}
+	if out.Epoch == 1 {
+		m.metrics.Acquire.Inc()
+	} else {
+		m.metrics.Steal.Inc()
 	}
 	m.mu.Lock()
 	m.held[job] = out
@@ -265,6 +287,7 @@ func (m *Manager) Renew(job string) (Lease, error) {
 		return m.write(out)
 	})
 	if errors.Is(err, ErrLost) {
+		m.metrics.RenewLost.Inc()
 		m.mu.Lock()
 		delete(m.held, job)
 		m.mu.Unlock()
@@ -273,6 +296,7 @@ func (m *Manager) Renew(job string) (Lease, error) {
 	if err != nil {
 		return Lease{}, err
 	}
+	m.metrics.Renew.Inc()
 	m.mu.Lock()
 	m.held[job] = out
 	m.mu.Unlock()
@@ -291,6 +315,7 @@ func (m *Manager) Release(job string) {
 	if !ok {
 		return
 	}
+	m.metrics.Release.Inc()
 	_ = m.withLock(job, func() error {
 		disk, ok, err := readLease(m.path(job))
 		if err != nil || !ok || disk.Owner != m.owner || disk.Epoch != cur.Epoch {
@@ -315,6 +340,7 @@ func (m *Manager) ReleaseHandoff(job string, h Handoff) {
 	if !ok {
 		return
 	}
+	m.metrics.HandoffRelease.Inc()
 	h.At = m.now().UnixNano()
 	_ = m.withLock(job, func() error {
 		disk, ok, err := readLease(m.path(job))

@@ -1,0 +1,22 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// NewDebugMux returns the handler every binary mounts on its
+// -debug-addr: GET /metrics rendering reg, plus the net/http/pprof
+// profiling endpoints under /debug/pprof/.
+func NewDebugMux(reg *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	if reg != nil {
+		mux.Handle("GET /metrics", reg)
+	}
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

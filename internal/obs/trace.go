@@ -1,0 +1,195 @@
+// Cross-process job tracing: a Trace is a bounded span log carried by a
+// job from admission to its terminal state. The trace id propagates
+// inbound over HTTP in a W3C traceparent-style header and outbound over
+// the dff wire in the job header, so spans recorded by a remote sim
+// worker come home in the result-stream trailer and land in the owning
+// replica's trace. Spans are deliberately lifecycle-granular (admission,
+// queue wait, dispatch, per-worker streams, first window, terminal) —
+// per-quantum spans would blow the bound on long jobs; per-quantum
+// timing belongs to the histograms.
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Span is one traced interval (or instant, when EndNs == StartNs).
+// Spans cross process boundaries by value (gob over dff, JSON over
+// HTTP), so the type is plain exported data.
+type Span struct {
+	Trace  string `json:"trace_id"`
+	Name   string `json:"name"`
+	Origin string `json:"origin,omitempty"` // replica id or worker identity
+	Start  int64  `json:"start_unix_ns"`
+	End    int64  `json:"end_unix_ns,omitempty"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// Duration is the span's length (0 for instant events).
+func (s Span) Duration() time.Duration { return time.Duration(s.End - s.Start) }
+
+// TraceCap bounds the spans retained per trace; later spans are counted
+// as dropped instead of growing the log.
+const TraceCap = 256
+
+// Trace is a bounded, concurrency-safe span log with a fixed trace id.
+type Trace struct {
+	mu      sync.Mutex
+	id      string
+	spans   []Span
+	dropped int
+	onDrop  *Counter // optional global drop counter (nil-safe)
+}
+
+// NewTrace returns a trace with the given id (a fresh random id when
+// empty). dropped, if non-nil, is bumped whenever the span cap discards
+// a span.
+func NewTrace(id string, dropped *Counter) *Trace {
+	if id == "" {
+		id = NewTraceID()
+	}
+	return &Trace{id: id, onDrop: dropped}
+}
+
+// ID returns the 32-hex-digit trace id ("" on a nil trace).
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
+}
+
+// Span records one interval. Safe on a nil receiver.
+func (t *Trace) Span(name, origin, detail string, start, end time.Time) {
+	if t == nil {
+		return
+	}
+	t.add(Span{
+		Name: name, Origin: origin, Detail: detail,
+		Start: start.UnixNano(), End: end.UnixNano(),
+	})
+}
+
+// Event records one instant. Safe on a nil receiver.
+func (t *Trace) Event(name, origin, detail string) {
+	if t == nil {
+		return
+	}
+	now := time.Now().UnixNano()
+	t.add(Span{Name: name, Origin: origin, Detail: detail, Start: now, End: now})
+}
+
+// Merge absorbs spans recorded elsewhere (a remote worker's trailer)
+// into this trace, restamping them with the local trace id. Safe on a
+// nil receiver.
+func (t *Trace) Merge(spans []Span) {
+	if t == nil {
+		return
+	}
+	for _, s := range spans {
+		t.add(s)
+	}
+}
+
+func (t *Trace) add(s Span) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s.Trace = t.id
+	if len(t.spans) >= TraceCap {
+		t.dropped++
+		t.onDrop.Inc()
+		return
+	}
+	t.spans = append(t.spans, s)
+}
+
+// Snapshot returns a copy of the spans ordered by start time, plus the
+// number of spans dropped at the cap.
+func (t *Trace) Snapshot() ([]Span, int) {
+	if t == nil {
+		return nil, 0
+	}
+	t.mu.Lock()
+	out := make([]Span, len(t.spans))
+	copy(out, t.spans)
+	dropped := t.dropped
+	t.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out, dropped
+}
+
+// Summary renders a one-line digest of the trace for terminal job logs:
+// the first few spans with their durations, and a +N tail marker.
+func (t *Trace) Summary() string {
+	if t == nil {
+		return ""
+	}
+	spans, dropped := t.Snapshot()
+	const keep = 8
+	var b strings.Builder
+	b.WriteString("trace=")
+	b.WriteString(t.id)
+	for i, s := range spans {
+		if i == keep {
+			fmt.Fprintf(&b, " +%d more", len(spans)-keep)
+			break
+		}
+		b.WriteByte(' ')
+		b.WriteString(s.Name)
+		if s.Origin != "" {
+			b.WriteByte('@')
+			b.WriteString(s.Origin)
+		}
+		if d := s.Duration(); d > 0 {
+			b.WriteByte('=')
+			b.WriteString(d.Round(time.Microsecond).String())
+		}
+	}
+	if dropped > 0 {
+		fmt.Fprintf(&b, " dropped=%d", dropped)
+	}
+	return b.String()
+}
+
+// NewTraceID returns a 16-byte random trace id in lower-case hex.
+func NewTraceID() string {
+	var buf [16]byte
+	if _, err := rand.Read(buf[:]); err != nil {
+		// crypto/rand failing is effectively fatal elsewhere; a fixed id
+		// merely degrades trace uniqueness.
+		return "00000000000000000000000000000001"
+	}
+	return hex.EncodeToString(buf[:])
+}
+
+// ParseTraceparent extracts the trace id from a W3C traceparent header
+// ("00-<32 hex trace id>-<16 hex span id>-<2 hex flags>"). ok is false
+// for malformed headers and the all-zero trace id.
+func ParseTraceparent(h string) (traceID string, ok bool) {
+	parts := strings.Split(strings.TrimSpace(h), "-")
+	if len(parts) != 4 || len(parts[1]) != 32 || len(parts[2]) != 16 {
+		return "", false
+	}
+	id := strings.ToLower(parts[1])
+	if _, err := hex.DecodeString(id); err != nil {
+		return "", false
+	}
+	if id == strings.Repeat("0", 32) {
+		return "", false
+	}
+	return id, true
+}
+
+// FormatTraceparent renders a traceparent header carrying traceID with
+// a fresh random parent span id.
+func FormatTraceparent(traceID string) string {
+	var span [8]byte
+	_, _ = rand.Read(span[:])
+	return "00-" + traceID + "-" + hex.EncodeToString(span[:]) + "-01"
+}

@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceSpanLogBoundedAndOrdered(t *testing.T) {
+	dropped := &Counter{}
+	tr := NewTrace("", dropped)
+	if len(tr.ID()) != 32 {
+		t.Fatalf("trace id %q, want 32 hex digits", tr.ID())
+	}
+	base := time.Now()
+	// Add out of order; Snapshot must sort by start.
+	tr.Span("b", "", "", base.Add(time.Second), base.Add(2*time.Second))
+	tr.Span("a", "", "", base, base.Add(time.Millisecond))
+	spans, d := tr.Snapshot()
+	if d != 0 || len(spans) != 2 || spans[0].Name != "a" || spans[1].Name != "b" {
+		t.Fatalf("snapshot: %+v dropped=%d", spans, d)
+	}
+	for _, s := range spans {
+		if s.Trace != tr.ID() {
+			t.Fatalf("span not stamped with trace id: %+v", s)
+		}
+	}
+	// Fill past the cap: the excess is counted, not stored.
+	for i := 0; i < TraceCap+10; i++ {
+		tr.Event("e", "", "")
+	}
+	spans, d = tr.Snapshot()
+	if len(spans) != TraceCap {
+		t.Fatalf("span log grew past the cap: %d", len(spans))
+	}
+	if d != 12 || dropped.Value() != 12 {
+		t.Fatalf("dropped=%d counter=%d, want 12", d, dropped.Value())
+	}
+}
+
+func TestTraceMergeRestampsForeignSpans(t *testing.T) {
+	tr := NewTrace("aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa", nil)
+	tr.Merge([]Span{{Trace: "ffff", Name: "worker-stream", Origin: "w1", Start: 10, End: 20}})
+	spans, _ := tr.Snapshot()
+	if len(spans) != 1 || spans[0].Trace != tr.ID() || spans[0].Origin != "w1" {
+		t.Fatalf("merge: %+v", spans)
+	}
+}
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	id := NewTraceID()
+	h := FormatTraceparent(id)
+	got, ok := ParseTraceparent(h)
+	if !ok || got != id {
+		t.Fatalf("round trip %q -> %q ok=%v", h, got, ok)
+	}
+	for _, bad := range []string{
+		"",
+		"00-zz-11-01",
+		"00-" + strings.Repeat("0", 32) + "-1122334455667788-01", // all-zero id
+		"00-" + id + "-tooshort-01",
+		"garbage",
+	} {
+		if _, ok := ParseTraceparent(bad); ok {
+			t.Errorf("ParseTraceparent(%q) accepted", bad)
+		}
+	}
+}
+
+func TestTraceSummaryOneLine(t *testing.T) {
+	tr := NewTrace("", nil)
+	base := time.Now()
+	tr.Span("admission", "a", "", base, base)
+	tr.Span("run", "a", "", base, base.Add(1500*time.Millisecond))
+	s := tr.Summary()
+	if strings.ContainsAny(s, "\n") || !strings.Contains(s, "run@a=1.5s") {
+		t.Fatalf("summary %q", s)
+	}
+	var nilTrace *Trace
+	if nilTrace.Summary() != "" || nilTrace.ID() != "" {
+		t.Fatal("nil trace not inert")
+	}
+	nilTrace.Event("x", "", "") // must not panic
+}

@@ -67,14 +67,16 @@ type CacheStats struct {
 	InFlight int `json:"in_flight"`
 }
 
-// CacheStats snapshots the cache and attach counters.
+// CacheStats snapshots the cache and attach counters, read from the
+// metric registry — the same series /metrics exposes as
+// cwc_cache_requests_total.
 func (s *Server) CacheStats() CacheStats {
 	cs := CacheStats{
 		Enabled:   s.cache != nil,
-		Hits:      s.cacheHits.Load(),
-		Misses:    s.cacheMisses.Load(),
-		Attaches:  s.cacheAttaches.Load(),
-		Redirects: s.cacheRedirects.Load(),
+		Hits:      int64(s.m.cacheHits.Value()),
+		Misses:    int64(s.m.cacheMisses.Value()),
+		Attaches:  int64(s.m.cacheAttaches.Value()),
+		Redirects: int64(s.m.cacheRedirects.Value()),
 	}
 	if s.cache != nil {
 		cs.Entries = s.cache.Len()
@@ -112,12 +114,12 @@ func (s *Server) cacheLookupLocked(key string, countMiss bool) (SubmitResult, bo
 	}
 	if j, ok := s.inflightDigest[key]; ok && !j.State().Terminal() {
 		j.attached.Add(1)
-		s.cacheAttaches.Add(1)
+		s.m.cacheAttaches.Inc()
 		return SubmitResult{Job: j, Attached: true}, true
 	}
 	if id, ok := s.cache.Get(key); ok {
 		if j, ok := s.jobs[id]; ok && j.State() == StateDone {
-			s.cacheHits.Add(1)
+			s.m.cacheHits.Inc()
 			return SubmitResult{Job: j, CacheHit: true}, true
 		}
 		// Stale index entry: the job was evicted from the registry or
@@ -125,7 +127,7 @@ func (s *Server) cacheLookupLocked(key string, countMiss bool) (SubmitResult, bo
 		s.cache.Remove(key)
 	}
 	if countMiss {
-		s.cacheMisses.Add(1)
+		s.m.cacheMisses.Inc()
 	}
 	return SubmitResult{}, false
 }

@@ -93,7 +93,7 @@ func terminalJob(rec *store.JobRecord, state State, errMsg string) *Job {
 		tenant:    recoveredTenant(rec),
 		ctx:       ctx,
 		cancel:    cancel,
-		in:        newIngress(1, 2), // inert; status() reads its depth
+		in:        newIngress(1, 2, nil), // inert; status() reads its depth
 		state:     state,
 		errMsg:    errMsg,
 		submitted: rec.SubmittedAt,

@@ -92,6 +92,7 @@ func (s *Server) Drain() DrainReport {
 				win = job.durableWindows()
 			}
 			s.leases.ReleaseHandoff(id, lease.Handoff{Windows: win})
+			s.m.handoffsOut.Inc()
 			s.deregister(id)
 			rep.Jobs = append(rep.Jobs, DrainedJob{Job: id, Windows: win})
 		}
@@ -164,6 +165,7 @@ func (s *Server) handoffJob(id, to string) (lease.Handoff, error) {
 	s.stopForHandoff([]*Job{job}, fmt.Sprintf("job handed off to %s", target))
 	h := lease.Handoff{To: to, Windows: job.durableWindows()}
 	s.leases.ReleaseHandoff(id, h)
+	s.m.handoffsOut.Inc()
 	s.deregister(id)
 	s.announcePeer()
 	return h, nil

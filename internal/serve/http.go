@@ -10,6 +10,7 @@ import (
 	"strings"
 
 	"cwcflow/internal/core"
+	"cwcflow/internal/obs"
 )
 
 // streamEvent is one NDJSON line (or SSE data payload) of a job stream: a
@@ -37,6 +38,7 @@ type resultResponse struct {
 
 func (s *Server) routes() {
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.Handle("GET /metrics", s.m.reg)
 	s.mux.HandleFunc("GET /tenants", s.handleTenants)
 	s.mux.HandleFunc("GET /workers", s.handleWorkers)
 	s.mux.HandleFunc("POST /workers/register", s.handleRegisterWorker)
@@ -47,6 +49,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /jobs/{id}/stream", s.handleStream)
 	s.mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
+	s.mux.HandleFunc("GET /jobs/{id}/trace", s.handleTrace)
 	s.mux.HandleFunc("GET /cache", s.handleCache)
 	// Replicated-tier admin: drain this replica, request/trigger a lease
 	// handoff, and inspect the peer directory. All answer 404 on a
@@ -86,23 +89,11 @@ func (s *Server) jobFromPath(w http.ResponseWriter, r *http.Request, action stri
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	jobs := s.List()
-	active, queued := 0, 0
-	for _, j := range jobs {
-		switch st := j.State(); {
-		case st == StateQueued:
-			queued++
-		case !st.Terminal():
-			active++
-		}
-	}
-	workers := s.registry.snapshot()
-	liveWorkers := 0
-	for _, w := range workers {
-		if w.Alive {
-			liveWorkers++
-		}
-	}
+	// Every count here reads the same sources the /metrics gauges sample
+	// (jobCounts, remoteWorkerCounts, the obs cache counters), so the two
+	// surfaces can never disagree.
+	total, active, queued := s.jobCounts()
+	remoteWorkers, liveWorkers := s.remoteWorkerCounts()
 	h := map[string]any{
 		// "workers" keeps its PR1 meaning (local pool width, the
 		// -sim-workers flag); the remote cluster gets unambiguous keys.
@@ -110,10 +101,10 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		"stat_engines":        s.stats.Engines(),
 		"scheduler":           s.opts.Scheduler,
 		"tenants":             len(s.Tenants()),
-		"jobs_total":          len(jobs),
+		"jobs_total":          total,
 		"jobs_active":         active,
 		"jobs_queued":         queued,
-		"remote_workers":      len(workers),
+		"remote_workers":      remoteWorkers,
 		"remote_workers_live": liveWorkers,
 	}
 	if s.opts.Version != "" {
@@ -125,7 +116,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.cache != nil {
 		h["cache_entries"] = s.cache.Len()
-		h["cache_hits"] = s.cacheHits.Load()
+		h["cache_hits"] = s.m.cacheHits.Value()
 	}
 	if s.opts.ReplicaID != "" {
 		// Replica identity and load, mirrored into the peer directory:
@@ -184,7 +175,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "decoding job spec: %v", err)
 		return
 	}
-	res, err := s.SubmitOutcome(spec, r.Header.Get("X-CWC-Tenant"))
+	traceID, _ := obs.ParseTraceparent(r.Header.Get("traceparent"))
+	res, err := s.SubmitTraced(spec, r.Header.Get("X-CWC-Tenant"), traceID)
 	if err != nil {
 		var redir *AttachRedirectError
 		if errors.As(err, &redir) {
@@ -343,6 +335,28 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		FirstWindow: first,
 		Windows:     windows,
 	})
+}
+
+// handleTrace streams a job's span log as NDJSON, one span per line in
+// start order — the job's whole lifecycle (admission, queue wait,
+// dispatch, remote worker streams merged from their trailers, first
+// window, terminal run span), all under one trace id.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.jobFromPath(w, r, "trace")
+	if !ok {
+		return
+	}
+	spans, dropped := job.trace.Snapshot()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-CWC-Trace-Id", job.trace.ID())
+	if dropped > 0 {
+		w.Header().Set("X-CWC-Trace-Dropped", strconv.Itoa(dropped))
+	}
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	for i := range spans {
+		_ = enc.Encode(&spans[i])
+	}
 }
 
 // handleStream streams a job's windowed statistics incrementally: first a

@@ -28,7 +28,7 @@ func countResolver(core.ModelRef) (core.SimulatorFactory, error) {
 }
 
 func TestIngressSpillsOldestPastCapacity(t *testing.T) {
-	q := newIngress(2, 4)
+	q := newIngress(2, 4, nil)
 	mk := func(idx int) *sim.Batch {
 		b := sim.GetBatch()
 		b.Append(sim.Sample{Traj: 0, Index: idx, State: []int64{int64(idx)}})
@@ -69,7 +69,7 @@ func TestIngressSpillsOldestPastCapacity(t *testing.T) {
 }
 
 func TestIngressDrainReleasesAndRejects(t *testing.T) {
-	q := newIngress(2, 4)
+	q := newIngress(2, 4, nil)
 	b := sim.GetBatch()
 	b.Append(sim.Sample{Traj: 0, Index: 0, State: []int64{1}})
 	q.push(b)

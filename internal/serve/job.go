@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"cwcflow/internal/core"
+	"cwcflow/internal/obs"
 	"cwcflow/internal/platform"
 	"cwcflow/internal/serve/sched"
 	"cwcflow/internal/sim"
@@ -161,6 +162,10 @@ type Status struct {
 	// Attached counts submissions answered by attaching to this job while
 	// it ran.
 	Attached int64 `json:"attached,omitempty"`
+	// TraceID identifies the job's span log (GET /jobs/{id}/trace). It is
+	// the client's traceparent trace id when one was submitted, or a
+	// server-minted one otherwise.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // subscriber is one streaming client's bounded mailbox. Windows that
@@ -217,6 +222,23 @@ type Job struct {
 	queuePos     atomic.Int32
 	startFn      func()
 	onTerminal   func(*Job)
+
+	// Observability. metrics is the server's metric set (never nil — a
+	// zero-value set of nil-safe no-op metrics when the job is built
+	// outside a Server); obsTenantQuanta is the job's cached per-tenant
+	// quantum counter child; trace is the job's bounded span log, created
+	// with the job and readable concurrently (GET /jobs/{id}/trace);
+	// enqueuedAt stamps admission-queue entry for the admission-wait
+	// histogram. All set before any job goroutine starts.
+	metrics         *serveMetrics
+	obsTenantQuanta *obs.Counter
+	trace           *obs.Trace
+	enqueuedAt      time.Time
+	// origin labels this server's spans in the trace (the replica id, or
+	// "local" standalone); logf, when non-nil, gets the one-line trace
+	// summary at the terminal transition.
+	origin string
+	logf   func(format string, args ...any)
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -298,10 +320,12 @@ type Job struct {
 }
 
 // pendingStat is one analysed window parked in the reorder buffer until
-// every earlier window has been published.
+// every earlier window has been published. at stamps its arrival for the
+// reorder-wait histogram.
 type pendingStat struct {
 	ws  core.WindowStat
 	lat time.Duration
+	at  time.Time
 }
 
 func newJob(id string, spec JobSpec, cfg core.Config, species []int, samplesPerTraj int, opts Options, poolWorkers, statInflight int) *Job {
@@ -325,6 +349,12 @@ func newJob(id string, spec JobSpec, cfg core.Config, species []int, samplesPerT
 	if lowWater < 1 {
 		lowWater = 1
 	}
+	m := opts.metrics
+	if m == nil {
+		// Built outside a Server (tests): a zero metric set, where every
+		// field is a nil obs metric and every observation a no-op.
+		m = new(serveMetrics)
+	}
 	return &Job{
 		id:          id,
 		spec:        spec,
@@ -338,8 +368,12 @@ func newJob(id string, spec JobSpec, cfg core.Config, species []int, samplesPerT
 		subCap:      opts.SubscriberBuffer,
 		ctx:         ctx,
 		cancel:      cancel,
-		in:          newIngress(highWater, capacity),
+		in:          newIngress(highWater, capacity, m.ingressWait),
 		lowWater:    lowWater,
+		metrics:     m,
+		trace:       obs.NewTrace("", m.spansDropped),
+		origin:      jobOrigin(opts),
+		logf:        opts.Logf,
 		statSlots:   make(chan struct{}, statInflight),
 		state:       StateRunning,
 		submitted:   time.Now(),
@@ -350,8 +384,19 @@ func newJob(id string, spec JobSpec, cfg core.Config, species []int, samplesPerT
 	}
 }
 
+// jobOrigin is the span origin for this server's own lifecycle spans.
+func jobOrigin(opts Options) string {
+	if opts.ReplicaID != "" {
+		return opts.ReplicaID
+	}
+	return "local"
+}
+
 // ID returns the job's identifier.
 func (j *Job) ID() string { return j.id }
+
+// Trace returns the job's span log (never nil).
+func (j *Job) Trace() *obs.Trace { return j.trace }
 
 // initPersist wires the job to the durable store. Call before any job
 // goroutine starts.
@@ -477,7 +522,16 @@ func (j *Job) setTerminal(st State, errMsg string) {
 	j.subs = nil
 	parked := j.parked
 	j.parked = nil
+	submitted, finished := j.submitted, j.finished
 	j.mu.Unlock()
+	detail := string(st)
+	if errMsg != "" {
+		detail += ": " + errMsg
+	}
+	j.trace.Span("run", j.origin, detail, submitted, finished)
+	if j.logf != nil {
+		j.logf("job %s %s: %s", j.id, st, j.trace.Summary())
+	}
 	j.cancel()
 	if rj := j.sched.Load(); rj != nil {
 		rj.stop()
@@ -554,6 +608,7 @@ func (j *Job) accept(_ context.Context, d delivery) error {
 			// The overflow ring dropped a batch: cuts can never complete,
 			// so the job cannot finish correctly. Fail it rather than run
 			// a simulation whose analysis silently lost data.
+			j.metrics.spilled.Add(uint64(spilled))
 			j.fail(fmt.Errorf("serve: analysis backlog overflow: %d sample batches spilled", spilled))
 		}
 	}
@@ -582,8 +637,13 @@ func (j *Job) accept(_ context.Context, d delivery) error {
 // simulating into a queue its analysis cannot drain.
 func (j *Job) congested() bool { return j.in.congested() }
 
-// noteDeferred counts one deferred simulation quantum.
-func (j *Job) noteDeferred() { j.deferred.Add(1) }
+// noteDeferred counts one deferred simulation quantum, in the job's
+// progress (per-job JSON) and the service-wide counter, from the single
+// choke point where the pool parks a quantum.
+func (j *Job) noteDeferred() {
+	j.deferred.Add(1)
+	j.metrics.deferred.Inc()
+}
 
 // park shelves a congestion-deferred task on the job, off the farm
 // entirely, until unparkIfDrained (or the terminal transition) reinjects
@@ -735,7 +795,7 @@ func (j *Job) completeStat(seq int, ws core.WindowStat, lat time.Duration) {
 		j.mu.Unlock()
 		return
 	}
-	j.pending[seq] = pendingStat{ws: ws, lat: lat}
+	j.pending[seq] = pendingStat{ws: ws, lat: lat, at: time.Now()}
 	for {
 		p, ok := j.pending[j.nextPublish]
 		if !ok {
@@ -743,6 +803,7 @@ func (j *Job) completeStat(seq int, ws core.WindowStat, lat time.Duration) {
 		}
 		delete(j.pending, j.nextPublish)
 		j.nextPublish++
+		j.metrics.reorderWait.Observe(time.Since(p.at))
 		j.publishLocked(p.ws, p.lat)
 	}
 	done := j.subAll && j.nextPublish == j.subTotal
@@ -777,7 +838,13 @@ func (j *Job) publishLocked(ws core.WindowStat, lat time.Duration) {
 			j.persistErr = fmt.Errorf("serve: journaling window %d: %w", j.windows, err)
 		}
 	}
+	if j.windows == j.startSeq {
+		// First window out of this run of the job: the time-to-first-result
+		// edge of the trace.
+		j.trace.Event("first-window", "", "")
+	}
 	j.windows++
+	j.metrics.windows.Inc()
 	sec := lat.Seconds()
 	j.winLat.Add(sec)
 	j.winP50.Add(sec)
@@ -891,6 +958,9 @@ func (j *Job) status(withETA bool) Status {
 		}
 		st.CacheHit = false
 		st.Attached = j.attached.Load()
+		if st.TraceID == "" {
+			st.TraceID = j.trace.ID()
+		}
 		j.mu.Unlock()
 		return st
 	}
@@ -901,6 +971,7 @@ func (j *Job) status(withETA bool) Status {
 		Spec:          j.spec,
 		Tenant:        j.tenant,
 		SpecDigest:    j.digest,
+		TraceID:       j.trace.ID(),
 		Subscribers:   len(j.subs),
 		Attached:      j.attached.Load(),
 		QueuePosition: int(j.queuePos.Load()),

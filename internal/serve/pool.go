@@ -42,10 +42,14 @@ type Pool struct {
 	err    error
 }
 
-// poolTask is one job's trajectory task riding the shared farm.
+// poolTask is one job's trajectory task riding the shared farm. enq is
+// the scheduler-queue entry stamp (unix nanoseconds), written by the
+// timedQueue decorator on push and consumed on pop for the sched-wait
+// histogram; zero for tasks that bypassed the queue.
 type poolTask struct {
 	job  *Job
 	task *sim.Task
+	enq  int64
 }
 
 // delivery is one message from a pool worker to the routing collector: a
@@ -156,7 +160,11 @@ func poolWorker(_ context.Context, pt poolTask, emit ff.Emit[delivery]) (again b
 	if job.tenantQuanta != nil {
 		job.tenantQuanta.Add(1)
 	}
-	d := delivery{job: job, traj: traj, batch: b, elapsed: time.Since(start)}
+	elapsed := time.Since(start)
+	job.metrics.localQuantum.Observe(elapsed)
+	job.metrics.quantaLocal.Inc()
+	job.obsTenantQuanta.Inc()
+	d := delivery{job: job, traj: traj, batch: b, elapsed: elapsed}
 	if pt.task.Done() {
 		d.taskDone, d.dead, d.steps = true, pt.task.Dead(), pt.task.Steps()
 		return false, emit(d)

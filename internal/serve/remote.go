@@ -11,6 +11,7 @@ import (
 	"cwcflow/internal/chaos"
 	"cwcflow/internal/core"
 	"cwcflow/internal/dff"
+	"cwcflow/internal/obs"
 	"cwcflow/internal/sim"
 )
 
@@ -63,8 +64,12 @@ type workerConn struct {
 	conn       net.Conn
 	assign     chan int
 	assignOnce sync.Once
-	inflight   map[int]struct{} // guarded by rj.mu
-	lastMsg    atomic.Int64     // unixnano of the last stream activity
+	quanta     *obs.Counter // per-worker quanta series child, cached once
+	// inflight maps each in-flight trajectory to its last dispatch or
+	// delivery stamp (unix ns) — the round-trip histogram's clock.
+	// Guarded by rj.mu.
+	inflight map[int]int64
+	lastMsg  atomic.Int64 // unixnano of the last stream activity
 }
 
 func (wc *workerConn) closeAssigns() {
@@ -117,6 +122,7 @@ func (s *Server) startRemote(job *Job, cfg core.Config, model core.ModelRef) boo
 			Period:            cfg.Period,
 			BaseSeed:          cfg.BaseSeed,
 			CheckpointSamples: ckptSamples,
+			TraceID:           job.trace.ID(),
 		},
 		timeout:  s.opts.WorkerTimeout,
 		conns:    make(map[*workerConn]struct{}),
@@ -154,7 +160,8 @@ func (s *Server) startRemote(job *Job, cfg core.Config, model core.ModelRef) boo
 			addr:     addrs[i],
 			conn:     conn,
 			assign:   make(chan int, 1024),
-			inflight: make(map[int]struct{}),
+			quanta:   s.m.workerQuanta.With(addrs[i]),
+			inflight: make(map[int]int64),
 		}
 		wc.touch()
 		rj.conns[wc] = struct{}{}
@@ -216,7 +223,9 @@ func (wc *workerConn) reader() {
 		wc.touch()
 		if msg.Trailer != nil {
 			// Serve-side accounting rides the per-task markers; the trailer
-			// only signals that the worker is done with this stream.
+			// closes the stream — and brings home the worker's spans, which
+			// merge into the owning job's trace under the local trace id.
+			wc.rj.job.trace.Merge(msg.Trailer.Spans)
 			continue
 		}
 		// Fault injection: drop the link, delay the delivery, or deliver
@@ -275,6 +284,22 @@ func (rj *remoteJob) deliver(wc *workerConn, msg core.ResultMsg) {
 	if rj.job.tenantQuanta != nil {
 		rj.job.tenantQuanta.Add(1)
 	}
+	m := rj.job.metrics
+	m.remoteQuantum.Observe(d.elapsed)
+	m.quantaRemote.Inc()
+	wc.quanta.Inc()
+	rj.job.obsTenantQuanta.Inc()
+	// Round trip: dispatch (or previous delivery) to this delivery —
+	// worker compute plus both wire legs and queueing. The stamp advances
+	// with each quantum so a long trajectory yields per-quantum gaps, not
+	// one ever-growing interval.
+	rj.mu.Lock()
+	if ts, ok := wc.inflight[msg.Traj]; ok {
+		now := time.Now().UnixNano()
+		m.remoteRTT.Observe(time.Duration(now - ts))
+		wc.inflight[msg.Traj] = now
+	}
+	rj.mu.Unlock()
 	_ = rj.job.accept(rj.job.ctx, d)
 	if msg.TaskDone {
 		rj.taskDelivered(wc, msg.Traj)
@@ -365,7 +390,7 @@ func (rj *remoteJob) assignLocked() {
 			select {
 			case wc.assign <- traj:
 				rj.queue = rj.queue[1:]
-				wc.inflight[traj] = struct{}{}
+				wc.inflight[traj] = time.Now().UnixNano()
 				progress = true
 			default:
 				// Sender backlogged (slow worker): give the slot back and
@@ -432,6 +457,8 @@ func (rj *remoteJob) connDown(wc *workerConn, err error) {
 			sort.Ints(requeue)
 			rj.queue = append(rj.queue, requeue...)
 			rj.job.requeued.Add(int64(len(requeue)))
+			rj.job.metrics.requeued.Add(uint64(len(requeue)))
+			rj.job.trace.Event("requeue", rj.job.origin, "worker "+wc.addr+" lost")
 		}
 		rj.assignLocked()
 	}

@@ -136,6 +136,7 @@ func (s *Server) takeover(l lease.Lease) {
 	if _, err := s.leases.AcquireDigest(l.Job, cacheKey(recoveredTenant(rec), specDigestRaw(rec.Spec))); err != nil {
 		return // raced another thief, or the owner came back
 	}
+	s.m.leaseTakeovers.Inc()
 	if fresh, ok := s.peekRecord(l.Job); ok {
 		rec = fresh
 	}
@@ -144,6 +145,7 @@ func (s *Server) takeover(l lease.Lease) {
 	// means our directory read raced the release — re-read briefly
 	// rather than resume behind the durable frontier.
 	if h := l.Handoff; h != nil {
+		s.m.handoffsIn.Inc()
 		for i := 0; i < 40 && rec.WindowCount < h.Windows; i++ {
 			time.Sleep(5 * time.Millisecond)
 			if fresh, ok := s.peekRecord(l.Job); ok {
@@ -276,9 +278,10 @@ func (s *Server) handleForeign(w http.ResponseWriter, r *http.Request, id, actio
 			Windows:     rec.Windows,
 		})
 		return true
-	case "stream":
-		// Live streams need the owner's subscriber machinery; peeking a
-		// journal cannot push new windows. 307 preserves the method and
+	case "stream", "trace":
+		// Live streams need the owner's subscriber machinery and a trace
+		// lives in the owner's memory — peeking a journal can serve
+		// neither. 307 preserves the method and
 		// lets any client re-issue the request against the owner — but
 		// only a live owner: bouncing a client at a dead socket strands
 		// it until its own timeout, when a short 503+Retry-After has the

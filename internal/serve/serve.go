@@ -56,6 +56,7 @@ import (
 	"cwcflow/internal/core"
 	"cwcflow/internal/ff"
 	"cwcflow/internal/lease"
+	"cwcflow/internal/obs"
 	"cwcflow/internal/serve/sched"
 	"cwcflow/internal/sim"
 	"cwcflow/internal/store"
@@ -228,6 +229,10 @@ type Options struct {
 	// Version is the build version surfaced in healthz (set by the cwc-serve
 	// binary from its -ldflags-injected build info).
 	Version string
+	// Logf, when non-nil, receives one line per job terminal transition
+	// carrying the job's trace summary (the cwc-serve binary points it at
+	// log.Printf). Nil disables terminal logging.
+	Logf func(format string, args ...any)
 
 	// Scheduler selects the pool's quantum-dispatch discipline: "fifo"
 	// (default — global arrival order, the historical behaviour) or "wfq"
@@ -261,6 +266,12 @@ type Options struct {
 	// tenant) with a cost that parallelises across engines independently
 	// of the host's core count.
 	statHook func(jobID string)
+
+	// metrics is the server's metric set, created by New and threaded to
+	// jobs through this options copy (the same unexported-seam pattern as
+	// statHook). Always non-nil after New; nil in a zero Options, where
+	// every obs call degrades to a no-op.
+	metrics *serveMetrics
 }
 
 func (o Options) withDefaults() Options {
@@ -358,6 +369,7 @@ type Server struct {
 	peers    *lease.PeerDirectory // nil unless ReplicaID is set
 	mux      *http.ServeMux
 	wfq      *sched.WFQ[poolTask] // non-nil iff Options.Scheduler == "wfq"
+	m        *serveMetrics        // always non-nil (== opts.metrics)
 
 	// draining flips once (Drain) and never back: admission is refused
 	// with ErrDraining, the failover and rebalance loops stand down, and
@@ -379,12 +391,10 @@ type Server struct {
 	probes  map[string]ownerProbe
 
 	// cache is the content-addressed result index (spec digest → terminal
-	// job id); nil iff Options.NoCache. The counters feed GET /cache.
-	cache          *store.Cache
-	cacheHits      atomic.Int64
-	cacheMisses    atomic.Int64
-	cacheAttaches  atomic.Int64
-	cacheRedirects atomic.Int64
+	// job id); nil iff Options.NoCache. Hit/miss/attach/redirect counts
+	// live in the metric registry (s.m.cache*), the single source for
+	// GET /cache, /healthz and /metrics.
+	cache *store.Cache
 
 	mu          sync.Mutex
 	closed      bool
@@ -407,8 +417,11 @@ type Server struct {
 // writable); without DataDir, New cannot fail.
 func New(opts Options) (*Server, error) {
 	opts = opts.withDefaults()
+	m := newServeMetrics(obs.NewRegistry())
+	opts.metrics = m
 	s := &Server{
 		opts:     opts,
+		m:        m,
 		stats:    newStatFarm(opts.StatEngines, opts.QueueDepth, opts.statHook),
 		registry: newRegistry(opts.WorkerAddrs, opts.WorkerInFlight, opts.WorkerTTL, opts.WorkerCooldown),
 		mux:      http.NewServeMux(),
@@ -437,6 +450,9 @@ func New(opts Options) (*Server, error) {
 		s.stats.Close()
 		return nil, fmt.Errorf("serve: unknown scheduler %q (want fifo or wfq)", opts.Scheduler)
 	}
+	// The sched-wait decorator stamps quanta on push and observes the
+	// queue wait on pop, under either discipline.
+	queue = &timedQueue{inner: queue, wait: m.schedWait}
 	s.pool = NewPool(opts.Workers, opts.QueueDepth, queue)
 	s.routes()
 	if opts.ReplicaID != "" && opts.DataDir == "" {
@@ -458,7 +474,7 @@ func New(opts Options) (*Server, error) {
 				return nil, err
 			}
 		}
-		st, err := store.Open(storeDir, store.Options{RetainWindows: opts.ResultBuffer, Chaos: opts.Chaos})
+		st, err := store.Open(storeDir, store.Options{RetainWindows: opts.ResultBuffer, Chaos: opts.Chaos, Metrics: m.walMetrics})
 		if err != nil {
 			s.pool.Close()
 			s.stats.Close()
@@ -467,11 +483,12 @@ func New(opts Options) (*Server, error) {
 		s.store = st
 		if opts.ReplicaID != "" {
 			lm, err := lease.NewManager(lease.Options{
-				Dir:   filepath.Join(opts.DataDir, "leases"),
-				Owner: opts.ReplicaID,
-				URL:   opts.AdvertiseURL,
-				TTL:   opts.LeaseTTL,
-				Chaos: opts.Chaos,
+				Dir:     filepath.Join(opts.DataDir, "leases"),
+				Owner:   opts.ReplicaID,
+				URL:     opts.AdvertiseURL,
+				TTL:     opts.LeaseTTL,
+				Chaos:   opts.Chaos,
+				Metrics: m.leaseMetrics,
 			})
 			if err != nil {
 				s.store.Close()
@@ -510,8 +527,13 @@ func New(opts Options) (*Server, error) {
 			}
 		}
 	}
+	m.registerServerFuncs(s)
 	return s, nil
 }
+
+// Metrics returns the server's metric registry (the GET /metrics
+// exposition; binaries also mount it on their -debug-addr).
+func (s *Server) Metrics() *obs.Registry { return s.m.reg }
 
 // migrateLegacyJournal moves a pre-replication journal at the shared
 // directory's root into this replica's own journal directory, so an
@@ -576,6 +598,21 @@ func (s *Server) SubmitAs(spec JobSpec, tenant string) (*Job, error) {
 // In a replicated tier, a digest in flight on a live peer returns
 // *AttachRedirectError so the HTTP layer can bounce the client there.
 func (s *Server) SubmitOutcome(spec JobSpec, tenant string) (SubmitResult, error) {
+	return s.SubmitTraced(spec, tenant, "")
+}
+
+// SubmitTraced is SubmitOutcome carrying an inbound trace id (from a
+// client's traceparent header; empty means a fresh id is minted): the
+// created job's span log adopts it, so a client-side trace and the
+// job's lifecycle spans share one id end to end. Every submission —
+// accepted, cached, or rejected — is counted by outcome here.
+func (s *Server) SubmitTraced(spec JobSpec, tenant, traceID string) (SubmitResult, error) {
+	res, err := s.submitOutcome(spec, tenant, traceID)
+	s.m.submits.With(submitOutcomeLabel(res, err)).Inc()
+	return res, err
+}
+
+func (s *Server) submitOutcome(spec JobSpec, tenant, traceID string) (SubmitResult, error) {
 	if tenant == "" {
 		tenant = DefaultTenant
 	}
@@ -598,7 +635,7 @@ func (s *Server) SubmitOutcome(spec JobSpec, tenant string) (SubmitResult, error
 			return res, nil
 		}
 		if url, owner, ok := s.attachTarget(key); ok {
-			s.cacheRedirects.Add(1)
+			s.m.cacheRedirects.Inc()
 			return SubmitResult{}, &AttachRedirectError{URL: url, Owner: owner}
 		}
 	}
@@ -671,6 +708,12 @@ func (s *Server) SubmitOutcome(spec JobSpec, tenant string) (SubmitResult, error
 	job.sampleCost = sampleCost
 	job.flow = t.flow
 	job.tenantQuanta = &t.quanta
+	job.obsTenantQuanta = s.m.tenantQuanta.With(tenant)
+	if traceID != "" {
+		// Adopt the client's trace id (safe here: no span has been
+		// recorded yet, and the job is not visible to anyone).
+		job.trace = obs.NewTrace(traceID, s.m.spansDropped)
+	}
 	job.onTerminal = s.jobFinished
 	job.startFn = func() { s.startJob(job, cfg, model) }
 	if s.store != nil {
@@ -678,11 +721,13 @@ func (s *Server) SubmitOutcome(spec JobSpec, tenant string) (SubmitResult, error
 	}
 	if queued {
 		job.state = StateQueued // pre-registration: no other goroutine sees the job yet
+		job.trace.Event("admission", job.origin, "queued tenant="+tenant)
 		s.enqueueLocked(t, job)
 	} else {
 		job.admission = admActive
 		t.active++
 		t.budgetUsed += sampleCost
+		job.trace.Event("admission", job.origin, "tenant="+tenant)
 	}
 	s.jobs[id] = job
 	s.order = append(s.order, id)
@@ -756,6 +801,7 @@ func (s *Server) startJob(job *Job, cfg core.Config, model core.ModelRef) {
 // startJobChecked is startJob returning the scheduling error (the direct
 // submission path propagates it to the client after unregistering).
 func (s *Server) startJobChecked(job *Job, cfg core.Config, model core.ModelRef) error {
+	job.trace.Event("dispatch", job.origin, "")
 	go job.runWindower(s.stats)
 	// Remote sharding first: with live cluster workers the quantum
 	// scheduler owns the submission (mixing remote streams and the local
@@ -833,6 +879,35 @@ func (s *Server) Get(id string) (*Job, bool) {
 	defer s.mu.Unlock()
 	j, ok := s.jobs[id]
 	return j, ok
+}
+
+// jobCounts tallies the registry's jobs by lifecycle phase — the shared
+// source of /healthz's jobs_* keys and the cwc_jobs gauges.
+func (s *Server) jobCounts() (total, active, queued int) {
+	jobs := s.List()
+	total = len(jobs)
+	for _, j := range jobs {
+		switch st := j.State(); {
+		case st == StateQueued:
+			queued++
+		case !st.Terminal():
+			active++
+		}
+	}
+	return total, active, queued
+}
+
+// remoteWorkerCounts tallies the known and live remote sim workers —
+// the shared source of /healthz's remote_workers* keys and the
+// cwc_remote_workers gauges.
+func (s *Server) remoteWorkerCounts() (total, live int) {
+	workers := s.registry.snapshot()
+	for _, w := range workers {
+		if w.Alive {
+			live++
+		}
+	}
+	return len(workers), live
 }
 
 // List returns all jobs in submission order.

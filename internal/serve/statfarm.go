@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"cwcflow/internal/core"
+	"cwcflow/internal/obs"
 	"cwcflow/internal/sim"
 	"cwcflow/internal/stats"
 	"cwcflow/internal/window"
@@ -158,6 +159,7 @@ func (f *statFarm) analyse(eng *stats.Engine, t *winTask) {
 	var ws core.WindowStat
 	err := core.AnalyseWindowInto(&ws, eng, t.win, job.species, job.cfg)
 	lat := time.Since(start)
+	job.metrics.analyse.Observe(lat)
 	t.release()
 	if err != nil {
 		job.statSlotFree()
@@ -205,16 +207,18 @@ func (f *statFarm) Close() {
 type ingress struct {
 	mu        sync.Mutex
 	ring      []*sim.Batch // circular, len(ring) == capacity
+	stamps    []int64      // arrival stamp (unix ns) per ring slot
 	head      int
 	n         int
 	highWater int
 	closed    bool // producer done: every task's final delivery arrived
 	drained   bool // consumer gone: release instead of queueing
 	spilled   int64
-	notify    chan struct{} // 1-buffered consumer wakeup
+	notify    chan struct{}  // 1-buffered consumer wakeup
+	wait      *obs.Histogram // batch residency push → pop (nil-safe)
 }
 
-func newIngress(highWater, capacity int) *ingress {
+func newIngress(highWater, capacity int, wait *obs.Histogram) *ingress {
 	if highWater < 1 {
 		highWater = 1
 	}
@@ -223,8 +227,10 @@ func newIngress(highWater, capacity int) *ingress {
 	}
 	return &ingress{
 		ring:      make([]*sim.Batch, capacity),
+		stamps:    make([]int64, capacity),
 		highWater: highWater,
 		notify:    make(chan struct{}, 1),
+		wait:      wait,
 	}
 }
 
@@ -248,7 +254,9 @@ func (q *ingress) push(b *sim.Batch) (spilled int64) {
 		q.spilled++
 		old.Release()
 	}
-	q.ring[(q.head+q.n)%len(q.ring)] = b
+	slot := (q.head + q.n) % len(q.ring)
+	q.ring[slot] = b
+	q.stamps[slot] = time.Now().UnixNano()
 	q.n++
 	spilled = q.spilled
 	q.mu.Unlock()
@@ -264,6 +272,7 @@ func (q *ingress) pop() (b *sim.Batch, done bool, spilled int64) {
 	if q.n > 0 {
 		b = q.ring[q.head]
 		q.ring[q.head] = nil
+		q.wait.Observe(time.Duration(time.Now().UnixNano() - q.stamps[q.head]))
 		q.head = (q.head + 1) % len(q.ring)
 		q.n--
 		return b, false, q.spilled

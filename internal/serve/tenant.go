@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync/atomic"
+	"time"
 
 	"cwcflow/internal/serve/sched"
 )
@@ -188,6 +189,7 @@ func (s *Server) enqueueLocked(t *tenantState, job *Job) {
 	t.queued[idx] = job
 	t.budgetUsed += job.sampleCost
 	job.admission = admQueued
+	job.enqueuedAt = time.Now()
 	renumberQueue(t)
 }
 
@@ -288,6 +290,11 @@ func (s *Server) dispatchLocked() []func() {
 			job.admission = admActive
 			t.active++
 			running++
+			if !job.enqueuedAt.IsZero() {
+				now := time.Now()
+				s.m.admissionWait.Observe(now.Sub(job.enqueuedAt))
+				job.trace.Span("queued", job.origin, "", job.enqueuedAt, now)
+			}
 			job.mu.Lock()
 			if job.state == StateQueued {
 				job.state = StateRunning

@@ -42,7 +42,16 @@ import (
 
 	"cwcflow/internal/chaos"
 	"cwcflow/internal/core"
+	"cwcflow/internal/obs"
 )
+
+// Metrics is the optional latency-histogram set the journal reports
+// into. Both fields are nil-safe (obs semantics), so a zero Metrics
+// disables instrumentation without call-site conditionals.
+type Metrics struct {
+	Append *obs.Histogram // per-frame journal write time
+	Fsync  *obs.Histogram // journal fsync time (durable edges only)
+}
 
 // ckptLadder is how many recent checkpoints are retained per trajectory
 // (in memory and across compactions). The analysis frontier trails the
@@ -63,6 +72,8 @@ type Options struct {
 	// Chaos, when armed with FsyncStall, delays journal fsyncs (fault
 	// injection for the failover tests; nil in production).
 	Chaos *chaos.Injector
+	// Metrics receives WAL write/fsync latencies (zero value = no-op).
+	Metrics Metrics
 }
 
 func (o Options) withDefaults() Options {
@@ -495,6 +506,7 @@ func (s *Store) append(ev *event, sync bool) error {
 		return err
 	}
 	frame := appendFrame(nil, payload)
+	wstart := time.Now()
 	if _, err := s.f.Write(frame); err != nil {
 		// A short or failed write may have left a partial frame after
 		// offset s.size; replay would stop there and silently discard
@@ -507,13 +519,17 @@ func (s *Store) append(ev *event, sync bool) error {
 		}
 		return fmt.Errorf("store: journal write: %w", err)
 	}
+	s.opts.Metrics.Append.Observe(time.Since(wstart))
 	s.size += int64(len(frame))
 	s.apply(ev)
 	if sync {
 		if d := s.opts.Chaos.Stall(chaos.FsyncStall); d > 0 {
 			time.Sleep(d)
 		}
-		return s.f.Sync()
+		fstart := time.Now()
+		err := s.f.Sync()
+		s.opts.Metrics.Fsync.Observe(time.Since(fstart))
+		return err
 	}
 	return nil
 }
