@@ -183,8 +183,23 @@ func (r *Registry) familyLocked(name, help, typ string) *family {
 		f = &family{name: name, help: help, typ: typ, index: make(map[string]*series)}
 		r.byName[name] = f
 		r.families = append(r.families, f)
+	} else if f.typ != typ {
+		// A silent nil metric here would turn every write into an
+		// invisible no-op; registration collisions are programmer errors
+		// and fail loudly at startup instead.
+		panic(fmt.Sprintf("obs: metric %q registered as %s but already exists as %s", name, typ, f.typ))
 	}
 	return f
+}
+
+// checkSeriesKind panics when an existing series under the same family
+// was registered as a different backing kind (e.g. a CounterFunc series
+// re-requested as a plain Counter), which would otherwise hand the
+// caller a nil, silently no-op metric.
+func checkSeriesKind(name string, s *series, ok bool) {
+	if !ok {
+		panic(fmt.Sprintf("obs: series %s%s already registered with a different backing kind", name, s.labels))
+	}
 }
 
 // renderLabels turns ("k","v","k2","v2") into `{k="v",k2="v2"}`.
@@ -227,6 +242,7 @@ func (r *Registry) Counter(name, help string, labelKV ...string) *Counter {
 	f := r.familyLocked(name, help, "counter")
 	key := renderLabels(labelKV)
 	if s, ok := f.index[key]; ok {
+		checkSeriesKind(name, s, s.c != nil)
 		return s.c
 	}
 	s := &series{labels: key, c: &Counter{}}
@@ -245,6 +261,7 @@ func (r *Registry) Gauge(name, help string, labelKV ...string) *Gauge {
 	f := r.familyLocked(name, help, "gauge")
 	key := renderLabels(labelKV)
 	if s, ok := f.index[key]; ok {
+		checkSeriesKind(name, s, s.g != nil)
 		return s.g
 	}
 	s := &series{labels: key, g: &Gauge{}}
@@ -264,6 +281,7 @@ func (r *Registry) Histogram(name, help string, labelKV ...string) *Histogram {
 	f := r.familyLocked(name, help, "histogram")
 	key := renderLabels(labelKV)
 	if s, ok := f.index[key]; ok {
+		checkSeriesKind(name, s, s.h != nil)
 		return s.h
 	}
 	s := &series{labels: key, h: &Histogram{}}
@@ -285,6 +303,7 @@ func (r *Registry) GaugeFunc(name, help string, fn func() float64, labelKV ...st
 	f := r.familyLocked(name, help, "gauge")
 	key := renderLabels(labelKV)
 	if s, ok := f.index[key]; ok {
+		checkSeriesKind(name, s, s.fn != nil)
 		s.fn = fn
 		return
 	}
@@ -303,6 +322,7 @@ func (r *Registry) CounterFunc(name, help string, fn func() float64, labelKV ...
 	f := r.familyLocked(name, help, "counter")
 	key := renderLabels(labelKV)
 	if s, ok := f.index[key]; ok {
+		checkSeriesKind(name, s, s.fn != nil)
 		s.fn = fn
 		return
 	}
@@ -371,14 +391,34 @@ func (v *CounterVec) With(value string) *Counter {
 }
 
 // Render writes the registry in Prometheus text exposition format.
+//
+// The family and series structure is snapshotted under r.mu, but metric
+// values are read — and GaugeFunc/CounterFunc callbacks evaluated —
+// only after the lock is released. Callbacks routinely acquire
+// application locks (queue depths, job counts), and application code
+// registers metrics (CounterVec.With) while holding those same locks;
+// sampling a callback under r.mu would order the two locks both ways
+// and deadlock a scrape against a concurrent registration.
 func (r *Registry) Render(w io.Writer) error {
 	if r == nil {
 		return nil
 	}
 	r.mu.Lock()
-	defer r.mu.Unlock()
+	fams := make([]family, len(r.families))
+	for i, f := range r.families {
+		fams[i] = family{name: f.name, help: f.help, typ: f.typ}
+		fams[i].series = make([]*series, len(f.series))
+		for j, s := range f.series {
+			// Copy the series value: fn may be replaced by a later
+			// GaugeFunc re-registration under r.mu, so reading the shared
+			// struct outside the lock would race.
+			c := *s
+			fams[i].series[j] = &c
+		}
+	}
+	r.mu.Unlock()
 	var b strings.Builder
-	for _, f := range r.families {
+	for _, f := range fams {
 		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, f.help)
 		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.typ)
 		for _, s := range f.series {

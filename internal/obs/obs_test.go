@@ -257,6 +257,84 @@ func TestRegistryIdempotentConstructors(t *testing.T) {
 	}
 }
 
+// TestRenderEvaluatesCallbacksUnlocked pins the lock-ordering contract
+// that keeps /metrics scrapes deadlock-free: Render must not hold the
+// registry mutex while evaluating GaugeFunc callbacks. Application
+// callbacks take server locks, and application code registers metrics
+// (CounterVec.With on first sight of a tenant) while holding those same
+// locks — if Render sampled under r.mu, a scrape racing a first-tenant
+// submission would AB-BA deadlock. A callback that re-enters the
+// registry is the sharpest probe: sync.Mutex is not reentrant, so the
+// old behaviour hangs here instead of merely racing.
+func TestRenderEvaluatesCallbacksUnlocked(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeFunc("t_reentrant", "samples via a registry re-entry", func() float64 {
+		r.Counter("t_registered_during_scrape_total", "x").Inc()
+		return 1
+	})
+	done := make(chan error, 1)
+	go func() {
+		var sb strings.Builder
+		done <- r.Render(&sb)
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Render deadlocked: registry mutex held during GaugeFunc callback")
+	}
+	if got := r.Counter("t_registered_during_scrape_total", "x").Value(); got != 1 {
+		t.Fatalf("callback-registered counter = %d, want 1", got)
+	}
+}
+
+// TestRegistryKindCollisionPanics: re-registering a name or series as a
+// different kind must fail loudly — the old behaviour returned a nil
+// metric, silently discarding every subsequent write.
+func TestRegistryKindCollisionPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: kind collision did not panic", name)
+			}
+		}()
+		fn()
+	}
+	r := NewRegistry()
+	r.Counter("t_kind_total", "x")
+	mustPanic("family counter->gauge", func() { r.Gauge("t_kind_total", "x") })
+	mustPanic("family counter->histogram", func() { r.Histogram("t_kind_total", "x") })
+	mustPanic("family counter->gaugefunc", func() {
+		r.GaugeFunc("t_kind_total", "x", func() float64 { return 0 })
+	})
+
+	// Same family type but a different series backing: a CounterFunc
+	// series re-requested as a value-backed Counter (and vice versa).
+	r.CounterFunc("t_fn_total", "x", func() float64 { return 0 })
+	mustPanic("series fn->counter", func() { r.Counter("t_fn_total", "x") })
+	r.Gauge("t_val", "x")
+	mustPanic("series gauge->gaugefunc", func() {
+		r.GaugeFunc("t_val", "x", func() float64 { return 0 })
+	})
+
+	// Legitimate re-registrations stay allowed: same kind returns the
+	// same metric, and a func series swaps its callback.
+	if r.Counter("t_kind_total", "x") == nil {
+		t.Fatal("same-kind re-registration returned nil")
+	}
+	r.CounterFunc("t_fn_total", "x", func() float64 { return 42 })
+	var sb strings.Builder
+	if err := r.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "t_fn_total 42") {
+		t.Fatalf("replaced CounterFunc callback not sampled:\n%s", sb.String())
+	}
+}
+
 // TestNilRegistrySafe: a nil registry hands out usable no-op metrics.
 func TestNilRegistrySafe(t *testing.T) {
 	var r *Registry

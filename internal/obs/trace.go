@@ -170,17 +170,25 @@ func NewTraceID() string {
 
 // ParseTraceparent extracts the trace id from a W3C traceparent header
 // ("00-<32 hex trace id>-<16 hex span id>-<2 hex flags>"). ok is false
-// for malformed headers and the all-zero trace id.
+// for malformed headers: every field is length- and hex-checked per the
+// W3C grammar, and the reserved version "ff", the all-zero trace id and
+// the all-zero parent span id are rejected.
 func ParseTraceparent(h string) (traceID string, ok bool) {
 	parts := strings.Split(strings.TrimSpace(h), "-")
-	if len(parts) != 4 || len(parts[1]) != 32 || len(parts[2]) != 16 {
+	if len(parts) != 4 || len(parts[0]) != 2 || len(parts[1]) != 32 ||
+		len(parts[2]) != 16 || len(parts[3]) != 2 {
+		return "", false
+	}
+	for _, p := range parts {
+		if _, err := hex.DecodeString(strings.ToLower(p)); err != nil {
+			return "", false
+		}
+	}
+	if strings.ToLower(parts[0]) == "ff" {
 		return "", false
 	}
 	id := strings.ToLower(parts[1])
-	if _, err := hex.DecodeString(id); err != nil {
-		return "", false
-	}
-	if id == strings.Repeat("0", 32) {
+	if id == strings.Repeat("0", 32) || parts[2] == strings.Repeat("0", 16) {
 		return "", false
 	}
 	return id, true

@@ -60,6 +60,12 @@ func TestTraceparentRoundTrip(t *testing.T) {
 		"00-" + strings.Repeat("0", 32) + "-1122334455667788-01", // all-zero id
 		"00-" + id + "-tooshort-01",
 		"garbage",
+		"zz-" + id + "-nothexhere!!!!!!-xx",                // non-hex version, span id and flags
+		"ff-" + id + "-1122334455667788-01",                // reserved version
+		"0-" + id + "-1122334455667788-01",                 // short version
+		"00-" + id + "-1122334455667788-0",                 // short flags
+		"00-" + id + "-1122334455667788-0g",                // non-hex flags
+		"00-" + id + "-" + strings.Repeat("0", 16) + "-01", // all-zero span id
 	} {
 		if _, ok := ParseTraceparent(bad); ok {
 			t.Errorf("ParseTraceparent(%q) accepted", bad)

@@ -681,6 +681,14 @@ func (s *Server) submitOutcome(spec JobSpec, tenant, traceID string) (SubmitResu
 	}
 	model := core.ModelRef{Name: spec.Model, Omega: spec.Omega}
 
+	// Resolve the tenant's dispatch counter before taking s.mu: a first
+	// sighting registers a series under Registry.mu, and a concurrent
+	// /metrics scrape orders the locks the other way (Render samples
+	// gauges that read server state). Registry.Render no longer holds its
+	// lock while sampling, but registering metrics under s.mu would still
+	// couple the two locks for no benefit.
+	obsTenantQuanta := s.m.tenantQuanta.With(tenant)
+
 	s.mu.Lock()
 	// Decisive cache re-check, in the same critical section that will
 	// register the job and its in-flight digest: of two racing submissions
@@ -708,7 +716,7 @@ func (s *Server) submitOutcome(spec JobSpec, tenant, traceID string) (SubmitResu
 	job.sampleCost = sampleCost
 	job.flow = t.flow
 	job.tenantQuanta = &t.quanta
-	job.obsTenantQuanta = s.m.tenantQuanta.With(tenant)
+	job.obsTenantQuanta = obsTenantQuanta
 	if traceID != "" {
 		// Adopt the client's trace id (safe here: no span has been
 		// recorded yet, and the job is not visible to anyone).
